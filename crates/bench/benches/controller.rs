@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the Ampere control path: the per-minute cost
+//! that would run on the production controller host. The paper's
+//! controller handles dozens of rows per minute; these benches show the
+//! per-row decision is microseconds, i.e. the design scales to a full
+//! data center trivially.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ampere_cluster::ServerId;
+use ampere_core::{
+    solve_pcp_greedy, spcp_optimal_ratio, ControlFunction, FreezePlanner, PcpInstance,
+    ServerPowerReading,
+};
+
+fn readings(n: usize, frozen_every: usize) -> Vec<ServerPowerReading> {
+    (0..n)
+        .map(|i| ServerPowerReading {
+            id: ServerId::new(i as u64),
+            power_w: 150.0 + ((i * 37) % 100) as f64,
+            frozen: frozen_every != 0 && i % frozen_every == 0,
+        })
+        .collect()
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller");
+
+    g.bench_function("spcp_closed_form", |b| {
+        b.iter(|| spcp_optimal_ratio(std::hint::black_box(0.98), 0.03, 1.0, 0.05))
+    });
+
+    g.bench_function("pcp_greedy_horizon_60", |b| {
+        let inst = PcpInstance::new(0.97, vec![0.01; 60], 0.05, 1.0);
+        b.iter(|| solve_pcp_greedy(std::hint::black_box(&inst)))
+    });
+
+    let cf = ControlFunction::new(0.05, 0.03, 0.5);
+    for n in [440usize, 800, 3200] {
+        g.bench_function(format!("algorithm1_plan_{n}_servers"), |b| {
+            let r = readings(n, 7);
+            let planner = FreezePlanner::default();
+            b.iter(|| planner.plan(std::hint::black_box(&r), &cf, 1.01))
+        });
+    }
+
+    g.bench_function("algorithm1_below_threshold_440", |b| {
+        let r = readings(440, 7);
+        let planner = FreezePlanner::default();
+        b.iter(|| planner.plan(std::hint::black_box(&r), &cf, 0.80))
+    });
+
+    g.bench_function("control_model_fit_1000_samples", |b| {
+        let samples: Vec<(f64, f64)> = (0..1000)
+            .map(|i| {
+                let u = (i % 100) as f64 / 100.0;
+                (u, 0.05 * u + ((i * 13) % 7) as f64 * 1e-3)
+            })
+            .collect();
+        b.iter_batched(
+            || samples.clone(),
+            |s| ampere_core::ControlModel::fit(&s),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

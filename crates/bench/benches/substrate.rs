@@ -1,0 +1,137 @@
+//! Micro-benchmarks of the substrates: scheduler dispatch, power
+//! monitoring/aggregation, time-series queries, capping decisions and
+//! the full testbed tick. These bound the simulation's own throughput
+//! (simulated minutes per wall-clock second).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ampere_cluster::{Cluster, ClusterSpec, JobId, Resources, ServerId};
+use ampere_power::monitor::ServerSample;
+use ampere_power::{CappingConfig, PowerMonitor, RaplCapper, ServerPowerModel};
+use ampere_sched::{RandomFit, Scheduler};
+use ampere_sim::{SimDuration, SimTime};
+use ampere_workload::{JobRequest, RateProfile};
+
+fn jobs(n: usize) -> Vec<JobRequest> {
+    (0..n)
+        .map(|i| JobRequest {
+            id: JobId::new(i as u64),
+            resources: Resources::new(500 + (i % 4) as u64 * 500, 2_048),
+            duration: SimDuration::from_mins(5 + (i % 10) as u64),
+        })
+        .collect()
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+
+    g.bench_function("dispatch_500_jobs_440_servers", |b| {
+        b.iter_batched(
+            || {
+                let cluster = Cluster::new(ClusterSpec::paper_row());
+                let mut sched = Scheduler::new(Box::new(RandomFit::default()), 1);
+                sched.submit(jobs(500));
+                (cluster, sched)
+            },
+            |(mut cluster, mut sched)| sched.dispatch(&mut cluster, &[]),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("cluster_advance_440_servers_5k_jobs", |b| {
+        b.iter_batched(
+            || {
+                let mut cluster = Cluster::new(ClusterSpec::paper_row());
+                let mut sched = Scheduler::new(Box::new(RandomFit::default()), 1);
+                sched.submit(jobs(5_000));
+                sched.dispatch(&mut cluster, &[]);
+                cluster
+            },
+            |mut cluster| cluster.advance(SimDuration::MINUTE),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("monitor_ingest_3200_servers", |b| {
+        let samples: Vec<ServerSample> = (0..3200)
+            .map(|i| ServerSample {
+                server: i,
+                rack: i / 40,
+                row: i / 800,
+                watts: 150.0 + (i % 100) as f64,
+            })
+            .collect();
+        b.iter_batched(
+            PowerMonitor::paper_default,
+            |mut mon| mon.ingest(SimTime::from_mins(1), &samples),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("tsdb_range_query_1_week", |b| {
+        let mut mon = PowerMonitor::paper_default();
+        let samples: Vec<ServerSample> = (0..10)
+            .map(|i| ServerSample {
+                server: i,
+                rack: 0,
+                row: 0,
+                watts: 200.0,
+            })
+            .collect();
+        for m in 1..=10_080u64 {
+            mon.ingest(SimTime::from_mins(m), &samples);
+        }
+        let key = ampere_power::monitor::SeriesKey::row(0);
+        b.iter(|| {
+            mon.db().range(
+                std::hint::black_box(key),
+                SimTime::from_hours(24),
+                SimTime::from_hours(48),
+            )
+        })
+    });
+
+    g.bench_function("rapl_cap_row_440_servers", |b| {
+        let servers: Vec<(ServerPowerModel, f64)> = (0..440)
+            .map(|i| (ServerPowerModel::default(), (i % 10) as f64 / 10.0))
+            .collect();
+        let capper = RaplCapper::new(CappingConfig::default());
+        b.iter(|| capper.cap_row(std::hint::black_box(&servers), 80_000.0))
+    });
+
+    g.bench_function("testbed_tick_440_servers_heavy", |b| {
+        use ampere_experiments::{Testbed, TestbedConfig};
+        b.iter_batched(
+            || {
+                let mut tb = Testbed::new(TestbedConfig::paper_row(RateProfile::heavy_row(), 1));
+                tb.add_row_domains(1.0);
+                tb.run_for(SimDuration::from_mins(30));
+                tb
+            },
+            |mut tb| tb.step(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Freezing half the row must not change dispatch asymptotics.
+    g.bench_function("dispatch_with_half_frozen", |b| {
+        b.iter_batched(
+            || {
+                let mut cluster = Cluster::new(ClusterSpec::paper_row());
+                let mut sched = Scheduler::new(Box::new(RandomFit::default()), 1);
+                for i in 0..220u64 {
+                    sched.freeze(&mut cluster, ServerId::new(i * 2));
+                }
+                sched.submit(jobs(500));
+                (cluster, sched)
+            },
+            |(mut cluster, mut sched)| sched.dispatch(&mut cluster, &[]),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

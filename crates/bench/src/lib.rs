@@ -1,0 +1,212 @@
+//! Output formatting for the `repro` binary and the benches.
+//!
+//! The paper reports results as tables and plotted series; the
+//! reproduction prints both as plain text so a diff against
+//! `EXPERIMENTS.md` is meaningful. An [`Output`] additionally mirrors
+//! every series and table into CSV files (`repro --csv <dir>`) for
+//! plotting.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Print-and-optionally-save sink for the repro binary.
+pub struct Output {
+    csv_dir: Option<PathBuf>,
+}
+
+impl Output {
+    /// Creates a sink; with `Some(dir)` every series/table is also
+    /// written to `dir/<slug>.csv` (the directory is created).
+    pub fn new(csv_dir: Option<PathBuf>) -> std::io::Result<Self> {
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(Self { csv_dir })
+    }
+
+    /// A stdout-only sink.
+    pub fn stdout_only() -> Self {
+        Self { csv_dir: None }
+    }
+
+    fn save(&self, name: &str, content: &str) {
+        let Some(dir) = &self.csv_dir else { return };
+        let path = dir.join(format!("{}.csv", slug(name)));
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(content.as_bytes())) {
+            Ok(()) => {}
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    /// Prints a named series and mirrors the *full* series to CSV.
+    pub fn series(&self, name: &str, series: impl IntoIterator<Item = (f64, f64)>) {
+        let data: Vec<(f64, f64)> = series.into_iter().collect();
+        print_series(name, data.iter().copied());
+        let mut csv = String::from("x,y\n");
+        for (x, y) in &data {
+            csv.push_str(&format!("{x},{y}\n"));
+        }
+        self.save(name, &csv);
+    }
+
+    /// Prints a sampled preview of a long series but mirrors the full
+    /// series to CSV.
+    pub fn series_sampled(
+        &self,
+        name: &str,
+        series: impl IntoIterator<Item = (f64, f64)>,
+        stride: usize,
+    ) {
+        let data: Vec<(f64, f64)> = series.into_iter().collect();
+        print_series_sampled(name, data.iter().copied(), stride);
+        let mut csv = String::from("x,y\n");
+        for (x, y) in &data {
+            csv.push_str(&format!("{x},{y}\n"));
+        }
+        self.save(name, &csv);
+    }
+
+    /// Prints a table and mirrors it to CSV.
+    pub fn table(&self, title: &str, header: &[&str], rows: &[Vec<String>]) {
+        print_table(title, header, rows);
+        let mut csv = String::new();
+        csv.push_str(&header.join(","));
+        csv.push('\n');
+        for row in rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        self.save(title, &csv);
+    }
+}
+
+/// Lowercase alphanumeric-and-dash file stem for a display name.
+pub fn slug(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut dash = false;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            dash = false;
+        } else if !dash && !out.is_empty() {
+            out.push('-');
+            dash = true;
+        }
+    }
+    out.trim_end_matches('-').to_string()
+}
+
+/// Prints a named series as `x<TAB>y` lines with a `# name` header.
+pub fn print_series(name: &str, series: impl IntoIterator<Item = (f64, f64)>) {
+    println!("# {name}");
+    for (x, y) in series {
+        println!("{x:.4}\t{y:.4}");
+    }
+    println!();
+}
+
+/// Prints a sparse preview of a long series: `head` points from the
+/// start, every `stride`-th afterwards.
+pub fn print_series_sampled(
+    name: &str,
+    series: impl IntoIterator<Item = (f64, f64)>,
+    stride: usize,
+) {
+    let stride = stride.max(1);
+    println!("# {name} (every {stride} points)");
+    for (i, (x, y)) in series.into_iter().enumerate() {
+        if i % stride == 0 {
+            println!("{x:.4}\t{y:.4}");
+        }
+    }
+    println!();
+}
+
+/// Prints a markdown-style table: a header row then aligned data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("## {title}");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("| {} |", joined.join(" | "));
+    };
+    fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        fmt_row(row);
+    }
+    println!();
+}
+
+/// Formats a float with 3 decimal places (table cells).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(pct(0.177), "17.7%");
+    }
+
+    #[test]
+    fn slug_is_filesystem_safe() {
+        assert_eq!(
+            slug("Table 2: controller effectiveness"),
+            "table-2-controller-effectiveness"
+        );
+        assert_eq!(slug("f(u) p50"), "f-u-p50");
+        assert_eq!(slug("---"), "");
+    }
+
+    #[test]
+    fn csv_output_writes_files() {
+        let dir = std::env::temp_dir().join(format!("ampere-csv-{}", std::process::id()));
+        let out = Output::new(Some(dir.clone())).unwrap();
+        out.series("demo series", vec![(0.0, 1.0), (1.0, 2.0)]);
+        out.table("demo table", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let s = std::fs::read_to_string(dir.join("demo-series.csv")).unwrap();
+        assert_eq!(s, "x,y\n0,1\n1,2\n");
+        let t = std::fs::read_to_string(dir.join("demo-table.csv")).unwrap();
+        assert!(t.starts_with("a,b\n1,2"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn printers_do_not_panic() {
+        print_series("s", vec![(0.0, 1.0), (1.0, 2.0)]);
+        print_series_sampled("s2", vec![(0.0, 1.0); 10], 3);
+        print_table(
+            "t",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Typed identifiers for cluster entities.
+
+use ampere_sim::define_id;
+
+define_id!(
+    /// Identifies a server; dense across the whole cluster.
+    ServerId
+);
+
+define_id!(
+    /// Identifies a rack; dense across the whole cluster.
+    RackId
+);
+
+define_id!(
+    /// Identifies a row (one PDU power domain).
+    RowId
+);
+
+define_id!(
+    /// Identifies a job across its whole lifecycle.
+    JobId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // This is a compile-time property; here we just exercise the API.
+        let s = ServerId::new(3);
+        let j = JobId::new(3);
+        assert_eq!(s.raw(), j.raw());
+        assert_eq!(format!("{s}"), "ServerId#3");
+        assert_eq!(format!("{j}"), "JobId#3");
+    }
+}

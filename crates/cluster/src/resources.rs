@@ -1,0 +1,161 @@
+//! Resource vectors.
+//!
+//! The scheduler's low level bundles CPU and memory into abstract
+//! resource containers (§2.1, the Omega-like two-level design). A
+//! [`Resources`] value is such a bundle: CPU in millicores and memory in
+//! megabytes, both integral so accounting is exact.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A bundle of CPU (millicores) and memory (MB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Resources {
+    /// CPU in millicores (1000 = one core).
+    pub cpu_millis: u64,
+    /// Memory in megabytes.
+    pub memory_mb: u64,
+}
+
+impl Resources {
+    /// The empty bundle.
+    pub const ZERO: Resources = Resources {
+        cpu_millis: 0,
+        memory_mb: 0,
+    };
+
+    /// Builds a bundle.
+    pub const fn new(cpu_millis: u64, memory_mb: u64) -> Self {
+        Self {
+            cpu_millis,
+            memory_mb,
+        }
+    }
+
+    /// A convenience constructor in whole cores and GB.
+    pub const fn cores_gb(cores: u64, gb: u64) -> Self {
+        Self {
+            cpu_millis: cores * 1_000,
+            memory_mb: gb * 1_024,
+        }
+    }
+
+    /// Whether `other` fits inside this bundle on every dimension.
+    pub fn fits(&self, other: &Resources) -> bool {
+        other.cpu_millis <= self.cpu_millis && other.memory_mb <= self.memory_mb
+    }
+
+    /// Checked subtraction across both dimensions.
+    pub fn checked_sub(&self, other: &Resources) -> Option<Resources> {
+        Some(Resources {
+            cpu_millis: self.cpu_millis.checked_sub(other.cpu_millis)?,
+            memory_mb: self.memory_mb.checked_sub(other.memory_mb)?,
+        })
+    }
+
+    /// CPU fraction of `self` relative to a capacity (clamped to 1).
+    pub fn cpu_fraction_of(&self, capacity: &Resources) -> f64 {
+        if capacity.cpu_millis == 0 {
+            return 0.0;
+        }
+        (self.cpu_millis as f64 / capacity.cpu_millis as f64).min(1.0)
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            cpu_millis: self.cpu_millis + rhs.cpu_millis,
+            memory_mb: self.memory_mb + rhs.memory_mb,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    fn sub(self, rhs: Resources) -> Resources {
+        self.checked_sub(&rhs)
+            .expect("resource accounting underflow")
+    }
+}
+
+impl SubAssign for Resources {
+    fn sub_assign(&mut self, rhs: Resources) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1}c/{:.1}GB",
+            self.cpu_millis as f64 / 1_000.0,
+            self.memory_mb as f64 / 1_024.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_checks_both_dimensions() {
+        let cap = Resources::cores_gb(32, 128);
+        assert!(cap.fits(&Resources::cores_gb(32, 128)));
+        assert!(cap.fits(&Resources::ZERO));
+        assert!(!cap.fits(&Resources::cores_gb(33, 1)));
+        assert!(!cap.fits(&Resources::cores_gb(1, 129)));
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Resources::new(1_500, 2_048);
+        let b = Resources::new(500, 1_024);
+        assert_eq!(a + b - b, a);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        let a = Resources::new(100, 100);
+        let b = Resources::new(200, 50);
+        assert_eq!(a.checked_sub(&b), None);
+        assert_eq!(
+            a.checked_sub(&Resources::new(100, 100)),
+            Some(Resources::ZERO)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_panics_on_underflow() {
+        let _ = Resources::ZERO - Resources::new(1, 0);
+    }
+
+    #[test]
+    fn cpu_fraction() {
+        let cap = Resources::cores_gb(32, 128);
+        let half = Resources::cores_gb(16, 4);
+        assert!((half.cpu_fraction_of(&cap) - 0.5).abs() < 1e-12);
+        // Clamped at 1 and safe on zero capacity.
+        assert_eq!(Resources::cores_gb(64, 1).cpu_fraction_of(&cap), 1.0);
+        assert_eq!(half.cpu_fraction_of(&Resources::ZERO), 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", Resources::cores_gb(2, 4)), "2.0c/4.0GB");
+    }
+}

@@ -1,0 +1,348 @@
+//! Cluster topology: rows of racks of servers.
+//!
+//! Server ids are dense and laid out row-major (all servers of row 0,
+//! then row 1, …), so row membership is computable without lookup
+//! tables and per-row scans are cache-friendly — the controller scans
+//! one row per tick at data-center scale.
+
+use ampere_power::monitor::ServerSample;
+use ampere_power::ServerPowerModel;
+use ampere_sim::SimDuration;
+
+use crate::ids::{JobId, RackId, RowId, ServerId};
+use crate::resources::Resources;
+use crate::server::Server;
+
+/// Static description of a cluster to build.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Number of rows (PDU power domains).
+    pub rows: usize,
+    /// Racks per row (≈ 20 in the paper's data centers).
+    pub racks_per_row: usize,
+    /// Servers per rack (≈ 40 at 250 W against a 10 kW rack budget).
+    pub servers_per_rack: usize,
+    /// Power model shared by all servers (the paper's row is
+    /// homogeneous, §4.1.1).
+    pub power_model: ServerPowerModel,
+    /// Resource capacity of each server.
+    pub capacity: Resources,
+}
+
+impl ClusterSpec {
+    /// The paper's evaluation row: "a single row with 400+ homogeneous
+    /// servers" — 11 racks × 40 servers = 440.
+    pub fn paper_row() -> Self {
+        Self {
+            rows: 1,
+            racks_per_row: 11,
+            servers_per_rack: 40,
+            power_model: ServerPowerModel::default(),
+            capacity: Resources::cores_gb(32, 128),
+        }
+    }
+
+    /// A multi-row slice of a data center for the characterization
+    /// figures (Fig 1/2): `rows` full rows of 20 racks.
+    pub fn data_center(rows: usize) -> Self {
+        Self {
+            rows,
+            racks_per_row: 20,
+            servers_per_rack: 40,
+            power_model: ServerPowerModel::default(),
+            capacity: Resources::cores_gb(32, 128),
+        }
+    }
+
+    /// A tiny cluster for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            rows: 2,
+            racks_per_row: 2,
+            servers_per_rack: 4,
+            power_model: ServerPowerModel::default(),
+            capacity: Resources::cores_gb(32, 128),
+        }
+    }
+
+    /// Servers in each row.
+    pub fn servers_per_row(&self) -> usize {
+        self.racks_per_row * self.servers_per_rack
+    }
+
+    /// Total servers in the cluster.
+    pub fn server_count(&self) -> usize {
+        self.rows * self.servers_per_row()
+    }
+
+    /// Sum of rated power over one row — the provisioning basis `PM`
+    /// when provisioning by rated power (§1).
+    pub fn rated_row_power_w(&self) -> f64 {
+        self.servers_per_row() as f64 * self.power_model.rated_w
+    }
+}
+
+/// The simulated fleet.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    servers: Vec<Server>,
+}
+
+impl Cluster {
+    /// Builds an idle, homogeneous cluster from a spec (the paper's
+    /// evaluation row is homogeneous, §4.1.1).
+    pub fn new(spec: ClusterSpec) -> Self {
+        Self::new_with(spec, |_| (spec.power_model, spec.capacity))
+    }
+
+    /// Builds an idle cluster with per-server hardware classes:
+    /// `class_of(index)` returns the power model and capacity of the
+    /// server at that dense index. Real fleets mix generations; the
+    /// controller handles this without change because Algorithm 1 ranks
+    /// by measured watts, not by ratio of rated power.
+    pub fn new_with(
+        spec: ClusterSpec,
+        class_of: impl Fn(usize) -> (ServerPowerModel, Resources),
+    ) -> Self {
+        assert!(spec.rows > 0 && spec.racks_per_row > 0 && spec.servers_per_rack > 0);
+        let mut servers = Vec::with_capacity(spec.server_count());
+        for row in 0..spec.rows {
+            for rack_in_row in 0..spec.racks_per_row {
+                let rack = RackId::new((row * spec.racks_per_row + rack_in_row) as u64);
+                for _ in 0..spec.servers_per_rack {
+                    let id = ServerId::new(servers.len() as u64);
+                    let (model, capacity) = class_of(servers.len());
+                    servers.push(Server::new(
+                        id,
+                        rack,
+                        RowId::new(row as u64),
+                        model,
+                        capacity,
+                    ));
+                }
+            }
+        }
+        Self { spec, servers }
+    }
+
+    /// Sum of the *actual* rated power over one row. Equals
+    /// `spec.rated_row_power_w()` for homogeneous fleets, differs for
+    /// clusters built with [`Cluster::new_with`].
+    pub fn actual_rated_row_power_w(&self, row: RowId) -> f64 {
+        self.servers_in_row(row).iter().map(Server::rated_w).sum()
+    }
+
+    /// The building spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Total number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.spec.rows
+    }
+
+    /// Shared view of one server.
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[id.index()]
+    }
+
+    /// Mutable view of one server.
+    pub fn server_mut(&mut self, id: ServerId) -> &mut Server {
+        &mut self.servers[id.index()]
+    }
+
+    /// All servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// All servers, mutably.
+    pub fn servers_mut(&mut self) -> &mut [Server] {
+        &mut self.servers
+    }
+
+    /// Ids of the servers in `row` (dense range).
+    pub fn row_server_ids(&self, row: RowId) -> impl Iterator<Item = ServerId> {
+        let per_row = self.spec.servers_per_row();
+        let start = row.index() * per_row;
+        (start..start + per_row).map(|i| ServerId::new(i as u64))
+    }
+
+    /// Servers of one row.
+    pub fn servers_in_row(&self, row: RowId) -> &[Server] {
+        let per_row = self.spec.servers_per_row();
+        let start = row.index() * per_row;
+        &self.servers[start..start + per_row]
+    }
+
+    /// Servers of one row, mutably.
+    pub fn servers_in_row_mut(&mut self, row: RowId) -> &mut [Server] {
+        let per_row = self.spec.servers_per_row();
+        let start = row.index() * per_row;
+        &mut self.servers[start..start + per_row]
+    }
+
+    /// Instantaneous power of one row in watts.
+    pub fn row_power_w(&self, row: RowId) -> f64 {
+        self.servers_in_row(row).iter().map(Server::power_w).sum()
+    }
+
+    /// Instantaneous power of one rack in watts.
+    pub fn rack_power_w(&self, rack: RackId) -> f64 {
+        self.servers
+            .iter()
+            .filter(|s| s.rack() == rack)
+            .map(Server::power_w)
+            .sum()
+    }
+
+    /// Instantaneous total power in watts.
+    pub fn total_power_w(&self) -> f64 {
+        self.servers.iter().map(Server::power_w).sum()
+    }
+
+    /// Number of frozen servers in a row.
+    pub fn frozen_count(&self, row: RowId) -> usize {
+        self.servers_in_row(row)
+            .iter()
+            .filter(|s| s.is_frozen())
+            .count()
+    }
+
+    /// Takes an IPMI-style sweep of per-server power readings for the
+    /// monitor. `noise` lets callers inject per-sample measurement
+    /// noise; pass `|_, w| w` for exact readings.
+    pub fn sample(&self, mut noise: impl FnMut(ServerId, f64) -> f64) -> Vec<ServerSample> {
+        self.servers
+            .iter()
+            .map(|s| ServerSample {
+                server: s.id().raw(),
+                rack: s.rack().raw(),
+                row: s.row().raw(),
+                watts: noise(s.id(), s.power_w()),
+            })
+            .collect()
+    }
+
+    /// Advances every server by one tick; returns `(server, job)` pairs
+    /// for completed jobs.
+    pub fn advance(&mut self, tick: SimDuration) -> Vec<(ServerId, JobId)> {
+        let mut done = Vec::new();
+        for s in &mut self.servers {
+            for job in s.advance(tick) {
+                done.push((s.id(), job));
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampere_sim::SimDuration;
+
+    #[test]
+    fn layout_is_row_major() {
+        let c = Cluster::new(ClusterSpec::tiny());
+        assert_eq!(c.server_count(), 16);
+        assert_eq!(c.row_count(), 2);
+        let s = c.server(ServerId::new(0));
+        assert_eq!(s.row(), RowId::new(0));
+        assert_eq!(s.rack(), RackId::new(0));
+        let s = c.server(ServerId::new(15));
+        assert_eq!(s.row(), RowId::new(1));
+        assert_eq!(s.rack(), RackId::new(3));
+        // Row ranges are contiguous.
+        let ids: Vec<u64> = c.row_server_ids(RowId::new(1)).map(|i| i.raw()).collect();
+        assert_eq!(ids, (8..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn idle_cluster_power() {
+        let c = Cluster::new(ClusterSpec::tiny());
+        let idle = c.spec().power_model.idle_w();
+        assert!((c.total_power_w() - idle * 16.0).abs() < 1e-9);
+        assert!((c.row_power_w(RowId::new(0)) - idle * 8.0).abs() < 1e-9);
+        assert!((c.rack_power_w(RackId::new(0)) - idle * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_row_dimensions() {
+        let spec = ClusterSpec::paper_row();
+        assert_eq!(spec.server_count(), 440);
+        assert!((spec.rated_row_power_w() - 440.0 * 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_reports_completions() {
+        let mut c = Cluster::new(ClusterSpec::tiny());
+        c.server_mut(ServerId::new(3))
+            .place(
+                JobId::new(7),
+                Resources::cores_gb(2, 4),
+                SimDuration::from_mins(1),
+            )
+            .unwrap();
+        let done = c.advance(SimDuration::from_mins(1));
+        assert_eq!(done, vec![(ServerId::new(3), JobId::new(7))]);
+    }
+
+    #[test]
+    fn sample_covers_all_servers() {
+        let c = Cluster::new(ClusterSpec::tiny());
+        let samples = c.sample(|_, w| w);
+        assert_eq!(samples.len(), 16);
+        let total: f64 = samples.iter().map(|s| s.watts).sum();
+        assert!((total - c.total_power_w()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_hook_applies() {
+        let c = Cluster::new(ClusterSpec::tiny());
+        let samples = c.sample(|_, w| w + 1.0);
+        let total: f64 = samples.iter().map(|s| s.watts).sum();
+        assert!((total - (c.total_power_w() + 16.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_clusters_supported() {
+        // Even indices: standard 250 W nodes; odd: 400 W fat nodes.
+        let fat = ServerPowerModel::new(400.0, 0.6, 1.0);
+        let c = Cluster::new_with(ClusterSpec::tiny(), |i| {
+            if i % 2 == 0 {
+                (ServerPowerModel::default(), Resources::cores_gb(32, 128))
+            } else {
+                (fat, Resources::cores_gb(64, 256))
+            }
+        });
+        assert_eq!(c.server(ServerId::new(0)).rated_w(), 250.0);
+        assert_eq!(c.server(ServerId::new(1)).rated_w(), 400.0);
+        assert_eq!(
+            c.server(ServerId::new(1)).capacity(),
+            Resources::cores_gb(64, 256)
+        );
+        // Row rated power reflects the mix, not the spec default.
+        let actual = c.actual_rated_row_power_w(RowId::new(0));
+        assert!((actual - (4.0 * 250.0 + 4.0 * 400.0)).abs() < 1e-9);
+        assert!(actual > c.spec().rated_row_power_w());
+    }
+
+    #[test]
+    fn frozen_count_tracks_flags() {
+        let mut c = Cluster::new(ClusterSpec::tiny());
+        assert_eq!(c.frozen_count(RowId::new(0)), 0);
+        c.server_mut(ServerId::new(1)).freeze();
+        c.server_mut(ServerId::new(2)).freeze();
+        c.server_mut(ServerId::new(9)).freeze(); // Other row.
+        assert_eq!(c.frozen_count(RowId::new(0)), 2);
+        assert_eq!(c.frozen_count(RowId::new(1)), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for cluster resource accounting: under any
+//! random sequence of placements, terminations and time advances, the
+//! books must balance and power must stay within the physical envelope.
+
+use proptest::prelude::*;
+
+use ampere_cluster::{Cluster, ClusterSpec, JobId, PlacementError, Resources, ServerId};
+use ampere_sim::SimDuration;
+
+/// A randomized operation against one server of a tiny cluster.
+#[derive(Debug, Clone)]
+enum Op {
+    Place {
+        server: u8,
+        job: u16,
+        cores: u8,
+        gb: u8,
+        mins: u8,
+    },
+    Terminate {
+        server: u8,
+        job: u16,
+    },
+    Advance {
+        mins: u8,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16, 0u16..64, 1u8..40, 1u8..160, 1u8..30).prop_map(
+            |(server, job, cores, gb, mins)| Op::Place {
+                server,
+                job,
+                cores,
+                gb,
+                mins
+            }
+        ),
+        (0u8..16, 0u16..64).prop_map(|(server, job)| Op::Terminate { server, job }),
+        (1u8..10).prop_map(|mins| Op::Advance { mins }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn accounting_invariants_hold_under_random_ops(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let spec = ClusterSpec::tiny();
+        let mut cluster = Cluster::new(spec);
+        // Model state: which (server, job) pairs are live.
+        let mut live: std::collections::HashSet<(u8, u16)> = std::collections::HashSet::new();
+
+        for op in ops {
+            match op {
+                Op::Place { server, job, cores, gb, mins } => {
+                    let sid = ServerId::new(server as u64);
+                    let jid = JobId::new(job as u64);
+                    let res = Resources::cores_gb(cores as u64, gb as u64);
+                    let fits = cluster.server(sid).free().fits(&res);
+                    let dup = cluster.server(sid).jobs().any(|(j, _)| j == jid);
+                    match cluster.server_mut(sid).place(jid, res, SimDuration::from_mins(mins as u64)) {
+                        Ok(()) => {
+                            prop_assert!(fits && !dup);
+                            live.insert((server, job));
+                        }
+                        Err(PlacementError::DuplicateJob) => prop_assert!(dup),
+                        Err(PlacementError::InsufficientResources) => prop_assert!(!fits),
+                    }
+                }
+                Op::Terminate { server, job } => {
+                    let was_live = live.remove(&(server, job));
+                    let did = cluster
+                        .server_mut(ServerId::new(server as u64))
+                        .terminate(JobId::new(job as u64));
+                    prop_assert_eq!(did, was_live);
+                }
+                Op::Advance { mins } => {
+                    for (sid, jid) in cluster.advance(SimDuration::from_mins(mins as u64)) {
+                        prop_assert!(live.remove(&(sid.raw() as u8, jid.raw() as u16)));
+                    }
+                }
+            }
+
+            // Invariants after every step.
+            for s in cluster.servers() {
+                // Allocation equals the sum over running jobs.
+                let sum = s
+                    .jobs()
+                    .fold(Resources::ZERO, |acc, (_, j)| acc + j.resources);
+                prop_assert_eq!(s.allocated(), sum);
+                // Never over capacity.
+                prop_assert!(s.capacity().fits(&s.allocated()));
+                // Power within the physical envelope.
+                let p = s.power_w();
+                prop_assert!(p >= s.power_model().idle_w() - 1e-9);
+                prop_assert!(p <= s.rated_w() + 1e-9);
+            }
+            // Job count bookkeeping matches the model.
+            let total: usize = cluster.servers().iter().map(|s| s.job_count()).sum();
+            prop_assert_eq!(total, live.len());
+        }
+    }
+
+    /// Cluster power aggregates are consistent at all levels.
+    #[test]
+    fn power_aggregation_consistent(loads in proptest::collection::vec(0u8..33, 16)) {
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        for (i, &cores) in loads.iter().enumerate() {
+            if cores > 0 {
+                let _ = cluster.server_mut(ServerId::new(i as u64)).place(
+                    JobId::new(i as u64),
+                    Resources::cores_gb(cores as u64, 1),
+                    SimDuration::from_mins(5),
+                );
+            }
+        }
+        let by_row: f64 = (0..cluster.row_count())
+            .map(|r| cluster.row_power_w(ampere_cluster::RowId::new(r as u64)))
+            .sum();
+        let by_server: f64 = cluster.servers().iter().map(|s| s.power_w()).sum();
+        prop_assert!((by_row - by_server).abs() < 1e-9);
+        prop_assert!((cluster.total_power_w() - by_server).abs() < 1e-9);
+    }
+
+    /// Freezing is orthogonal to accounting: any freeze pattern leaves
+    /// placements, power and job execution untouched.
+    #[test]
+    fn freezing_never_affects_execution(mask in proptest::collection::vec(any::<bool>(), 16)) {
+        let run = |freeze: bool| {
+            let mut cluster = Cluster::new(ClusterSpec::tiny());
+            for i in 0..16u64 {
+                cluster
+                    .server_mut(ServerId::new(i))
+                    .place(
+                        JobId::new(i),
+                        Resources::cores_gb(4, 8),
+                        SimDuration::from_mins(3),
+                    )
+                    .unwrap();
+            }
+            if freeze {
+                for (i, &f) in mask.iter().enumerate() {
+                    if f {
+                        cluster.server_mut(ServerId::new(i as u64)).freeze();
+                    }
+                }
+            }
+            let mut done = Vec::new();
+            for _ in 0..4 {
+                done.extend(cluster.advance(SimDuration::MINUTE));
+            }
+            (cluster.total_power_w(), done.len())
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}

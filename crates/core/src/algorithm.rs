@@ -1,0 +1,316 @@
+//! Algorithm 1: the power-controlling freeze planner.
+//!
+//! Turns a target freezing ratio into concrete freeze/unfreeze actions
+//! for one control domain. The paper's two refinements are faithfully
+//! implemented:
+//!
+//! - *Freeze the highest-power servers first* — low-power servers have
+//!   more remaining compute capacity, so freezing them costs more.
+//! - *`r_stable` hysteresis* — a frozen server is only swapped out for
+//!   another if its power has dropped below `r_stable` times the
+//!   lowest power in the target set, avoiding freeze/unfreeze churn.
+
+use ampere_cluster::ServerId;
+
+use crate::model::ControlFunction;
+
+/// One server's state as seen by the planner.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerPowerReading {
+    /// The server.
+    pub id: ServerId,
+    /// Current power draw in watts.
+    pub power_w: f64,
+    /// Whether the server is currently frozen.
+    pub frozen: bool,
+}
+
+/// The planner's decision for one interval.
+#[derive(Debug, Clone, Default)]
+pub struct FreezeActions {
+    /// Servers to freeze now.
+    pub freeze: Vec<ServerId>,
+    /// Servers to unfreeze now.
+    pub unfreeze: Vec<ServerId>,
+    /// The target freezing ratio `u_t` that produced these actions.
+    pub target_ratio: f64,
+    /// The target frozen-server count `⌊u_t · n⌋`.
+    pub n_freeze: usize,
+}
+
+impl FreezeActions {
+    /// Whether the plan changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.freeze.is_empty() && self.unfreeze.is_empty()
+    }
+}
+
+/// Algorithm 1's per-row planning logic.
+#[derive(Debug, Clone, Copy)]
+pub struct FreezePlanner {
+    /// The stability ratio (0.8 in all paper experiments): an already
+    /// frozen server is kept unless its power drops below
+    /// `r_stable · min(power of the target set)`.
+    pub r_stable: f64,
+}
+
+impl Default for FreezePlanner {
+    fn default() -> Self {
+        Self { r_stable: 0.8 }
+    }
+}
+
+impl FreezePlanner {
+    /// Creates a planner with the given stability ratio.
+    pub fn new(r_stable: f64) -> Self {
+        assert!((0.0..=1.0).contains(&r_stable), "bad r_stable");
+        Self { r_stable }
+    }
+
+    /// Runs Algorithm 1 for one domain: `readings` are the domain's
+    /// servers, `control` the current control function and `p_norm` the
+    /// domain power normalized to its budget. Returns the actions; the
+    /// caller applies them through the scheduler API.
+    pub fn plan(
+        &self,
+        readings: &[ServerPowerReading],
+        control: &ControlFunction,
+        p_norm: f64,
+    ) -> FreezeActions {
+        let n = readings.len();
+        let currently_frozen: Vec<ServerId> =
+            readings.iter().filter(|r| r.frozen).map(|r| r.id).collect();
+
+        // Line 4: below the threshold ratio, release everything.
+        if n == 0 || p_norm <= control.threshold() {
+            return FreezeActions {
+                unfreeze: currently_frozen,
+                ..FreezeActions::default()
+            };
+        }
+
+        // Line 5: target count from the control function F.
+        let u = control.freeze_ratio(p_norm);
+        let n_freeze = (u * n as f64).floor() as usize;
+        if n_freeze == 0 {
+            return FreezeActions {
+                freeze: Vec::new(),
+                unfreeze: currently_frozen,
+                target_ratio: u,
+                n_freeze: 0,
+            };
+        }
+
+        // Line 6: S = the n_freeze highest-power servers.
+        let mut by_power: Vec<&ServerPowerReading> = readings.iter().collect();
+        by_power.sort_by(|a, b| {
+            b.power_w
+                .partial_cmp(&a.power_w)
+                .expect("finite power")
+                .then(a.id.cmp(&b.id))
+        });
+        let mut in_s = vec![false; n];
+        let index_of: std::collections::HashMap<ServerId, usize> = readings
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.id, i))
+            .collect();
+        for r in by_power.iter().take(n_freeze) {
+            in_s[index_of[&r.id]] = true;
+        }
+        // Line 7: stability threshold from the weakest member of S.
+        let p_threshold = self.r_stable * by_power[n_freeze - 1].power_w;
+        // Lines 8–10: expand S with servers above the hysteresis bar.
+        for (i, r) in readings.iter().enumerate() {
+            if !in_s[i] && r.power_w > p_threshold {
+                in_s[i] = true;
+            }
+        }
+
+        // Lines 11–12: unfreeze frozen servers that fell out of S.
+        let mut unfreeze: Vec<ServerId> = Vec::new();
+        let mut frozen_in_s: Vec<ServerId> = Vec::new();
+        for r in readings.iter().filter(|r| r.frozen) {
+            if in_s[index_of[&r.id]] {
+                frozen_in_s.push(r.id);
+            } else {
+                unfreeze.push(r.id);
+            }
+        }
+
+        let mut freeze = Vec::new();
+        if frozen_in_s.len() > n_freeze {
+            // Lines 13–14: too many frozen; release the excess. "Arbitrary"
+            // in the paper — we release the lowest-power ones, the
+            // cheapest to re-freeze later.
+            frozen_in_s.sort_by(|a, b| {
+                let pa = readings[index_of[a]].power_w;
+                let pb = readings[index_of[b]].power_w;
+                pa.partial_cmp(&pb).expect("finite").then(a.cmp(b))
+            });
+            unfreeze.extend(frozen_in_s.drain(..frozen_in_s.len() - n_freeze));
+        } else if frozen_in_s.len() < n_freeze {
+            // Lines 15–16: freeze the highest-power unfrozen members of S.
+            let need = n_freeze - frozen_in_s.len();
+            freeze = by_power
+                .iter()
+                .filter(|r| !r.frozen && in_s[index_of[&r.id]])
+                .take(need)
+                .map(|r| r.id)
+                .collect();
+        }
+
+        FreezeActions {
+            freeze,
+            unfreeze,
+            target_ratio: u,
+            n_freeze,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cf() -> ControlFunction {
+        // kr = 0.2, Et = 0.05, u_max = 0.5 → threshold 0.95.
+        ControlFunction::new(0.2, 0.05, 0.5)
+    }
+
+    fn readings(powers: &[f64], frozen: &[bool]) -> Vec<ServerPowerReading> {
+        powers
+            .iter()
+            .zip(frozen)
+            .enumerate()
+            .map(|(i, (&p, &f))| ServerPowerReading {
+                id: ServerId::new(i as u64),
+                power_w: p,
+                frozen: f,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn below_threshold_releases_everything() {
+        let r = readings(&[200.0, 210.0, 180.0, 190.0], &[true, false, true, false]);
+        let plan = FreezePlanner::default().plan(&r, &cf(), 0.90);
+        assert!(plan.freeze.is_empty());
+        assert_eq!(plan.n_freeze, 0);
+        let mut u = plan.unfreeze.clone();
+        u.sort();
+        assert_eq!(u, vec![ServerId::new(0), ServerId::new(2)]);
+    }
+
+    #[test]
+    fn freezes_highest_power_servers() {
+        // p = 1.0 → u = (1.0 + 0.05 − 1.0)/0.2 = 0.25 → n_freeze = 2/8.
+        let powers = [180.0, 240.0, 200.0, 170.0, 230.0, 175.0, 172.0, 174.0];
+        let r = readings(&powers, &[false; 8]);
+        let plan = FreezePlanner::default().plan(&r, &cf(), 1.0);
+        assert_eq!(plan.n_freeze, 2);
+        let mut f = plan.freeze.clone();
+        f.sort();
+        // Highest two: servers 1 (240) and 4 (230).
+        assert_eq!(f, vec![ServerId::new(1), ServerId::new(4)]);
+        assert!(plan.unfreeze.is_empty());
+    }
+
+    #[test]
+    fn hysteresis_keeps_recently_frozen_servers() {
+        // Server 2 is frozen with power 190 — not among the top 2
+        // (240, 230) but above r_stable · 230 = 184, so it stays frozen
+        // and counts toward the target.
+        let powers = [180.0, 240.0, 190.0, 170.0, 230.0, 175.0, 172.0, 174.0];
+        let frozen = [false, false, true, false, false, false, false, false];
+        let r = readings(&powers, &frozen);
+        let plan = FreezePlanner::default().plan(&r, &cf(), 1.0);
+        assert_eq!(plan.n_freeze, 2);
+        assert!(plan.unfreeze.is_empty(), "server 2 must stay frozen");
+        // Only one new freeze needed: the highest-power unfrozen in S.
+        assert_eq!(plan.freeze, vec![ServerId::new(1)]);
+    }
+
+    #[test]
+    fn cooled_frozen_server_is_swapped_out() {
+        // Server 2 is frozen but its power dropped to 120, below
+        // 0.8 · 230 = 184: it leaves S and gets unfrozen, replaced by
+        // fresh high-power servers.
+        let powers = [180.0, 240.0, 120.0, 170.0, 230.0, 175.0, 172.0, 174.0];
+        let frozen = [false, false, true, false, false, false, false, false];
+        let r = readings(&powers, &frozen);
+        let plan = FreezePlanner::default().plan(&r, &cf(), 1.0);
+        assert_eq!(plan.unfreeze, vec![ServerId::new(2)]);
+        let mut f = plan.freeze.clone();
+        f.sort();
+        assert_eq!(f, vec![ServerId::new(1), ServerId::new(4)]);
+    }
+
+    #[test]
+    fn excess_frozen_servers_are_released() {
+        // Demand dropped: target is 1 but 3 are frozen and all hot
+        // enough to stay in S; the two lowest-power ones are released.
+        let powers = [240.0, 235.0, 230.0, 170.0];
+        let frozen = [true, true, true, false];
+        let r = readings(&powers, &frozen);
+        // p = 0.97 → u = 0.1 → n_freeze = ⌊0.4⌋... use 12 servers
+        // instead for a cleaner count.
+        let powers: Vec<f64> = (0..12).map(|i| 200.0 + i as f64).collect();
+        let frozen: Vec<bool> = (0..12).map(|i| i >= 9).collect();
+        let r2 = readings(&powers, &frozen);
+        // u(0.97) = 0.1 → n_freeze = 1.
+        let plan = FreezePlanner::default().plan(&r2, &cf(), 0.97);
+        assert_eq!(plan.n_freeze, 1);
+        assert!(plan.freeze.is_empty());
+        // Frozen: 9 (209), 10 (210), 11 (211); keep the hottest (11).
+        let mut u = plan.unfreeze.clone();
+        u.sort();
+        assert_eq!(u, vec![ServerId::new(9), ServerId::new(10)]);
+        let _ = r;
+    }
+
+    #[test]
+    fn u_max_caps_the_target() {
+        let powers = vec![200.0; 10];
+        let r = readings(&powers, &[false; 10]);
+        // p = 1.5 → unclamped u = 2.75 → clamped to 0.5 → 5 servers.
+        let plan = FreezePlanner::default().plan(&r, &cf(), 1.5);
+        assert_eq!(plan.n_freeze, 5);
+        assert_eq!(plan.freeze.len(), 5);
+        assert!((plan.target_ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_target_rounds_down_to_zero() {
+        let powers = vec![200.0; 4];
+        let r = readings(&powers, &[true, false, false, false]);
+        // u(0.96) = 0.05 → ⌊0.05·4⌋ = 0: release the frozen server.
+        let plan = FreezePlanner::default().plan(&r, &cf(), 0.96);
+        assert_eq!(plan.n_freeze, 0);
+        assert_eq!(plan.unfreeze, vec![ServerId::new(0)]);
+    }
+
+    #[test]
+    fn empty_domain_is_a_noop() {
+        let plan = FreezePlanner::default().plan(&[], &cf(), 1.2);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn plan_is_idempotent_when_applied() {
+        // Applying the plan and re-planning with unchanged powers must
+        // produce no further churn (stability).
+        let powers = [180.0, 240.0, 200.0, 170.0, 230.0, 175.0, 172.0, 174.0];
+        let mut frozen = [false; 8];
+        let planner = FreezePlanner::default();
+        let plan = planner.plan(&readings(&powers, &frozen), &cf(), 1.0);
+        for id in &plan.freeze {
+            frozen[id.index()] = true;
+        }
+        for id in &plan.unfreeze {
+            frozen[id.index()] = false;
+        }
+        let plan2 = planner.plan(&readings(&powers, &frozen), &cf(), 1.0);
+        assert!(plan2.is_empty(), "second plan = {plan2:?}");
+    }
+}

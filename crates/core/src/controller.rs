@@ -1,0 +1,364 @@
+//! The per-minute Ampere control loop (§3.5).
+//!
+//! Each [`ControlDomain`] — a physical row, or a virtual group in a
+//! §4.1.2 controlled experiment — gets its own controller instance.
+//! Every interval the controller reads the domain's power, updates its
+//! `Et` predictor, evaluates the control function and applies
+//! Algorithm 1's actions through the scheduler's freeze/unfreeze API.
+//! The controller keeps no state beyond the predictor and a trace
+//! buffer, matching the paper's "the controller is stateless, and thus
+//! if the controller fails, we can easily switch to a replacement".
+
+use ampere_cluster::{Cluster, ServerId};
+use ampere_sched::Scheduler;
+use ampere_sim::{SimDuration, SimTime};
+
+use crate::algorithm::{FreezeActions, FreezePlanner, ServerPowerReading};
+use crate::model::ControlFunction;
+use crate::predict::PowerChangePredictor;
+
+/// Static controller parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// Control model slope `kr` (fit via [`crate::model::ControlModel`]).
+    pub kr: f64,
+    /// Operational cap on the freezing ratio (0.5 in production).
+    pub u_max: f64,
+    /// Algorithm 1 stability ratio (0.8 in all paper experiments).
+    pub r_stable: f64,
+    /// Control interval (one minute in production).
+    pub interval: SimDuration,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            // The one-minute-horizon slope measured by the Fig 5
+            // controlled experiment (see ampere-experiments::calibrate).
+            kr: 0.05,
+            u_max: 0.5,
+            r_stable: 0.8,
+            interval: SimDuration::MINUTE,
+        }
+    }
+}
+
+/// A set of servers controlled against one power budget.
+#[derive(Debug, Clone)]
+pub struct ControlDomain {
+    /// Servers in the domain.
+    pub servers: Vec<ServerId>,
+    /// The provisioned power budget `PM` in watts (possibly scaled for
+    /// over-provisioning emulation).
+    pub budget_w: f64,
+}
+
+impl ControlDomain {
+    /// Creates a domain, validating the budget.
+    pub fn new(servers: Vec<ServerId>, budget_w: f64) -> Self {
+        assert!(budget_w > 0.0 && budget_w.is_finite(), "bad budget");
+        Self { servers, budget_w }
+    }
+
+    /// Current domain power in watts, summed from the cluster.
+    pub fn power_w(&self, cluster: &Cluster) -> f64 {
+        self.servers
+            .iter()
+            .map(|&id| cluster.server(id).power_w())
+            .sum()
+    }
+
+    /// Per-server readings for the planner.
+    pub fn readings(&self, cluster: &Cluster) -> Vec<ServerPowerReading> {
+        self.servers
+            .iter()
+            .map(|&id| {
+                let s = cluster.server(id);
+                ServerPowerReading {
+                    id,
+                    power_w: s.power_w(),
+                    frozen: s.is_frozen(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// What the controller did in one interval (one Fig 10 data point).
+#[derive(Debug, Clone, Copy)]
+pub struct ControlRecord {
+    /// Interval start.
+    pub time: SimTime,
+    /// Domain power normalized to the budget.
+    pub power_norm: f64,
+    /// The `Et` margin used.
+    pub et: f64,
+    /// Target freezing ratio `u_t`.
+    pub u_target: f64,
+    /// Frozen servers after applying the actions.
+    pub frozen_after: usize,
+    /// Servers newly frozen this interval.
+    pub froze: usize,
+    /// Servers newly unfrozen this interval.
+    pub unfroze: usize,
+}
+
+/// The Ampere controller for one domain.
+pub struct AmpereController {
+    config: ControllerConfig,
+    predictor: Box<dyn PowerChangePredictor>,
+    planner: FreezePlanner,
+    trace: Vec<ControlRecord>,
+    last_decision: Option<SimTime>,
+}
+
+impl AmpereController {
+    /// Creates a controller with the given `Et` predictor.
+    pub fn new(config: ControllerConfig, predictor: Box<dyn PowerChangePredictor>) -> Self {
+        assert!(config.kr > 0.0 && config.kr.is_finite(), "bad kr");
+        assert!(config.u_max > 0.0 && config.u_max <= 1.0, "bad u_max");
+        Self {
+            planner: FreezePlanner::new(config.r_stable),
+            config,
+            predictor,
+            trace: Vec::new(),
+            last_decision: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The control trace accumulated so far.
+    pub fn trace(&self) -> &[ControlRecord] {
+        &self.trace
+    }
+
+    /// Pure decision step: given the domain's power reading and server
+    /// states, produce the freeze/unfreeze actions. Separated from
+    /// [`Self::tick`] so it can be driven with synthetic readings.
+    ///
+    /// Power observations always feed the predictor; a *control action*
+    /// is only computed when the configured interval has elapsed since
+    /// the previous one (identical behaviour at the default one-minute
+    /// interval; slower cadences are an ablation knob).
+    pub fn decide(
+        &mut self,
+        now: SimTime,
+        power_norm: f64,
+        readings: &[ServerPowerReading],
+    ) -> (FreezeActions, f64) {
+        self.predictor.observe(now, power_norm);
+        let et = self.predictor.estimate(now);
+        if let Some(last) = self.last_decision {
+            if now > last && now.since(last) < self.config.interval {
+                return (FreezeActions::default(), et);
+            }
+        }
+        self.last_decision = Some(now);
+        let cf = ControlFunction::new(self.config.kr, et, self.config.u_max);
+        (self.planner.plan(readings, &cf, power_norm), et)
+    }
+
+    /// One full control interval: read the domain power from the
+    /// cluster (the monitor's IPMI sweep), decide, and apply actions
+    /// through the scheduler's freeze/unfreeze API.
+    pub fn tick(
+        &mut self,
+        now: SimTime,
+        domain: &ControlDomain,
+        cluster: &mut Cluster,
+        sched: &mut Scheduler,
+    ) -> ControlRecord {
+        let readings = domain.readings(cluster);
+        let power_norm = readings.iter().map(|r| r.power_w).sum::<f64>() / domain.budget_w;
+        let (actions, et) = self.decide(now, power_norm, &readings);
+        for &id in &actions.unfreeze {
+            sched.unfreeze(cluster, id);
+        }
+        for &id in &actions.freeze {
+            sched.freeze(cluster, id);
+        }
+        let frozen_after = domain
+            .servers
+            .iter()
+            .filter(|&&id| cluster.server(id).is_frozen())
+            .count();
+        let record = ControlRecord {
+            time: now,
+            power_norm,
+            et,
+            u_target: actions.target_ratio,
+            frozen_after,
+            froze: actions.freeze.len(),
+            unfroze: actions.unfreeze.len(),
+        };
+        self.trace.push(record);
+        record
+    }
+}
+
+impl std::fmt::Debug for AmpereController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AmpereController")
+            .field("config", &self.config)
+            .field("predictor", &self.predictor.name())
+            .field("trace_len", &self.trace.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::HistoricalPercentile;
+    use ampere_cluster::{ClusterSpec, JobId, Resources, RowId};
+    use ampere_sched::{RandomFit, Scheduler};
+
+    fn setup() -> (Cluster, Scheduler, AmpereController, ControlDomain) {
+        let cluster = Cluster::new(ClusterSpec::tiny());
+        let sched = Scheduler::new(Box::new(RandomFit::default()), 5);
+        let controller = AmpereController::new(
+            ControllerConfig::default(),
+            Box::new(HistoricalPercentile::flat(0.02)),
+        );
+        let servers: Vec<ServerId> = (0..8).map(ServerId::new).collect();
+        // Budget chosen so idle power (8 × 170 W) is ~0.85 of budget.
+        let domain = ControlDomain::new(servers, 1_600.0);
+        (cluster, sched, controller, domain)
+    }
+
+    #[test]
+    fn no_control_when_under_threshold() {
+        let (mut cluster, mut sched, mut ctl, domain) = setup();
+        let rec = ctl.tick(SimTime::from_mins(1), &domain, &mut cluster, &mut sched);
+        assert_eq!(rec.frozen_after, 0);
+        assert_eq!(rec.u_target, 0.0);
+        assert!(rec.power_norm < 0.9);
+    }
+
+    #[test]
+    fn freezes_when_power_exceeds_threshold() {
+        let (mut cluster, mut sched, mut ctl, domain) = setup();
+        // Load every domain server to full utilization: power 8 × 250 =
+        // 2000 W → 1.25 normalized.
+        for (i, &id) in domain.servers.iter().enumerate() {
+            cluster
+                .server_mut(id)
+                .place(
+                    JobId::new(i as u64),
+                    Resources::cores_gb(32, 64),
+                    SimDuration::from_mins(30),
+                )
+                .unwrap();
+        }
+        let rec = ctl.tick(SimTime::from_mins(1), &domain, &mut cluster, &mut sched);
+        assert!(rec.power_norm > 1.2);
+        // u_max = 0.5 → 4 of 8 frozen.
+        assert_eq!(rec.frozen_after, 4);
+        assert_eq!(rec.froze, 4);
+        assert!((rec.u_target - 0.5).abs() < 1e-12);
+        // Frozen servers are still running their jobs.
+        for &id in &domain.servers {
+            assert_eq!(cluster.server(id).job_count(), 1);
+        }
+    }
+
+    #[test]
+    fn releases_when_power_drops() {
+        let (mut cluster, mut sched, mut ctl, domain) = setup();
+        for (i, &id) in domain.servers.iter().enumerate() {
+            cluster
+                .server_mut(id)
+                .place(
+                    JobId::new(i as u64),
+                    Resources::cores_gb(32, 64),
+                    SimDuration::from_mins(2),
+                )
+                .unwrap();
+        }
+        ctl.tick(SimTime::from_mins(1), &domain, &mut cluster, &mut sched);
+        // Jobs finish; power returns to idle.
+        cluster.advance(SimDuration::from_mins(2));
+        cluster.advance(SimDuration::from_mins(2));
+        let rec = ctl.tick(SimTime::from_mins(3), &domain, &mut cluster, &mut sched);
+        assert_eq!(rec.frozen_after, 0);
+        assert!(rec.unfroze > 0);
+    }
+
+    #[test]
+    fn domain_power_sums_only_domain_servers() {
+        let (cluster, _, _, domain) = setup();
+        let idle = cluster.spec().power_model.idle_w();
+        assert!((domain.power_w(&cluster) - idle * 8.0).abs() < 1e-9);
+        // The cluster has 16 servers; the domain only 8.
+        assert!((cluster.total_power_w() - idle * 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_accumulates() {
+        let (mut cluster, mut sched, mut ctl, domain) = setup();
+        for m in 1..=5 {
+            ctl.tick(SimTime::from_mins(m), &domain, &mut cluster, &mut sched);
+        }
+        assert_eq!(ctl.trace().len(), 5);
+        assert_eq!(ctl.trace()[0].time, SimTime::from_mins(1));
+    }
+
+    #[test]
+    fn slower_interval_skips_intermediate_decisions() {
+        let (mut cluster, mut sched, _, domain) = setup();
+        let mut ctl = AmpereController::new(
+            ControllerConfig {
+                interval: SimDuration::from_mins(5),
+                ..ControllerConfig::default()
+            },
+            Box::new(HistoricalPercentile::flat(0.02)),
+        );
+        // Load the domain so control is warranted every minute.
+        for (i, &id) in domain.servers.iter().enumerate() {
+            cluster
+                .server_mut(id)
+                .place(
+                    JobId::new(i as u64),
+                    Resources::cores_gb(32, 64),
+                    SimDuration::from_mins(60),
+                )
+                .unwrap();
+        }
+        let r1 = ctl.tick(SimTime::from_mins(1), &domain, &mut cluster, &mut sched);
+        assert!(r1.froze > 0, "first decision must act");
+        // Minutes 2–5: observations only, no new actions.
+        for m in 2..=5 {
+            let r = ctl.tick(SimTime::from_mins(m), &domain, &mut cluster, &mut sched);
+            assert_eq!(r.froze + r.unfroze, 0, "acted at minute {m}");
+        }
+        // Minute 6: a full interval elapsed, decisions resume (the
+        // frozen set is already correct, so the plan may be empty, but
+        // the target ratio is computed again).
+        let r6 = ctl.tick(SimTime::from_mins(6), &domain, &mut cluster, &mut sched);
+        assert!(r6.u_target > 0.0);
+    }
+
+    #[test]
+    fn controller_only_touches_its_domain() {
+        let (mut cluster, mut sched, mut ctl, domain) = setup();
+        for (i, &id) in domain.servers.iter().enumerate() {
+            cluster
+                .server_mut(id)
+                .place(
+                    JobId::new(i as u64),
+                    Resources::cores_gb(32, 64),
+                    SimDuration::from_mins(30),
+                )
+                .unwrap();
+        }
+        ctl.tick(SimTime::from_mins(1), &domain, &mut cluster, &mut sched);
+        // Row 1 servers (ids 8..16) must be untouched.
+        for s in cluster.servers_in_row(RowId::new(1)) {
+            assert!(!s.is_frozen());
+        }
+    }
+}

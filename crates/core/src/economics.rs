@@ -1,0 +1,106 @@
+//! The economics of over-provisioning (§1).
+//!
+//! The paper's motivation is monetary: data centers cost
+//! "10,000–20,000 USD per kilowatt" to build, and the typical ~60–70 %
+//! power utilization means a third of that capital sits idle. Ampere
+//! converts the unused watts into schedulable servers; this module
+//! quantifies the conversion — the capital value of the capacity a
+//! given `r_O` and throughput gain unlock, and the fleet-level "tens of
+//! thousands of extra server spaces" the paper cites.
+
+/// Capital-cost assumptions for a build-out.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Build cost per provisioned kilowatt, in USD (paper: 10–20 k).
+    pub usd_per_kw: f64,
+    /// Rated power of one server, in watts.
+    pub server_rated_w: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            // Midpoint of the paper's industry range.
+            usd_per_kw: 15_000.0,
+            server_rated_w: 250.0,
+        }
+    }
+}
+
+/// What a deployment of Ampere is worth for a given fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityGain {
+    /// Extra servers that fit in the existing footprint.
+    pub extra_servers: u64,
+    /// Capital value of the equivalent build-out capacity, in USD:
+    /// what it would have cost to provision those watts in a new
+    /// facility.
+    pub equivalent_capital_usd: f64,
+    /// The effective throughput gain `G_TPW` realized (Eq. 18), which
+    /// discounts the extra servers by the control-induced loss.
+    pub gtpw: f64,
+}
+
+impl CostModel {
+    /// Computes the gain of deploying Ampere at over-provisioning
+    /// ratio `r_o` with measured throughput ratio `r_thru` on a fleet
+    /// whose provisioned budget is `fleet_budget_w` watts.
+    pub fn capacity_gain(&self, fleet_budget_w: f64, r_o: f64, r_thru: f64) -> CapacityGain {
+        assert!(
+            fleet_budget_w > 0.0 && fleet_budget_w.is_finite(),
+            "bad budget"
+        );
+        assert!(r_o >= 0.0 && r_o.is_finite(), "bad r_O");
+        assert!((0.0..=1.0).contains(&r_thru), "bad throughput ratio");
+        let baseline_servers = (fleet_budget_w / self.server_rated_w).floor();
+        let extra_servers = (baseline_servers * (1.0 + r_o)).floor() - baseline_servers;
+        let gtpw = crate::metrics::gtpw(r_thru, r_o);
+        // The capacity actually gained, valued at build-out cost: the
+        // watts a new facility would need to host the same effective
+        // throughput increase.
+        let equivalent_capital_usd = gtpw.max(0.0) * fleet_budget_w / 1_000.0 * self.usd_per_kw;
+        CapacityGain {
+            extra_servers: extra_servers as u64,
+            equivalent_capital_usd,
+            gtpw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_fleet() {
+        // "Tens of thousands of servers": a 50 MW fleet at 250 W/server
+        // is 200k servers; r_O = 0.17 adds 34k spaces — the paper's
+        // "tens of thousands of extra server spaces across our fleet".
+        let m = CostModel::default();
+        let gain = m.capacity_gain(50_000_000.0, 0.17, 1.0);
+        assert_eq!(gain.extra_servers, 34_000);
+        assert!((gain.gtpw - 0.17).abs() < 1e-12);
+        // 17 % of 50 MW at 15 k USD/kW ≈ 127.5 M USD of avoided build-out.
+        assert!((gain.equivalent_capital_usd - 127_500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn throughput_loss_discounts_the_gain() {
+        let m = CostModel::default();
+        let full = m.capacity_gain(1_000_000.0, 0.25, 1.0);
+        let lossy = m.capacity_gain(1_000_000.0, 0.25, 0.9);
+        assert_eq!(full.extra_servers, lossy.extra_servers);
+        assert!(lossy.gtpw < full.gtpw);
+        assert!(lossy.equivalent_capital_usd < full.equivalent_capital_usd);
+        // Break-even: r_T = 0.8 at r_O = 0.25 is worth nothing (§4.4).
+        let breakeven = m.capacity_gain(1_000_000.0, 0.25, 0.8);
+        assert!(breakeven.equivalent_capital_usd.abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_ro_changes_nothing() {
+        let gain = CostModel::default().capacity_gain(1_000_000.0, 0.0, 1.0);
+        assert_eq!(gain.extra_servers, 0);
+        assert_eq!(gain.gtpw, 0.0);
+    }
+}

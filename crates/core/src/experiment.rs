@@ -1,0 +1,76 @@
+//! Controlled-experiment scaffolding (§4.1.2).
+//!
+//! The paper cannot isolate hundreds of production servers, so it
+//! splits one row into two *virtual groups* by server-id parity — a
+//! uniformly random assignment given hardware layout — and emulates
+//! over-provisioning by scaling the power budget down: with budget
+//! `PM′ = PM / (1 + r_O)`, the group behaves as if `r_O` extra servers
+//! had been added beyond its provisionable count (Eq. 16).
+
+use ampere_cluster::ServerId;
+
+/// Splits servers into the experiment and control groups by id parity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParitySplit;
+
+impl ParitySplit {
+    /// Returns `(experiment, control)`: even ids are the experiment
+    /// group, odd ids the control group.
+    pub fn split(servers: impl IntoIterator<Item = ServerId>) -> (Vec<ServerId>, Vec<ServerId>) {
+        let mut experiment = Vec::new();
+        let mut control = Vec::new();
+        for id in servers {
+            if id.raw() % 2 == 0 {
+                experiment.push(id);
+            } else {
+                control.push(id);
+            }
+        }
+        (experiment, control)
+    }
+}
+
+/// The scaled budget `PM′ = PM / (1 + r_O)` that emulates adding an
+/// `r_O` fraction of extra servers (Eq. 16 rearranged).
+pub fn scaled_budget_w(rated_total_w: f64, r_o: f64) -> f64 {
+    assert!(
+        rated_total_w > 0.0 && rated_total_w.is_finite(),
+        "bad total"
+    );
+    assert!(r_o >= 0.0 && r_o.is_finite(), "bad r_O");
+    rated_total_w / (1.0 + r_o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::over_provision_ratio;
+
+    #[test]
+    fn parity_split_is_balanced() {
+        let ids = (0..440).map(ServerId::new);
+        let (exp, ctl) = ParitySplit::split(ids);
+        assert_eq!(exp.len(), 220);
+        assert_eq!(ctl.len(), 220);
+        assert!(exp.iter().all(|s| s.raw() % 2 == 0));
+        assert!(ctl.iter().all(|s| s.raw() % 2 == 1));
+    }
+
+    #[test]
+    fn parity_split_odd_count() {
+        let ids = (0..5).map(ServerId::new);
+        let (exp, ctl) = ParitySplit::split(ids);
+        assert_eq!(exp.len(), 3);
+        assert_eq!(ctl.len(), 2);
+    }
+
+    #[test]
+    fn scaling_round_trips_through_eq16() {
+        let rated = 55_000.0;
+        for r_o in [0.13, 0.17, 0.21, 0.25] {
+            let budget = scaled_budget_w(rated, r_o);
+            assert!((over_provision_ratio(rated, budget) - r_o).abs() < 1e-12);
+        }
+        assert_eq!(scaled_budget_w(100.0, 0.0), 100.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Capacity metrics: TPW, GTPW and the over-provisioning ratio.
+//!
+//! The paper's figure of merit is Throughput per Provisioned Watt
+//! (Eq. 17) and its gain under over-provisioning (Eq. 18):
+//! `G_TPW = r_T · (1 + r_O) − 1`, where `r_T` is the throughput ratio
+//! experiment/control and `r_O = PM/PM′ − 1` the over-provisioning
+//! ratio of the budget-scaling emulation (Eq. 16).
+
+use ampere_sim::SimDuration;
+
+/// Throughput per provisioned watt (Eq. 17): jobs accepted per watt of
+/// budget per hour.
+pub fn tpw(jobs_accepted: u64, budget_w: f64, interval: SimDuration) -> f64 {
+    assert!(budget_w > 0.0, "bad budget");
+    let hours = interval.as_mins_f64() / 60.0;
+    assert!(hours > 0.0, "bad interval");
+    jobs_accepted as f64 / (budget_w * hours)
+}
+
+/// The over-provisioning ratio `r_O = PM / PM′ − 1` (Eq. 16), where
+/// `PM` is the rated total and `PM′` the (scaled) provisioned budget.
+pub fn over_provision_ratio(rated_total_w: f64, budget_w: f64) -> f64 {
+    assert!(rated_total_w > 0.0 && budget_w > 0.0, "bad powers");
+    rated_total_w / budget_w - 1.0
+}
+
+/// The gain in TPW (Eq. 18): `G_TPW = r_T · (1 + r_O) − 1`.
+pub fn gtpw(throughput_ratio: f64, r_o: f64) -> f64 {
+    assert!(throughput_ratio >= 0.0, "bad throughput ratio");
+    assert!(r_o >= 0.0, "bad over-provision ratio");
+    throughput_ratio * (1.0 + r_o) - 1.0
+}
+
+/// Throughputs of the experiment and control groups over the same
+/// interval (§4.4).
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputComparison {
+    /// Jobs accepted by the (controlled, over-provisioned) experiment
+    /// group.
+    pub experiment_jobs: u64,
+    /// Jobs accepted by the uncontrolled control group.
+    pub control_jobs: u64,
+}
+
+impl ThroughputComparison {
+    /// The throughput ratio `r_T = thru_E / thru_C`; 1.0 when the
+    /// control group accepted nothing (no demand ⇒ no loss).
+    pub fn ratio(&self) -> f64 {
+        if self.control_jobs == 0 {
+            1.0
+        } else {
+            self.experiment_jobs as f64 / self.control_jobs as f64
+        }
+    }
+
+    /// The TPW gain at over-provisioning ratio `r_o`.
+    pub fn gtpw(&self, r_o: f64) -> f64 {
+        gtpw(self.ratio(), r_o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpw_units() {
+        // 1000 jobs over 2 h at 500 W → 1 job per watt-hour.
+        let v = tpw(1_000, 500.0, SimDuration::from_hours(2));
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_provision_matches_eq16() {
+        // Scaling a 100 kW budget to 80 kW emulates r_O = 0.25.
+        assert!((over_provision_ratio(100_000.0, 80_000.0) - 0.25).abs() < 1e-12);
+        assert_eq!(over_provision_ratio(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn gtpw_matches_paper_examples() {
+        // §4.4: r_T = 0.9 at r_O = 0.25 → 12.5 %.
+        assert!((gtpw(0.9, 0.25) - 0.125).abs() < 1e-12);
+        // r_T = 0.8 at r_O = 0.25 → 0 (the break-even example).
+        assert!(gtpw(0.8, 0.25).abs() < 1e-12);
+        // r_T = 1.0 at r_O = 0.17 → 17 %.
+        assert!((gtpw(1.0, 0.17) - 0.17).abs() < 1e-12);
+        // r_T = 0.95 at r_O = 0.25 → 18.75 % (§4.4 rounds to 0.19).
+        assert!((gtpw(0.95, 0.25) - 0.1875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparison_ratio() {
+        let c = ThroughputComparison {
+            experiment_jobs: 950,
+            control_jobs: 1_000,
+        };
+        assert!((c.ratio() - 0.95).abs() < 1e-12);
+        assert!((c.gtpw(0.25) - 0.1875).abs() < 1e-12);
+        let idle = ThroughputComparison {
+            experiment_jobs: 0,
+            control_jobs: 0,
+        };
+        assert_eq!(idle.ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad budget")]
+    fn tpw_rejects_zero_budget() {
+        let _ = tpw(1, 0.0, SimDuration::from_hours(1));
+    }
+}

@@ -1,0 +1,206 @@
+//! The data-driven control model (§3.4).
+//!
+//! Freezing a fraction `u` of a row's servers changes the next-minute
+//! row power by `f(u)` (normalized to the budget): frozen servers shed
+//! power as their jobs finish, and the row statistically attracts fewer
+//! new jobs. The paper measures `f(u)` in a 24-hour controlled
+//! experiment, observes it is close to linear, and fits `f(u) = kr·u`.
+//! The linearity is what collapses the general RHC problem to the
+//! closed form of Eq. 13, so [`ControlModel::fit`] also reports the fit
+//! quality and the Fig 5 percentile curves used to sanity-check it.
+
+use ampere_stats::{linear_fit_through_origin, quantile::quantile_sorted};
+
+/// The fitted linear control model `f(u) = kr · u`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlModel {
+    /// Slope of the power reduction per unit freezing ratio, in
+    /// budget-normalized power units (the paper's `kr`).
+    pub kr: f64,
+    /// R² of the through-origin fit that produced `kr` (1.0 when the
+    /// model is constructed directly).
+    pub r_squared: f64,
+}
+
+impl ControlModel {
+    /// Constructs a model from a known slope.
+    pub fn with_kr(kr: f64) -> Self {
+        assert!(kr > 0.0 && kr.is_finite(), "kr must be positive");
+        Self { kr, r_squared: 1.0 }
+    }
+
+    /// Fits `kr` from `(u, f(u))` observations gathered in a controlled
+    /// experiment, by through-origin least squares. Returns `None` when
+    /// the data is degenerate or the fitted slope is non-positive (no
+    /// usable control authority).
+    pub fn fit(samples: &[(f64, f64)]) -> Option<Self> {
+        let (u, f): (Vec<f64>, Vec<f64>) = samples.iter().copied().unzip();
+        let fit = linear_fit_through_origin(&u, &f)?;
+        (fit.slope > 0.0).then_some(Self {
+            kr: fit.slope,
+            r_squared: fit.r_squared,
+        })
+    }
+
+    /// Predicted power reduction `f(u)` for a freezing ratio `u`.
+    pub fn effect(&self, u: f64) -> f64 {
+        self.kr * u.clamp(0.0, 1.0)
+    }
+
+    /// The Fig 5 diagnostic: groups samples into `bins` uniform
+    /// freezing-ratio bins over `[0, u_hi)` and returns, per non-empty
+    /// bin, `(bin_center, q-quantile of f(u))` for each requested
+    /// quantile. The output is one curve per quantile, in input order.
+    pub fn percentile_curves(
+        samples: &[(f64, f64)],
+        bins: usize,
+        u_hi: f64,
+        quantiles: &[f64],
+    ) -> Vec<Vec<(f64, f64)>> {
+        assert!(bins > 0 && u_hi > 0.0, "bad binning parameters");
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); bins];
+        for &(u, f) in samples {
+            if (0.0..u_hi).contains(&u) {
+                let idx = ((u / u_hi * bins as f64) as usize).min(bins - 1);
+                buckets[idx].push(f);
+            }
+        }
+        for b in &mut buckets {
+            b.sort_by(|a, c| a.partial_cmp(c).expect("finite"));
+        }
+        quantiles
+            .iter()
+            .map(|&q| {
+                buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| !b.is_empty())
+                    .map(|(i, b)| {
+                        let center = u_hi * (i as f64 + 0.5) / bins as f64;
+                        (center, quantile_sorted(b, q))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// The control function `F` of Fig 6: maps normalized row power to the
+/// freezing ratio that keeps the next minute under the budget.
+///
+/// `F(P) = clamp((P + Et − PM) / kr, 0, u_max)` with `PM = 1` in
+/// normalized units; the threshold ratio is `r_threshold = 1 − Et`.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlFunction {
+    /// The model slope.
+    pub kr: f64,
+    /// Predicted next-minute power increase (the safety margin).
+    pub et: f64,
+    /// Operational cap on the freezing ratio (0.5 in production, §4.1.1).
+    pub u_max: f64,
+}
+
+impl ControlFunction {
+    /// Builds the control function, validating parameters.
+    pub fn new(kr: f64, et: f64, u_max: f64) -> Self {
+        assert!(kr > 0.0 && kr.is_finite(), "bad kr");
+        assert!(et >= 0.0 && et.is_finite(), "bad Et");
+        assert!((0.0..=1.0).contains(&u_max) && u_max > 0.0, "bad u_max");
+        Self { kr, et, u_max }
+    }
+
+    /// The threshold ratio `r_threshold = 1 − Et`: below it no control
+    /// is needed.
+    pub fn threshold(&self) -> f64 {
+        1.0 - self.et
+    }
+
+    /// The freezing ratio for normalized row power `p` (Eq. 13 with the
+    /// operational `u_max` clamp).
+    pub fn freeze_ratio(&self, p: f64) -> f64 {
+        ((p + self.et - 1.0) / self.kr).clamp(0.0, self.u_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_slope() {
+        let samples: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let u = i as f64 / 100.0;
+                (u, 0.18 * u)
+            })
+            .collect();
+        let m = ControlModel::fit(&samples).unwrap();
+        assert!((m.kr - 0.18).abs() < 1e-12);
+        assert!((m.r_squared - 1.0).abs() < 1e-12);
+        assert!((m.effect(0.5) - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate() {
+        assert!(ControlModel::fit(&[]).is_none());
+        assert!(ControlModel::fit(&[(0.0, 0.0)]).is_none());
+        // Negative slope: freezing increases power — no control authority.
+        assert!(ControlModel::fit(&[(0.1, -0.05), (0.2, -0.1)]).is_none());
+    }
+
+    #[test]
+    fn effect_clamps_ratio() {
+        let m = ControlModel::with_kr(0.2);
+        assert_eq!(m.effect(2.0), 0.2);
+        assert_eq!(m.effect(-1.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_curves_shape() {
+        // Noise-free samples: all three quantile curves coincide on the
+        // true line.
+        let samples: Vec<(f64, f64)> = (0..600)
+            .map(|i| {
+                let u = (i % 60) as f64 / 100.0;
+                (u, 0.2 * u)
+            })
+            .collect();
+        let curves = ControlModel::percentile_curves(&samples, 6, 0.6, &[0.25, 0.5, 0.75]);
+        assert_eq!(curves.len(), 3);
+        for curve in &curves {
+            assert_eq!(curve.len(), 6);
+            for &(center, val) in curve {
+                assert!((val - 0.2 * center).abs() < 0.015, "({center}, {val})");
+            }
+        }
+    }
+
+    #[test]
+    fn control_function_regions() {
+        // kr = 0.2, Et = 0.05 → threshold 0.95.
+        let f = ControlFunction::new(0.2, 0.05, 0.5);
+        assert!((f.threshold() - 0.95).abs() < 1e-12);
+        // Below threshold: no freezing.
+        assert_eq!(f.freeze_ratio(0.90), 0.0);
+        assert_eq!(f.freeze_ratio(0.95), 0.0);
+        // Linear ramp above threshold.
+        assert!((f.freeze_ratio(0.99) - 0.2).abs() < 1e-12);
+        assert!((f.freeze_ratio(1.0) - 0.25).abs() < 1e-12);
+        // Saturation at u_max.
+        assert_eq!(f.freeze_ratio(1.2), 0.5);
+    }
+
+    #[test]
+    fn control_function_zero_margin() {
+        let f = ControlFunction::new(0.2, 0.0, 1.0);
+        assert_eq!(f.threshold(), 1.0);
+        assert_eq!(f.freeze_ratio(1.0), 0.0);
+        assert!(f.freeze_ratio(1.04) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad kr")]
+    fn rejects_bad_kr() {
+        let _ = ControlFunction::new(0.0, 0.1, 0.5);
+    }
+}

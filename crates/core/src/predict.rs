@@ -1,0 +1,330 @@
+//! Estimating the next-minute power increase `Et` (§3.6).
+//!
+//! `Et` sets the safety margin: the controller starts freezing when the
+//! row power climbs within `Et` of the budget. The paper's production
+//! estimator is deliberately conservative — the 99.5th percentile of
+//! historical one-minute power increases, bucketed by hour of day. The
+//! online predictors ([`EwmaPredictor`], [`ArPredictor`]) implement the
+//! "better online power prediction model" the paper defers to future
+//! work; the ablation benches compare them.
+
+use ampere_sim::SimTime;
+use ampere_stats::percentile;
+
+/// A predictor of the next-interval power increase, in
+/// budget-normalized units.
+pub trait PowerChangePredictor: Send {
+    /// Predicted increase for the interval starting at `t`.
+    fn estimate(&self, t: SimTime) -> f64;
+
+    /// Feeds the observed power sample at `t` (normalized). Historical
+    /// estimators ignore this; online ones update their state.
+    fn observe(&mut self, t: SimTime, power: f64);
+
+    /// Display name for experiment labels.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's estimator: per-hour-of-day high percentile of observed
+/// one-minute increases from a calibration trace.
+#[derive(Debug, Clone)]
+pub struct HistoricalPercentile {
+    per_hour: [f64; 24],
+}
+
+impl HistoricalPercentile {
+    /// Builds the estimator from a history of `(time, normalized power)`
+    /// one-minute samples. `pct` is the percentile in `[0, 100]` (the
+    /// paper uses 99.5). Hours without enough data fall back to the
+    /// global percentile; an empty history falls back to `default_et`.
+    pub fn fit(history: &[(SimTime, f64)], pct: f64, default_et: f64) -> Self {
+        assert!((0.0..=100.0).contains(&pct), "bad percentile");
+        assert!(default_et >= 0.0, "bad default Et");
+        let mut per_hour_diffs: Vec<Vec<f64>> = vec![Vec::new(); 24];
+        let mut all_diffs = Vec::new();
+        for w in history.windows(2) {
+            let (t0, p0) = w[0];
+            let (_, p1) = w[1];
+            let d = p1 - p0;
+            per_hour_diffs[t0.hour_of_day() as usize].push(d);
+            all_diffs.push(d);
+        }
+        let global = percentile(&all_diffs, pct)
+            .map(|v| v.max(0.0))
+            .unwrap_or(default_et);
+        let mut per_hour = [global; 24];
+        for (h, diffs) in per_hour_diffs.iter().enumerate() {
+            // Need enough points for a 99.5th percentile to mean anything.
+            if diffs.len() >= 30 {
+                per_hour[h] = percentile(diffs, pct).map(|v| v.max(0.0)).unwrap_or(global);
+            }
+        }
+        Self { per_hour }
+    }
+
+    /// Constructs directly from a per-hour table (tests, hand tuning).
+    pub fn from_table(per_hour: [f64; 24]) -> Self {
+        assert!(per_hour.iter().all(|v| *v >= 0.0 && v.is_finite()));
+        Self { per_hour }
+    }
+
+    /// A flat margin, the simplest safe configuration.
+    pub fn flat(et: f64) -> Self {
+        Self::from_table([et; 24])
+    }
+
+    /// The per-hour table (for reporting).
+    pub fn table(&self) -> &[f64; 24] {
+        &self.per_hour
+    }
+
+    /// Clamps every hour's margin to at least `floor` — the extra
+    /// conservatism the paper applies ("our Et estimation is
+    /// conservative as we are preparing for almost the largest change
+    /// in observed history"): quiet calibration hours must not leave
+    /// the controller with no safety margin.
+    pub fn with_floor(mut self, floor: f64) -> Self {
+        assert!(floor >= 0.0 && floor.is_finite(), "bad floor");
+        for v in &mut self.per_hour {
+            *v = v.max(floor);
+        }
+        self
+    }
+}
+
+impl PowerChangePredictor for HistoricalPercentile {
+    fn estimate(&self, t: SimTime) -> f64 {
+        self.per_hour[t.hour_of_day() as usize]
+    }
+
+    fn observe(&mut self, _t: SimTime, _power: f64) {}
+
+    fn name(&self) -> &'static str {
+        "historical-percentile"
+    }
+}
+
+/// Online EWMA-of-increases predictor with a volatility cushion:
+/// `Et = max(0, ewma_diff) + k · ewma_abs_dev`.
+#[derive(Debug, Clone)]
+pub struct EwmaPredictor {
+    alpha: f64,
+    cushion: f64,
+    last_power: Option<f64>,
+    mean_diff: f64,
+    abs_dev: f64,
+    floor: f64,
+}
+
+impl EwmaPredictor {
+    /// Creates a predictor with smoothing `alpha`, deviation multiplier
+    /// `cushion` and a minimum margin `floor`.
+    pub fn new(alpha: f64, cushion: f64, floor: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "bad alpha");
+        assert!(cushion >= 0.0 && floor >= 0.0, "bad cushion/floor");
+        Self {
+            alpha,
+            cushion,
+            last_power: None,
+            mean_diff: 0.0,
+            abs_dev: 0.0,
+            floor,
+        }
+    }
+
+    /// A reasonable default configuration.
+    pub fn paper_extension_default() -> Self {
+        Self::new(0.15, 3.0, 0.01)
+    }
+}
+
+impl PowerChangePredictor for EwmaPredictor {
+    fn estimate(&self, _t: SimTime) -> f64 {
+        (self.mean_diff.max(0.0) + self.cushion * self.abs_dev).max(self.floor)
+    }
+
+    fn observe(&mut self, _t: SimTime, power: f64) {
+        if let Some(last) = self.last_power {
+            let d = power - last;
+            self.mean_diff = self.alpha * d + (1.0 - self.alpha) * self.mean_diff;
+            let dev = (d - self.mean_diff).abs();
+            self.abs_dev = self.alpha * dev + (1.0 - self.alpha) * self.abs_dev;
+        }
+        self.last_power = Some(power);
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+/// Online AR(1) predictor on one-minute increases:
+/// `E[d_{t+1}] = φ·d_t`, with φ estimated by recursive least squares,
+/// plus the same volatility cushion as [`EwmaPredictor`].
+#[derive(Debug, Clone)]
+pub struct ArPredictor {
+    phi_num: f64,
+    phi_den: f64,
+    decay: f64,
+    cushion: f64,
+    floor: f64,
+    last_power: Option<f64>,
+    last_diff: Option<f64>,
+    abs_dev: f64,
+}
+
+impl ArPredictor {
+    /// Creates an AR(1) predictor with forgetting factor `decay`.
+    pub fn new(decay: f64, cushion: f64, floor: f64) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0, "bad decay");
+        Self {
+            phi_num: 0.0,
+            phi_den: 1e-9,
+            decay,
+            cushion,
+            floor,
+            last_power: None,
+            last_diff: None,
+            abs_dev: 0.0,
+        }
+    }
+
+    /// A reasonable default configuration.
+    pub fn paper_extension_default() -> Self {
+        Self::new(0.98, 3.0, 0.01)
+    }
+
+    /// The current AR coefficient estimate.
+    pub fn phi(&self) -> f64 {
+        self.phi_num / self.phi_den
+    }
+}
+
+impl PowerChangePredictor for ArPredictor {
+    fn estimate(&self, _t: SimTime) -> f64 {
+        let point = self.last_diff.map_or(0.0, |d| self.phi() * d);
+        (point.max(0.0) + self.cushion * self.abs_dev).max(self.floor)
+    }
+
+    fn observe(&mut self, _t: SimTime, power: f64) {
+        if let Some(last) = self.last_power {
+            let d = power - last;
+            if let Some(prev_d) = self.last_diff {
+                self.phi_num = self.decay * self.phi_num + prev_d * d;
+                self.phi_den = self.decay * self.phi_den + prev_d * prev_d;
+                let err = (d - self.phi() * prev_d).abs();
+                self.abs_dev = 0.15 * err + 0.85 * self.abs_dev;
+            }
+            self.last_diff = Some(d);
+        }
+        self.last_power = Some(power);
+    }
+
+    fn name(&self) -> &'static str {
+        "ar1"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampere_sim::SimDuration;
+
+    fn minute_series(values: &[f64]) -> Vec<(SimTime, f64)> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (SimTime::from_mins(i as u64), v))
+            .collect()
+    }
+
+    #[test]
+    fn historical_uses_hourly_buckets() {
+        // Hour 0: increases of +0.01 every minute; hour 1: +0.04.
+        let mut vals = Vec::new();
+        let mut p = 0.0;
+        for m in 0..120 {
+            p += if m < 60 { 0.01 } else { 0.04 };
+            vals.push(p);
+        }
+        let est = HistoricalPercentile::fit(&minute_series(&vals), 99.5, 0.02);
+        let h0 = est.estimate(SimTime::from_mins(30));
+        let h1 = est.estimate(SimTime::from_mins(90));
+        // The 59→60 boundary diff (0.04) lands in hour 0's bucket, so
+        // its 99.5th percentile sits between the two increments.
+        assert!((0.01..=0.04).contains(&h0), "h0 = {h0}");
+        assert!(h1 > h0, "h1 = {h1} not above h0 = {h0}");
+        assert!((h1 - 0.04).abs() < 1e-6, "h1 = {h1}");
+    }
+
+    #[test]
+    fn historical_falls_back_when_sparse() {
+        // Only 10 samples: every hour falls back to the global
+        // percentile of the 9 diffs.
+        let vals: Vec<f64> = (0..10).map(|i| i as f64 * 0.02).collect();
+        let est = HistoricalPercentile::fit(&minute_series(&vals), 99.5, 0.5);
+        for h in 0..24 {
+            let e = est.estimate(SimTime::from_hours(h));
+            assert!((e - 0.02).abs() < 1e-9, "hour {h}: {e}");
+        }
+    }
+
+    #[test]
+    fn historical_empty_uses_default() {
+        let est = HistoricalPercentile::fit(&[], 99.5, 0.033);
+        assert_eq!(est.estimate(SimTime::ZERO), 0.033);
+    }
+
+    #[test]
+    fn historical_clamps_negative_to_zero() {
+        // Strictly decreasing power: percentile of diffs is negative,
+        // margin must still be >= 0.
+        let vals: Vec<f64> = (0..100).map(|i| 1.0 - i as f64 * 0.001).collect();
+        let est = HistoricalPercentile::fit(&minute_series(&vals), 99.5, 0.02);
+        assert!(est.estimate(SimTime::ZERO) >= 0.0);
+    }
+
+    #[test]
+    fn ewma_tracks_volatility() {
+        let mut est = EwmaPredictor::new(0.3, 2.0, 0.001);
+        let mut t = SimTime::ZERO;
+        // Flat series: margin collapses to the floor.
+        for _ in 0..100 {
+            est.observe(t, 0.8);
+            t += SimDuration::MINUTE;
+        }
+        assert!((est.estimate(t) - 0.001).abs() < 1e-9);
+        // Volatile series: margin grows.
+        let mut p = 0.8;
+        for i in 0..100 {
+            p += if i % 2 == 0 { 0.03 } else { -0.03 };
+            est.observe(t, p);
+            t += SimDuration::MINUTE;
+        }
+        assert!(est.estimate(t) > 0.02, "et = {}", est.estimate(t));
+    }
+
+    #[test]
+    fn ar1_learns_positive_autocorrelation() {
+        let mut est = ArPredictor::new(0.99, 0.0, 0.0);
+        let mut t = SimTime::ZERO;
+        // Momentum series: diff repeats (d_{t+1} = d_t), so φ → 1.
+        let mut p = 0.0;
+        for i in 0..200 {
+            p += if (i / 20) % 2 == 0 { 0.01 } else { -0.01 };
+            est.observe(t, p);
+            t += SimDuration::MINUTE;
+        }
+        assert!(est.phi() > 0.7, "phi = {}", est.phi());
+    }
+
+    #[test]
+    fn predictors_report_names() {
+        assert_eq!(
+            HistoricalPercentile::flat(0.1).name(),
+            "historical-percentile"
+        );
+        assert_eq!(EwmaPredictor::paper_extension_default().name(), "ewma");
+        assert_eq!(ArPredictor::paper_extension_default().name(), "ar1");
+    }
+}

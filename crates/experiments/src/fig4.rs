@@ -1,0 +1,144 @@
+//! Fig 4: power decay of frozen servers.
+//!
+//! "We randomly select a group of about 80 servers with relatively high
+//! power utilization, freeze them for a period of time, and observe
+//! their power drop. … the power gradually drops to the minimum (close
+//! to the idle power) after about 35 minutes."
+
+use ampere_cluster::ServerId;
+use ampere_sim::SimDuration;
+use ampere_workload::RateProfile;
+
+use crate::testbed::{Testbed, TestbedConfig};
+
+/// Configuration of the Fig 4 reproduction.
+pub struct Fig4Config {
+    /// Warm-up before freezing, in minutes.
+    pub warmup_mins: u64,
+    /// Observation window after freezing, in minutes (50 in the paper).
+    pub observe_mins: u64,
+    /// Number of high-power servers to freeze (≈ 80 in the paper).
+    pub freeze_count: usize,
+    /// Arrival profile (busy servers needed, so default heavy).
+    pub profile: RateProfile,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Self {
+            warmup_mins: 120,
+            observe_mins: 50,
+            freeze_count: 80,
+            profile: RateProfile::heavy_row(),
+            seed: 4,
+        }
+    }
+}
+
+/// The reproduced figure.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// `(minutes since freeze, mean power of the frozen group
+    /// normalized to rated power)`, starting at 0 minutes.
+    pub series: Vec<(u64, f64)>,
+    /// Normalized power when frozen (t = 0).
+    pub initial: f64,
+    /// Normalized power at the end of the window.
+    pub final_level: f64,
+    /// Minutes until the group completed 90 % of its total drop.
+    pub mins_to_90pct_drop: u64,
+}
+
+/// Runs the reproduction.
+pub fn run(config: Fig4Config) -> Fig4Result {
+    let mut tb = Testbed::new(TestbedConfig::paper_row(config.profile, config.seed));
+    tb.add_row_domains(1.0);
+    tb.run_for(SimDuration::from_mins(config.warmup_mins));
+
+    // Pick the highest-power servers from the last measurement sweep.
+    let mut by_power: Vec<(ServerId, f64)> = (0..tb.cluster().server_count() as u64)
+        .map(ServerId::new)
+        .map(|id| (id, tb.measured_server_w(id)))
+        .collect();
+    by_power.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let group: Vec<ServerId> = by_power
+        .iter()
+        .take(config.freeze_count)
+        .map(|&(id, _)| id)
+        .collect();
+    for &id in &group {
+        tb.freeze(id);
+    }
+
+    let rated = tb.cluster().spec().power_model.rated_w;
+    let mean_norm = |tb: &Testbed| {
+        group
+            .iter()
+            .map(|&id| tb.measured_server_w(id))
+            .sum::<f64>()
+            / (group.len() as f64 * rated)
+    };
+
+    let mut series = vec![(0, mean_norm(&tb))];
+    for m in 1..=config.observe_mins {
+        tb.step();
+        series.push((m, mean_norm(&tb)));
+    }
+
+    let initial = series[0].1;
+    let final_level = series.last().expect("non-empty").1;
+    let drop = initial - final_level;
+    let mins_to_90pct_drop = series
+        .iter()
+        .find(|&&(_, p)| initial - p >= 0.9 * drop)
+        .map(|&(m, _)| m)
+        .unwrap_or(config.observe_mins);
+
+    Fig4Result {
+        series,
+        initial,
+        final_level,
+        mins_to_90pct_drop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frozen_servers_decay_toward_idle() {
+        let r = run(Fig4Config {
+            warmup_mins: 90,
+            ..Fig4Config::default()
+        });
+        let idle_frac = 0.60;
+        // High-power selection: start well above idle.
+        assert!(r.initial > idle_frac + 0.08, "initial = {}", r.initial);
+        // Decays substantially.
+        assert!(
+            r.final_level < r.initial - 0.05,
+            "no decay: {} → {}",
+            r.initial,
+            r.final_level
+        );
+        // Ends near the idle floor (residual long jobs allowed).
+        assert!(
+            r.final_level < idle_frac + 0.06,
+            "floor = {}",
+            r.final_level
+        );
+        // Monotone-ish decay: every point at most a hair above previous.
+        for w in r.series.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 0.01);
+        }
+        // Paper: most of the drop within ~35 minutes.
+        assert!(
+            r.mins_to_90pct_drop <= 45,
+            "90% drop took {} min",
+            r.mins_to_90pct_drop
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Fig 6: the control function `F` from row power to freezing ratio.
+//!
+//! `F(P) = clamp((P + Et − PM)/kr, 0, u_max)` — zero below the
+//! threshold ratio `1 − Et`, a linear ramp of slope `1/kr` above it,
+//! saturating at the operational cap. The paper plots it as intuition
+//! for the controller; here it is generated from the *calibrated*
+//! production parameters, so the printed curve is exactly what the
+//! Table 2 controller executed.
+
+use ampere_core::ControlFunction;
+
+use crate::calibrate::{DEFAULT_KR, ET_FLOOR};
+
+/// Configuration of the Fig 6 reproduction.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Config {
+    /// Control-model slope.
+    pub kr: f64,
+    /// Safety margin `Et`.
+    pub et: f64,
+    /// Operational cap on the freezing ratio.
+    pub u_max: f64,
+    /// Points on the power axis.
+    pub points: usize,
+}
+
+impl Default for Fig6Config {
+    fn default() -> Self {
+        Self {
+            kr: DEFAULT_KR,
+            et: ET_FLOOR,
+            u_max: 0.5,
+            points: 81,
+        }
+    }
+}
+
+/// The reproduced figure.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// `(P_t, u_t)` samples of the control function over `[0.8, 1.2]`.
+    pub curve: Vec<(f64, f64)>,
+    /// The threshold ratio `1 − Et` (the figure's dashed line).
+    pub threshold: f64,
+    /// Power at which the ramp saturates at `u_max`.
+    pub saturation_power: f64,
+}
+
+/// Runs the reproduction (purely analytic — no simulation needed).
+pub fn run(config: Fig6Config) -> Fig6Result {
+    let f = ControlFunction::new(config.kr, config.et, config.u_max);
+    let (lo, hi) = (0.8f64, 1.2f64);
+    let curve = (0..config.points)
+        .map(|i| {
+            let p = lo + (hi - lo) * i as f64 / (config.points - 1) as f64;
+            (p, f.freeze_ratio(p))
+        })
+        .collect();
+    Fig6Result {
+        curve,
+        threshold: f.threshold(),
+        saturation_power: 1.0 - config.et + config.u_max * config.kr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_has_the_three_regions() {
+        let r = run(Fig6Config::default());
+        // Zero region below the threshold.
+        for &(p, u) in r.curve.iter().filter(|&&(p, _)| p < r.threshold) {
+            assert_eq!(u, 0.0, "control below threshold at P = {p}");
+        }
+        // Saturated region above the saturation power.
+        for &(p, u) in r
+            .curve
+            .iter()
+            .filter(|&&(p, _)| p > r.saturation_power + 1e-9)
+        {
+            assert_eq!(u, 0.5, "not saturated at P = {p}");
+        }
+        // The ramp is strictly increasing between the two.
+        let ramp: Vec<f64> = r
+            .curve
+            .iter()
+            .filter(|&&(p, _)| p > r.threshold && p < r.saturation_power)
+            .map(|&(_, u)| u)
+            .collect();
+        assert!(ramp.len() > 3, "ramp region missing");
+        for w in ramp.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn threshold_matches_production_margin() {
+        let r = run(Fig6Config::default());
+        assert!((r.threshold - (1.0 - ET_FLOOR)).abs() < 1e-12);
+    }
+}

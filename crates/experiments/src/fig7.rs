@@ -1,0 +1,84 @@
+//! Fig 7: the CDF of batch job durations in the production cluster.
+//!
+//! Average ≈ 9 minutes, ≈ 40 % of jobs finish within 2 minutes, and
+//! the distribution is effectively bounded near 50 minutes.
+
+use ampere_sim::derive_stream;
+use ampere_stats::Cdf;
+use ampere_workload::JobDurationDist;
+
+/// Configuration of the Fig 7 reproduction.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Config {
+    /// Number of job durations to sample.
+    pub samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig7Config {
+    fn default() -> Self {
+        Self {
+            samples: 100_000,
+            seed: 7,
+        }
+    }
+}
+
+/// The reproduced figure.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// `(duration_minutes, F)` points on an even grid, ready to plot.
+    pub cdf: Vec<(f64, f64)>,
+    /// Sample mean duration in minutes (paper: ≈ 9).
+    pub mean_mins: f64,
+    /// Fraction of jobs finishing within 2 minutes (paper: ≈ 0.4).
+    pub frac_under_2min: f64,
+    /// Fraction finishing within 10 minutes.
+    pub frac_under_10min: f64,
+    /// Maximum sampled duration in minutes.
+    pub max_mins: f64,
+}
+
+/// Runs the reproduction.
+pub fn run(config: Fig7Config) -> Fig7Result {
+    let dist = JobDurationDist::paper_calibrated();
+    let mut rng = derive_stream(config.seed, 2);
+    let sample: Vec<f64> = (0..config.samples)
+        .map(|_| dist.sample(&mut rng).as_mins_f64())
+        .collect();
+    let cdf = Cdf::new(sample).expect("non-empty sample");
+    Fig7Result {
+        mean_mins: cdf.mean(),
+        frac_under_2min: cdf.eval(2.0),
+        frac_under_10min: cdf.eval(10.0),
+        max_mins: cdf.max(),
+        cdf: cdf.grid(51),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_shape() {
+        let r = run(Fig7Config {
+            samples: 30_000,
+            seed: 1,
+        });
+        assert!(
+            (8.0..=10.0).contains(&r.mean_mins),
+            "mean = {}",
+            r.mean_mins
+        );
+        assert!(
+            (0.34..=0.46).contains(&r.frac_under_2min),
+            "P(<=2) = {}",
+            r.frac_under_2min
+        );
+        assert!(r.max_mins <= 55.0 + 1e-9);
+        assert_eq!(r.cdf.len(), 51);
+        assert!((r.cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+}

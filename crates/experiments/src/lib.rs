@@ -1,0 +1,42 @@
+//! Reproduction harness: one module per table/figure of the paper.
+//!
+//! Each experiment module exposes a config struct (defaults = paper
+//! scale) and a `run` function returning a structured result that the
+//! `repro` binary prints as the paper's rows/series and the integration
+//! tests assert shape properties on. The [`testbed`] module provides
+//! the shared simulation engine that wires the cluster, scheduler,
+//! workload, power monitor, RAPL capper and Ampere controllers into a
+//! one-minute tick loop.
+//!
+//! | Module | Reproduces |
+//! |--------|------------|
+//! | [`fig1`]  | CDF of power utilization at rack/row/DC level |
+//! | [`fig2`]  | Row-power heat map, 5 rows × 2 h, cross-row correlation |
+//! | [`fig4`]  | Power decay of ~80 frozen servers |
+//! | [`fig5`]  | `f(u)` percentiles vs `u` and the `kr` fit |
+//! | [`fig6`]  | The control function `F` (power → freezing ratio) |
+//! | [`fig7`]  | Batch job duration CDF |
+//! | [`fig8`]  | Row power over 24 h |
+//! | [`fig9`]  | CDF of power changes at 1/5/20/60-minute scales |
+//! | [`fig10`] | Control traces + Table 2 (light/heavy, r_O = 0.25) |
+//! | [`fig11`] | Redis p99.9 latency: power capping vs Ampere |
+//! | [`fig12`] | Power + throughput under control, r_O = 0.25, 4 h |
+//! | [`table3`]| G_TPW across r_O × workload (13 rows) |
+
+pub mod ablation;
+pub mod calibrate;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table3;
+pub mod testbed;
+
+pub use testbed::{DomainId, DomainSpec, DomainTickRecord, Testbed, TestbedConfig};

@@ -1,0 +1,141 @@
+//! Row-level PDU circuit-breaker accounting.
+//!
+//! The provisioned row budget is enforced by a physical fuse (§2.1). A
+//! *power violation* in the paper's evaluation is a one-minute power
+//! sample above the provisioned budget (Table 2 counts 321 of them for
+//! the uncontrolled group under heavy load). The breaker model counts
+//! violations and also tracks a sustained-overload trip condition: real
+//! thermal-magnetic breakers tolerate brief overloads but trip when the
+//! overload persists.
+
+use ampere_sim::SimTime;
+
+/// A row-level circuit breaker / violation counter.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    limit_w: f64,
+    /// Consecutive over-limit samples required to trip the breaker.
+    trip_after: u32,
+    consecutive_over: u32,
+    violations: u64,
+    tripped_at: Option<SimTime>,
+    worst_overload_w: f64,
+}
+
+impl CircuitBreaker {
+    /// Creates a breaker with the given limit. `trip_after` is the
+    /// number of *consecutive* over-limit one-minute samples that cause
+    /// a trip (outage); the paper's PDUs tolerate brief excursions, and
+    /// 5 consecutive minutes of overload is our stand-in for the thermal
+    /// trip curve.
+    pub fn new(limit_w: f64, trip_after: u32) -> Self {
+        assert!(limit_w > 0.0 && limit_w.is_finite(), "bad breaker limit");
+        assert!(trip_after > 0, "trip_after must be positive");
+        Self {
+            limit_w,
+            trip_after,
+            consecutive_over: 0,
+            violations: 0,
+            tripped_at: None,
+            worst_overload_w: 0.0,
+        }
+    }
+
+    /// The breaker limit in watts.
+    pub fn limit_w(&self) -> f64 {
+        self.limit_w
+    }
+
+    /// Records one power sample; returns `true` if this sample is a
+    /// violation (over the limit).
+    pub fn observe(&mut self, at: SimTime, power_w: f64) -> bool {
+        let over = power_w > self.limit_w;
+        if over {
+            self.violations += 1;
+            self.consecutive_over += 1;
+            self.worst_overload_w = self.worst_overload_w.max(power_w - self.limit_w);
+            if self.consecutive_over >= self.trip_after && self.tripped_at.is_none() {
+                self.tripped_at = Some(at);
+            }
+        } else {
+            self.consecutive_over = 0;
+        }
+        over
+    }
+
+    /// Total violation count so far.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Time the breaker tripped (sustained overload), if it did. A trip
+    /// would be a catastrophic outage in production; experiments assert
+    /// this stays `None` under Ampere's control.
+    pub fn tripped_at(&self) -> Option<SimTime> {
+        self.tripped_at
+    }
+
+    /// Largest observed overload above the limit, in watts.
+    pub fn worst_overload_w(&self) -> f64 {
+        self.worst_overload_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampere_sim::SimDuration;
+
+    fn t(min: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(min)
+    }
+
+    #[test]
+    fn counts_violations() {
+        let mut b = CircuitBreaker::new(100.0, 5);
+        assert!(!b.observe(t(0), 99.0));
+        assert!(b.observe(t(1), 101.0));
+        assert!(!b.observe(t(2), 100.0)); // At the limit is not over it.
+        assert_eq!(b.violations(), 1);
+    }
+
+    #[test]
+    fn trips_on_sustained_overload() {
+        let mut b = CircuitBreaker::new(100.0, 3);
+        b.observe(t(0), 110.0);
+        b.observe(t(1), 110.0);
+        assert_eq!(b.tripped_at(), None);
+        b.observe(t(2), 110.0);
+        assert_eq!(b.tripped_at(), Some(t(2)));
+        // Trip time latches at the first trip.
+        b.observe(t(3), 110.0);
+        assert_eq!(b.tripped_at(), Some(t(2)));
+    }
+
+    #[test]
+    fn recovery_resets_consecutive_count() {
+        let mut b = CircuitBreaker::new(100.0, 3);
+        b.observe(t(0), 110.0);
+        b.observe(t(1), 110.0);
+        b.observe(t(2), 90.0);
+        b.observe(t(3), 110.0);
+        b.observe(t(4), 110.0);
+        assert_eq!(b.tripped_at(), None);
+        assert_eq!(b.violations(), 4);
+    }
+
+    #[test]
+    fn tracks_worst_overload() {
+        let mut b = CircuitBreaker::new(100.0, 10);
+        b.observe(t(0), 105.0);
+        b.observe(t(1), 112.0);
+        b.observe(t(2), 101.0);
+        assert!((b.worst_overload_w() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad breaker limit")]
+    fn rejects_bad_limit() {
+        let _ = CircuitBreaker::new(0.0, 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! RAPL/DVFS power capping.
+//!
+//! The baseline mechanism (§2.1): when the aggregate power of a row
+//! exceeds the breaker limit, hardware clamps server frequencies within
+//! milliseconds so the fuse never sees a sustained overload. The cost is
+//! that running jobs silently slow down — §4.3 measures a ~2x inflation
+//! of Redis p99.9 latency. Ampere keeps this mechanism armed as a
+//! safety net but aims to (almost) never trigger it.
+//!
+//! Two enforcement modes are modelled:
+//!
+//! - [`CappingMode::PerServerShare`] (default) — each server gets an
+//!   equal share `limit / n` as its RAPL package limit, the way
+//!   production fleets provision static per-node limits. Busy servers
+//!   above their share are clamped hard while idle ones are untouched;
+//!   this is what makes §4.3's measurement possible ("we check each
+//!   individual server to see if it is power capped … 54.34 % servers
+//!   are power capped") and what ruins tail latency on hot nodes.
+//! - [`CappingMode::UniformGroup`] — one dynamic-power scaling factor
+//!   for the whole row (a row-level RAPL group limit); gentler per
+//!   server, used as an ablation.
+//!
+//! Idle power cannot be cut by DVFS, so the reachable floor per server
+//! is `idle + dynamic · MIN_FREQ²`. With static per-server shares a row
+//! of packages pinned at the frequency floor can therefore still sit
+//! slightly above the row limit — in hardware, exactly the residual
+//! risk the thermal breaker curve (and, with Ampere, the controller's
+//! safety margin) has to absorb.
+
+use crate::model::{DvfsState, ServerPowerModel};
+
+/// How the capper distributes a row limit over servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CappingMode {
+    /// Static equal per-server limits `limit / n` (production RAPL).
+    PerServerShare,
+    /// One uniform dynamic scaling factor for the whole row.
+    UniformGroup,
+}
+
+/// Configuration of the capping mechanism.
+#[derive(Debug, Clone, Copy)]
+pub struct CappingConfig {
+    /// Whether capping is armed at all. The controlled experiments of
+    /// §4.1.2 turn it off to observe the true power demand.
+    pub enabled: bool,
+    /// The lowest frequency the capper may select.
+    pub min_freq: f64,
+    /// Fraction of the limit to target when capping engages; slightly
+    /// below 1.0 gives the control loop hysteresis headroom.
+    pub target_fraction: f64,
+    /// Enforcement mode.
+    pub mode: CappingMode,
+}
+
+impl Default for CappingConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            min_freq: DvfsState::MIN_FREQ,
+            target_fraction: 0.98,
+            mode: CappingMode::PerServerShare,
+        }
+    }
+}
+
+/// Result of one capping decision over a row.
+#[derive(Debug, Clone)]
+pub struct CappingOutcome {
+    /// Per-server DVFS state after the decision (same order as input).
+    pub states: Vec<DvfsState>,
+    /// Number of servers actually slowed down (busy and below nominal).
+    pub capped_count: usize,
+    /// Row power before capping, in watts.
+    pub demand_w: f64,
+    /// Row power after capping, in watts.
+    pub delivered_w: f64,
+}
+
+impl CappingOutcome {
+    /// Whether this decision engaged capping on at least one server.
+    pub fn engaged(&self) -> bool {
+        self.capped_count > 0
+    }
+}
+
+/// Row-level RAPL-style capper.
+#[derive(Debug, Clone)]
+pub struct RaplCapper {
+    config: CappingConfig,
+}
+
+impl RaplCapper {
+    /// Creates a capper with the given configuration.
+    pub fn new(config: CappingConfig) -> Self {
+        assert!(
+            config.min_freq > 0.0 && config.min_freq <= 1.0,
+            "bad min_freq"
+        );
+        assert!(
+            config.target_fraction > 0.0 && config.target_fraction <= 1.0,
+            "bad target_fraction"
+        );
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CappingConfig {
+        &self.config
+    }
+
+    /// Decides DVFS states for a row of servers so that the summed power
+    /// stays at or below `limit_w` (as far as the idle floor allows).
+    ///
+    /// `servers` provides each server's power model and its current CPU
+    /// utilization. Capping only engages while the row's aggregate
+    /// demand exceeds the limit (the breaker is a row-level fuse); the
+    /// mode decides how the cut is distributed.
+    pub fn cap_row(&self, servers: &[(ServerPowerModel, f64)], limit_w: f64) -> CappingOutcome {
+        let nominal = DvfsState::nominal();
+        let demand_w: f64 = servers
+            .iter()
+            .map(|(m, util)| m.power_w(*util, nominal))
+            .sum();
+
+        if !self.config.enabled || demand_w <= limit_w || servers.is_empty() {
+            return CappingOutcome {
+                states: vec![nominal; servers.len()],
+                capped_count: 0,
+                demand_w,
+                delivered_w: demand_w,
+            };
+        }
+
+        let target_w = limit_w * self.config.target_fraction;
+        let states = match self.config.mode {
+            CappingMode::UniformGroup => self.uniform_states(servers, target_w),
+            CappingMode::PerServerShare => self.per_share_states(servers, target_w),
+        };
+
+        let mut capped_count = 0;
+        let mut delivered_w = 0.0;
+        for ((m, util), st) in servers.iter().zip(&states) {
+            if *util > 0.0 && st.is_capped() {
+                capped_count += 1;
+            }
+            delivered_w += m.power_w(*util, *st);
+        }
+        CappingOutcome {
+            states,
+            capped_count,
+            demand_w,
+            delivered_w,
+        }
+    }
+
+    /// Uniform group scaling: find `s` with `Σ idle_i + s · dyn_i =
+    /// target` and give every busy server `freq = √s`.
+    fn uniform_states(&self, servers: &[(ServerPowerModel, f64)], target_w: f64) -> Vec<DvfsState> {
+        let nominal = DvfsState::nominal();
+        let idle_sum: f64 = servers.iter().map(|(m, _)| m.idle_w()).sum();
+        let dyn_sum: f64 = servers
+            .iter()
+            .map(|(m, util)| m.power_w(*util, nominal) - m.idle_w())
+            .sum();
+        let s = if dyn_sum > 0.0 {
+            ((target_w - idle_sum) / dyn_sum).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let min_s = self.config.min_freq * self.config.min_freq;
+        let freq = s.max(min_s).sqrt().clamp(self.config.min_freq, 1.0);
+        let state = DvfsState::at(freq);
+        servers
+            .iter()
+            .map(|(_, util)| if *util > 0.0 { state } else { nominal })
+            .collect()
+    }
+
+    /// Static per-server shares: each server's package limit is
+    /// `target / n`; servers over their share are clamped to it.
+    fn per_share_states(
+        &self,
+        servers: &[(ServerPowerModel, f64)],
+        target_w: f64,
+    ) -> Vec<DvfsState> {
+        let share = target_w / servers.len() as f64;
+        servers
+            .iter()
+            .map(|(m, util)| {
+                let demand = m.power_w(*util, DvfsState::nominal());
+                if demand <= share {
+                    DvfsState::nominal()
+                } else {
+                    DvfsState::at(m.freq_for_power(*util, share, self.config.min_freq))
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(n: usize, util: f64) -> Vec<(ServerPowerModel, f64)> {
+        vec![(ServerPowerModel::default(), util); n]
+    }
+
+    fn capper(mode: CappingMode) -> RaplCapper {
+        RaplCapper::new(CappingConfig {
+            mode,
+            ..CappingConfig::default()
+        })
+    }
+
+    #[test]
+    fn no_capping_under_limit() {
+        for mode in [CappingMode::PerServerShare, CappingMode::UniformGroup] {
+            let out = capper(mode).cap_row(&row(10, 0.5), 10_000.0);
+            assert!(!out.engaged());
+            assert_eq!(out.demand_w, out.delivered_w);
+            assert!(out.states.iter().all(|s| !s.is_capped()));
+        }
+    }
+
+    #[test]
+    fn caps_to_limit_both_modes() {
+        for mode in [CappingMode::PerServerShare, CappingMode::UniformGroup] {
+            let servers = row(10, 1.0); // Demand = 2500 W.
+            let limit = 2_300.0;
+            let out = capper(mode).cap_row(&servers, limit);
+            assert!(out.engaged(), "{mode:?}");
+            assert_eq!(out.capped_count, 10);
+            assert!(
+                out.delivered_w <= limit + 1e-9,
+                "{mode:?}: {}",
+                out.delivered_w
+            );
+            assert!(out.delivered_w > limit * 0.9);
+            assert!((out.demand_w - 2_500.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn per_share_hits_busy_servers_harder() {
+        // Half busy, half lightly loaded; per-share clamps only the hot
+        // ones and cuts them deeper than the uniform mode would.
+        let mut servers = row(5, 1.0);
+        servers.extend(row(5, 0.1));
+        let limit = 2_000.0;
+        let per = capper(CappingMode::PerServerShare).cap_row(&servers, limit);
+        let uni = capper(CappingMode::UniformGroup).cap_row(&servers, limit);
+        assert_eq!(per.capped_count, 5, "only the hot half is clamped");
+        let hot_per = per.states[0].freq();
+        let hot_uni = uni.states[0].freq();
+        assert!(
+            hot_per < hot_uni,
+            "per-share {hot_per} should cut deeper than uniform {hot_uni}"
+        );
+        // Light servers untouched in per-share mode.
+        assert!(!per.states[9].is_capped());
+    }
+
+    #[test]
+    fn cannot_cut_idle_floor() {
+        for mode in [CappingMode::PerServerShare, CappingMode::UniformGroup] {
+            let servers = row(10, 1.0);
+            let idle_sum: f64 = servers.iter().map(|(m, _)| m.idle_w()).sum();
+            let out = capper(mode).cap_row(&servers, idle_sum * 0.5);
+            for st in &out.states {
+                assert!((st.freq() - DvfsState::MIN_FREQ).abs() < 1e-12);
+            }
+            assert!(out.delivered_w >= idle_sum);
+        }
+    }
+
+    #[test]
+    fn disabled_capper_passes_through() {
+        let capper = RaplCapper::new(CappingConfig {
+            enabled: false,
+            ..CappingConfig::default()
+        });
+        let out = capper.cap_row(&row(4, 1.0), 1.0);
+        assert!(!out.engaged());
+        assert_eq!(out.demand_w, out.delivered_w);
+    }
+
+    #[test]
+    fn idle_servers_not_counted_as_capped() {
+        for mode in [CappingMode::PerServerShare, CappingMode::UniformGroup] {
+            let mut servers = row(5, 1.0);
+            servers.extend(row(5, 0.0));
+            let out = capper(mode).cap_row(&servers, 1_800.0);
+            assert!(out.engaged());
+            assert_eq!(out.capped_count, 5, "{mode:?}");
+            for st in &out.states[5..] {
+                assert!(!st.is_capped());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_row() {
+        let out = capper(CappingMode::PerServerShare).cap_row(&[], 100.0);
+        assert_eq!(out.demand_w, 0.0);
+        assert!(!out.engaged());
+    }
+}

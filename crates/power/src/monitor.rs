@@ -1,0 +1,259 @@
+//! The sampling power monitor.
+//!
+//! The paper's monitor reads per-server power through IPMI once a minute
+//! and aggregates it to rack / row / data-center series through a
+//! streaming framework (§3.3). Here the simulation pushes per-server
+//! samples into [`PowerMonitor::ingest`], which performs the same
+//! aggregation and persists everything in the [`TimeSeriesDb`]. The
+//! monitor itself is stateless apart from the database, matching the
+//! paper's easy-failover design.
+
+use ampere_sim::{SimDuration, SimTime};
+
+use crate::tsdb::TimeSeriesDb;
+
+/// Aggregation level of a power series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TopologyLevel {
+    /// A single server.
+    Server,
+    /// A rack (≈ 40 servers, 8–10 kW budget).
+    Rack,
+    /// A row / PDU (≈ 20 racks); the control domain.
+    Row,
+    /// The whole data center.
+    DataCenter,
+}
+
+/// Identifies one stored series: an aggregation level plus the entity
+/// index at that level (0 for the data center).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeriesKey {
+    level: TopologyLevel,
+    index: u64,
+}
+
+impl SeriesKey {
+    /// Builds a key.
+    pub const fn new(level: TopologyLevel, index: u64) -> Self {
+        Self { level, index }
+    }
+
+    /// Key of a server series.
+    pub const fn server(index: u64) -> Self {
+        Self::new(TopologyLevel::Server, index)
+    }
+
+    /// Key of a rack series.
+    pub const fn rack(index: u64) -> Self {
+        Self::new(TopologyLevel::Rack, index)
+    }
+
+    /// Key of a row series.
+    pub const fn row(index: u64) -> Self {
+        Self::new(TopologyLevel::Row, index)
+    }
+
+    /// Key of the single data-center series.
+    pub const fn data_center() -> Self {
+        Self::new(TopologyLevel::DataCenter, 0)
+    }
+
+    /// The aggregation level.
+    pub fn level(&self) -> TopologyLevel {
+        self.level
+    }
+
+    /// The entity index at that level.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+}
+
+/// One per-server power reading with its topology coordinates.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerSample {
+    /// Global server index.
+    pub server: u64,
+    /// Global rack index the server belongs to.
+    pub rack: u64,
+    /// Global row index the server belongs to.
+    pub row: u64,
+    /// Measured power in watts.
+    pub watts: f64,
+}
+
+/// The sampling and aggregating power monitor.
+#[derive(Debug)]
+pub struct PowerMonitor {
+    interval: SimDuration,
+    store_server_series: bool,
+    db: TimeSeriesDb,
+    last_sample_at: Option<SimTime>,
+}
+
+impl PowerMonitor {
+    /// Creates a monitor sampling at `interval` (the paper uses one
+    /// minute as "a good tradeoff between measurement accuracy and
+    /// monitoring overhead"). `store_server_series` controls whether
+    /// per-server history is kept (needed for Fig 4 but expensive at
+    /// data-center scale).
+    pub fn new(interval: SimDuration, store_server_series: bool) -> Self {
+        assert!(interval > SimDuration::ZERO, "interval must be positive");
+        Self {
+            interval,
+            store_server_series,
+            db: TimeSeriesDb::new(),
+            last_sample_at: None,
+        }
+    }
+
+    /// Monitor with the paper's one-minute interval, row/rack/DC only.
+    pub fn paper_default() -> Self {
+        Self::new(SimDuration::MINUTE, false)
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Time the next sample is due (first sample at `interval`).
+    pub fn next_sample_at(&self) -> SimTime {
+        match self.last_sample_at {
+            None => SimTime::ZERO + self.interval,
+            Some(t) => t + self.interval,
+        }
+    }
+
+    /// Ingests one sampling sweep: per-server readings taken at `at`.
+    /// Aggregates rack, row and data-center sums and appends everything
+    /// to the database.
+    pub fn ingest(&mut self, at: SimTime, samples: &[ServerSample]) {
+        use std::collections::BTreeMap;
+        self.last_sample_at = Some(at);
+        let mut racks: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut rows: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut total = 0.0;
+        for s in samples {
+            *racks.entry(s.rack).or_insert(0.0) += s.watts;
+            *rows.entry(s.row).or_insert(0.0) += s.watts;
+            total += s.watts;
+            if self.store_server_series {
+                self.db.append(SeriesKey::server(s.server), at, s.watts);
+            }
+        }
+        for (rack, w) in racks {
+            self.db.append(SeriesKey::rack(rack), at, w);
+        }
+        for (row, w) in rows {
+            self.db.append(SeriesKey::row(row), at, w);
+        }
+        self.db.append(SeriesKey::data_center(), at, total);
+    }
+
+    /// Read access to the underlying database (the controller's query
+    /// surface — a RESTful API in the paper).
+    pub fn db(&self) -> &TimeSeriesDb {
+        &self.db
+    }
+
+    /// Latest aggregated row power, if any sample exists.
+    pub fn latest_row_power(&self, row: u64) -> Option<f64> {
+        self.db.latest(SeriesKey::row(row)).map(|(_, v)| v)
+    }
+
+    /// Full row power history as values.
+    pub fn row_history(&self, row: u64) -> Vec<f64> {
+        self.db.values(SeriesKey::row(row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(at_min: u64) -> (SimTime, Vec<ServerSample>) {
+        let at = SimTime::from_mins(at_min);
+        let samples = vec![
+            ServerSample {
+                server: 0,
+                rack: 0,
+                row: 0,
+                watts: 100.0,
+            },
+            ServerSample {
+                server: 1,
+                rack: 0,
+                row: 0,
+                watts: 150.0,
+            },
+            ServerSample {
+                server: 2,
+                rack: 1,
+                row: 0,
+                watts: 200.0,
+            },
+            ServerSample {
+                server: 3,
+                rack: 2,
+                row: 1,
+                watts: 250.0,
+            },
+        ];
+        (at, samples)
+    }
+
+    #[test]
+    fn aggregates_levels() {
+        let mut mon = PowerMonitor::paper_default();
+        let (at, samples) = sweep(1);
+        mon.ingest(at, &samples);
+        assert_eq!(mon.latest_row_power(0), Some(450.0));
+        assert_eq!(mon.latest_row_power(1), Some(250.0));
+        assert_eq!(
+            mon.db().latest(SeriesKey::rack(0)).map(|(_, v)| v),
+            Some(250.0)
+        );
+        assert_eq!(
+            mon.db().latest(SeriesKey::data_center()).map(|(_, v)| v),
+            Some(700.0)
+        );
+        // Server series disabled by default.
+        assert_eq!(mon.db().len(SeriesKey::server(0)), 0);
+    }
+
+    #[test]
+    fn server_series_optional() {
+        let mut mon = PowerMonitor::new(SimDuration::MINUTE, true);
+        let (at, samples) = sweep(1);
+        mon.ingest(at, &samples);
+        assert_eq!(mon.db().len(SeriesKey::server(2)), 1);
+    }
+
+    #[test]
+    fn next_sample_schedule() {
+        let mut mon = PowerMonitor::paper_default();
+        assert_eq!(mon.next_sample_at(), SimTime::from_mins(1));
+        let (at, samples) = sweep(1);
+        mon.ingest(at, &samples);
+        assert_eq!(mon.next_sample_at(), SimTime::from_mins(2));
+    }
+
+    #[test]
+    fn history_accumulates() {
+        let mut mon = PowerMonitor::paper_default();
+        for m in 1..=5 {
+            let (at, samples) = sweep(m);
+            mon.ingest(at, &samples);
+        }
+        assert_eq!(mon.row_history(0), vec![450.0; 5]);
+        assert_eq!(mon.db().len(SeriesKey::data_center()), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn rejects_zero_interval() {
+        let _ = PowerMonitor::new(SimDuration::ZERO, false);
+    }
+}

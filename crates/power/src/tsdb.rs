@@ -1,0 +1,170 @@
+//! In-memory time-series database.
+//!
+//! Stands in for the paper's MySQL-backed store (§3.3): the power
+//! monitor appends one sample per series per minute and the controller
+//! queries recent ranges. Series are append-only with monotonically
+//! non-decreasing timestamps, which keeps range queries `O(log n)`.
+
+use std::collections::HashMap;
+
+use ampere_sim::SimTime;
+
+use crate::monitor::SeriesKey;
+
+/// A simple append-only multi-series store.
+#[derive(Debug, Default, Clone)]
+pub struct TimeSeriesDb {
+    series: HashMap<SeriesKey, Vec<(SimTime, f64)>>,
+}
+
+impl TimeSeriesDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample to a series.
+    ///
+    /// Panics if the timestamp is older than the last sample of the same
+    /// series — out-of-order ingestion indicates a simulation bug.
+    pub fn append(&mut self, key: SeriesKey, at: SimTime, value: f64) {
+        let series = self.series.entry(key).or_default();
+        if let Some(&(last, _)) = series.last() {
+            assert!(
+                at >= last,
+                "out-of-order sample for {key:?}: {at} after {last}"
+            );
+        }
+        series.push((at, value));
+    }
+
+    /// Full history of a series (empty if unknown).
+    pub fn series(&self, key: SeriesKey) -> &[(SimTime, f64)] {
+        self.series.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Latest sample of a series.
+    pub fn latest(&self, key: SeriesKey) -> Option<(SimTime, f64)> {
+        self.series.get(&key).and_then(|s| s.last().copied())
+    }
+
+    /// Samples with `start <= t < end`.
+    pub fn range(&self, key: SeriesKey, start: SimTime, end: SimTime) -> &[(SimTime, f64)] {
+        let s = self.series(key);
+        let lo = s.partition_point(|&(t, _)| t < start);
+        let hi = s.partition_point(|&(t, _)| t < end);
+        &s[lo..hi]
+    }
+
+    /// Values (without timestamps) of a range query.
+    pub fn values_in(&self, key: SeriesKey, start: SimTime, end: SimTime) -> Vec<f64> {
+        self.range(key, start, end)
+            .iter()
+            .map(|&(_, v)| v)
+            .collect()
+    }
+
+    /// All values of a series.
+    pub fn values(&self, key: SeriesKey) -> Vec<f64> {
+        self.series(key).iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Number of samples stored for a series.
+    pub fn len(&self, key: SeriesKey) -> usize {
+        self.series.get(&key).map_or(0, Vec::len)
+    }
+
+    /// Whether the whole database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.series.values().all(Vec::is_empty)
+    }
+
+    /// Keys of all known series.
+    pub fn keys(&self) -> impl Iterator<Item = SeriesKey> + '_ {
+        self.series.keys().copied()
+    }
+
+    /// Drops samples older than `horizon` across all series (retention).
+    pub fn trim_before(&mut self, horizon: SimTime) {
+        for series in self.series.values_mut() {
+            let keep_from = series.partition_point(|&(t, _)| t < horizon);
+            series.drain(..keep_from);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::TopologyLevel;
+    use ampere_sim::SimDuration;
+
+    fn key(i: u64) -> SeriesKey {
+        SeriesKey::new(TopologyLevel::Row, i)
+    }
+
+    fn t(min: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(min)
+    }
+
+    #[test]
+    fn append_and_query() {
+        let mut db = TimeSeriesDb::new();
+        for m in 0..10 {
+            db.append(key(0), t(m), m as f64);
+        }
+        assert_eq!(db.len(key(0)), 10);
+        assert_eq!(db.latest(key(0)), Some((t(9), 9.0)));
+        let r = db.range(key(0), t(2), t(5));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], (t(2), 2.0));
+        assert_eq!(db.values_in(key(0), t(8), t(100)), vec![8.0, 9.0]);
+    }
+
+    #[test]
+    fn unknown_series_is_empty() {
+        let db = TimeSeriesDb::new();
+        assert!(db.series(key(9)).is_empty());
+        assert_eq!(db.latest(key(9)), None);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        let mut db = TimeSeriesDb::new();
+        db.append(key(0), t(1), 1.0);
+        db.append(key(0), t(1), 2.0);
+        assert_eq!(db.len(key(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order")]
+    fn rejects_out_of_order() {
+        let mut db = TimeSeriesDb::new();
+        db.append(key(0), t(5), 1.0);
+        db.append(key(0), t(4), 2.0);
+    }
+
+    #[test]
+    fn series_are_independent() {
+        let mut db = TimeSeriesDb::new();
+        db.append(key(0), t(5), 1.0);
+        // A different row may lag behind in time.
+        db.append(key(1), t(1), 9.0);
+        assert_eq!(db.values(key(1)), vec![9.0]);
+        let rack = SeriesKey::new(TopologyLevel::Rack, 0);
+        db.append(rack, t(0), 3.0);
+        assert_eq!(db.len(rack), 1);
+        assert_eq!(db.len(key(0)), 1);
+    }
+
+    #[test]
+    fn retention_trim() {
+        let mut db = TimeSeriesDb::new();
+        for m in 0..10 {
+            db.append(key(0), t(m), m as f64);
+        }
+        db.trim_before(t(7));
+        assert_eq!(db.values(key(0)), vec![7.0, 8.0, 9.0]);
+    }
+}

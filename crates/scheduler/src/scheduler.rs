@@ -1,0 +1,338 @@
+//! The scheduler's low level: queueing, candidate tracking, dispatch,
+//! and the freeze/unfreeze interface Ampere controls power through.
+
+use std::collections::VecDeque;
+
+use ampere_cluster::{Cluster, JobId, ServerId};
+use ampere_sim::{derive_stream, rng::streams, SimRng};
+use ampere_stats::Summary;
+use ampere_workload::JobRequest;
+
+use crate::policy::{Candidate, PlacementContext, PlacementPolicy};
+
+/// Counters the evaluation reads after a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedStats {
+    /// Jobs handed to the scheduler.
+    pub submitted: u64,
+    /// Jobs placed on a server ("accepted" — the paper's throughput
+    /// unit, §4.1.3).
+    pub placed: u64,
+    /// Jobs that finished running.
+    pub completed: u64,
+    /// Largest queue length observed.
+    pub peak_queue: usize,
+}
+
+/// Result of one dispatch round.
+#[derive(Debug, Clone)]
+pub struct DispatchOutcome {
+    /// `(job, server)` pairs placed this round.
+    pub placed: Vec<(JobId, ServerId)>,
+    /// Jobs still waiting after the round.
+    pub queued: usize,
+}
+
+/// The low-level scheduler.
+pub struct Scheduler {
+    policy: Box<dyn PlacementPolicy>,
+    /// Queued jobs with the dispatch round they were submitted before.
+    queue: VecDeque<(JobRequest, u64)>,
+    rng: SimRng,
+    stats: SchedStats,
+    /// Max queued jobs examined per dispatch round (bounded backfill:
+    /// a huge backlog must not stall the simulation tick).
+    dispatch_budget: usize,
+    /// Dispatch rounds run so far (≈ simulation ticks).
+    round: u64,
+    /// Queue-wait summary in dispatch rounds: 0 = placed in the first
+    /// round after submission. Freezing servers statistically shifts
+    /// this distribution — the paper's throughput cost made visible.
+    wait_rounds: Summary,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given upper-level policy.
+    pub fn new(policy: Box<dyn PlacementPolicy>, seed: u64) -> Self {
+        Self {
+            policy,
+            queue: VecDeque::new(),
+            rng: derive_stream(seed, streams::PLACEMENT),
+            stats: SchedStats::default(),
+            dispatch_budget: 50_000,
+            round: 0,
+            wait_rounds: Summary::new(),
+        }
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Accepts new jobs into the queue.
+    pub fn submit(&mut self, jobs: impl IntoIterator<Item = JobRequest>) {
+        for j in jobs {
+            self.stats.submitted += 1;
+            self.queue.push_back((j, self.round));
+        }
+        self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
+    }
+
+    /// Queue-wait statistics of placed jobs, in dispatch rounds (one
+    /// round per simulation tick): 0 means placed at the first
+    /// opportunity.
+    pub fn wait_rounds(&self) -> &Summary {
+        &self.wait_rounds
+    }
+
+    /// Number of queued (not yet placed) jobs.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// The `freeze` API (§2.1): advise that `server` get no new jobs.
+    /// Running jobs are unaffected. Idempotent.
+    pub fn freeze(&mut self, cluster: &mut Cluster, server: ServerId) {
+        cluster.server_mut(server).freeze();
+    }
+
+    /// The `unfreeze` API: make `server` schedulable again. Idempotent.
+    pub fn unfreeze(&mut self, cluster: &mut Cluster, server: ServerId) {
+        cluster.server_mut(server).unfreeze();
+    }
+
+    /// Records completions so throughput accounting stays in one place.
+    pub fn on_completed(&mut self, count: u64) {
+        self.stats.completed += count;
+    }
+
+    /// One dispatch round: builds the candidate snapshot (unfrozen
+    /// servers), then walks the queue placing jobs through the policy.
+    /// Jobs that do not fit anywhere stay queued (the paper: "there are
+    /// often jobs waiting in the scheduler queue").
+    ///
+    /// `row_headroom` optionally carries per-row normalized unused power
+    /// for headroom-aware policies; pass `&[]` otherwise.
+    pub fn dispatch(&mut self, cluster: &mut Cluster, row_headroom: &[f64]) -> DispatchOutcome {
+        let mut candidates: Vec<Candidate> = Vec::with_capacity(cluster.server_count());
+        let mut by_row: Vec<Vec<usize>> = vec![Vec::new(); cluster.row_count()];
+        for s in cluster.servers() {
+            if s.is_frozen() {
+                continue;
+            }
+            by_row[s.row().index()].push(candidates.len());
+            candidates.push(Candidate {
+                id: s.id(),
+                row: s.row(),
+                free: s.free(),
+                utilization: s.utilization(),
+            });
+        }
+
+        let mut placed = Vec::new();
+        let mut still_queued = VecDeque::new();
+        let budget = self.dispatch_budget.min(self.queue.len());
+        for _ in 0..budget {
+            let (job, submitted_round) = self.queue.pop_front().expect("budget <= len");
+            let ctx = PlacementContext {
+                candidates: &candidates,
+                by_row: &by_row,
+                row_headroom,
+            };
+            match self.policy.place(&job, &ctx, &mut self.rng) {
+                Some(idx) => {
+                    let target = candidates[idx].id;
+                    match cluster
+                        .server_mut(target)
+                        .place(job.id, job.resources, job.duration)
+                    {
+                        Ok(()) => {
+                            let s = cluster.server(target);
+                            candidates[idx].free = s.free();
+                            candidates[idx].utilization = s.utilization();
+                            self.stats.placed += 1;
+                            self.wait_rounds.push((self.round - submitted_round) as f64);
+                            placed.push((job.id, target));
+                        }
+                        Err(_) => {
+                            // The policy picked a stale candidate; requeue.
+                            still_queued.push_back((job, submitted_round));
+                        }
+                    }
+                }
+                None => still_queued.push_back((job, submitted_round)),
+            }
+        }
+        // Unprocessed (over-budget) jobs keep their order behind retries.
+        still_queued.extend(self.queue.drain(..));
+        self.queue = still_queued;
+        self.round += 1;
+        DispatchOutcome {
+            placed,
+            queued: self.queue.len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("policy", &self.policy.name())
+            .field("queued", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RandomFit;
+    use ampere_cluster::{ClusterSpec, Resources, RowId};
+    use ampere_sim::SimDuration;
+
+    fn scheduler() -> Scheduler {
+        Scheduler::new(Box::new(RandomFit::default()), 11)
+    }
+
+    fn request(id: u64, cores: u64, mins: u64) -> JobRequest {
+        JobRequest {
+            id: JobId::new(id),
+            resources: Resources::cores_gb(cores, 2),
+            duration: SimDuration::from_mins(mins),
+        }
+    }
+
+    #[test]
+    fn places_submitted_jobs() {
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = scheduler();
+        sched.submit((0..10).map(|i| request(i, 4, 5)));
+        let out = sched.dispatch(&mut cluster, &[]);
+        assert_eq!(out.placed.len(), 10);
+        assert_eq!(out.queued, 0);
+        assert_eq!(sched.stats().placed, 10);
+        assert_eq!(sched.stats().submitted, 10);
+        let total_alloc: u64 = cluster
+            .servers()
+            .iter()
+            .map(|s| s.allocated().cpu_millis)
+            .sum();
+        assert_eq!(total_alloc, 40_000);
+    }
+
+    #[test]
+    fn frozen_servers_receive_no_jobs() {
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = scheduler();
+        // Freeze all of row 0.
+        let ids: Vec<ServerId> = cluster.row_server_ids(RowId::new(0)).collect();
+        for id in &ids {
+            sched.freeze(&mut cluster, *id);
+        }
+        sched.submit((0..40).map(|i| request(i, 2, 5)));
+        let out = sched.dispatch(&mut cluster, &[]);
+        assert_eq!(out.placed.len(), 40);
+        for (_, server) in &out.placed {
+            assert_eq!(cluster.server(*server).row(), RowId::new(1));
+        }
+        // Unfreeze and the row becomes eligible again.
+        for id in &ids {
+            sched.unfreeze(&mut cluster, *id);
+        }
+        sched.submit([request(100, 2, 5)]);
+        sched.dispatch(&mut cluster, &[]);
+    }
+
+    #[test]
+    fn oversize_jobs_wait_in_queue() {
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = scheduler();
+        sched.submit([request(0, 33, 5)]); // Bigger than any server.
+        let out = sched.dispatch(&mut cluster, &[]);
+        assert!(out.placed.is_empty());
+        assert_eq!(out.queued, 1);
+        assert_eq!(sched.queue_len(), 1);
+    }
+
+    #[test]
+    fn queue_drains_as_capacity_frees() {
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = scheduler();
+        // Saturate: 16 servers x 32 cores = 512 cores; submit 20 x 32.
+        sched.submit((0..20).map(|i| request(i, 32, 1)));
+        let out = sched.dispatch(&mut cluster, &[]);
+        assert_eq!(out.placed.len(), 16);
+        assert_eq!(out.queued, 4);
+        // After the 1-minute jobs finish, the rest place.
+        let done = cluster.advance(SimDuration::from_mins(1));
+        sched.on_completed(done.len() as u64);
+        let out = sched.dispatch(&mut cluster, &[]);
+        assert_eq!(out.placed.len(), 4);
+        assert_eq!(sched.stats().completed, 16);
+        assert_eq!(sched.stats().peak_queue, 20);
+    }
+
+    #[test]
+    fn queue_wait_is_tracked_per_round() {
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = scheduler();
+        // Saturate with 1-minute jobs, then submit one more: it waits
+        // exactly one round.
+        sched.submit((0..16).map(|i| request(i, 32, 1)));
+        sched.dispatch(&mut cluster, &[]);
+        assert_eq!(sched.wait_rounds().mean(), Some(0.0));
+        sched.submit([request(99, 32, 1)]);
+        sched.dispatch(&mut cluster, &[]); // Still full: waits.
+        let done = cluster.advance(SimDuration::from_mins(1));
+        sched.on_completed(done.len() as u64);
+        sched.dispatch(&mut cluster, &[]); // Now it places.
+                                           // 16 immediate placements + 1 that waited one full round.
+        assert_eq!(sched.wait_rounds().count(), 17);
+        assert_eq!(sched.wait_rounds().max(), Some(1.0));
+    }
+
+    #[test]
+    fn all_frozen_means_nothing_places() {
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = scheduler();
+        let ids: Vec<ServerId> = (0..cluster.server_count() as u64)
+            .map(ServerId::new)
+            .collect();
+        for id in ids {
+            sched.freeze(&mut cluster, id);
+        }
+        sched.submit([request(0, 1, 1)]);
+        let out = sched.dispatch(&mut cluster, &[]);
+        assert!(out.placed.is_empty());
+        assert_eq!(out.queued, 1);
+    }
+
+    #[test]
+    fn freezing_is_statistical_not_absolute() {
+        // Freezing half of row 0 shifts load away proportionally but
+        // does not forbid the row: §3.4's statistical effect.
+        let mut cluster = Cluster::new(ClusterSpec::data_center(2));
+        let mut sched = scheduler();
+        let row0: Vec<ServerId> = cluster.row_server_ids(RowId::new(0)).collect();
+        for id in row0.iter().take(row0.len() / 2) {
+            sched.freeze(&mut cluster, *id);
+        }
+        sched.submit((0..3_000).map(|i| request(i, 1, 5)));
+        let out = sched.dispatch(&mut cluster, &[]);
+        let row0_jobs = out
+            .placed
+            .iter()
+            .filter(|(_, s)| cluster.server(*s).row() == RowId::new(0))
+            .count();
+        let frac = row0_jobs as f64 / out.placed.len() as f64;
+        // Candidates: 400 in row 0 vs 800 in row 1 → expect ~1/3.
+        assert!((0.25..=0.42).contains(&frac), "frac = {frac}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the scheduler: job conservation, frozen
+//! exclusion, and policy-independence of the invariants.
+
+use proptest::prelude::*;
+
+use ampere_cluster::{Cluster, ClusterSpec, JobId, Resources, ServerId};
+use ampere_sched::{BestFit, LeastLoaded, PlacementPolicy, PowerSpread, RandomFit, Scheduler};
+use ampere_sim::SimDuration;
+use ampere_workload::JobRequest;
+
+fn request(id: u64, cores: u64, mins: u64) -> JobRequest {
+    JobRequest {
+        id: JobId::new(id),
+        resources: Resources::cores_gb(cores.max(1), 2),
+        duration: SimDuration::from_mins(mins.max(1)),
+    }
+}
+
+fn policies() -> Vec<Box<dyn PlacementPolicy>> {
+    vec![
+        Box::new(RandomFit::default()),
+        Box::new(LeastLoaded::default()),
+        Box::new(BestFit::default()),
+        Box::new(PowerSpread::default()),
+    ]
+}
+
+proptest! {
+    /// Every submitted job is either placed or still queued — none are
+    /// lost or duplicated, under every policy.
+    #[test]
+    fn jobs_are_conserved(
+        sizes in proptest::collection::vec((1u64..33, 1u64..20), 1..150),
+        policy_idx in 0usize..4,
+    ) {
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = Scheduler::new(policies().remove(policy_idx), 9);
+        let jobs: Vec<JobRequest> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, m))| request(i as u64, c, m))
+            .collect();
+        sched.submit(jobs.clone());
+        let out = sched.dispatch(&mut cluster, &[]);
+        prop_assert_eq!(out.placed.len() + out.queued, jobs.len());
+        prop_assert_eq!(sched.stats().submitted as usize, jobs.len());
+        prop_assert_eq!(sched.stats().placed as usize, out.placed.len());
+        // No job id appears twice among placements.
+        let mut ids: Vec<u64> = out.placed.iter().map(|(j, _)| j.raw()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before);
+        // Every placement actually exists on the target server.
+        for (job, server) in &out.placed {
+            prop_assert!(cluster.server(*server).jobs().any(|(j, _)| j == *job));
+        }
+    }
+
+    /// Frozen servers never receive placements, whatever the policy and
+    /// freeze pattern.
+    #[test]
+    fn frozen_servers_receive_nothing(
+        frozen_mask in proptest::collection::vec(any::<bool>(), 16),
+        n_jobs in 1usize..120,
+        policy_idx in 0usize..4,
+    ) {
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = Scheduler::new(policies().remove(policy_idx), 11);
+        for (i, &f) in frozen_mask.iter().enumerate() {
+            if f {
+                sched.freeze(&mut cluster, ServerId::new(i as u64));
+            }
+        }
+        sched.submit((0..n_jobs as u64).map(|i| request(i, 2, 5)));
+        let out = sched.dispatch(&mut cluster, &[]);
+        for (_, server) in &out.placed {
+            prop_assert!(!frozen_mask[server.index()], "placed on frozen {server}");
+        }
+        // If everything is frozen, nothing places.
+        if frozen_mask.iter().all(|&f| f) {
+            prop_assert!(out.placed.is_empty());
+        }
+    }
+
+    /// Unfreezing restores full capacity: after unfreeze + dispatch,
+    /// the queue drains exactly as far as resources allow.
+    #[test]
+    fn unfreeze_restores_capacity(n_jobs in 1usize..64) {
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = Scheduler::new(Box::new(RandomFit::default()), 13);
+        for i in 0..16u64 {
+            sched.freeze(&mut cluster, ServerId::new(i));
+        }
+        sched.submit((0..n_jobs as u64).map(|i| request(i, 8, 5)));
+        let out = sched.dispatch(&mut cluster, &[]);
+        prop_assert_eq!(out.queued, n_jobs);
+        for i in 0..16u64 {
+            sched.unfreeze(&mut cluster, ServerId::new(i));
+        }
+        let out = sched.dispatch(&mut cluster, &[]);
+        // 16 servers x 4 jobs of 8 cores fit at most 64 jobs.
+        let capacity_jobs = 64usize;
+        prop_assert_eq!(out.placed.len(), n_jobs.min(capacity_jobs));
+    }
+
+    /// Dispatch is deterministic for a fixed seed and input.
+    #[test]
+    fn dispatch_is_deterministic(
+        sizes in proptest::collection::vec(1u64..33, 1..60),
+        seed in 0u64..1_000,
+    ) {
+        let run = || {
+            let mut cluster = Cluster::new(ClusterSpec::tiny());
+            let mut sched = Scheduler::new(Box::new(RandomFit::default()), seed);
+            sched.submit(
+                sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| request(i as u64, c, 5)),
+            );
+            sched
+                .dispatch(&mut cluster, &[])
+                .placed
+                .iter()
+                .map(|(j, s)| (j.raw(), s.raw()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

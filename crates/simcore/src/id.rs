@@ -1,0 +1,93 @@
+//! Typed entity identifiers.
+//!
+//! Servers, jobs, racks and rows are referenced by dense integer ids so
+//! they can index into `Vec`-backed tables. The [`crate::define_id`] macro
+//! produces a distinct newtype per entity, preventing a `JobId` from
+//! being used where a `ServerId` is expected.
+
+/// A monotone id allocator producing dense `u64` values starting at 0.
+#[derive(Debug, Clone, Default)]
+pub struct IdGen {
+    next: u64,
+}
+
+impl IdGen {
+    /// Creates a generator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates the next id.
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// Number of ids allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+}
+
+/// Defines a `Copy` newtype id with `new`/`index`/`raw` accessors.
+#[macro_export]
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw id value.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw id value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The id as a `usize` index into dense tables.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    define_id!(TestId);
+
+    use super::IdGen;
+
+    #[test]
+    fn idgen_is_dense() {
+        let mut g = IdGen::new();
+        assert_eq!(g.next_id(), 0);
+        assert_eq!(g.next_id(), 1);
+        assert_eq!(g.allocated(), 2);
+    }
+
+    #[test]
+    fn newtype_accessors() {
+        let id = TestId::new(7);
+        assert_eq!(id.raw(), 7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id}"), "TestId#7");
+    }
+
+    #[test]
+    fn newtype_is_ordered() {
+        assert!(TestId::new(1) < TestId::new(2));
+        assert_eq!(TestId::new(3), TestId::new(3));
+    }
+}

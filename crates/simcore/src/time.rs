@@ -1,0 +1,217 @@
+//! Simulation clock types.
+//!
+//! All crates share one time base: milliseconds since simulation start.
+//! The paper's natural units — one-minute monitor samples and controller
+//! ticks, multi-hour experiments — are provided as constructors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant in simulation time (milliseconds since start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulation time (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Builds an instant from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000)
+    }
+
+    /// Builds an instant from minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimTime(m * 60_000)
+    }
+
+    /// Builds an instant from hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimTime(h * 3_600_000)
+    }
+
+    /// Raw milliseconds since the epoch.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole minutes since the epoch (truncating).
+    pub const fn as_mins(self) -> u64 {
+        self.0 / 60_000
+    }
+
+    /// Fractional hours since the epoch.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3_600_000.0
+    }
+
+    /// Hour-of-day in `[0, 24)`, used by the `Et` estimator's per-hour
+    /// percentile table (§3.6).
+    pub const fn hour_of_day(self) -> u64 {
+        (self.0 / 3_600_000) % 24
+    }
+
+    /// Duration elapsed since `earlier`. Panics if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("`since` called with a later instant"),
+        )
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// One minute, the paper's monitoring and control interval.
+    pub const MINUTE: SimDuration = SimDuration(60_000);
+
+    /// Builds a span from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Builds a span from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000)
+    }
+
+    /// Builds a span from minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// Builds a span from hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000)
+    }
+
+    /// Builds a span from fractional seconds (rounding to milliseconds).
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "bad duration: {s}");
+        SimDuration((s * 1_000.0).round() as u64)
+    }
+
+    /// Raw milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Fractional minutes.
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60_000.0
+    }
+
+    /// Multiplies the span by a non-negative factor (used to stretch job
+    /// runtimes under DVFS frequency scaling).
+    pub fn mul_f64(self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "bad factor: {factor}");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_secs = self.0 / 1_000;
+        let (h, m, s) = (total_secs / 3_600, (total_secs / 60) % 60, total_secs % 60);
+        write!(f, "{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(60), SimTime::from_mins(1));
+        assert_eq!(SimTime::from_mins(60), SimTime::from_hours(1));
+        assert_eq!(SimDuration::from_mins(1), SimDuration::MINUTE);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_mins(5) + SimDuration::from_secs(30);
+        assert_eq!(t.as_millis(), 330_000);
+        assert_eq!(t - SimTime::from_mins(5), SimDuration::from_secs(30));
+        let mut t2 = SimTime::ZERO;
+        t2 += SimDuration::from_hours(2);
+        assert_eq!(t2.hour_of_day(), 2);
+    }
+
+    #[test]
+    fn hour_of_day_wraps() {
+        assert_eq!(SimTime::from_hours(25).hour_of_day(), 1);
+        assert_eq!(SimTime::from_hours(48).hour_of_day(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "later instant")]
+    fn since_panics_on_inversion() {
+        let _ = SimTime::ZERO.since(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_secs(10).mul_f64(1.5);
+        assert_eq!(d, SimDuration::from_secs(15));
+        assert_eq!(SimDuration::from_secs_f64(0.0015).as_millis(), 2);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            format!("{}", SimTime::from_hours(1) + SimDuration::from_secs(61)),
+            "01:01:01"
+        );
+    }
+}

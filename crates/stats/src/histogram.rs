@@ -1,0 +1,134 @@
+//! Fixed-bin histograms.
+//!
+//! Used by the repro harness to print distribution tables (e.g. the Fig 5
+//! scatter of `f(u)` samples grouped into freezing-ratio bins before the
+//! per-bin percentiles are computed).
+
+/// A histogram with uniform bins over `[lo, hi)`.
+///
+/// Values below `lo` go into an underflow count, values at or above `hi`
+/// into an overflow count, so no observation is silently dropped.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// Panics if `bins == 0`, the bounds are non-finite, or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad bounds");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation. NaN is counted as overflow so totals stay
+    /// consistent.
+    pub fn record(&mut self, value: f64) {
+        if value.is_nan() || value >= self.hi {
+            self.overflow += 1;
+        } else if value < self.lo {
+            self.underflow += 1;
+        } else {
+            let frac = (value - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Index of the bin that `value` would land in, if in range.
+    pub fn bin_of(&self, value: f64) -> Option<usize> {
+        if !(self.lo..self.hi).contains(&value) {
+            return None;
+        }
+        let frac = (value - self.lo) / (self.hi - self.lo);
+        Some(((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1))
+    }
+
+    /// `(bin_center, count)` pairs for every bin.
+    pub fn bins(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+
+    /// Count of observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above `hi` (plus NaNs).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for v in [0.1, 0.3, 0.3, 0.6, 0.9] {
+            h.record(v);
+        }
+        let counts: Vec<u64> = h.bins().iter().map(|&(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 2, 1, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-0.5);
+        h.record(1.0);
+        h.record(2.0);
+        h.record(f64::NAN);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        let bins = h.bins();
+        assert_eq!(bins[0].0, 0.25);
+        assert_eq!(bins[1].0, 0.75);
+    }
+
+    #[test]
+    fn bin_of_boundaries() {
+        let h = Histogram::new(0.0, 1.0, 10);
+        assert_eq!(h.bin_of(0.0), Some(0));
+        assert_eq!(h.bin_of(0.999), Some(9));
+        assert_eq!(h.bin_of(1.0), None);
+        assert_eq!(h.bin_of(-0.1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Empirical quantiles and cumulative distribution functions.
+//!
+//! The paper reports most results as CDFs (power utilization in Fig 1,
+//! job durations in Fig 7, power changes in Fig 9) and the controller
+//! itself uses the 99.5th percentile of historical power increases as
+//! its safety margin `Et` (§3.6). These helpers implement the common
+//! "linear interpolation between closest ranks" estimator (type 7 in
+//! the Hyndman–Fan taxonomy, the numpy/R default).
+
+/// An empirical cumulative distribution function over a sample.
+///
+/// The sample is sorted once at construction; queries are `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from a sample. Non-finite values are rejected.
+    ///
+    /// Returns `None` if the sample is empty or contains NaN/infinity.
+    pub fn new(mut sample: Vec<f64>) -> Option<Self> {
+        if sample.is_empty() || sample.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Some(Self { sorted: sample })
+    }
+
+    /// Number of points in the underlying sample.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed `Cdf`).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: fraction of the sample that is `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.sorted.len();
+        // Index of the first element strictly greater than `x`.
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / n as f64
+    }
+
+    /// Inverse CDF: the value at quantile `q` in `[0, 1]`, with linear
+    /// interpolation between order statistics.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_sorted(&self.sorted, q)
+    }
+
+    /// Minimum of the sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum of the sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The sorted sample underlying this CDF.
+    pub fn sorted_sample(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates the CDF on an evenly spaced grid of `points` x-values
+    /// spanning `[min, max]`, returning `(x, F(x))` pairs. Useful for
+    /// regenerating the paper's CDF figures as plottable series.
+    pub fn grid(&self, points: usize) -> Vec<(f64, f64)> {
+        let points = points.max(2);
+        let (lo, hi) = (self.min(), self.max());
+        let span = hi - lo;
+        (0..points)
+            .map(|i| {
+                let x = lo + span * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+/// Quantile of an *already sorted* slice with linear interpolation.
+///
+/// `q` is clamped to `[0, 1]`. Panics on an empty slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let q = q.clamp(0.0, 1.0);
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Percentile (`p` in `[0, 100]`) of an arbitrary sample.
+///
+/// Returns `None` on an empty sample or non-finite values.
+pub fn percentile(sample: &[f64], p: f64) -> Option<f64> {
+    let cdf = Cdf::new(sample.to_vec())?;
+    Some(cdf.quantile(p / 100.0))
+}
+
+/// Returns the `(value, cumulative_fraction)` step points of the
+/// empirical CDF — one point per sample order statistic.
+pub fn cdf_points(sample: &[f64]) -> Vec<(f64, f64)> {
+    match Cdf::new(sample.to_vec()) {
+        None => Vec::new(),
+        Some(cdf) => {
+            let n = cdf.len() as f64;
+            cdf.sorted_sample()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, (i + 1) as f64 / n))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_rejects_empty_and_nan() {
+        assert!(Cdf::new(vec![]).is_none());
+        assert!(Cdf::new(vec![1.0, f64::NAN]).is_none());
+        assert!(Cdf::new(vec![1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn cdf_eval_simple() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.5), 0.5);
+        assert_eq!(cdf.eval(4.0), 1.0);
+        assert_eq!(cdf.eval(9.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let cdf = Cdf::new(vec![0.0, 10.0]).unwrap();
+        assert_eq!(cdf.quantile(0.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), 5.0);
+        assert_eq!(cdf.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn quantile_of_singleton() {
+        let cdf = Cdf::new(vec![7.0]).unwrap();
+        assert_eq!(cdf.quantile(0.3), 7.0);
+    }
+
+    #[test]
+    fn percentile_matches_quantile() {
+        let sample = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&sample, 50.0), Some(3.0));
+        assert_eq!(percentile(&sample, 0.0), Some(1.0));
+        assert_eq!(percentile(&sample, 100.0), Some(5.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let pts = cdf_points(&[3.0, 1.0, 2.0]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (3.0, 1.0));
+    }
+
+    #[test]
+    fn grid_spans_range() {
+        let cdf = Cdf::new(vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        let g = cdf.grid(5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g[0].0, 0.0);
+        assert_eq!(g[4], (3.0, 1.0));
+        // Monotone non-decreasing in F.
+        for w in g.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let cdf = Cdf::new(vec![2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(cdf.mean(), 4.0);
+        assert_eq!(cdf.min(), 2.0);
+        assert_eq!(cdf.max(), 6.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Job-trace recording and replay.
+//!
+//! The paper's experiments run against live production arrivals; users
+//! reproducing them elsewhere often have their own cluster traces. A
+//! [`JobTrace`] is a time-stamped list of job requests that can be
+//! captured from any generator ([`record`]), saved to / loaded from a
+//! simple line-oriented text format (no external dependencies), and
+//! replayed tick-by-tick through the same interface the live generator
+//! offers ([`TraceWorkload::tick`]) — so every experiment in this
+//! repository can run on imported traces unchanged.
+//!
+//! Format: one job per line, `arrival_ms cpu_millis memory_mb
+//! duration_ms`, sorted by arrival time; `#` lines are comments.
+
+use std::str::FromStr;
+
+use ampere_cluster::{JobId, Resources};
+use ampere_sim::{SimDuration, SimTime};
+
+use crate::generator::{BatchWorkload, JobRequest};
+
+/// One recorded arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracedJob {
+    /// Arrival time relative to trace start.
+    pub arrival: SimTime,
+    /// Resource demand.
+    pub resources: Resources,
+    /// Nominal runtime.
+    pub duration: SimDuration,
+}
+
+/// A recorded workload trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobTrace {
+    jobs: Vec<TracedJob>,
+}
+
+/// Errors from parsing a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl JobTrace {
+    /// Builds a trace from jobs; they are sorted by arrival time.
+    pub fn new(mut jobs: Vec<TracedJob>) -> Self {
+        jobs.sort_by_key(|j| j.arrival);
+        Self { jobs }
+    }
+
+    /// Number of jobs in the trace.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The recorded jobs, sorted by arrival.
+    pub fn jobs(&self) -> &[TracedJob] {
+        &self.jobs
+    }
+
+    /// Time of the last arrival (zero for an empty trace).
+    pub fn horizon(&self) -> SimTime {
+        self.jobs.last().map(|j| j.arrival).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Serializes to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# arrival_ms cpu_millis memory_mb duration_ms\n");
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "{} {} {} {}\n",
+                j.arrival.as_millis(),
+                j.resources.cpu_millis,
+                j.resources.memory_mb,
+                j.duration.as_millis()
+            ));
+        }
+        out
+    }
+
+    /// Parses the text format.
+    pub fn from_text(text: &str) -> Result<Self, TraceParseError> {
+        let mut jobs = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 4 {
+                return Err(TraceParseError {
+                    line: i + 1,
+                    reason: format!("expected 4 fields, got {}", fields.len()),
+                });
+            }
+            let parse = |s: &str, what: &str| -> Result<u64, TraceParseError> {
+                u64::from_str(s).map_err(|e| TraceParseError {
+                    line: i + 1,
+                    reason: format!("bad {what}: {e}"),
+                })
+            };
+            jobs.push(TracedJob {
+                arrival: SimTime::from_millis(parse(fields[0], "arrival")?),
+                resources: Resources::new(parse(fields[1], "cpu")?, parse(fields[2], "memory")?),
+                duration: SimDuration::from_millis(parse(fields[3], "duration")?),
+            });
+        }
+        Ok(Self::new(jobs))
+    }
+}
+
+/// Records `mins` minutes of a live generator into a trace.
+pub fn record(workload: &mut BatchWorkload, mins: u64) -> JobTrace {
+    let mut jobs = Vec::new();
+    for m in 0..mins {
+        let at = SimTime::from_mins(m);
+        for j in workload.tick(at, SimDuration::MINUTE) {
+            jobs.push(TracedJob {
+                arrival: at,
+                resources: j.resources,
+                duration: j.duration,
+            });
+        }
+    }
+    JobTrace::new(jobs)
+}
+
+/// Replays a [`JobTrace`] through the generator interface.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    trace: JobTrace,
+    cursor: usize,
+    next_job_raw: u64,
+    /// Wrap around and replay from the start when the trace runs out
+    /// (runs longer than the recording).
+    looped: bool,
+    loop_offset: SimTime,
+}
+
+impl TraceWorkload {
+    /// Creates a replayer. With `looped`, the trace repeats end-to-end
+    /// so arbitrarily long simulations can run on a short recording.
+    pub fn new(trace: JobTrace, first_job_id: u64, looped: bool) -> Self {
+        Self {
+            trace,
+            cursor: 0,
+            next_job_raw: first_job_id,
+            looped,
+            loop_offset: SimTime::ZERO,
+        }
+    }
+
+    /// Jobs arriving during `[now, now + tick)`, with fresh ids.
+    pub fn tick(&mut self, now: SimTime, tick: SimDuration) -> Vec<JobRequest> {
+        let end = now + tick;
+        let mut out = Vec::new();
+        loop {
+            if self.cursor >= self.trace.len() {
+                if !self.looped || self.trace.is_empty() {
+                    break;
+                }
+                // Restart the trace aligned to the next tick boundary.
+                self.cursor = 0;
+                self.loop_offset = end;
+            }
+            let job = self.trace.jobs()[self.cursor];
+            let arrival = self.loop_offset + (job.arrival - SimTime::ZERO);
+            if arrival >= end {
+                break;
+            }
+            self.cursor += 1;
+            if arrival < now {
+                // Before the observed window (e.g. replay started late).
+                continue;
+            }
+            let id = JobId::new(self.next_job_raw);
+            self.next_job_raw += 1;
+            out.push(JobRequest {
+                id,
+                resources: job.resources,
+                duration: job.duration,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::RateProfile;
+
+    fn sample_trace() -> JobTrace {
+        let mut w = BatchWorkload::new(RateProfile::Constant { per_min: 30.0 }, 5, 0);
+        record(&mut w, 10)
+    }
+
+    #[test]
+    fn record_captures_all_arrivals() {
+        let trace = sample_trace();
+        assert!(trace.len() > 100, "len = {}", trace.len());
+        assert!(trace.horizon() <= SimTime::from_mins(9));
+        // Sorted by arrival.
+        for w in trace.jobs().windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_lossless() {
+        let trace = sample_trace();
+        let text = trace.to_text();
+        let parsed = JobTrace::from_text(&text).unwrap();
+        assert_eq!(trace, parsed);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let err = JobTrace::from_text("1 2 3").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("expected 4 fields"));
+        let err = JobTrace::from_text("# ok\n1 2 3 x").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bad duration"));
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let t = JobTrace::from_text("# header\n\n60000 1000 2048 300000\n").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.jobs()[0].arrival, SimTime::from_mins(1));
+        assert_eq!(t.jobs()[0].duration, SimDuration::from_mins(5));
+    }
+
+    #[test]
+    fn replay_reproduces_the_recording() {
+        let trace = sample_trace();
+        let mut replay = TraceWorkload::new(trace.clone(), 0, false);
+        let mut total = 0;
+        for m in 0..10 {
+            let jobs = replay.tick(SimTime::from_mins(m), SimDuration::MINUTE);
+            let expected = trace
+                .jobs()
+                .iter()
+                .filter(|j| j.arrival == SimTime::from_mins(m))
+                .count();
+            assert_eq!(jobs.len(), expected, "minute {m}");
+            total += jobs.len();
+        }
+        assert_eq!(total, trace.len());
+        // Exhausted, non-looped: nothing more.
+        assert!(replay
+            .tick(SimTime::from_mins(10), SimDuration::MINUTE)
+            .is_empty());
+    }
+
+    #[test]
+    fn looped_replay_never_runs_dry() {
+        let trace = sample_trace();
+        let mut replay = TraceWorkload::new(trace.clone(), 0, true);
+        let mut total = 0;
+        for m in 0..40 {
+            total += replay
+                .tick(SimTime::from_mins(m), SimDuration::MINUTE)
+                .len();
+        }
+        assert!(
+            total > trace.len() * 3,
+            "looped replay produced only {total}"
+        );
+    }
+
+    #[test]
+    fn replay_ids_are_unique() {
+        let mut replay = TraceWorkload::new(sample_trace(), 100, true);
+        let mut ids = Vec::new();
+        for m in 0..25 {
+            for j in replay.tick(SimTime::from_mins(m), SimDuration::MINUTE) {
+                ids.push(j.id.raw());
+            }
+        }
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let mut replay = TraceWorkload::new(JobTrace::default(), 0, true);
+        assert!(replay.tick(SimTime::ZERO, SimDuration::MINUTE).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Controlling several rows of a data center at once, and the §6
+//! future-work idea: a headroom-aware placement policy that steers
+//! jobs toward rows with unused power.
+//!
+//! Four rows share one scheduler pool but have *different* power
+//! headroom (different over-provisioning ratios — e.g. rows racked in
+//! different build-outs). Each row gets its own Ampere controller (the
+//! controller is per-row and stateless, §3.2). With the baseline
+//! `random-fit` policy the tightest row is constantly freezing; the
+//! `PowerSpread` policy steers new jobs toward roomy rows, so the
+//! tight row's controller barely has to intervene.
+//!
+//! Run with: `cargo run --release --example multi_row_datacenter`
+
+use ampere_cluster::{ClusterSpec, RowId};
+use ampere_core::scaled_budget_w;
+use ampere_experiments::calibrate::default_controller;
+use ampere_experiments::{DomainSpec, Testbed, TestbedConfig};
+use ampere_power::CappingConfig;
+use ampere_sched::{PlacementPolicy, PowerSpread, RandomFit};
+use ampere_sim::SimDuration;
+use ampere_workload::RateProfile;
+
+/// Per-row over-provisioning: row 0 is the tightest.
+const ROW_RO: [f64; 4] = [0.28, 0.22, 0.16, 0.10];
+
+fn run_with(policy: Box<dyn PlacementPolicy>, label: &str) -> Vec<f64> {
+    let spec = ClusterSpec {
+        rows: ROW_RO.len(),
+        racks_per_row: 8,
+        servers_per_rack: 40,
+        ..ClusterSpec::paper_row()
+    };
+    let profile = RateProfile::heavy_row().scaled(spec.server_count() as f64 / 440.0 * 0.93);
+    let mut tb = Testbed::new(TestbedConfig {
+        spec,
+        policy,
+        capping: CappingConfig {
+            enabled: false,
+            ..CappingConfig::default()
+        },
+        ..TestbedConfig::paper_row(profile, 7)
+    });
+
+    let rated = spec.rated_row_power_w();
+    let mut domains = Vec::new();
+    for (r, &r_o) in ROW_RO.iter().enumerate() {
+        let row = RowId::new(r as u64);
+        let budget = scaled_budget_w(rated, r_o);
+        tb.set_row_budget_w(row, budget);
+        let servers = tb.cluster().row_server_ids(row).collect();
+        domains.push(tb.add_domain(DomainSpec {
+            name: format!("row{r}"),
+            servers,
+            budget_w: budget,
+            controller: Some(default_controller()),
+            capped: false,
+        }));
+    }
+
+    tb.run_for(SimDuration::from_hours(6));
+
+    println!("policy = {label}");
+    let mut u_means = Vec::new();
+    for (r, &d) in domains.iter().enumerate() {
+        let recs = tb.records(d);
+        let n = recs.len() as f64;
+        let p_mean = recs.iter().map(|x| x.power_norm).sum::<f64>() / n;
+        let u_mean = recs.iter().map(|x| x.freezing_ratio).sum::<f64>() / n;
+        let viol = recs.iter().filter(|x| x.violation).count();
+        println!(
+            "  row{r} (r_O={:.2}): P_mean={p_mean:.3} u_mean={u_mean:.3} \
+             violations={viol} jobs={}",
+            ROW_RO[r],
+            tb.placed_jobs(d)
+        );
+        u_means.push(u_mean);
+    }
+    println!();
+    u_means
+}
+
+fn main() {
+    println!(
+        "4 rows x 320 servers with heterogeneous over-provisioning \
+         (r_O = {ROW_RO:?}), 6 h heavy load\n"
+    );
+    let base = run_with(Box::new(RandomFit::default()), "random-fit (baseline)");
+    let spread = run_with(
+        Box::new(PowerSpread::default()),
+        "power-spread (paper §6 future work)",
+    );
+    println!(
+        "tight row 0 mean freezing ratio: {:.3} under random-fit vs {:.3} under \
+         power-spread — headroom-aware placement consolidates unused power across \
+         rows, cutting the controller's interventions.",
+        base[0], spread[0]
+    );
+}
