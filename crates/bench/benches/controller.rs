@@ -4,8 +4,7 @@
 //! per-row decision is microseconds, i.e. the design scales to a full
 //! data center trivially.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
+use ampere_bench::harness::Runner;
 use ampere_cluster::ServerId;
 use ampere_core::{
     solve_pcp_greedy, spcp_optimal_ratio, ControlFunction, FreezePlanner, PcpInstance,
@@ -22,49 +21,42 @@ fn readings(n: usize, frozen_every: usize) -> Vec<ServerPowerReading> {
         .collect()
 }
 
-fn bench_controller(c: &mut Criterion) {
-    let mut g = c.benchmark_group("controller");
+fn main() {
+    let r = Runner::from_args("controller");
 
-    g.bench_function("spcp_closed_form", |b| {
-        b.iter(|| spcp_optimal_ratio(std::hint::black_box(0.98), 0.03, 1.0, 0.05))
+    r.bench("spcp_closed_form", || {
+        spcp_optimal_ratio(std::hint::black_box(0.98), 0.03, 1.0, 0.05)
     });
 
-    g.bench_function("pcp_greedy_horizon_60", |b| {
-        let inst = PcpInstance::new(0.97, vec![0.01; 60], 0.05, 1.0);
-        b.iter(|| solve_pcp_greedy(std::hint::black_box(&inst)))
+    let inst = PcpInstance::new(0.97, vec![0.01; 60], 0.05, 1.0);
+    r.bench("pcp_greedy_horizon_60", || {
+        solve_pcp_greedy(std::hint::black_box(&inst))
     });
 
     let cf = ControlFunction::new(0.05, 0.03, 0.5);
     for n in [440usize, 800, 3200] {
-        g.bench_function(format!("algorithm1_plan_{n}_servers"), |b| {
-            let r = readings(n, 7);
-            let planner = FreezePlanner::default();
-            b.iter(|| planner.plan(std::hint::black_box(&r), &cf, 1.01))
+        let rs = readings(n, 7);
+        let planner = FreezePlanner::default();
+        r.bench(&format!("algorithm1_plan_{n}_servers"), || {
+            planner.plan(std::hint::black_box(&rs), &cf, 1.01)
         });
     }
 
-    g.bench_function("algorithm1_below_threshold_440", |b| {
-        let r = readings(440, 7);
-        let planner = FreezePlanner::default();
-        b.iter(|| planner.plan(std::hint::black_box(&r), &cf, 0.80))
+    let rs = readings(440, 7);
+    let planner = FreezePlanner::default();
+    r.bench("algorithm1_below_threshold_440", || {
+        planner.plan(std::hint::black_box(&rs), &cf, 0.80)
     });
 
-    g.bench_function("control_model_fit_1000_samples", |b| {
-        let samples: Vec<(f64, f64)> = (0..1000)
-            .map(|i| {
-                let u = (i % 100) as f64 / 100.0;
-                (u, 0.05 * u + ((i * 13) % 7) as f64 * 1e-3)
-            })
-            .collect();
-        b.iter_batched(
-            || samples.clone(),
-            |s| ampere_core::ControlModel::fit(&s),
-            BatchSize::SmallInput,
-        )
-    });
-
-    g.finish();
+    let samples: Vec<(f64, f64)> = (0..1000)
+        .map(|i| {
+            let u = (i % 100) as f64 / 100.0;
+            (u, 0.05 * u + ((i * 13) % 7) as f64 * 1e-3)
+        })
+        .collect();
+    r.bench_with_setup(
+        "control_model_fit_1000_samples",
+        || samples.clone(),
+        |s| ampere_core::ControlModel::fit(&s),
+    );
 }
-
-criterion_group!(benches, bench_controller);
-criterion_main!(benches);

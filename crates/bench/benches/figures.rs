@@ -1,162 +1,131 @@
-//! One Criterion bench per paper table/figure: each benchmark runs a
-//! scaled-down regeneration of the experiment end-to-end, so `cargo
-//! bench` both exercises every reproduction path and tracks its cost.
+//! One benchmark per paper table/figure: each runs a scaled-down
+//! regeneration of the experiment end-to-end, so `cargo bench` both
+//! exercises every reproduction path and tracks its cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use ampere_bench::harness::Runner;
 use ampere_experiments as exp;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
+fn main() {
+    let r = Runner::from_args("figures");
 
-    g.bench_function("fig1_power_cdf", |b| {
-        b.iter(|| {
-            exp::fig1::run(exp::fig1::Fig1Config {
-                rows: 2,
-                racks_per_row: 3,
-                servers_per_rack: 20,
-                hours: 2,
-                warmup_hours: 1,
-                seed: 1,
-            })
+    r.bench("fig1_power_cdf", || {
+        exp::fig1::run(exp::fig1::Fig1Config {
+            rows: 2,
+            racks_per_row: 3,
+            servers_per_rack: 20,
+            hours: 2,
+            warmup_hours: 1,
+            seed: 1,
         })
     });
 
-    g.bench_function("fig2_row_variation", |b| {
-        b.iter(|| {
-            exp::fig2::run(exp::fig2::Fig2Config {
-                rows: 4,
-                display_rows: 3,
-                window_hours: 1,
-                hours: 3,
-                warmup_hours: 1,
-                racks_per_row: 3,
-                servers_per_rack: 20,
-                seed: 2,
-            })
+    r.bench("fig2_row_variation", || {
+        exp::fig2::run(exp::fig2::Fig2Config {
+            rows: 4,
+            display_rows: 3,
+            window_hours: 1,
+            hours: 3,
+            warmup_hours: 1,
+            racks_per_row: 3,
+            servers_per_rack: 20,
+            seed: 2,
         })
     });
 
-    g.bench_function("fig4_freeze_decay", |b| {
-        b.iter(|| {
-            exp::fig4::run(exp::fig4::Fig4Config {
-                warmup_mins: 60,
-                observe_mins: 40,
-                ..exp::fig4::Fig4Config::default()
-            })
+    r.bench("fig4_freeze_decay", || {
+        exp::fig4::run(exp::fig4::Fig4Config {
+            warmup_mins: 60,
+            observe_mins: 40,
+            ..exp::fig4::Fig4Config::default()
         })
     });
 
-    g.bench_function("fig5_control_model", |b| {
-        b.iter(|| {
-            exp::fig5::run(exp::fig5::Fig5Config {
-                levels: vec![0.0, 0.3, 0.6],
-                settle_mins: 6,
-                sample_mins: 3,
-                washout_mins: 8,
-                sweeps: 1,
-                ..exp::fig5::Fig5Config::default()
-            })
+    r.bench("fig5_control_model", || {
+        exp::fig5::run(exp::fig5::Fig5Config {
+            levels: vec![0.0, 0.3, 0.6],
+            settle_mins: 6,
+            sample_mins: 3,
+            washout_mins: 8,
+            sweeps: 1,
+            ..exp::fig5::Fig5Config::default()
         })
     });
 
-    g.bench_function("fig7_duration_cdf", |b| {
-        b.iter(|| {
-            exp::fig7::run(exp::fig7::Fig7Config {
-                samples: 20_000,
-                seed: 7,
-            })
+    r.bench("fig7_duration_cdf", || {
+        exp::fig7::run(exp::fig7::Fig7Config {
+            samples: 20_000,
+            seed: 7,
         })
     });
 
-    g.bench_function("fig8_row_power_trace", |b| {
-        b.iter(|| {
-            exp::fig8::run(exp::fig8::Fig8Config {
-                hours: 3,
-                warmup_hours: 1,
-                ..exp::fig8::Fig8Config::default()
-            })
+    r.bench("fig8_row_power_trace", || {
+        exp::fig8::run(exp::fig8::Fig8Config {
+            hours: 3,
+            warmup_hours: 1,
+            ..exp::fig8::Fig8Config::default()
         })
     });
 
-    g.bench_function("fig9_power_change_cdf", |b| {
-        b.iter(|| {
-            exp::fig9::run(exp::fig9::Fig9Config {
-                hours: 4,
-                warmup_hours: 1,
-                ..exp::fig9::Fig9Config::default()
-            })
+    r.bench("fig9_power_change_cdf", || {
+        exp::fig9::run(exp::fig9::Fig9Config {
+            hours: 4,
+            warmup_hours: 1,
+            ..exp::fig9::Fig9Config::default()
         })
     });
 
-    g.bench_function("fig10_table2_control", |b| {
-        b.iter(|| {
-            exp::fig10::run(exp::fig10::Fig10Config {
-                hours: 3,
-                warmup_mins: 60,
-                calibration_hours: 3,
-                ..exp::fig10::Fig10Config::paper(exp::fig10::WorkloadKind::Heavy)
-            })
+    r.bench("fig10_table2_control", || {
+        exp::fig10::run(exp::fig10::Fig10Config {
+            hours: 3,
+            warmup_mins: 60,
+            calibration_hours: 3,
+            ..exp::fig10::Fig10Config::paper(exp::fig10::WorkloadKind::Heavy)
         })
     });
 
-    g.bench_function("fig11_redis_latency", |b| {
-        b.iter(|| {
-            exp::fig11::run(exp::fig11::Fig11Config {
-                hours: 2,
-                warmup_mins: 60,
-                sim: ampere_workload::InteractiveSim {
-                    run_secs: 10.0,
-                    ..ampere_workload::InteractiveSim::default()
-                },
-                ..exp::fig11::Fig11Config::default()
-            })
+    r.bench("fig11_redis_latency", || {
+        exp::fig11::run(exp::fig11::Fig11Config {
+            hours: 2,
+            warmup_mins: 60,
+            sim: ampere_workload::InteractiveSim {
+                run_secs: 10.0,
+                ..ampere_workload::InteractiveSim::default()
+            },
+            ..exp::fig11::Fig11Config::default()
         })
     });
 
-    g.bench_function("fig12_power_throughput", |b| {
-        b.iter(|| {
-            exp::fig12::run(exp::fig12::Fig12Config {
+    r.bench("fig12_power_throughput", || {
+        exp::fig12::run(exp::fig12::Fig12Config {
+            hours: 2,
+            warmup_mins: 60,
+            calibration_hours: 3,
+            ..exp::fig12::Fig12Config::default()
+        })
+    });
+
+    r.bench("table3_gtpw_row", || {
+        exp::table3::run_case(
+            exp::table3::CaseSpec {
+                r_o: 0.17,
+                rate_scale: 0.92,
+                typical: true,
+            },
+            &exp::table3::Table3Config {
                 hours: 2,
                 warmup_mins: 60,
-                calibration_hours: 3,
-                ..exp::fig12::Fig12Config::default()
-            })
-        })
+                calibration_hours: 2,
+                ..exp::table3::Table3Config::default()
+            },
+            0,
+        )
     });
 
-    g.bench_function("table3_gtpw_row", |b| {
-        b.iter(|| {
-            exp::table3::run_case(
-                exp::table3::CaseSpec {
-                    r_o: 0.17,
-                    rate_scale: 0.92,
-                    typical: true,
-                },
-                &exp::table3::Table3Config {
-                    hours: 2,
-                    warmup_mins: 60,
-                    calibration_hours: 2,
-                    ..exp::table3::Table3Config::default()
-                },
-                0,
-            )
+    r.bench("ablation_row_vs_rack", || {
+        exp::ablation::row_vs_rack(&exp::ablation::AblationConfig {
+            hours: 2,
+            warmup_mins: 60,
+            ..exp::ablation::AblationConfig::default()
         })
     });
-
-    g.bench_function("ablation_row_vs_rack", |b| {
-        b.iter(|| {
-            exp::ablation::row_vs_rack(&exp::ablation::AblationConfig {
-                hours: 2,
-                warmup_mins: 60,
-                ..exp::ablation::AblationConfig::default()
-            })
-        })
-    });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -3,8 +3,7 @@
 //! the full testbed tick. These bound the simulation's own throughput
 //! (simulated minutes per wall-clock second).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
+use ampere_bench::harness::Runner;
 use ampere_cluster::{Cluster, ClusterSpec, JobId, Resources, ServerId};
 use ampere_power::monitor::ServerSample;
 use ampere_power::{CappingConfig, PowerMonitor, RaplCapper, ServerPowerModel};
@@ -22,53 +21,47 @@ fn jobs(n: usize) -> Vec<JobRequest> {
         .collect()
 }
 
-fn bench_substrate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate");
+fn main() {
+    let r = Runner::from_args("substrate");
 
-    g.bench_function("dispatch_500_jobs_440_servers", |b| {
-        b.iter_batched(
-            || {
-                let cluster = Cluster::new(ClusterSpec::paper_row());
-                let mut sched = Scheduler::new(Box::new(RandomFit::default()), 1);
-                sched.submit(jobs(500));
-                (cluster, sched)
-            },
-            |(mut cluster, mut sched)| sched.dispatch(&mut cluster, &[]),
-            BatchSize::SmallInput,
-        )
-    });
+    r.bench_with_setup(
+        "dispatch_500_jobs_440_servers",
+        || {
+            let cluster = Cluster::new(ClusterSpec::paper_row());
+            let mut sched = Scheduler::new(Box::new(RandomFit::default()), 1);
+            sched.submit(jobs(500));
+            (cluster, sched)
+        },
+        |(mut cluster, mut sched)| sched.dispatch(&mut cluster, &[]),
+    );
 
-    g.bench_function("cluster_advance_440_servers_5k_jobs", |b| {
-        b.iter_batched(
-            || {
-                let mut cluster = Cluster::new(ClusterSpec::paper_row());
-                let mut sched = Scheduler::new(Box::new(RandomFit::default()), 1);
-                sched.submit(jobs(5_000));
-                sched.dispatch(&mut cluster, &[]);
-                cluster
-            },
-            |mut cluster| cluster.advance(SimDuration::MINUTE),
-            BatchSize::SmallInput,
-        )
-    });
+    r.bench_with_setup(
+        "cluster_advance_440_servers_5k_jobs",
+        || {
+            let mut cluster = Cluster::new(ClusterSpec::paper_row());
+            let mut sched = Scheduler::new(Box::new(RandomFit::default()), 1);
+            sched.submit(jobs(5_000));
+            sched.dispatch(&mut cluster, &[]);
+            cluster
+        },
+        |mut cluster| cluster.advance(SimDuration::MINUTE),
+    );
 
-    g.bench_function("monitor_ingest_3200_servers", |b| {
-        let samples: Vec<ServerSample> = (0..3200)
-            .map(|i| ServerSample {
-                server: i,
-                rack: i / 40,
-                row: i / 800,
-                watts: 150.0 + (i % 100) as f64,
-            })
-            .collect();
-        b.iter_batched(
-            PowerMonitor::paper_default,
-            |mut mon| mon.ingest(SimTime::from_mins(1), &samples),
-            BatchSize::SmallInput,
-        )
-    });
+    let samples: Vec<ServerSample> = (0..3200)
+        .map(|i| ServerSample {
+            server: i,
+            rack: i / 40,
+            row: i / 800,
+            watts: 150.0 + (i % 100) as f64,
+        })
+        .collect();
+    r.bench_with_setup(
+        "monitor_ingest_3200_servers",
+        PowerMonitor::paper_default,
+        |mut mon| mon.ingest(SimTime::from_mins(1), &samples),
+    );
 
-    g.bench_function("tsdb_range_query_1_week", |b| {
+    {
         let mut mon = PowerMonitor::paper_default();
         let samples: Vec<ServerSample> = (0..10)
             .map(|i| ServerSample {
@@ -82,26 +75,27 @@ fn bench_substrate(c: &mut Criterion) {
             mon.ingest(SimTime::from_mins(m), &samples);
         }
         let key = ampere_power::monitor::SeriesKey::row(0);
-        b.iter(|| {
+        r.bench("tsdb_range_query_1_week", || {
             mon.db().range(
                 std::hint::black_box(key),
                 SimTime::from_hours(24),
                 SimTime::from_hours(48),
             )
-        })
+        });
+    }
+
+    let servers: Vec<(ServerPowerModel, f64)> = (0..440)
+        .map(|i| (ServerPowerModel::default(), (i % 10) as f64 / 10.0))
+        .collect();
+    let capper = RaplCapper::new(CappingConfig::default());
+    r.bench("rapl_cap_row_440_servers", || {
+        capper.cap_row(std::hint::black_box(&servers), 80_000.0)
     });
 
-    g.bench_function("rapl_cap_row_440_servers", |b| {
-        let servers: Vec<(ServerPowerModel, f64)> = (0..440)
-            .map(|i| (ServerPowerModel::default(), (i % 10) as f64 / 10.0))
-            .collect();
-        let capper = RaplCapper::new(CappingConfig::default());
-        b.iter(|| capper.cap_row(std::hint::black_box(&servers), 80_000.0))
-    });
-
-    g.bench_function("testbed_tick_440_servers_heavy", |b| {
+    {
         use ampere_experiments::{Testbed, TestbedConfig};
-        b.iter_batched(
+        r.bench_with_setup(
+            "testbed_tick_440_servers_heavy",
             || {
                 let mut tb = Testbed::new(TestbedConfig::paper_row(RateProfile::heavy_row(), 1));
                 tb.add_row_domains(1.0);
@@ -109,29 +103,21 @@ fn bench_substrate(c: &mut Criterion) {
                 tb
             },
             |mut tb| tb.step(),
-            BatchSize::SmallInput,
-        )
-    });
+        );
+    }
 
     // Freezing half the row must not change dispatch asymptotics.
-    g.bench_function("dispatch_with_half_frozen", |b| {
-        b.iter_batched(
-            || {
-                let mut cluster = Cluster::new(ClusterSpec::paper_row());
-                let mut sched = Scheduler::new(Box::new(RandomFit::default()), 1);
-                for i in 0..220u64 {
-                    sched.freeze(&mut cluster, ServerId::new(i * 2));
-                }
-                sched.submit(jobs(500));
-                (cluster, sched)
-            },
-            |(mut cluster, mut sched)| sched.dispatch(&mut cluster, &[]),
-            BatchSize::SmallInput,
-        )
-    });
-
-    g.finish();
+    r.bench_with_setup(
+        "dispatch_with_half_frozen",
+        || {
+            let mut cluster = Cluster::new(ClusterSpec::paper_row());
+            let mut sched = Scheduler::new(Box::new(RandomFit::default()), 1);
+            for i in 0..220u64 {
+                sched.freeze(&mut cluster, ServerId::new(i * 2));
+            }
+            sched.submit(jobs(500));
+            (cluster, sched)
+        },
+        |(mut cluster, mut sched)| sched.dispatch(&mut cluster, &[]),
+    );
 }
-
-criterion_group!(benches, bench_substrate);
-criterion_main!(benches);

@@ -1,12 +1,17 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations] [--quick] [--csv DIR]
+//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations] [--quick] [--csv DIR] [--telemetry FILE]
 //! ```
 //!
 //! `--quick` shrinks run lengths (used by CI); without it each
 //! experiment runs at paper scale. Output is plain text: `# name`
 //! series blocks and markdown tables, recorded in `EXPERIMENTS.md`.
+//!
+//! `--telemetry FILE` installs the global telemetry pipeline before any
+//! testbed is built: every structured event (controller ticks, freezes,
+//! breaker trips, …) streams to `FILE` as JSONL, and a final metrics
+//! snapshot is appended when the run completes.
 
 use ampere_bench::{f3, pct, Output};
 use ampere_experiments as exp;
@@ -19,6 +24,17 @@ fn main() {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+    let telemetry_path = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    // Install before building any testbed: components capture the
+    // global handle at construction time.
+    if let Some(path) = &telemetry_path {
+        let sink = ampere_telemetry::JsonlSink::create(path).expect("create telemetry file");
+        ampere_telemetry::install_global(ampere_telemetry::Telemetry::builder().sink(sink).build());
+    }
     let out = Output::new(csv_dir).expect("create csv directory");
     let what = args
         .iter()
@@ -68,6 +84,22 @@ fn main() {
     }
     if all || what == "ablations" {
         ablations(quick, &out);
+    }
+
+    if let Some(path) = &telemetry_path {
+        let tel = ampere_telemetry::global();
+        tel.flush();
+        if let Some(snapshot) = tel.snapshot() {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(path)
+                .expect("reopen telemetry file");
+            f.write_all(snapshot.to_jsonl().as_bytes())
+                .expect("append metrics snapshot");
+            eprintln!("\n{}", snapshot.render_table());
+            eprintln!("telemetry written to {}", path.display());
+        }
     }
 }
 

@@ -9,6 +9,8 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
+pub mod harness;
+
 /// Print-and-optionally-save sink for the repro binary.
 pub struct Output {
     csv_dir: Option<PathBuf>,

@@ -2,9 +2,8 @@
 //! random sequence of placements, terminations and time advances, the
 //! books must balance and power must stay within the physical envelope.
 
-use proptest::prelude::*;
-
 use ampere_cluster::{Cluster, ClusterSpec, JobId, PlacementError, Resources, ServerId};
+use ampere_sim::check::{cases, Gen};
 use ampere_sim::SimDuration;
 
 /// A randomized operation against one server of a tiny cluster.
@@ -26,25 +25,29 @@ enum Op {
     },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..16, 0u16..64, 1u8..40, 1u8..160, 1u8..30).prop_map(
-            |(server, job, cores, gb, mins)| Op::Place {
-                server,
-                job,
-                cores,
-                gb,
-                mins
-            }
-        ),
-        (0u8..16, 0u16..64).prop_map(|(server, job)| Op::Terminate { server, job }),
-        (1u8..10).prop_map(|mins| Op::Advance { mins }),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.usize(0..3) {
+        0 => Op::Place {
+            server: g.range(0u32..16) as u8,
+            job: g.range(0u32..64) as u16,
+            cores: g.range(1u32..40) as u8,
+            gb: g.range(1u32..160) as u8,
+            mins: g.range(1u32..30) as u8,
+        },
+        1 => Op::Terminate {
+            server: g.range(0u32..16) as u8,
+            job: g.range(0u32..64) as u16,
+        },
+        _ => Op::Advance {
+            mins: g.range(1u32..10) as u8,
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn accounting_invariants_hold_under_random_ops(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+#[test]
+fn accounting_invariants_hold_under_random_ops() {
+    cases(48, |g| {
+        let ops = g.vec_with(1..300, gen_op);
         let spec = ClusterSpec::tiny();
         let mut cluster = Cluster::new(spec);
         // Model state: which (server, job) pairs are live.
@@ -52,19 +55,29 @@ proptest! {
 
         for op in ops {
             match op {
-                Op::Place { server, job, cores, gb, mins } => {
+                Op::Place {
+                    server,
+                    job,
+                    cores,
+                    gb,
+                    mins,
+                } => {
                     let sid = ServerId::new(server as u64);
                     let jid = JobId::new(job as u64);
                     let res = Resources::cores_gb(cores as u64, gb as u64);
                     let fits = cluster.server(sid).free().fits(&res);
                     let dup = cluster.server(sid).jobs().any(|(j, _)| j == jid);
-                    match cluster.server_mut(sid).place(jid, res, SimDuration::from_mins(mins as u64)) {
+                    match cluster.server_mut(sid).place(
+                        jid,
+                        res,
+                        SimDuration::from_mins(mins as u64),
+                    ) {
                         Ok(()) => {
-                            prop_assert!(fits && !dup);
+                            assert!(fits && !dup);
                             live.insert((server, job));
                         }
-                        Err(PlacementError::DuplicateJob) => prop_assert!(dup),
-                        Err(PlacementError::InsufficientResources) => prop_assert!(!fits),
+                        Err(PlacementError::DuplicateJob) => assert!(dup),
+                        Err(PlacementError::InsufficientResources) => assert!(!fits),
                     }
                 }
                 Op::Terminate { server, job } => {
@@ -72,11 +85,11 @@ proptest! {
                     let did = cluster
                         .server_mut(ServerId::new(server as u64))
                         .terminate(JobId::new(job as u64));
-                    prop_assert_eq!(did, was_live);
+                    assert_eq!(did, was_live);
                 }
                 Op::Advance { mins } => {
                     for (sid, jid) in cluster.advance(SimDuration::from_mins(mins as u64)) {
-                        prop_assert!(live.remove(&(sid.raw() as u8, jid.raw() as u16)));
+                        assert!(live.remove(&(sid.raw() as u8, jid.raw() as u16)));
                     }
                 }
             }
@@ -87,23 +100,26 @@ proptest! {
                 let sum = s
                     .jobs()
                     .fold(Resources::ZERO, |acc, (_, j)| acc + j.resources);
-                prop_assert_eq!(s.allocated(), sum);
+                assert_eq!(s.allocated(), sum);
                 // Never over capacity.
-                prop_assert!(s.capacity().fits(&s.allocated()));
+                assert!(s.capacity().fits(&s.allocated()));
                 // Power within the physical envelope.
                 let p = s.power_w();
-                prop_assert!(p >= s.power_model().idle_w() - 1e-9);
-                prop_assert!(p <= s.rated_w() + 1e-9);
+                assert!(p >= s.power_model().idle_w() - 1e-9);
+                assert!(p <= s.rated_w() + 1e-9);
             }
             // Job count bookkeeping matches the model.
             let total: usize = cluster.servers().iter().map(|s| s.job_count()).sum();
-            prop_assert_eq!(total, live.len());
+            assert_eq!(total, live.len());
         }
-    }
+    });
+}
 
-    /// Cluster power aggregates are consistent at all levels.
-    #[test]
-    fn power_aggregation_consistent(loads in proptest::collection::vec(0u8..33, 16)) {
+/// Cluster power aggregates are consistent at all levels.
+#[test]
+fn power_aggregation_consistent() {
+    cases(96, |g| {
+        let loads = g.vec_with(16..16, |g| g.u32(0..33));
         let mut cluster = Cluster::new(ClusterSpec::tiny());
         for (i, &cores) in loads.iter().enumerate() {
             if cores > 0 {
@@ -118,14 +134,17 @@ proptest! {
             .map(|r| cluster.row_power_w(ampere_cluster::RowId::new(r as u64)))
             .sum();
         let by_server: f64 = cluster.servers().iter().map(|s| s.power_w()).sum();
-        prop_assert!((by_row - by_server).abs() < 1e-9);
-        prop_assert!((cluster.total_power_w() - by_server).abs() < 1e-9);
-    }
+        assert!((by_row - by_server).abs() < 1e-9);
+        assert!((cluster.total_power_w() - by_server).abs() < 1e-9);
+    });
+}
 
-    /// Freezing is orthogonal to accounting: any freeze pattern leaves
-    /// placements, power and job execution untouched.
-    #[test]
-    fn freezing_never_affects_execution(mask in proptest::collection::vec(any::<bool>(), 16)) {
+/// Freezing is orthogonal to accounting: any freeze pattern leaves
+/// placements, power and job execution untouched.
+#[test]
+fn freezing_never_affects_execution() {
+    cases(96, |g| {
+        let mask = g.vec_with(16..16, |g| g.bool());
         let run = |freeze: bool| {
             let mut cluster = Cluster::new(ClusterSpec::tiny());
             for i in 0..16u64 {
@@ -151,6 +170,6 @@ proptest! {
             }
             (cluster.total_power_w(), done.len())
         };
-        prop_assert_eq!(run(false), run(true));
-    }
+        assert_eq!(run(false), run(true));
+    });
 }

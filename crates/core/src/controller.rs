@@ -12,10 +12,11 @@
 use ampere_cluster::{Cluster, ServerId};
 use ampere_sched::Scheduler;
 use ampere_sim::{SimDuration, SimTime};
+use ampere_telemetry::{buckets, Counter, Event, Gauge, Histogram, Severity, Telemetry};
 
 use crate::algorithm::{FreezeActions, FreezePlanner, ServerPowerReading};
 use crate::model::ControlFunction;
-use crate::predict::PowerChangePredictor;
+use crate::predict::{PowerChangePredictor, PredictionTracker};
 
 /// Static controller parameters.
 #[derive(Debug, Clone, Copy)]
@@ -110,19 +111,39 @@ pub struct AmpereController {
     planner: FreezePlanner,
     trace: Vec<ControlRecord>,
     last_decision: Option<SimTime>,
+    telemetry: Telemetry,
+    tick_counter: Counter,
+    power_gauge: Gauge,
+    et_hist: Histogram,
+    prediction: PredictionTracker,
 }
 
 impl AmpereController {
-    /// Creates a controller with the given `Et` predictor.
+    /// Creates a controller with the given `Et` predictor, reporting
+    /// into the global telemetry pipeline (no-op unless installed).
     pub fn new(config: ControllerConfig, predictor: Box<dyn PowerChangePredictor>) -> Self {
+        Self::with_telemetry(config, predictor, ampere_telemetry::global())
+    }
+
+    /// Like [`AmpereController::new`] with an explicit pipeline.
+    pub fn with_telemetry(
+        config: ControllerConfig,
+        predictor: Box<dyn PowerChangePredictor>,
+        telemetry: Telemetry,
+    ) -> Self {
         assert!(config.kr > 0.0 && config.kr.is_finite(), "bad kr");
         assert!(config.u_max > 0.0 && config.u_max <= 1.0, "bad u_max");
         Self {
             planner: FreezePlanner::new(config.r_stable),
             config,
-            predictor,
             trace: Vec::new(),
             last_decision: None,
+            tick_counter: telemetry.counter("controller_ticks", &[]),
+            power_gauge: telemetry.gauge("controller_power_norm", &[]),
+            et_hist: telemetry.histogram("controller_et", &[], &buckets::ratio()),
+            prediction: PredictionTracker::new(&telemetry, predictor.name()),
+            predictor,
+            telemetry,
         }
     }
 
@@ -150,16 +171,33 @@ impl AmpereController {
         power_norm: f64,
         readings: &[ServerPowerReading],
     ) -> (FreezeActions, f64) {
+        let _timer = self.telemetry.timer("controller_decide", &[]);
         self.predictor.observe(now, power_norm);
         let et = self.predictor.estimate(now);
-        if let Some(last) = self.last_decision {
-            if now > last && now.since(last) < self.config.interval {
-                return (FreezeActions::default(), et);
-            }
-        }
-        self.last_decision = Some(now);
-        let cf = ControlFunction::new(self.config.kr, et, self.config.u_max);
-        (self.planner.plan(readings, &cf, power_norm), et)
+        self.prediction.observe(power_norm, et);
+        self.tick_counter.inc();
+        self.power_gauge.set(power_norm);
+        self.et_hist.record(et);
+        let observe_only = self
+            .last_decision
+            .is_some_and(|last| now > last && now.since(last) < self.config.interval);
+        let actions = if observe_only {
+            FreezeActions::default()
+        } else {
+            self.last_decision = Some(now);
+            let cf = ControlFunction::new(self.config.kr, et, self.config.u_max);
+            self.planner.plan(readings, &cf, power_norm)
+        };
+        self.telemetry.emit_with(|| {
+            Event::new(now, Severity::Info, "controller", "tick")
+                .with("power_norm", power_norm)
+                .with("et", et)
+                .with("u_target", actions.target_ratio)
+                .with("froze", actions.freeze.len())
+                .with("unfroze", actions.unfreeze.len())
+                .with("decided", !observe_only)
+        });
+        (actions, et)
     }
 
     /// One full control interval: read the domain power from the
@@ -175,6 +213,7 @@ impl AmpereController {
         let readings = domain.readings(cluster);
         let power_norm = readings.iter().map(|r| r.power_w).sum::<f64>() / domain.budget_w;
         let (actions, et) = self.decide(now, power_norm, &readings);
+        sched.set_clock(now);
         for &id in &actions.unfreeze {
             sched.unfreeze(cluster, id);
         }

@@ -81,5 +81,7 @@ pub use economics::{CapacityGain, CostModel};
 pub use experiment::{scaled_budget_w, ParitySplit};
 pub use metrics::{gtpw, over_provision_ratio, tpw, ThroughputComparison};
 pub use model::{ControlFunction, ControlModel};
-pub use predict::{ArPredictor, EwmaPredictor, HistoricalPercentile, PowerChangePredictor};
+pub use predict::{
+    ArPredictor, EwmaPredictor, HistoricalPercentile, PowerChangePredictor, PredictionTracker,
+};
 pub use rhc::{solve_pcp_general, solve_pcp_greedy, spcp_optimal_ratio, PcpInstance};

@@ -10,6 +10,7 @@
 
 use ampere_sim::SimTime;
 use ampere_stats::percentile;
+use ampere_telemetry::{buckets, Histogram, Telemetry};
 
 /// A predictor of the next-interval power increase, in
 /// budget-normalized units.
@@ -23,6 +24,53 @@ pub trait PowerChangePredictor: Send {
 
     /// Display name for experiment labels.
     fn name(&self) -> &'static str;
+}
+
+/// Bucket bounds for normalized prediction errors: ±10 % of budget in
+/// 1 % steps (with overflow buckets catching anything wilder).
+pub fn error_buckets() -> Vec<f64> {
+    buckets::linear(-0.11, 0.01, 22)
+}
+
+/// Telemetry adapter scoring a predictor against reality.
+///
+/// Every interval the controller asks its predictor for the margin `Et`
+/// — the anticipated one-interval power *increase*. One interval later
+/// the realized increase is known, so the signed error
+/// `(power_t − power_{t−1}) − Et_{t−1}` lands in the
+/// `predict_error_norm{predictor=…}` histogram. A well-calibrated
+/// conservative estimator (the paper's 99.5th percentile) shows almost
+/// all mass at or below zero: the margin covered the move.
+#[derive(Debug)]
+pub struct PredictionTracker {
+    hist: Histogram,
+    /// Previous observed power and the margin predicted from it.
+    last: Option<(f64, f64)>,
+}
+
+impl PredictionTracker {
+    /// Creates a tracker recording into `telemetry` under the
+    /// predictor's display name.
+    pub fn new(telemetry: &Telemetry, predictor: &'static str) -> Self {
+        PredictionTracker {
+            hist: telemetry.histogram(
+                "predict_error_norm",
+                &[("predictor", predictor)],
+                &error_buckets(),
+            ),
+            last: None,
+        }
+    }
+
+    /// Feeds the power sample observed now and the margin `next_et`
+    /// predicted for the *next* interval; scores the previous margin
+    /// against the increase that actually materialized.
+    pub fn observe(&mut self, power: f64, next_et: f64) {
+        if let Some((last_power, predicted)) = self.last {
+            self.hist.record((power - last_power) - predicted);
+        }
+        self.last = Some((power, next_et));
+    }
 }
 
 /// The paper's estimator: per-hour-of-day high percentile of observed

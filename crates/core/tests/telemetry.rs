@@ -1,0 +1,149 @@
+//! Integration: one controller tick produces the expected telemetry —
+//! a `controller/tick` event followed by the scheduler's freeze events,
+//! all stamped with the tick's sim time, plus consistent metrics.
+
+use ampere_cluster::{Cluster, ClusterSpec, JobId, Resources, ServerId};
+use ampere_core::{AmpereController, ControlDomain, ControllerConfig, HistoricalPercentile};
+use ampere_sched::{RandomFit, Scheduler};
+use ampere_sim::{SimDuration, SimTime};
+use ampere_telemetry::{Event, MetricKind, RingBufferSink, Severity, Telemetry};
+
+fn counter(snap: &ampere_telemetry::MetricsSnapshot, name: &str) -> u64 {
+    match snap.get(name, &[]).expect(name).kind {
+        MetricKind::Counter(n) => n,
+        ref other => panic!("{name} has unexpected kind {other:?}"),
+    }
+}
+
+#[test]
+fn one_tick_emits_expected_event_sequence() {
+    let (sink, events) = RingBufferSink::new(64);
+    let tel = Telemetry::builder().sink(sink).build();
+
+    let mut cluster = Cluster::new(ClusterSpec::tiny());
+    let mut sched = Scheduler::with_telemetry(Box::new(RandomFit::default()), 5, tel.clone());
+    let mut ctl = AmpereController::with_telemetry(
+        ControllerConfig::default(),
+        Box::new(HistoricalPercentile::flat(0.02)),
+        tel.clone(),
+    );
+    let servers: Vec<ServerId> = (0..8).map(ServerId::new).collect();
+    let domain = ControlDomain::new(servers.clone(), 1_600.0);
+
+    // Load every domain server to full utilization (8 × 250 W = 2000 W
+    // against a 1600 W budget → 1.25 normalized, control must act).
+    for (i, &id) in servers.iter().enumerate() {
+        cluster
+            .server_mut(id)
+            .place(
+                JobId::new(i as u64),
+                Resources::cores_gb(32, 64),
+                SimDuration::from_mins(30),
+            )
+            .unwrap();
+    }
+
+    let now = SimTime::from_mins(1);
+    let rec = ctl.tick(now, &domain, &mut cluster, &mut sched);
+    assert_eq!(rec.froze, 4, "u_max=0.5 over 8 servers freezes 4");
+
+    let evs: Vec<Event> = events.events();
+    assert!(!evs.is_empty(), "tick emitted no events");
+
+    // First the controller's decision record …
+    let tick = &evs[0];
+    assert_eq!((tick.component, tick.name), ("controller", "tick"));
+    assert_eq!(tick.sim_time, now);
+    assert_eq!(tick.severity, Severity::Info);
+    assert!(tick.field("power_norm").unwrap().as_f64().unwrap() > 1.2);
+    assert!((tick.field("et").unwrap().as_f64().unwrap() - 0.02).abs() < 1e-12);
+    assert!((tick.field("u_target").unwrap().as_f64().unwrap() - 0.5).abs() < 1e-12);
+    assert_eq!(tick.field("froze").unwrap().as_u64(), Some(4));
+    assert_eq!(tick.field("unfroze").unwrap().as_u64(), Some(0));
+
+    // … then one scheduler freeze event per frozen server, same instant.
+    let freezes: Vec<&Event> = evs[1..].iter().collect();
+    assert_eq!(freezes.len(), 4, "events: {evs:?}");
+    for f in &freezes {
+        assert_eq!((f.component, f.name), ("scheduler", "freeze"));
+        assert_eq!(f.sim_time, now);
+        assert!(f.field("server").unwrap().as_u64().is_some());
+    }
+
+    // Metrics agree with the events.
+    let snap = tel.snapshot().unwrap();
+    assert_eq!(counter(&snap, "controller_ticks"), 1);
+    assert_eq!(counter(&snap, "sched_servers_frozen"), 4);
+    // Every event JSONL-round-trips.
+    for e in &evs {
+        let parsed = Event::parse_json(&e.to_json()).expect("round trip");
+        assert_eq!(parsed.sim_time, e.sim_time);
+        assert_eq!(parsed.component, e.component);
+    }
+}
+
+#[test]
+fn prediction_error_histogram_fills_after_two_ticks() {
+    let tel = Telemetry::builder().build();
+    let mut cluster = Cluster::new(ClusterSpec::tiny());
+    let mut sched = Scheduler::with_telemetry(Box::new(RandomFit::default()), 5, tel.clone());
+    let mut ctl = AmpereController::with_telemetry(
+        ControllerConfig::default(),
+        Box::new(HistoricalPercentile::flat(0.02)),
+        tel.clone(),
+    );
+    let domain = ControlDomain::new((0..8).map(ServerId::new).collect(), 1_600.0);
+    for m in 1..=3 {
+        ctl.tick(SimTime::from_mins(m), &domain, &mut cluster, &mut sched);
+    }
+    let snap = tel.snapshot().unwrap();
+    let hist = snap
+        .get(
+            "predict_error_norm",
+            &[("predictor", "historical-percentile")],
+        )
+        .expect("prediction error histogram registered");
+    match &hist.kind {
+        MetricKind::Histogram { counts, sum, .. } => {
+            // First tick primes the tracker; the next two score errors.
+            assert_eq!(counts.iter().sum::<u64>(), 2);
+            // Idle power is flat, so each error is ≈ −Et = −0.02.
+            assert!((sum - (-0.04)).abs() < 1e-6, "sum = {sum}");
+        }
+        other => panic!("unexpected kind {other:?}"),
+    }
+}
+
+#[test]
+fn disabled_telemetry_changes_no_behavior() {
+    let run = |tel: Telemetry| {
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = Scheduler::with_telemetry(Box::new(RandomFit::default()), 5, tel.clone());
+        let mut ctl = AmpereController::with_telemetry(
+            ControllerConfig::default(),
+            Box::new(HistoricalPercentile::flat(0.02)),
+            tel,
+        );
+        let servers: Vec<ServerId> = (0..8).map(ServerId::new).collect();
+        let domain = ControlDomain::new(servers.clone(), 1_600.0);
+        for (i, &id) in servers.iter().enumerate() {
+            cluster
+                .server_mut(id)
+                .place(
+                    JobId::new(i as u64),
+                    Resources::cores_gb(32, 64),
+                    SimDuration::from_mins(5),
+                )
+                .unwrap();
+        }
+        (1..=6)
+            .map(|m| {
+                let r = ctl.tick(SimTime::from_mins(m), &domain, &mut cluster, &mut sched);
+                (r.power_norm, r.u_target, r.froze, r.unfroze, r.frozen_after)
+            })
+            .collect::<Vec<_>>()
+    };
+    let disabled = run(Telemetry::disabled());
+    let enabled = run(Telemetry::builder().build());
+    assert_eq!(disabled, enabled);
+}

@@ -26,9 +26,8 @@ use ampere_power::{
     monitor::ServerSample, CappingConfig, CircuitBreaker, PowerMonitor, RaplCapper,
 };
 use ampere_sched::{PlacementPolicy, RandomFit, Scheduler};
-use ampere_sim::{derive_stream, rng::streams, SimDuration, SimRng, SimTime};
+use ampere_sim::{derive_stream, rng::streams, Distribution, Normal, SimDuration, SimRng, SimTime};
 use ampere_workload::{BatchWorkload, RateProfile};
-use rand_distr::{Distribution, Normal};
 
 /// Index of a registered power domain.
 pub type DomainId = usize;
@@ -137,7 +136,7 @@ pub struct Testbed {
     domains: Vec<DomainState>,
     tick: SimDuration,
     now: SimTime,
-    noise: Normal<f64>,
+    noise: Normal,
     noise_rng: SimRng,
     row_budgets_w: Vec<f64>,
     /// Scratch: last measured per-server watts (index = server id).
@@ -180,7 +179,7 @@ impl Testbed {
     pub fn add_domain(&mut self, spec: DomainSpec) -> DomainId {
         assert!(!spec.servers.is_empty(), "empty domain");
         self.domains.push(DomainState {
-            breaker: CircuitBreaker::new(spec.budget_w, 5),
+            breaker: CircuitBreaker::new(spec.budget_w, 5).with_label(spec.name.clone()),
             name: spec.name,
             servers: spec.servers,
             budget_w: spec.budget_w,
@@ -309,7 +308,9 @@ impl Testbed {
 
     /// Executes one tick.
     pub fn step(&mut self) {
-        // 1. Arrivals and placement.
+        // 1. Arrivals and placement. Telemetry events emitted by the
+        // scheduler this tick carry the interval-start timestamp.
+        self.sched.set_clock(self.now);
         let arrivals = self.workload.tick(self.now, self.tick);
         self.sched.submit(arrivals);
         let headroom = self.row_headroom();
@@ -346,8 +347,10 @@ impl Testbed {
         let done = self.cluster.advance(self.tick);
         self.sched.on_completed(done.len() as u64);
 
-        // 4. Measurement sweep at the end of the interval.
+        // 4. Measurement sweep at the end of the interval. Control
+        // actions below happen at the measurement instant.
         self.now += self.tick;
+        self.sched.set_clock(self.now);
         let noise = &self.noise;
         let rng = &mut self.noise_rng;
         let samples: Vec<ServerSample> = self.cluster.sample(|_, w| w * noise.sample(rng).max(0.0));

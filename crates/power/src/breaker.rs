@@ -9,6 +9,7 @@
 //! overload persists.
 
 use ampere_sim::SimTime;
+use ampere_telemetry::{buckets, Counter, Event, Histogram, Severity, Telemetry};
 
 /// A row-level circuit breaker / violation counter.
 #[derive(Debug, Clone)]
@@ -20,6 +21,10 @@ pub struct CircuitBreaker {
     violations: u64,
     tripped_at: Option<SimTime>,
     worst_overload_w: f64,
+    telemetry: Telemetry,
+    label: String,
+    violation_counter: Counter,
+    run_hist: Histogram,
 }
 
 impl CircuitBreaker {
@@ -28,17 +33,53 @@ impl CircuitBreaker {
     /// a trip (outage); the paper's PDUs tolerate brief excursions, and
     /// 5 consecutive minutes of overload is our stand-in for the thermal
     /// trip curve.
+    ///
+    /// Telemetry (violation/trip events, the violation-run-length
+    /// histogram) reports into the global pipeline; see
+    /// [`CircuitBreaker::with_telemetry`] and
+    /// [`CircuitBreaker::with_label`].
     pub fn new(limit_w: f64, trip_after: u32) -> Self {
         assert!(limit_w > 0.0 && limit_w.is_finite(), "bad breaker limit");
         assert!(trip_after > 0, "trip_after must be positive");
-        Self {
+        let mut breaker = Self {
             limit_w,
             trip_after,
             consecutive_over: 0,
             violations: 0,
             tripped_at: None,
             worst_overload_w: 0.0,
-        }
+            telemetry: ampere_telemetry::global(),
+            label: String::new(),
+            violation_counter: Counter::noop(),
+            run_hist: Histogram::noop(),
+        };
+        breaker.rebind_metrics();
+        breaker
+    }
+
+    /// Replaces the telemetry pipeline (builder style).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self.rebind_metrics();
+        self
+    }
+
+    /// Names this breaker's row in telemetry labels (builder style).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self.rebind_metrics();
+        self
+    }
+
+    fn rebind_metrics(&mut self) {
+        let labels = [("row", self.label.as_str())];
+        self.violation_counter = self.telemetry.counter("breaker_violations", &labels);
+        // Run lengths in one-minute samples: 1, 2, 4, … 512.
+        self.run_hist = self.telemetry.histogram(
+            "breaker_violation_run_mins",
+            &labels,
+            &buckets::exponential(1.0, 2.0, 10),
+        );
     }
 
     /// The breaker limit in watts.
@@ -54,10 +95,30 @@ impl CircuitBreaker {
             self.violations += 1;
             self.consecutive_over += 1;
             self.worst_overload_w = self.worst_overload_w.max(power_w - self.limit_w);
+            self.violation_counter.inc();
+            self.telemetry.emit_with(|| {
+                Event::new(at, Severity::Warn, "breaker", "violation")
+                    .with("row", self.label.as_str())
+                    .with("power_w", power_w)
+                    .with("limit_w", self.limit_w)
+                    .with("over_w", power_w - self.limit_w)
+                    .with("consecutive", u64::from(self.consecutive_over))
+            });
             if self.consecutive_over >= self.trip_after && self.tripped_at.is_none() {
                 self.tripped_at = Some(at);
+                self.telemetry.emit_with(|| {
+                    Event::new(at, Severity::Error, "breaker", "trip")
+                        .with("row", self.label.as_str())
+                        .with("power_w", power_w)
+                        .with("limit_w", self.limit_w)
+                        .with("sustained_mins", u64::from(self.consecutive_over))
+                });
             }
         } else {
+            if self.consecutive_over > 0 {
+                // A violation run just ended; record its duration.
+                self.run_hist.record(f64::from(self.consecutive_over));
+            }
             self.consecutive_over = 0;
         }
         over
@@ -137,5 +198,50 @@ mod tests {
     #[should_panic(expected = "bad breaker limit")]
     fn rejects_bad_limit() {
         let _ = CircuitBreaker::new(0.0, 1);
+    }
+
+    #[test]
+    fn telemetry_reports_violations_runs_and_trip() {
+        use ampere_telemetry::{MetricKind, RingBufferSink, Severity, Telemetry};
+
+        let (sink, events) = RingBufferSink::new(32);
+        let tel = Telemetry::builder().sink(sink).build();
+        let mut b = CircuitBreaker::new(100.0, 3)
+            .with_telemetry(tel.clone())
+            .with_label("row0");
+        // A 2-sample run that recovers, then a 3-sample run that trips.
+        for (minute, watts) in [
+            (0, 110.0),
+            (1, 110.0),
+            (2, 90.0),
+            (3, 105.0),
+            (4, 105.0),
+            (5, 105.0),
+        ] {
+            b.observe(t(minute), watts);
+        }
+        let evs = events.events();
+        let violations = evs.iter().filter(|e| e.name == "violation").count();
+        assert_eq!(violations, 5);
+        let trips: Vec<_> = evs.iter().filter(|e| e.name == "trip").collect();
+        assert_eq!(trips.len(), 1);
+        assert_eq!(trips[0].severity, Severity::Error);
+        assert_eq!(trips[0].sim_time, t(5));
+        assert_eq!(trips[0].field("row").unwrap().as_str(), Some("row0"));
+
+        let snap = tel.snapshot().unwrap();
+        let counter = snap.get("breaker_violations", &[("row", "row0")]).unwrap();
+        assert_eq!(counter.kind, MetricKind::Counter(5));
+        // Only the completed (recovered) run is in the histogram so far.
+        let run = snap
+            .get("breaker_violation_run_mins", &[("row", "row0")])
+            .unwrap();
+        match &run.kind {
+            MetricKind::Histogram { counts, sum, .. } => {
+                assert_eq!(counts.iter().sum::<u64>(), 1);
+                assert!((sum - 2.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
     }
 }

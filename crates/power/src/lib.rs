@@ -66,4 +66,4 @@ pub use capping::{CappingConfig, CappingMode, CappingOutcome, RaplCapper};
 pub use hierarchy::{provision, PowerNode, ProvisionPlan, ProvisioningScheme};
 pub use model::{DvfsState, ServerPowerModel};
 pub use monitor::{PowerMonitor, SeriesKey, TopologyLevel};
-pub use tsdb::TimeSeriesDb;
+pub use tsdb::{OutOfOrderSample, TimeSeriesDb};

@@ -9,6 +9,7 @@
 //! paper's easy-failover design.
 
 use ampere_sim::{SimDuration, SimTime};
+use ampere_telemetry::{Counter, Gauge, Telemetry};
 
 use crate::tsdb::TimeSeriesDb;
 
@@ -90,6 +91,9 @@ pub struct PowerMonitor {
     store_server_series: bool,
     db: TimeSeriesDb,
     last_sample_at: Option<SimTime>,
+    samples_ingested: Counter,
+    sweeps_ingested: Counter,
+    dc_power_gauge: Gauge,
 }
 
 impl PowerMonitor {
@@ -100,11 +104,25 @@ impl PowerMonitor {
     /// data-center scale).
     pub fn new(interval: SimDuration, store_server_series: bool) -> Self {
         assert!(interval > SimDuration::ZERO, "interval must be positive");
+        Self::with_telemetry(interval, store_server_series, ampere_telemetry::global())
+    }
+
+    /// Like [`PowerMonitor::new`] with an explicit telemetry pipeline
+    /// (also handed to the underlying [`TimeSeriesDb`]).
+    pub fn with_telemetry(
+        interval: SimDuration,
+        store_server_series: bool,
+        telemetry: Telemetry,
+    ) -> Self {
+        assert!(interval > SimDuration::ZERO, "interval must be positive");
         Self {
             interval,
             store_server_series,
-            db: TimeSeriesDb::new(),
+            db: TimeSeriesDb::new().with_telemetry(telemetry.clone()),
             last_sample_at: None,
+            samples_ingested: telemetry.counter("monitor_samples_ingested", &[]),
+            sweeps_ingested: telemetry.counter("monitor_sweeps_ingested", &[]),
+            dc_power_gauge: telemetry.gauge("monitor_dc_power_w", &[]),
         }
     }
 
@@ -150,6 +168,9 @@ impl PowerMonitor {
             self.db.append(SeriesKey::row(row), at, w);
         }
         self.db.append(SeriesKey::data_center(), at, total);
+        self.samples_ingested.inc_by(samples.len() as u64);
+        self.sweeps_ingested.inc();
+        self.dc_power_gauge.set(total);
     }
 
     /// Read access to the underlying database (the controller's query

@@ -6,36 +6,102 @@
 //! non-decreasing timestamps, which keeps range queries `O(log n)`.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use ampere_sim::SimTime;
+use ampere_telemetry::{Event, Severity, Telemetry};
 
 use crate::monitor::SeriesKey;
 
+/// An out-of-order ingestion attempt rejected by
+/// [`TimeSeriesDb::try_append`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfOrderSample {
+    /// Series the sample was destined for.
+    pub key: SeriesKey,
+    /// Timestamp of the rejected sample.
+    pub at: SimTime,
+    /// Timestamp of the newest sample already stored.
+    pub last: SimTime,
+}
+
+impl fmt::Display for OutOfOrderSample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out-of-order sample for {:?}: {} after {}",
+            self.key, self.at, self.last
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrderSample {}
+
 /// A simple append-only multi-series store.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct TimeSeriesDb {
     series: HashMap<SeriesKey, Vec<(SimTime, f64)>>,
+    telemetry: Telemetry,
+}
+
+impl Default for TimeSeriesDb {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TimeSeriesDb {
-    /// Creates an empty database.
+    /// Creates an empty database reporting into the global telemetry
+    /// pipeline (a no-op unless one is installed).
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            series: HashMap::new(),
+            telemetry: ampere_telemetry::global(),
+        }
+    }
+
+    /// Replaces the telemetry pipeline (builder style).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Appends a sample to a series.
     ///
     /// Panics if the timestamp is older than the last sample of the same
-    /// series — out-of-order ingestion indicates a simulation bug.
+    /// series — out-of-order ingestion indicates a simulation bug. Use
+    /// [`TimeSeriesDb::try_append`] to tolerate disorder (e.g. replaying
+    /// external traces) instead.
     pub fn append(&mut self, key: SeriesKey, at: SimTime, value: f64) {
+        if let Err(err) = self.try_append(key, at, value) {
+            panic!("{err}");
+        }
+    }
+
+    /// Appends a sample, rejecting out-of-order timestamps with a typed
+    /// error and a telemetry `warn` event instead of panicking. The
+    /// database is unchanged on error.
+    pub fn try_append(
+        &mut self,
+        key: SeriesKey,
+        at: SimTime,
+        value: f64,
+    ) -> Result<(), OutOfOrderSample> {
         let series = self.series.entry(key).or_default();
         if let Some(&(last, _)) = series.last() {
-            assert!(
-                at >= last,
-                "out-of-order sample for {key:?}: {at} after {last}"
-            );
+            if at < last {
+                let err = OutOfOrderSample { key, at, last };
+                self.telemetry.emit_with(|| {
+                    Event::new(at, Severity::Warn, "tsdb", "out_of_order")
+                        .with("series", format!("{key:?}"))
+                        .with("last_ms", last.as_millis())
+                        .with("value", value)
+                });
+                return Err(err);
+            }
         }
         series.push((at, value));
+        Ok(())
     }
 
     /// Full history of a series (empty if unknown).
@@ -143,6 +209,30 @@ mod tests {
         let mut db = TimeSeriesDb::new();
         db.append(key(0), t(5), 1.0);
         db.append(key(0), t(4), 2.0);
+    }
+
+    #[test]
+    fn try_append_reports_instead_of_panicking() {
+        use ampere_telemetry::{RingBufferSink, Telemetry};
+
+        let (sink, events) = RingBufferSink::new(8);
+        let tel = Telemetry::builder().sink(sink).build();
+        let mut db = TimeSeriesDb::new().with_telemetry(tel);
+        db.append(key(0), t(5), 1.0);
+        let err = db.try_append(key(0), t(4), 2.0).unwrap_err();
+        assert_eq!(err.key, key(0));
+        assert_eq!(err.at, t(4));
+        assert_eq!(err.last, t(5));
+        // The bad sample is dropped, the good one kept.
+        assert_eq!(db.values(key(0)), vec![1.0]);
+        // And a warn event surfaced through telemetry.
+        let evs = events.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "out_of_order");
+        assert_eq!(evs[0].severity, ampere_telemetry::Severity::Warn);
+        // In-order appends still work afterwards.
+        db.try_append(key(0), t(6), 3.0).unwrap();
+        assert_eq!(db.len(key(0)), 2);
     }
 
     #[test]

@@ -2,59 +2,59 @@
 //! capping soundness across modes, time-series query correctness and
 //! monitor aggregation.
 
-use proptest::prelude::*;
-
 use ampere_power::monitor::{SeriesKey, ServerSample};
 use ampere_power::{
     CappingConfig, CappingMode, CircuitBreaker, DvfsState, PowerMonitor, RaplCapper,
     ServerPowerModel, TimeSeriesDb,
 };
+use ampere_sim::check::cases;
 use ampere_sim::{SimDuration, SimTime};
 
-proptest! {
-    /// Power is always within [idle, rated] and monotone in both
-    /// utilization and frequency.
-    #[test]
-    fn power_envelope_and_monotonicity(
-        rated in 100.0f64..500.0,
-        idle_frac in 0.2f64..0.9,
-        gamma in 0.5f64..2.0,
-        u1 in 0.0f64..1.0,
-        u2 in 0.0f64..1.0,
-        f1 in 0.4f64..1.0,
-        f2 in 0.4f64..1.0,
-    ) {
+/// Power is always within [idle, rated] and monotone in both
+/// utilization and frequency.
+#[test]
+fn power_envelope_and_monotonicity() {
+    cases(128, |g| {
+        let rated = g.f64(100.0..500.0);
+        let idle_frac = g.f64(0.2..0.9);
+        let gamma = g.f64(0.5..2.0);
+        let u1 = g.f64(0.0..1.0);
+        let u2 = g.f64(0.0..1.0);
+        let f1 = g.f64(0.4..1.0);
+        let f2 = g.f64(0.4..1.0);
         let m = ServerPowerModel::new(rated, idle_frac, gamma);
         let p = m.power_w(u1, DvfsState::at(f1));
-        prop_assert!(p >= m.idle_w() - 1e-9);
-        prop_assert!(p <= m.rated_w + 1e-9);
+        assert!(p >= m.idle_w() - 1e-9);
+        assert!(p <= m.rated_w + 1e-9);
         let (ulo, uhi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
-        prop_assert!(m.power_w(ulo, DvfsState::at(f1)) <= m.power_w(uhi, DvfsState::at(f1)) + 1e-9);
+        assert!(m.power_w(ulo, DvfsState::at(f1)) <= m.power_w(uhi, DvfsState::at(f1)) + 1e-9);
         let (flo, fhi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
-        prop_assert!(m.power_w(u1, DvfsState::at(flo)) <= m.power_w(u1, DvfsState::at(fhi)) + 1e-9);
-    }
+        assert!(m.power_w(u1, DvfsState::at(flo)) <= m.power_w(u1, DvfsState::at(fhi)) + 1e-9);
+    });
+}
 
-    /// `freq_for_power` inverts the power curve whenever the target is
-    /// achievable within the DVFS range.
-    #[test]
-    fn freq_for_power_inverse(
-        util in 0.05f64..1.0,
-        freq in 0.45f64..1.0,
-    ) {
+/// `freq_for_power` inverts the power curve whenever the target is
+/// achievable within the DVFS range.
+#[test]
+fn freq_for_power_inverse() {
+    cases(128, |g| {
+        let util = g.f64(0.05..1.0);
+        let freq = g.f64(0.45..1.0);
         let m = ServerPowerModel::default();
         let target = m.power_w(util, DvfsState::at(freq));
         let f = m.freq_for_power(util, target, DvfsState::MIN_FREQ);
-        prop_assert!((f - freq).abs() < 1e-9, "recovered {f}, expected {freq}");
-    }
+        assert!((f - freq).abs() < 1e-9, "recovered {f}, expected {freq}");
+    });
+}
 
-    /// Capping in both modes: delivered ≤ demand, delivered ≤ limit
-    /// when reachable, no-op below the limit.
-    #[test]
-    fn capping_modes_sound(
-        utils in proptest::collection::vec(0.0f64..1.0, 1..80),
-        limit_scale in 0.4f64..1.5,
-        per_server in any::<bool>(),
-    ) {
+/// Capping in both modes: delivered ≤ demand, delivered ≤ limit when
+/// reachable, no-op below the limit.
+#[test]
+fn capping_modes_sound() {
+    cases(96, |g| {
+        let utils = g.vec_f64(0.0..1.0, 1..80);
+        let limit_scale = g.f64(0.4..1.5);
+        let per_server = g.bool();
         let servers: Vec<(ServerPowerModel, f64)> = utils
             .iter()
             .map(|&u| (ServerPowerModel::default(), u))
@@ -73,11 +73,11 @@ proptest! {
             .sum();
         let limit = nominal_demand * limit_scale;
         let out = capper.cap_row(&servers, limit);
-        prop_assert!((out.demand_w - nominal_demand).abs() < 1e-6);
-        prop_assert!(out.delivered_w <= out.demand_w + 1e-9);
+        assert!((out.demand_w - nominal_demand).abs() < 1e-6);
+        assert!(out.delivered_w <= out.demand_w + 1e-9);
         if limit >= nominal_demand {
-            prop_assert!(!out.engaged());
-            prop_assert!((out.delivered_w - out.demand_w).abs() < 1e-9);
+            assert!(!out.engaged());
+            assert!((out.delivered_w - out.demand_w).abs() < 1e-9);
         }
         // DVFS cannot go below MIN_FREQ: each server's floor is
         // idle + dynamic · MIN_FREQ². In per-server mode a light server
@@ -97,26 +97,30 @@ proptest! {
         } else {
             floors.iter().sum::<f64>()
         };
-        prop_assert!(
+        assert!(
             out.delivered_w <= limit.max(bound) + 1e-6,
             "delivered {} > max(limit {limit}, bound {bound})",
             out.delivered_w
         );
-    }
+    });
+}
 
-    /// Time-series range queries agree with a naive filter.
-    #[test]
-    fn tsdb_range_matches_naive(
-        values in proptest::collection::vec(0.0f64..100.0, 1..100),
-        start in 0u64..120,
-        end in 0u64..120,
-    ) {
+/// Time-series range queries agree with a naive filter.
+#[test]
+fn tsdb_range_matches_naive() {
+    cases(128, |g| {
+        let values = g.vec_f64(0.0..100.0, 1..100);
+        let start = g.u64(0..120);
+        let end = g.u64(0..120);
         let mut db = TimeSeriesDb::new();
         let key = SeriesKey::row(0);
         for (m, &v) in values.iter().enumerate() {
             db.append(key, SimTime::from_mins(m as u64), v);
         }
-        let (start, end) = (SimTime::from_mins(start.min(end)), SimTime::from_mins(start.max(end)));
+        let (start, end) = (
+            SimTime::from_mins(start.min(end)),
+            SimTime::from_mins(start.max(end)),
+        );
         let got = db.range(key, start, end);
         let expected: Vec<(SimTime, f64)> = values
             .iter()
@@ -124,12 +128,16 @@ proptest! {
             .map(|(m, &v)| (SimTime::from_mins(m as u64), v))
             .filter(|&(t, _)| t >= start && t < end)
             .collect();
-        prop_assert_eq!(got, expected.as_slice());
-    }
+        assert_eq!(got, expected.as_slice());
+    });
+}
 
-    /// Retention trims exactly the prefix.
-    #[test]
-    fn tsdb_trim_is_exact(n in 1usize..100, cut in 0u64..120) {
+/// Retention trims exactly the prefix.
+#[test]
+fn tsdb_trim_is_exact() {
+    cases(128, |g| {
+        let n = g.usize(1..100);
+        let cut = g.u64(0..120);
         let mut db = TimeSeriesDb::new();
         let key = SeriesKey::rack(3);
         for m in 0..n {
@@ -137,17 +145,18 @@ proptest! {
         }
         db.trim_before(SimTime::from_mins(cut));
         let remaining = db.series(key);
-        prop_assert!(remaining.iter().all(|&(t, _)| t >= SimTime::from_mins(cut)));
-        prop_assert_eq!(remaining.len(), n.saturating_sub(cut as usize));
-    }
+        assert!(remaining.iter().all(|&(t, _)| t >= SimTime::from_mins(cut)));
+        assert_eq!(remaining.len(), n.saturating_sub(cut as usize));
+    });
+}
 
-    /// The monitor's aggregates equal the sums of their members for any
-    /// topology assignment.
-    #[test]
-    fn monitor_aggregation_exact(
-        watts in proptest::collection::vec(50.0f64..300.0, 1..60),
-        racks in proptest::collection::vec(0u64..5, 60),
-    ) {
+/// The monitor's aggregates equal the sums of their members for any
+/// topology assignment.
+#[test]
+fn monitor_aggregation_exact() {
+    cases(96, |g| {
+        let watts = g.vec_f64(50.0..300.0, 1..60);
+        let racks = g.vec_with(60..60, |g| g.u64(0..5));
         let mut mon = PowerMonitor::new(SimDuration::MINUTE, false);
         let samples: Vec<ServerSample> = watts
             .iter()
@@ -162,23 +171,28 @@ proptest! {
         mon.ingest(SimTime::from_mins(1), &samples);
         let total: f64 = watts.iter().sum();
         let (_, dc) = mon.db().latest(SeriesKey::data_center()).unwrap();
-        prop_assert!((dc - total).abs() < 1e-9);
+        assert!((dc - total).abs() < 1e-9);
         for rack in 0..5u64 {
-            let expected: f64 = samples.iter().filter(|s| s.rack == rack).map(|s| s.watts).sum();
+            let expected: f64 = samples
+                .iter()
+                .filter(|s| s.rack == rack)
+                .map(|s| s.watts)
+                .sum();
             match mon.db().latest(SeriesKey::rack(rack)) {
-                Some((_, v)) => prop_assert!((v - expected).abs() < 1e-9),
-                None => prop_assert_eq!(expected, 0.0),
+                Some((_, v)) => assert!((v - expected).abs() < 1e-9),
+                None => assert_eq!(expected, 0.0),
             }
         }
-    }
+    });
+}
 
-    /// The breaker counts exactly the over-limit samples and trips only
-    /// on sustained runs.
-    #[test]
-    fn breaker_counting_exact(
-        deltas in proptest::collection::vec(-50.0f64..50.0, 1..200),
-        trip_after in 1u32..8,
-    ) {
+/// The breaker counts exactly the over-limit samples and trips only on
+/// sustained runs.
+#[test]
+fn breaker_counting_exact() {
+    cases(96, |g| {
+        let deltas = g.vec_f64(-50.0..50.0, 1..200);
+        let trip_after = g.u32(1..8);
         let mut b = CircuitBreaker::new(100.0, trip_after);
         let mut expected_violations = 0u64;
         let mut run = 0u32;
@@ -196,10 +210,10 @@ proptest! {
                 run = 0;
             }
         }
-        prop_assert_eq!(b.violations(), expected_violations);
-        prop_assert_eq!(
+        assert_eq!(b.violations(), expected_violations);
+        assert_eq!(
             b.tripped_at(),
             expected_trip.map(|i| SimTime::from_mins(i as u64))
         );
-    }
+    });
 }

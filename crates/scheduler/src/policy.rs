@@ -10,7 +10,6 @@
 use ampere_cluster::{Resources, RowId, ServerId};
 use ampere_sim::SimRng;
 use ampere_workload::JobRequest;
-use rand::Rng;
 
 /// One schedulable server in the low level's candidate snapshot.
 #[derive(Debug, Clone, Copy)]

@@ -4,8 +4,9 @@
 use std::collections::VecDeque;
 
 use ampere_cluster::{Cluster, JobId, ServerId};
-use ampere_sim::{derive_stream, rng::streams, SimRng};
+use ampere_sim::{derive_stream, rng::streams, SimRng, SimTime};
 use ampere_stats::Summary;
+use ampere_telemetry::{buckets, Counter, Event, Gauge, Histogram, Severity, Telemetry};
 use ampere_workload::JobRequest;
 
 use crate::policy::{Candidate, PlacementContext, PlacementPolicy};
@@ -49,11 +50,32 @@ pub struct Scheduler {
     /// round after submission. Freezing servers statistically shifts
     /// this distribution — the paper's throughput cost made visible.
     wait_rounds: Summary,
+    /// Sim time of the current tick, for stamping telemetry events.
+    /// Maintained by [`Scheduler::set_clock`].
+    clock: SimTime,
+    telemetry: Telemetry,
+    submitted_counter: Counter,
+    placed_counter: Counter,
+    completed_counter: Counter,
+    frozen_counter: Counter,
+    unfrozen_counter: Counter,
+    queue_gauge: Gauge,
+    wait_hist: Histogram,
 }
 
 impl Scheduler {
-    /// Creates a scheduler with the given upper-level policy.
+    /// Creates a scheduler with the given upper-level policy, reporting
+    /// into the global telemetry pipeline (no-op unless installed).
     pub fn new(policy: Box<dyn PlacementPolicy>, seed: u64) -> Self {
+        Self::with_telemetry(policy, seed, ampere_telemetry::global())
+    }
+
+    /// Like [`Scheduler::new`] with an explicit telemetry pipeline.
+    pub fn with_telemetry(
+        policy: Box<dyn PlacementPolicy>,
+        seed: u64,
+        telemetry: Telemetry,
+    ) -> Self {
         Self {
             policy,
             queue: VecDeque::new(),
@@ -62,7 +84,26 @@ impl Scheduler {
             dispatch_budget: 50_000,
             round: 0,
             wait_rounds: Summary::new(),
+            clock: SimTime::ZERO,
+            submitted_counter: telemetry.counter("sched_jobs_submitted", &[]),
+            placed_counter: telemetry.counter("sched_jobs_placed", &[]),
+            completed_counter: telemetry.counter("sched_jobs_completed", &[]),
+            frozen_counter: telemetry.counter("sched_servers_frozen", &[]),
+            unfrozen_counter: telemetry.counter("sched_servers_unfrozen", &[]),
+            queue_gauge: telemetry.gauge("sched_queue_len", &[]),
+            wait_hist: telemetry.histogram(
+                "sched_wait_rounds",
+                &[],
+                &buckets::exponential(1.0, 2.0, 10),
+            ),
+            telemetry,
         }
+    }
+
+    /// Sets the sim time stamped onto telemetry events emitted by the
+    /// freeze/unfreeze/dispatch paths. Drivers call this once per tick.
+    pub fn set_clock(&mut self, now: SimTime) {
+        self.clock = now;
     }
 
     /// The active policy's name.
@@ -72,10 +113,12 @@ impl Scheduler {
 
     /// Accepts new jobs into the queue.
     pub fn submit(&mut self, jobs: impl IntoIterator<Item = JobRequest>) {
+        let before = self.stats.submitted;
         for j in jobs {
             self.stats.submitted += 1;
             self.queue.push_back((j, self.round));
         }
+        self.submitted_counter.inc_by(self.stats.submitted - before);
         self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
     }
 
@@ -97,19 +140,37 @@ impl Scheduler {
     }
 
     /// The `freeze` API (§2.1): advise that `server` get no new jobs.
-    /// Running jobs are unaffected. Idempotent.
+    /// Running jobs are unaffected. Idempotent (repeat calls on an
+    /// already-frozen server emit no telemetry).
     pub fn freeze(&mut self, cluster: &mut Cluster, server: ServerId) {
-        cluster.server_mut(server).freeze();
+        let s = cluster.server_mut(server);
+        if !s.is_frozen() {
+            s.freeze();
+            self.frozen_counter.inc();
+            self.telemetry.emit_with(|| {
+                Event::new(self.clock, Severity::Info, "scheduler", "freeze")
+                    .with("server", server.raw())
+            });
+        }
     }
 
     /// The `unfreeze` API: make `server` schedulable again. Idempotent.
     pub fn unfreeze(&mut self, cluster: &mut Cluster, server: ServerId) {
-        cluster.server_mut(server).unfreeze();
+        let s = cluster.server_mut(server);
+        if s.is_frozen() {
+            s.unfreeze();
+            self.unfrozen_counter.inc();
+            self.telemetry.emit_with(|| {
+                Event::new(self.clock, Severity::Info, "scheduler", "unfreeze")
+                    .with("server", server.raw())
+            });
+        }
     }
 
     /// Records completions so throughput accounting stays in one place.
     pub fn on_completed(&mut self, count: u64) {
         self.stats.completed += count;
+        self.completed_counter.inc_by(count);
     }
 
     /// One dispatch round: builds the candidate snapshot (unfrozen
@@ -120,6 +181,7 @@ impl Scheduler {
     /// `row_headroom` optionally carries per-row normalized unused power
     /// for headroom-aware policies; pass `&[]` otherwise.
     pub fn dispatch(&mut self, cluster: &mut Cluster, row_headroom: &[f64]) -> DispatchOutcome {
+        let _timer = self.telemetry.timer("sched_dispatch", &[]);
         let mut candidates: Vec<Candidate> = Vec::with_capacity(cluster.server_count());
         let mut by_row: Vec<Vec<usize>> = vec![Vec::new(); cluster.row_count()];
         for s in cluster.servers() {
@@ -157,7 +219,9 @@ impl Scheduler {
                             candidates[idx].free = s.free();
                             candidates[idx].utilization = s.utilization();
                             self.stats.placed += 1;
-                            self.wait_rounds.push((self.round - submitted_round) as f64);
+                            let waited = (self.round - submitted_round) as f64;
+                            self.wait_rounds.push(waited);
+                            self.wait_hist.record(waited);
                             placed.push((job.id, target));
                         }
                         Err(_) => {
@@ -173,6 +237,14 @@ impl Scheduler {
         still_queued.extend(self.queue.drain(..));
         self.queue = still_queued;
         self.round += 1;
+        self.placed_counter.inc_by(placed.len() as u64);
+        self.queue_gauge.set(self.queue.len() as f64);
+        self.telemetry.emit_with(|| {
+            Event::new(self.clock, Severity::Debug, "scheduler", "dispatch")
+                .with("placed", placed.len())
+                .with("queued", self.queue.len())
+                .with("examined", budget)
+        });
         DispatchOutcome {
             placed,
             queued: self.queue.len(),
@@ -207,6 +279,47 @@ mod tests {
             resources: Resources::cores_gb(cores, 2),
             duration: SimDuration::from_mins(mins),
         }
+    }
+
+    #[test]
+    fn telemetry_counts_lifecycle_and_stamps_freeze_events() {
+        use ampere_telemetry::{MetricKind, RingBufferSink};
+
+        let (sink, events) = RingBufferSink::new(64);
+        let tel = Telemetry::builder()
+            .min_severity(Severity::Debug)
+            .sink(sink)
+            .build();
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = Scheduler::with_telemetry(Box::new(RandomFit::default()), 11, tel.clone());
+        sched.set_clock(SimTime::from_mins(7));
+
+        let target = ServerId::new(0);
+        sched.freeze(&mut cluster, target);
+        sched.freeze(&mut cluster, target); // Idempotent: no second event.
+        sched.submit((0..5).map(|i| request(i, 2, 5)));
+        sched.dispatch(&mut cluster, &[]);
+        sched.unfreeze(&mut cluster, target);
+        sched.on_completed(3);
+
+        let evs = events.events();
+        let freezes: Vec<_> = evs.iter().filter(|e| e.name == "freeze").collect();
+        assert_eq!(freezes.len(), 1);
+        assert_eq!(freezes[0].sim_time, SimTime::from_mins(7));
+        assert_eq!(freezes[0].field("server").unwrap().as_u64(), Some(0));
+        assert_eq!(evs.iter().filter(|e| e.name == "unfreeze").count(), 1);
+        assert_eq!(evs.iter().filter(|e| e.name == "dispatch").count(), 1);
+
+        let snap = tel.snapshot().unwrap();
+        let count = |name| match snap.get(name, &[]).unwrap().kind {
+            MetricKind::Counter(n) => n,
+            ref other => panic!("unexpected kind {other:?}"),
+        };
+        assert_eq!(count("sched_jobs_submitted"), 5);
+        assert_eq!(count("sched_jobs_placed"), 5);
+        assert_eq!(count("sched_jobs_completed"), 3);
+        assert_eq!(count("sched_servers_frozen"), 1);
+        assert_eq!(count("sched_servers_unfrozen"), 1);
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Property-based tests for the scheduler: job conservation, frozen
 //! exclusion, and policy-independence of the invariants.
 
-use proptest::prelude::*;
-
 use ampere_cluster::{Cluster, ClusterSpec, JobId, Resources, ServerId};
 use ampere_sched::{BestFit, LeastLoaded, PlacementPolicy, PowerSpread, RandomFit, Scheduler};
+use ampere_sim::check::cases;
 use ampere_sim::SimDuration;
 use ampere_workload::JobRequest;
 
@@ -25,14 +24,13 @@ fn policies() -> Vec<Box<dyn PlacementPolicy>> {
     ]
 }
 
-proptest! {
-    /// Every submitted job is either placed or still queued — none are
-    /// lost or duplicated, under every policy.
-    #[test]
-    fn jobs_are_conserved(
-        sizes in proptest::collection::vec((1u64..33, 1u64..20), 1..150),
-        policy_idx in 0usize..4,
-    ) {
+/// Every submitted job is either placed or still queued — none are
+/// lost or duplicated, under every policy.
+#[test]
+fn jobs_are_conserved() {
+    cases(64, |g| {
+        let sizes = g.vec_with(1..150, |g| (g.u64(1..33), g.u64(1..20)));
+        let policy_idx = g.usize(0..4);
         let mut cluster = Cluster::new(ClusterSpec::tiny());
         let mut sched = Scheduler::new(policies().remove(policy_idx), 9);
         let jobs: Vec<JobRequest> = sizes
@@ -42,29 +40,30 @@ proptest! {
             .collect();
         sched.submit(jobs.clone());
         let out = sched.dispatch(&mut cluster, &[]);
-        prop_assert_eq!(out.placed.len() + out.queued, jobs.len());
-        prop_assert_eq!(sched.stats().submitted as usize, jobs.len());
-        prop_assert_eq!(sched.stats().placed as usize, out.placed.len());
+        assert_eq!(out.placed.len() + out.queued, jobs.len());
+        assert_eq!(sched.stats().submitted as usize, jobs.len());
+        assert_eq!(sched.stats().placed as usize, out.placed.len());
         // No job id appears twice among placements.
         let mut ids: Vec<u64> = out.placed.iter().map(|(j, _)| j.raw()).collect();
         ids.sort_unstable();
         let before = ids.len();
         ids.dedup();
-        prop_assert_eq!(ids.len(), before);
+        assert_eq!(ids.len(), before);
         // Every placement actually exists on the target server.
         for (job, server) in &out.placed {
-            prop_assert!(cluster.server(*server).jobs().any(|(j, _)| j == *job));
+            assert!(cluster.server(*server).jobs().any(|(j, _)| j == *job));
         }
-    }
+    });
+}
 
-    /// Frozen servers never receive placements, whatever the policy and
-    /// freeze pattern.
-    #[test]
-    fn frozen_servers_receive_nothing(
-        frozen_mask in proptest::collection::vec(any::<bool>(), 16),
-        n_jobs in 1usize..120,
-        policy_idx in 0usize..4,
-    ) {
+/// Frozen servers never receive placements, whatever the policy and
+/// freeze pattern.
+#[test]
+fn frozen_servers_receive_nothing() {
+    cases(64, |g| {
+        let frozen_mask = g.vec_with(16..16, |g| g.bool());
+        let n_jobs = g.usize(1..120);
+        let policy_idx = g.usize(0..4);
         let mut cluster = Cluster::new(ClusterSpec::tiny());
         let mut sched = Scheduler::new(policies().remove(policy_idx), 11);
         for (i, &f) in frozen_mask.iter().enumerate() {
@@ -75,18 +74,21 @@ proptest! {
         sched.submit((0..n_jobs as u64).map(|i| request(i, 2, 5)));
         let out = sched.dispatch(&mut cluster, &[]);
         for (_, server) in &out.placed {
-            prop_assert!(!frozen_mask[server.index()], "placed on frozen {server}");
+            assert!(!frozen_mask[server.index()], "placed on frozen {server}");
         }
         // If everything is frozen, nothing places.
         if frozen_mask.iter().all(|&f| f) {
-            prop_assert!(out.placed.is_empty());
+            assert!(out.placed.is_empty());
         }
-    }
+    });
+}
 
-    /// Unfreezing restores full capacity: after unfreeze + dispatch,
-    /// the queue drains exactly as far as resources allow.
-    #[test]
-    fn unfreeze_restores_capacity(n_jobs in 1usize..64) {
+/// Unfreezing restores full capacity: after unfreeze + dispatch, the
+/// queue drains exactly as far as resources allow.
+#[test]
+fn unfreeze_restores_capacity() {
+    cases(64, |g| {
+        let n_jobs = g.usize(1..64);
         let mut cluster = Cluster::new(ClusterSpec::tiny());
         let mut sched = Scheduler::new(Box::new(RandomFit::default()), 13);
         for i in 0..16u64 {
@@ -94,22 +96,23 @@ proptest! {
         }
         sched.submit((0..n_jobs as u64).map(|i| request(i, 8, 5)));
         let out = sched.dispatch(&mut cluster, &[]);
-        prop_assert_eq!(out.queued, n_jobs);
+        assert_eq!(out.queued, n_jobs);
         for i in 0..16u64 {
             sched.unfreeze(&mut cluster, ServerId::new(i));
         }
         let out = sched.dispatch(&mut cluster, &[]);
         // 16 servers x 4 jobs of 8 cores fit at most 64 jobs.
         let capacity_jobs = 64usize;
-        prop_assert_eq!(out.placed.len(), n_jobs.min(capacity_jobs));
-    }
+        assert_eq!(out.placed.len(), n_jobs.min(capacity_jobs));
+    });
+}
 
-    /// Dispatch is deterministic for a fixed seed and input.
-    #[test]
-    fn dispatch_is_deterministic(
-        sizes in proptest::collection::vec(1u64..33, 1..60),
-        seed in 0u64..1_000,
-    ) {
+/// Dispatch is deterministic for a fixed seed and input.
+#[test]
+fn dispatch_is_deterministic() {
+    cases(64, |g| {
+        let sizes = g.vec_with(1..60, |g| g.u64(1..33));
+        let seed = g.u64(0..1_000);
         let run = || {
             let mut cluster = Cluster::new(ClusterSpec::tiny());
             let mut sched = Scheduler::new(Box::new(RandomFit::default()), seed);
@@ -126,6 +129,6 @@ proptest! {
                 .map(|(j, s)| (j.raw(), s.raw()))
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
 }

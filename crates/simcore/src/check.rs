@@ -1,0 +1,185 @@
+//! A miniature property-testing harness.
+//!
+//! Replaces the external `proptest` dependency for this workspace's
+//! property suites. A [`Gen`] is a seeded source of structured random
+//! inputs and [`cases`] runs a property over many generated cases,
+//! reporting the failing case index and seed so a failure can be
+//! replayed exactly with [`cases_from`].
+//!
+//! No shrinking: case generation is deterministic per seed, which in
+//! practice is enough to debug a failing property in a simulator whose
+//! inputs are small vectors and scalars.
+//!
+//! ```
+//! use ampere_sim::check::{cases, Gen};
+//!
+//! cases(64, |g: &mut Gen| {
+//!     let xs = g.vec_f64(-1e6..1e6, 0..40);
+//!     let doubled: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+//!     assert_eq!(doubled.len(), xs.len());
+//! });
+//! ```
+
+use crate::rng::{SampleRange, SimRng};
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default seed for [`cases`]. Fixed so CI failures reproduce locally.
+pub const DEFAULT_SEED: u64 = 0x414D_5045_5245; // "AMPERE"
+
+/// A seeded generator of structured random test inputs.
+pub struct Gen {
+    rng: SimRng,
+}
+
+impl Gen {
+    /// Creates a generator for one case from a per-case seed.
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform value from any range the sim RNG supports.
+    pub fn range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64(&mut self, range: Range<u64>) -> u64 {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32(&mut self, range: Range<u32>) -> u32 {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize(&mut self, range: Range<usize>) -> usize {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform finite `f64` in `[lo, hi)`.
+    pub fn f64(&mut self, range: Range<f64>) -> f64 {
+        self.rng.gen_range(range)
+    }
+
+    /// Fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.rng.gen()
+    }
+
+    /// `true` with probability `p`.
+    pub fn weighted(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A vector with length drawn from `len` and elements from `make`.
+    pub fn vec_with<T>(
+        &mut self,
+        len: Range<usize>,
+        mut make: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = if len.start == len.end {
+            len.start
+        } else {
+            self.usize(len)
+        };
+        (0..n).map(|_| make(self)).collect()
+    }
+
+    /// A vector of finite floats in `range`, length drawn from `len`.
+    pub fn vec_f64(&mut self, range: Range<f64>, len: Range<usize>) -> Vec<f64> {
+        let (lo, hi) = (range.start, range.end);
+        self.vec_with(len, |g| g.f64(lo..hi))
+    }
+
+    /// One of the provided choices, uniformly.
+    pub fn choice<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        assert!(!options.is_empty(), "choice over empty slice");
+        &options[self.usize(0..options.len())]
+    }
+
+    /// Direct access to the underlying RNG for ad-hoc draws.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}
+
+/// Runs `property` over `n` generated cases with the default seed.
+///
+/// Each case gets an independent [`Gen`]; the property signals failure by
+/// panicking (use normal `assert!` macros). On failure the panic is
+/// re-raised with the case index and seed attached.
+pub fn cases(n: u32, property: impl FnMut(&mut Gen)) {
+    cases_from(DEFAULT_SEED, n, property);
+}
+
+/// Runs `property` over `n` cases derived from an explicit `seed`.
+///
+/// Re-running with the seed printed by a failure replays the exact
+/// failing input.
+pub fn cases_from(seed: u64, n: u32, mut property: impl FnMut(&mut Gen)) {
+    for case in 0..n {
+        let case_seed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(case as u64);
+        let mut gen = Gen::new(case_seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut gen)));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            panic!(
+                "property failed on case {case}/{n} (replay with \
+                 cases_from({seed:#x}, ..) or Gen::new({case_seed:#x})): {msg}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_values_respect_ranges() {
+        cases(200, |g| {
+            let x = g.f64(2.0..5.0);
+            assert!((2.0..5.0).contains(&x));
+            let v = g.vec_f64(-1.0..1.0, 0..10);
+            assert!(v.len() < 10);
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+            let c = *g.choice(&[1, 2, 3]);
+            assert!((1..=3).contains(&c));
+        });
+    }
+
+    #[test]
+    fn failure_reports_case_and_seed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            cases_from(99, 50, |g| {
+                let x = g.u64(0..100);
+                assert!(x < 100, "x = {x}"); // never fails
+                assert!(g.usize(0..10) != 3, "drew the forbidden value");
+            })
+        }));
+        let err = result.expect_err("property should fail eventually");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("property failed on case"), "msg: {msg}");
+        assert!(msg.contains("forbidden"), "msg: {msg}");
+    }
+
+    #[test]
+    fn same_seed_same_cases() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        cases_from(7, 20, |g| a.push(g.u64(0..1_000_000)));
+        cases_from(7, 20, |g| b.push(g.u64(0..1_000_000)));
+        assert_eq!(a, b);
+    }
+}

@@ -14,7 +14,6 @@
 //!
 //! ```
 //! use ampere_sim::{derive_stream, EventQueue, SimDuration, SimTime};
-//! use rand::Rng;
 //!
 //! // Time-ordered events with FIFO tie-breaking.
 //! let mut queue = EventQueue::new();
@@ -34,11 +33,14 @@
 //! assert_eq!(t.hour_of_day(), 1);
 //! ```
 
+pub mod check;
+pub mod dist;
 pub mod id;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use dist::{DistError, Distribution, Exp, LogNormal, Normal, Poisson};
 pub use id::IdGen;
 pub use queue::EventQueue;
 pub use rng::{derive_stream, SimRng};

@@ -1,86 +1,102 @@
 //! Property-based tests for the simulation engine.
 
-use proptest::prelude::*;
-
+use ampere_sim::check::{cases, Gen};
 use ampere_sim::{derive_stream, EventQueue, SimDuration, SimTime};
-use rand::Rng;
 
-proptest! {
-    /// Events come out sorted by time, FIFO within equal times.
-    #[test]
-    fn queue_is_stable_priority_order(times in proptest::collection::vec(0u64..100, 1..200)) {
+/// Events come out sorted by time, FIFO within equal times.
+#[test]
+fn queue_is_stable_priority_order() {
+    cases(64, |g: &mut Gen| {
+        let times = g.vec_with(1..200, |g| g.u64(0..100));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_secs(t), (t, i));
         }
         let mut out = Vec::new();
         while let Some((at, (t, i))) = q.pop() {
-            prop_assert_eq!(at, SimTime::from_secs(t));
+            assert_eq!(at, SimTime::from_secs(t));
             out.push((t, i));
         }
-        prop_assert_eq!(out.len(), times.len());
+        assert_eq!(out.len(), times.len());
         for w in out.windows(2) {
             let (t0, i0) = w[0];
             let (t1, i1) = w[1];
-            prop_assert!(t0 < t1 || (t0 == t1 && i0 < i1), "order broken: {w:?}");
+            assert!(t0 < t1 || (t0 == t1 && i0 < i1), "order broken: {w:?}");
         }
-    }
+    });
+}
 
-    /// The clock equals the timestamp of the last popped event and
-    /// never moves backwards.
-    #[test]
-    fn queue_clock_is_monotone(times in proptest::collection::vec(0u64..1_000, 1..100)) {
+/// The clock equals the timestamp of the last popped event and never
+/// moves backwards.
+#[test]
+fn queue_clock_is_monotone() {
+    cases(64, |g: &mut Gen| {
+        let times = g.vec_with(1..100, |g| g.u64(0..1_000));
         let mut q = EventQueue::new();
         for &t in &times {
             q.schedule(SimTime::from_millis(t), ());
         }
         let mut prev = SimTime::ZERO;
         while let Some((at, ())) = q.pop() {
-            prop_assert!(at >= prev);
-            prop_assert_eq!(q.now(), at);
+            assert!(at >= prev);
+            assert_eq!(q.now(), at);
             prev = at;
         }
-    }
+    });
+}
 
-    /// Time arithmetic round-trips: (t + d) − t == d.
-    #[test]
-    fn time_addition_roundtrip(t in 0u64..1_000_000, d in 0u64..1_000_000) {
+/// Time arithmetic round-trips: (t + d) − t == d.
+#[test]
+fn time_addition_roundtrip() {
+    cases(128, |g: &mut Gen| {
+        let t = g.u64(0..1_000_000);
+        let d = g.u64(0..1_000_000);
         let base = SimTime::from_millis(t);
         let dur = SimDuration::from_millis(d);
-        prop_assert_eq!((base + dur) - base, dur);
-        prop_assert_eq!((base + dur).since(base).as_millis(), d);
-    }
+        assert_eq!((base + dur) - base, dur);
+        assert_eq!((base + dur).since(base).as_millis(), d);
+    });
+}
 
-    /// Hour-of-day is always in [0, 24) and periodic.
-    #[test]
-    fn hour_of_day_periodic(h in 0u64..1_000) {
+/// Hour-of-day is always in [0, 24) and periodic.
+#[test]
+fn hour_of_day_periodic() {
+    cases(128, |g: &mut Gen| {
+        let h = g.u64(0..1_000);
         let t = SimTime::from_hours(h);
-        prop_assert!(t.hour_of_day() < 24);
-        prop_assert_eq!(t.hour_of_day(), h % 24);
-        prop_assert_eq!(
+        assert!(t.hour_of_day() < 24);
+        assert_eq!(t.hour_of_day(), h % 24);
+        assert_eq!(
             (t + SimDuration::from_hours(24)).hour_of_day(),
             t.hour_of_day()
         );
-    }
+    });
+}
 
-    /// Duration scaling by 1.0 is the identity; by 0 gives zero.
-    #[test]
-    fn duration_scaling_identities(d in 0u64..10_000_000) {
-        let dur = SimDuration::from_millis(d);
-        prop_assert_eq!(dur.mul_f64(1.0), dur);
-        prop_assert_eq!(dur.mul_f64(0.0), SimDuration::ZERO);
-    }
+/// Duration scaling by 1.0 is the identity; by 0 gives zero.
+#[test]
+fn duration_scaling_identities() {
+    cases(128, |g: &mut Gen| {
+        let dur = SimDuration::from_millis(g.u64(0..10_000_000));
+        assert_eq!(dur.mul_f64(1.0), dur);
+        assert_eq!(dur.mul_f64(0.0), SimDuration::ZERO);
+    });
+}
 
-    /// Derived streams are reproducible and pairwise distinct.
-    #[test]
-    fn rng_streams_reproducible_and_distinct(seed in 0u64..1_000_000, s1 in 0u64..64, s2 in 0u64..64) {
+/// Derived streams are reproducible and pairwise distinct.
+#[test]
+fn rng_streams_reproducible_and_distinct() {
+    cases(64, |g: &mut Gen| {
+        let seed = g.u64(0..1_000_000);
+        let s1 = g.u64(0..64);
+        let s2 = g.u64(0..64);
         let draw = |seed, stream| -> Vec<u64> {
             let mut rng = derive_stream(seed, stream);
             (0..8).map(|_| rng.gen()).collect()
         };
-        prop_assert_eq!(draw(seed, s1), draw(seed, s1));
+        assert_eq!(draw(seed, s1), draw(seed, s1));
         if s1 != s2 {
-            prop_assert_ne!(draw(seed, s1), draw(seed, s2));
+            assert_ne!(draw(seed, s1), draw(seed, s2));
         }
-    }
+    });
 }

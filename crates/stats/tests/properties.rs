@@ -1,6 +1,6 @@
 //! Property-based tests for the statistics primitives.
 
-use proptest::prelude::*;
+use ampere_sim::check::{cases, Gen};
 
 use ampere_stats::quantile::quantile_sorted;
 use ampere_stats::timeseries::rolling_max;
@@ -9,101 +9,119 @@ use ampere_stats::{
     percentile, resample_max, Cdf, Summary,
 };
 
-fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-1e6f64..1e6, len)
+use std::ops::Range;
+
+fn finite_vec(g: &mut Gen, len: Range<usize>) -> Vec<f64> {
+    g.vec_f64(-1e6..1e6, len)
 }
 
-proptest! {
-    #[test]
-    fn cdf_is_monotone_and_bounded(sample in finite_vec(1..200)) {
-        let cdf = Cdf::new(sample.clone()).unwrap();
+#[test]
+fn cdf_is_monotone_and_bounded() {
+    cases(96, |g| {
+        let sample = finite_vec(g, 1..200);
+        let cdf = Cdf::new(sample).unwrap();
         let lo = cdf.min();
         let hi = cdf.max();
-        prop_assert_eq!(cdf.eval(lo - 1.0), 0.0);
-        prop_assert_eq!(cdf.eval(hi), 1.0);
+        assert_eq!(cdf.eval(lo - 1.0), 0.0);
+        assert_eq!(cdf.eval(hi), 1.0);
         let mut prev = 0.0;
         for i in 0..=20 {
             let x = lo + (hi - lo) * i as f64 / 20.0;
             let f = cdf.eval(x);
-            prop_assert!(f >= prev - 1e-15);
-            prop_assert!((0.0..=1.0).contains(&f));
+            assert!(f >= prev - 1e-15);
+            assert!((0.0..=1.0).contains(&f));
             prev = f;
         }
-    }
+    });
+}
 
-    #[test]
-    fn quantile_is_monotone_and_within_range(sample in finite_vec(1..200)) {
-        let cdf = Cdf::new(sample).unwrap();
+#[test]
+fn quantile_is_monotone_and_within_range() {
+    cases(96, |g| {
+        let cdf = Cdf::new(finite_vec(g, 1..200)).unwrap();
         let mut prev = f64::NEG_INFINITY;
         for i in 0..=10 {
             let q = i as f64 / 10.0;
             let v = cdf.quantile(q);
-            prop_assert!(v >= prev);
-            prop_assert!(v >= cdf.min() && v <= cdf.max());
+            assert!(v >= prev);
+            assert!(v >= cdf.min() && v <= cdf.max());
             prev = v;
         }
-    }
+    });
+}
 
-    #[test]
-    fn quantile_cdf_galois_inequality(sample in finite_vec(2..100), q in 0.0f64..1.0) {
+#[test]
+fn quantile_cdf_galois_inequality() {
+    cases(96, |g| {
         // For the interpolating (type-7) estimator the provable inverse
         // relation is: the q-quantile sits at or above the
         // ⌊q·(n−1)⌋-th order statistic, so at least (⌊q·(n−1)⌋ + 1)/n of
         // the sample lies at or below it.
-        let cdf = Cdf::new(sample).unwrap();
+        let cdf = Cdf::new(finite_vec(g, 2..100)).unwrap();
+        let q = g.f64(0.0..1.0);
         let n = cdf.len() as f64;
         let x = cdf.quantile(q);
         let lower = ((q * (n - 1.0)).floor() + 1.0) / n;
-        prop_assert!(
+        assert!(
             cdf.eval(x) >= lower - 1e-12,
             "F({x}) = {} < {lower}",
             cdf.eval(x)
         );
-    }
+    });
+}
 
-    #[test]
-    fn percentile_agrees_with_min_max(sample in finite_vec(1..100)) {
+#[test]
+fn percentile_agrees_with_min_max() {
+    cases(96, |g| {
+        let sample = finite_vec(g, 1..100);
         let sorted = {
             let mut s = sample.clone();
             s.sort_by(|a, b| a.partial_cmp(b).unwrap());
             s
         };
-        prop_assert_eq!(percentile(&sample, 0.0).unwrap(), sorted[0]);
-        prop_assert_eq!(
-            percentile(&sample, 100.0).unwrap(),
-            *sorted.last().unwrap()
+        assert_eq!(percentile(&sample, 0.0).unwrap(), sorted[0]);
+        assert_eq!(percentile(&sample, 100.0).unwrap(), *sorted.last().unwrap());
+        assert_eq!(
+            quantile_sorted(&sorted, 0.5),
+            percentile(&sample, 50.0).unwrap()
         );
-        prop_assert_eq!(quantile_sorted(&sorted, 0.5), percentile(&sample, 50.0).unwrap());
-    }
+    });
+}
 
-    #[test]
-    fn cdf_points_are_a_staircase(sample in finite_vec(1..100)) {
+#[test]
+fn cdf_points_are_a_staircase() {
+    cases(96, |g| {
+        let sample = finite_vec(g, 1..100);
         let pts = cdf_points(&sample);
-        prop_assert_eq!(pts.len(), sample.len());
+        assert_eq!(pts.len(), sample.len());
         for w in pts.windows(2) {
-            prop_assert!(w[1].0 >= w[0].0);
-            prop_assert!(w[1].1 > w[0].1);
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 > w[0].1);
         }
-        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
-    }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn summary_matches_naive(sample in finite_vec(2..200)) {
+#[test]
+fn summary_matches_naive() {
+    cases(96, |g| {
+        let sample = finite_vec(g, 2..200);
         let s = Summary::from_slice(&sample);
         let n = sample.len() as f64;
         let mean = sample.iter().sum::<f64>() / n;
         let var = sample.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
-        prop_assert!((s.mean().unwrap() - mean).abs() < 1e-6 * mean.abs().max(1.0));
-        prop_assert!((s.variance().unwrap() - var).abs() < 1e-4 * var.abs().max(1.0));
-    }
+        assert!((s.mean().unwrap() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        assert!((s.variance().unwrap() - var).abs() < 1e-4 * var.abs().max(1.0));
+    });
+}
 
-    #[test]
-    fn summary_merge_is_associative_enough(
-        a in finite_vec(1..50),
-        b in finite_vec(1..50),
-        c in finite_vec(1..50),
-    ) {
-        // (a+b)+c == a+(b+c) up to floating error.
+/// (a+b)+c == a+(b+c) up to floating error.
+#[test]
+fn summary_merge_is_associative_enough() {
+    cases(96, |g| {
+        let a = finite_vec(g, 1..50);
+        let b = finite_vec(g, 1..50);
+        let c = finite_vec(g, 1..50);
         let mut ab = Summary::from_slice(&a);
         ab.merge(&Summary::from_slice(&b));
         let mut ab_c = ab.clone();
@@ -114,102 +132,130 @@ proptest! {
         let mut a_bc = Summary::from_slice(&a);
         a_bc.merge(&bc);
 
-        prop_assert_eq!(ab_c.count(), a_bc.count());
+        assert_eq!(ab_c.count(), a_bc.count());
         let m1 = ab_c.mean().unwrap();
         let m2 = a_bc.mean().unwrap();
-        prop_assert!((m1 - m2).abs() < 1e-6 * m1.abs().max(1.0));
-    }
+        assert!((m1 - m2).abs() < 1e-6 * m1.abs().max(1.0));
+    });
+}
 
-    #[test]
-    fn pearson_is_symmetric_and_bounded(
-        x in finite_vec(3..50),
-        y in finite_vec(3..50),
-    ) {
+#[test]
+fn pearson_is_symmetric_and_bounded() {
+    cases(96, |g| {
+        let x = finite_vec(g, 3..50);
+        let y = finite_vec(g, 3..50);
         let n = x.len().min(y.len());
         if let Some(r) = pearson(&x[..n], &y[..n]) {
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
             let r2 = pearson(&y[..n], &x[..n]).unwrap();
-            prop_assert!((r - r2).abs() < 1e-12);
+            assert!((r - r2).abs() < 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn pearson_invariant_under_affine(x in finite_vec(3..50)) {
+#[test]
+fn pearson_invariant_under_affine() {
+    cases(96, |g| {
+        let x = finite_vec(g, 3..50);
         let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
         if let Some(r) = pearson(&x, &y) {
-            prop_assert!((r - 1.0).abs() < 1e-6, "r = {r}");
+            assert!((r - 1.0).abs() < 1e-6, "r = {r}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn through_origin_fit_recovers_slope(
-        xs in proptest::collection::vec(0.01f64..100.0, 2..50),
-        slope in -10.0f64..10.0,
-    ) {
+#[test]
+fn through_origin_fit_recovers_slope() {
+    cases(96, |g| {
+        let xs = g.vec_f64(0.01..100.0, 2..50);
+        let slope = g.f64(-10.0..10.0);
         let ys: Vec<f64> = xs.iter().map(|x| slope * x).collect();
         let fit = linear_fit_through_origin(&xs, &ys).unwrap();
-        prop_assert!((fit.slope - slope).abs() < 1e-6 * slope.abs().max(1.0));
-    }
+        assert!((fit.slope - slope).abs() < 1e-6 * slope.abs().max(1.0));
+    });
+}
 
-    #[test]
-    fn two_param_fit_residuals_are_minimal(
-        xs in proptest::collection::vec(-50.0f64..50.0, 3..40),
-        ys in proptest::collection::vec(-50.0f64..50.0, 3..40),
-        perturb in -0.5f64..0.5,
-    ) {
+#[test]
+fn two_param_fit_residuals_are_minimal() {
+    cases(96, |g| {
+        let xs = g.vec_f64(-50.0..50.0, 3..40);
+        let ys = g.vec_f64(-50.0..50.0, 3..40);
+        let perturb = g.f64(-0.5..0.5);
         let n = xs.len().min(ys.len());
         if let Some(fit) = linear_fit(&xs[..n], &ys[..n]) {
             let rss = |s: f64, i: f64| -> f64 {
-                xs[..n].iter().zip(&ys[..n]).map(|(&x, &y)| {
-                    let e = y - (s * x + i);
-                    e * e
-                }).sum()
+                xs[..n]
+                    .iter()
+                    .zip(&ys[..n])
+                    .map(|(&x, &y)| {
+                        let e = y - (s * x + i);
+                        e * e
+                    })
+                    .sum()
             };
             let best = rss(fit.slope, fit.intercept);
-            prop_assert!(best <= rss(fit.slope + perturb, fit.intercept) + 1e-6);
-            prop_assert!(best <= rss(fit.slope, fit.intercept + perturb) + 1e-6);
+            assert!(best <= rss(fit.slope + perturb, fit.intercept) + 1e-6);
+            assert!(best <= rss(fit.slope, fit.intercept + perturb) + 1e-6);
         }
-    }
+    });
+}
 
-    #[test]
-    fn resample_max_dominates_and_shrinks(series in finite_vec(1..200), k in 1usize..20) {
+#[test]
+fn resample_max_dominates_and_shrinks() {
+    cases(96, |g| {
+        let series = finite_vec(g, 1..200);
+        let k = g.usize(1..20);
         let out = resample_max(&series, k);
-        prop_assert_eq!(out.len(), series.len().div_ceil(k));
+        assert_eq!(out.len(), series.len().div_ceil(k));
         // Every output is the max of its block.
         for (i, chunk) in series.chunks(k).enumerate() {
             let m = chunk.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert_eq!(out[i], m);
+            assert_eq!(out[i], m);
         }
-    }
+    });
+}
 
-    #[test]
-    fn first_differences_telescope(series in finite_vec(2..100)) {
+#[test]
+fn first_differences_telescope() {
+    cases(96, |g| {
+        let series = finite_vec(g, 2..100);
         let d = first_differences(&series);
         let total: f64 = d.iter().sum();
         let direct = series.last().unwrap() - series.first().unwrap();
-        prop_assert!((total - direct).abs() < 1e-6 * direct.abs().max(1.0));
-    }
+        assert!((total - direct).abs() < 1e-6 * direct.abs().max(1.0));
+    });
+}
 
-    #[test]
-    fn ewma_stays_within_running_range(series in finite_vec(1..100), alpha in 0.01f64..1.0) {
+#[test]
+fn ewma_stays_within_running_range() {
+    cases(96, |g| {
+        let series = finite_vec(g, 1..100);
+        let alpha = g.f64(0.01..1.0);
         let out = ewma(&series, alpha);
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for (v, e) in series.iter().zip(&out) {
             lo = lo.min(*v);
             hi = hi.max(*v);
-            prop_assert!(*e >= lo - 1e-9 && *e <= hi + 1e-9);
+            assert!(*e >= lo - 1e-9 && *e <= hi + 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn rolling_max_bounds_input(series in finite_vec(1..100), w in 1usize..20) {
+#[test]
+fn rolling_max_bounds_input() {
+    cases(96, |g| {
+        let series = finite_vec(g, 1..100);
+        let w = g.usize(1..20);
         let out = rolling_max(&series, w);
         for (i, (&v, &m)) in series.iter().zip(&out).enumerate() {
-            prop_assert!(m >= v);
+            assert!(m >= v);
             let start = i.saturating_sub(w - 1);
-            let true_max = series[start..=i].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert_eq!(m, true_max);
+            let true_max = series[start..=i]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(m, true_max);
         }
-    }
+    });
 }

@@ -1,0 +1,281 @@
+//! Sim-time-aware telemetry for the Ampere control stack.
+//!
+//! Three pieces, one handle:
+//!
+//! - a **metrics registry** ([`MetricsRegistry`]) — counters, gauges and
+//!   fixed-bucket histograms keyed by static names plus label sets, with
+//!   snapshot/export to JSONL and a human-readable table;
+//! - **structured events** ([`Event`]) — sim-time-stamped facts
+//!   (`controller/tick`, `scheduler/freeze`, `breaker/trip` …) fanned
+//!   out to pluggable [`sink`]s: ring buffer, JSONL writer, stderr;
+//! - **scoped timers** ([`ScopedTimer`]) recording wall-clock *and*
+//!   sim-time durations into histograms.
+//!
+//! The [`Telemetry`] handle is a cheap clone (one `Option<Arc>`). The
+//! default handle is *disabled*: every metric handle is a no-op, and
+//! [`Telemetry::emit_with`] never even builds the event, so
+//! uninstrumented runs pay one branch per call site. Components capture
+//! [`global()`] at construction; a driver that wants a dump installs a
+//! pipeline once via [`install_global`] before building the testbed.
+//!
+//! ```
+//! use ampere_sim::SimTime;
+//! use ampere_telemetry::{Event, RingBufferSink, Severity, Telemetry};
+//!
+//! let (sink, events) = RingBufferSink::new(64);
+//! let tel = Telemetry::builder().sink(sink).build();
+//!
+//! let ticks = tel.counter("controller_ticks", &[("domain", "row0")]);
+//! ticks.inc();
+//! tel.emit_with(|| {
+//!     Event::new(SimTime::from_mins(1), Severity::Info, "controller", "tick")
+//!         .with("power_norm", 0.93)
+//! });
+//!
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(tel.snapshot().unwrap().entries.len(), 1);
+//! ```
+
+pub mod event;
+pub mod json;
+pub mod registry;
+pub mod sink;
+pub mod timer;
+
+pub use event::{Event, ParseError, ParsedEvent, Severity, Value};
+pub use registry::{
+    buckets, Counter, Gauge, Histogram, MetricKind, MetricSnapshot, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use sink::{EventSink, JsonlSink, RingBufferHandle, RingBufferSink, StderrSink};
+pub use timer::{ScopedTimer, WallGuard};
+
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+
+struct Pipeline {
+    registry: MetricsRegistry,
+    sinks: Mutex<Vec<Box<dyn EventSink>>>,
+    min_severity: Severity,
+}
+
+/// Handle to a telemetry pipeline; disabled (all no-op) by default.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    pipeline: Option<Arc<Pipeline>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// Configures a [`Telemetry`] pipeline.
+#[derive(Default)]
+pub struct TelemetryBuilder {
+    sinks: Vec<Box<dyn EventSink>>,
+    min_severity: Option<Severity>,
+}
+
+impl TelemetryBuilder {
+    /// Attaches an event sink.
+    pub fn sink(mut self, sink: impl EventSink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Drops events below `severity` (default: keep everything).
+    pub fn min_severity(mut self, severity: Severity) -> Self {
+        self.min_severity = Some(severity);
+        self
+    }
+
+    /// Builds an enabled pipeline (even with zero sinks, so metrics
+    /// still aggregate).
+    pub fn build(self) -> Telemetry {
+        Telemetry {
+            pipeline: Some(Arc::new(Pipeline {
+                registry: MetricsRegistry::new(),
+                sinks: Mutex::new(self.sinks),
+                min_severity: self.min_severity.unwrap_or(Severity::Debug),
+            })),
+        }
+    }
+}
+
+impl Telemetry {
+    /// The disabled pipeline: no sinks, no registry, no allocation.
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// Starts configuring an enabled pipeline.
+    pub fn builder() -> TelemetryBuilder {
+        TelemetryBuilder::default()
+    }
+
+    /// Whether this handle points at a live pipeline.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.pipeline.is_some()
+    }
+
+    /// Emits an event, building it lazily: with a disabled pipeline (or
+    /// one filtering everything) `build` is never called, so the hot
+    /// path allocates nothing.
+    #[inline]
+    pub fn emit_with(&self, build: impl FnOnce() -> Event) {
+        if let Some(pipeline) = &self.pipeline {
+            let event = build();
+            if event.severity >= pipeline.min_severity {
+                let mut sinks = pipeline.sinks.lock().unwrap();
+                for sink in sinks.iter_mut() {
+                    sink.record(&event);
+                }
+            }
+        }
+    }
+
+    /// Emits an already-built event. Prefer [`Telemetry::emit_with`] on
+    /// hot paths.
+    pub fn emit(&self, event: Event) {
+        self.emit_with(|| event);
+    }
+
+    /// Counter handle for `name{labels}`; no-op when disabled.
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
+        match &self.pipeline {
+            Some(p) => p.registry.counter(name, labels),
+            None => Counter::noop(),
+        }
+    }
+
+    /// Gauge handle for `name{labels}`; no-op when disabled.
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Gauge {
+        match &self.pipeline {
+            Some(p) => p.registry.gauge(name, labels),
+            None => Gauge::noop(),
+        }
+    }
+
+    /// Histogram handle for `name{labels}`; no-op when disabled.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        match &self.pipeline {
+            Some(p) => p.registry.histogram(name, labels, bounds),
+            None => Histogram::noop(),
+        }
+    }
+
+    /// A scoped timer feeding `<name>_wall_us` / `<name>_sim_mins`
+    /// histograms. Wall time records on drop; mark sim instants with
+    /// [`ScopedTimer::at_sim`] / [`ScopedTimer::finish_at_sim`] to also
+    /// record simulated duration.
+    pub fn timer(&self, name: &'static str, labels: &[(&'static str, &str)]) -> ScopedTimer {
+        match &self.pipeline {
+            Some(p) => ScopedTimer::new(
+                p.registry.wall_hist(name, labels),
+                p.registry.sim_hist(name, labels),
+            ),
+            None => ScopedTimer::new(Histogram::noop(), Histogram::noop()),
+        }
+    }
+
+    /// Snapshot of the metrics registry (`None` when disabled).
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.pipeline.as_ref().map(|p| p.registry.snapshot())
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        if let Some(pipeline) = &self.pipeline {
+            let mut sinks = pipeline.sinks.lock().unwrap();
+            for sink in sinks.iter_mut() {
+                sink.flush();
+            }
+        }
+    }
+}
+
+static GLOBAL: RwLock<Option<Telemetry>> = RwLock::new(None);
+
+/// The process-wide telemetry handle; disabled until [`install_global`].
+///
+/// Components capture this at construction time, so install the pipeline
+/// *before* building the testbed/controllers that should report into it.
+pub fn global() -> Telemetry {
+    GLOBAL.read().unwrap().clone().unwrap_or_default()
+}
+
+/// Installs `telemetry` as the process-wide handle.
+pub fn install_global(telemetry: Telemetry) {
+    *GLOBAL.write().unwrap() = Some(telemetry);
+}
+
+/// Removes the process-wide handle (tests).
+pub fn reset_global() {
+    *GLOBAL.write().unwrap() = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampere_sim::SimTime;
+
+    fn ev(sev: Severity) -> Event {
+        Event::new(SimTime::from_mins(1), sev, "test", "e")
+    }
+
+    #[test]
+    fn disabled_pipeline_never_builds_events() {
+        let tel = Telemetry::disabled();
+        let mut built = 0;
+        tel.emit_with(|| {
+            built += 1;
+            ev(Severity::Error)
+        });
+        assert_eq!(built, 0, "event closure must not run when disabled");
+        assert!(!tel.enabled());
+        assert!(tel.snapshot().is_none());
+    }
+
+    #[test]
+    fn severity_filter_applies_after_build() {
+        let (sink, events) = RingBufferSink::new(8);
+        let tel = Telemetry::builder()
+            .sink(sink)
+            .min_severity(Severity::Warn)
+            .build();
+        tel.emit(ev(Severity::Info));
+        tel.emit(ev(Severity::Warn));
+        tel.emit(ev(Severity::Error));
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn events_fan_out_to_all_sinks() {
+        let (a, ea) = RingBufferSink::new(8);
+        let (b, eb) = RingBufferSink::new(8);
+        let tel = Telemetry::builder().sink(a).sink(b).build();
+        tel.emit(ev(Severity::Info));
+        assert_eq!(ea.len(), 1);
+        assert_eq!(eb.len(), 1);
+    }
+
+    #[test]
+    fn global_roundtrip() {
+        reset_global();
+        assert!(!global().enabled());
+        install_global(Telemetry::builder().build());
+        assert!(global().enabled());
+        reset_global();
+        assert!(!global().enabled());
+    }
+}

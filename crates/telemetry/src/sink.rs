@@ -1,0 +1,159 @@
+//! Event sinks: where emitted [`Event`]s go.
+//!
+//! A [`Telemetry`](crate::Telemetry) pipeline fans each event out to
+//! every attached sink. Sinks are deliberately dumb — filtering happens
+//! upstream (severity threshold) so a sink only formats or stores.
+
+use crate::event::Event;
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Receives every event that passes the pipeline's severity filter.
+pub trait EventSink: Send {
+    /// Handles one event.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes buffered output (no-op by default).
+    fn flush(&mut self) {}
+}
+
+/// Keeps the last `capacity` events in memory, for tests and live
+/// inspection. Constructed in a pair with a read handle that stays valid
+/// after the sink moves into the pipeline.
+pub struct RingBufferSink {
+    capacity: usize,
+    shared: Arc<Mutex<VecDeque<Event>>>,
+}
+
+/// Read side of a [`RingBufferSink`].
+#[derive(Clone)]
+pub struct RingBufferHandle {
+    shared: Arc<Mutex<VecDeque<Event>>>,
+}
+
+impl RingBufferSink {
+    /// Creates a sink holding at most `capacity` events plus its reader.
+    pub fn new(capacity: usize) -> (Self, RingBufferHandle) {
+        assert!(capacity > 0, "ring buffer needs capacity");
+        let shared = Arc::new(Mutex::new(VecDeque::with_capacity(capacity)));
+        (
+            RingBufferSink {
+                capacity,
+                shared: Arc::clone(&shared),
+            },
+            RingBufferHandle { shared },
+        )
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn record(&mut self, event: &Event) {
+        let mut buf = self.shared.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+impl RingBufferHandle {
+    /// A copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.shared.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.shared.lock().unwrap().len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Writes one JSON line per event to any [`Write`] target.
+pub struct JsonlSink<W: Write + Send> {
+    out: BufWriter<W>,
+}
+
+impl JsonlSink<File> {
+    /// Creates (truncates) `path` and streams events to it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink::new(File::create(path)?))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out: BufWriter::new(out),
+        }
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        // Telemetry must never take the simulation down: drop on error.
+        let _ = writeln!(self.out, "{}", event.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Prints events to stderr as JSON lines (handy for debugging runs).
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    fn record(&mut self, event: &Event) {
+        eprintln!("{}", event.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Severity;
+    use ampere_sim::SimTime;
+
+    fn ev(n: u64) -> Event {
+        Event::new(SimTime::from_mins(n), Severity::Info, "test", "e").with("n", n)
+    }
+
+    #[test]
+    fn ring_buffer_keeps_latest() {
+        let (mut sink, handle) = RingBufferSink::new(3);
+        for n in 0..5 {
+            sink.record(&ev(n));
+        }
+        let ns: Vec<u64> = handle
+            .events()
+            .iter()
+            .map(|e| e.field("n").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(ns, vec![2, 3, 4]);
+        assert_eq!(handle.len(), 3);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&ev(1));
+        sink.record(&ev(2));
+        sink.flush();
+        let text = String::from_utf8(sink.out.into_inner().unwrap()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            Event::parse_json(line).expect("line parses back");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Span-style scoped timers.
+//!
+//! A [`ScopedTimer`] measures a scope twice: wall-clock time (profiling
+//! the simulator itself — this feeds the bench harness and `BENCH_*.json`)
+//! and, when the caller marks sim instants, simulated time (profiling
+//! the modeled system). Both land in histograms, so a run's timing
+//! profile appears in the final metrics snapshot.
+
+use crate::registry::Histogram;
+
+use ampere_sim::SimTime;
+
+use std::time::Instant;
+
+/// Records wall-clock microseconds into a histogram when dropped.
+/// Obtained from [`Histogram::time_wall_us`].
+#[derive(Debug)]
+pub struct WallGuard {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl WallGuard {
+    pub(crate) fn new(hist: Histogram) -> Self {
+        WallGuard {
+            hist,
+            start: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed so far.
+    pub fn elapsed_us(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e6
+    }
+}
+
+impl Drop for WallGuard {
+    fn drop(&mut self) {
+        self.hist.record(self.elapsed_us());
+    }
+}
+
+/// A scope timed in wall-clock and (optionally) sim time.
+#[derive(Debug)]
+pub struct ScopedTimer {
+    wall: Histogram,
+    sim: Histogram,
+    start: Instant,
+    sim_start: Option<SimTime>,
+    finished: bool,
+}
+
+impl ScopedTimer {
+    pub(crate) fn new(wall: Histogram, sim: Histogram) -> Self {
+        ScopedTimer {
+            wall,
+            sim,
+            start: Instant::now(),
+            sim_start: None,
+            finished: false,
+        }
+    }
+
+    /// Marks the simulated instant the scope began (builder style).
+    pub fn at_sim(mut self, now: SimTime) -> Self {
+        self.sim_start = Some(now);
+        self
+    }
+
+    /// Ends the scope at simulated instant `now`, recording both the
+    /// wall-clock duration (µs) and the simulated duration (minutes).
+    pub fn finish_at_sim(mut self, now: SimTime) {
+        if let Some(started) = self.sim_start {
+            self.sim.record(now.since(started).as_mins_f64());
+        }
+        self.finish_wall();
+    }
+
+    fn finish_wall(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.wall.record(self.start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+}
+
+impl Drop for ScopedTimer {
+    /// Dropping without [`ScopedTimer::finish_at_sim`] records the
+    /// wall-clock side only.
+    fn drop(&mut self) {
+        self.finish_wall();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{buckets, MetricsRegistry};
+
+    #[test]
+    fn wall_guard_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t_us", &[], &buckets::wall_us());
+        {
+            let _guard = h.time_wall_us();
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.0);
+    }
+
+    #[test]
+    fn scoped_timer_records_both_dimensions() {
+        let reg = MetricsRegistry::new();
+        let wall = reg.histogram("w_us", &[], &buckets::wall_us());
+        let sim = reg.histogram("s_mins", &[], &buckets::linear(0.0, 1.0, 10));
+        let timer = ScopedTimer::new(wall.clone(), sim.clone()).at_sim(SimTime::from_mins(5));
+        timer.finish_at_sim(SimTime::from_mins(8));
+        assert_eq!(wall.count(), 1);
+        assert_eq!(sim.count(), 1);
+        assert!((sim.sum() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_without_sim_mark_records_wall_only() {
+        let reg = MetricsRegistry::new();
+        let wall = reg.histogram("w2_us", &[], &buckets::wall_us());
+        let sim = reg.histogram("s2_mins", &[], &buckets::linear(0.0, 1.0, 10));
+        drop(ScopedTimer::new(wall.clone(), sim.clone()));
+        assert_eq!(wall.count(), 1);
+        assert_eq!(sim.count(), 0);
+    }
+}

@@ -9,16 +9,14 @@
 //! control effective — "there is a good chance that some job will
 //! finish on some frozen machine" (§4.1.1).
 
-use ampere_sim::SimDuration;
-use rand::Rng;
-use rand_distr::{Distribution, Exp, LogNormal};
+use ampere_sim::{Distribution, Exp, LogNormal, SimDuration, SimRng};
 
 /// A mixture distribution over batch job durations.
 #[derive(Debug, Clone)]
 pub struct JobDurationDist {
     short_weight: f64,
-    short: Exp<f64>,
-    long: LogNormal<f64>,
+    short: Exp,
+    long: LogNormal,
     min_mins: f64,
     max_mins: f64,
 }
@@ -61,7 +59,7 @@ impl JobDurationDist {
     }
 
     /// Draws one job duration.
-    pub fn sample(&self, rng: &mut impl Rng) -> SimDuration {
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
         let mins = if rng.gen::<f64>() < self.short_weight {
             self.short.sample(rng)
         } else {

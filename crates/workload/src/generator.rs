@@ -7,9 +7,9 @@
 //! the minute-scale power spikes of Fig 9.
 
 use ampere_cluster::{JobId, Resources};
-use ampere_sim::{derive_stream, rng::streams, SimDuration, SimRng, SimTime};
-use rand::Rng;
-use rand_distr::{Distribution, Poisson};
+use ampere_sim::{
+    derive_stream, rng::streams, Distribution, Poisson, SimDuration, SimRng, SimTime,
+};
 
 use crate::duration::JobDurationDist;
 use crate::profile::{OuNoise, RateProfile};
@@ -135,7 +135,7 @@ impl BatchWorkload {
 }
 
 /// Draws from Poisson(`rate`), tolerating a zero rate.
-fn poisson_draw(rng: &mut impl Rng, rate: f64) -> u64 {
+fn poisson_draw(rng: &mut SimRng, rate: f64) -> u64 {
     if rate <= 0.0 {
         return 0;
     }

@@ -12,9 +12,8 @@
 //! (start = max(arrival, previous finish)), which is faster and more
 //! precise than event juggling for a single-server queue.
 
-use ampere_sim::{derive_stream, rng::streams};
+use ampere_sim::{derive_stream, rng::streams, Distribution, Exp};
 use ampere_stats::Cdf;
-use rand_distr::{Distribution, Exp};
 
 /// The redis-benchmark operations reported in Fig 11.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

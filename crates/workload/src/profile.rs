@@ -8,9 +8,7 @@
 //! minute-scale texture comes from an Ornstein–Uhlenbeck multiplier
 //! ([`OuNoise`]) plus Poisson job bursts, both applied by the generator.
 
-use ampere_sim::SimTime;
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
+use ampere_sim::{Distribution, Normal, SimRng, SimTime};
 
 /// Deterministic component of the arrival rate (jobs per minute).
 #[derive(Debug, Clone)]
@@ -148,7 +146,7 @@ impl RateProfile {
 pub struct OuNoise {
     state: f64,
     theta: f64,
-    normal: Normal<f64>,
+    normal: Normal,
 }
 
 impl OuNoise {
@@ -170,7 +168,7 @@ impl OuNoise {
     }
 
     /// Advances one step and returns the new multiplier.
-    pub fn step(&mut self, rng: &mut impl Rng) -> f64 {
+    pub fn step(&mut self, rng: &mut SimRng) -> f64 {
         self.state = self.state * (1.0 - self.theta) + self.normal.sample(rng);
         self.multiplier()
     }

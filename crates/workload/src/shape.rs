@@ -9,7 +9,7 @@
 //! each is a small slice of a 32-core server.
 
 use ampere_cluster::Resources;
-use rand::Rng;
+use ampere_sim::SimRng;
 
 /// Samples per-job resource demands.
 #[derive(Debug, Clone)]
@@ -44,7 +44,7 @@ impl JobShapeDist {
     }
 
     /// Draws one job's resource demand.
-    pub fn sample(&self, rng: &mut impl Rng) -> Resources {
+    pub fn sample(&self, rng: &mut SimRng) -> Resources {
         let total: f64 = self.sizes.iter().map(|&(_, w)| w).sum();
         let mut pick = rng.gen::<f64>() * total;
         let mut cpu = self.sizes[self.sizes.len() - 1].0;

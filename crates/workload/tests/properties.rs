@@ -1,105 +1,115 @@
 //! Property-based tests for the workload generators.
 
-use proptest::prelude::*;
-
+use ampere_sim::check::cases;
 use ampere_sim::{derive_stream, SimDuration, SimTime};
 use ampere_workload::generator::BurstConfig;
 use ampere_workload::profile::OuNoise;
 use ampere_workload::{BatchWorkload, JobDurationDist, JobShapeDist, RateProfile};
 
-proptest! {
-    /// Durations always stay within the configured support, for any
-    /// valid parameterization.
-    #[test]
-    fn durations_respect_support(
-        short_w in 0.0f64..1.0,
-        short_mean in 0.2f64..5.0,
-        long_mean in 2.0f64..30.0,
-        sigma in 0.2f64..1.5,
-        seed in 0u64..1_000,
-    ) {
+/// Durations always stay within the configured support, for any valid
+/// parameterization.
+#[test]
+fn durations_respect_support() {
+    cases(64, |g| {
+        let short_w = g.f64(0.0..1.0);
+        let short_mean = g.f64(0.2..5.0);
+        let long_mean = g.f64(2.0..30.0);
+        let sigma = g.f64(0.2..1.5);
+        let seed = g.u64(0..1_000);
         let dist = JobDurationDist::new(short_w, short_mean, long_mean, sigma, 0.5, 40.0);
         let mut rng = derive_stream(seed, 2);
         for _ in 0..200 {
             let d = dist.sample(&mut rng).as_mins_f64();
-            prop_assert!((0.5 - 1e-9..=40.0 + 1e-9).contains(&d), "d = {d}");
+            assert!((0.5 - 1e-9..=40.0 + 1e-9).contains(&d), "d = {d}");
         }
-    }
+    });
+}
 
-    /// Job shapes always come from the palette with positive memory.
-    #[test]
-    fn shapes_are_valid(seed in 0u64..1_000) {
+/// Job shapes always come from the palette with positive memory.
+#[test]
+fn shapes_are_valid() {
+    cases(64, |g| {
+        let seed = g.u64(0..1_000);
         let dist = JobShapeDist::paper_calibrated();
         let mut rng = derive_stream(seed, 3);
         for _ in 0..200 {
             let r = dist.sample(&mut rng);
-            prop_assert!(r.cpu_millis >= 500 && r.cpu_millis <= 4_000);
-            prop_assert!(r.memory_mb >= 64);
+            assert!(r.cpu_millis >= 500 && r.cpu_millis <= 4_000);
+            assert!(r.memory_mb >= 64);
         }
-    }
+    });
+}
 
-    /// Profiles never produce a negative rate.
-    #[test]
-    fn rates_are_nonnegative(
-        base in 0.0f64..1_000.0,
-        amplitude in 0.0f64..1.0,
-        peak in 0.0f64..24.0,
-        minute in 0u64..10_000,
-    ) {
+/// Profiles never produce a negative rate.
+#[test]
+fn rates_are_nonnegative() {
+    cases(128, |g| {
         let p = RateProfile::Diurnal {
-            base_per_min: base,
-            amplitude,
-            peak_hour: peak,
+            base_per_min: g.f64(0.0..1_000.0),
+            amplitude: g.f64(0.0..1.0),
+            peak_hour: g.f64(0.0..24.0),
         };
-        prop_assert!(p.rate_per_min(SimTime::from_mins(minute)) >= 0.0);
-    }
+        let minute = g.u64(0..10_000);
+        assert!(p.rate_per_min(SimTime::from_mins(minute)) >= 0.0);
+    });
+}
 
-    /// Scaling a profile scales its rate everywhere.
-    #[test]
-    fn scaling_is_pointwise(
-        base in 1.0f64..500.0,
-        amplitude in 0.0f64..0.9,
-        factor in 0.0f64..4.0,
-        minute in 0u64..3_000,
-    ) {
+/// Scaling a profile scales its rate everywhere.
+#[test]
+fn scaling_is_pointwise() {
+    cases(128, |g| {
         let p = RateProfile::Diurnal {
-            base_per_min: base,
-            amplitude,
+            base_per_min: g.f64(1.0..500.0),
+            amplitude: g.f64(0.0..0.9),
             peak_hour: 9.0,
         };
+        let factor = g.f64(0.0..4.0);
+        let minute = g.u64(0..3_000);
         let scaled = p.clone().scaled(factor);
         let t = SimTime::from_mins(minute);
         let expected = p.rate_per_min(t) * factor;
-        prop_assert!((scaled.rate_per_min(t) - expected).abs() < 1e-9);
-    }
+        assert!((scaled.rate_per_min(t) - expected).abs() < 1e-9);
+    });
+}
 
-    /// The generator's output over any window is deterministic per
-    /// seed, ids are strictly increasing, and fields are valid.
-    #[test]
-    fn generator_output_well_formed(seed in 0u64..500, mins in 1u64..30) {
+/// The generator's output over any window is deterministic per seed,
+/// ids are strictly increasing, and fields are valid.
+#[test]
+fn generator_output_well_formed() {
+    cases(48, |g| {
+        let seed = g.u64(0..500);
+        let mins = g.u64(1..30);
         let mut w = BatchWorkload::new(RateProfile::Constant { per_min: 80.0 }, seed, 0)
-            .with_bursts(BurstConfig { per_min: 0.1, size: (10, 50) });
+            .with_bursts(BurstConfig {
+                per_min: 0.1,
+                size: (10, 50),
+            });
         let mut last_id = None;
         for m in 0..mins {
             for j in w.tick(SimTime::from_mins(m), SimDuration::MINUTE) {
                 if let Some(prev) = last_id {
-                    prop_assert!(j.id.raw() > prev);
+                    assert!(j.id.raw() > prev);
                 }
                 last_id = Some(j.id.raw());
-                prop_assert!(j.resources.cpu_millis > 0);
-                prop_assert!(j.duration > SimDuration::ZERO);
+                assert!(j.resources.cpu_millis > 0);
+                assert!(j.duration > SimDuration::ZERO);
             }
         }
-    }
+    });
+}
 
-    /// OU noise multipliers are always positive and finite.
-    #[test]
-    fn ou_noise_is_positive(theta in 0.01f64..1.0, sigma in 0.0f64..0.3, seed in 0u64..500) {
+/// OU noise multipliers are always positive and finite.
+#[test]
+fn ou_noise_is_positive() {
+    cases(64, |g| {
+        let theta = g.f64(0.01..1.0);
+        let sigma = g.f64(0.0..0.3);
+        let seed = g.u64(0..500);
         let mut noise = OuNoise::new(theta, sigma);
         let mut rng = derive_stream(seed, 6);
         for _ in 0..500 {
             let m = noise.step(&mut rng);
-            prop_assert!(m.is_finite() && m > 0.0);
+            assert!(m.is_finite() && m > 0.0);
         }
-    }
+    });
 }

@@ -1,8 +1,6 @@
-//! Property-based tests (proptest) on the control-theory core:
-//! Lemma 3.1, the control function, Algorithm 1's invariants and the
-//! capping model, over randomized inputs.
-
-use proptest::prelude::*;
+//! Property-based tests on the control-theory core: Lemma 3.1, the
+//! control function, Algorithm 1's invariants and the capping model,
+//! over randomized inputs.
 
 use ampere_cluster::ServerId;
 use ampere_core::{
@@ -10,53 +8,54 @@ use ampere_core::{
     ServerPowerReading,
 };
 use ampere_power::{CappingConfig, RaplCapper, ServerPowerModel};
+use ampere_sim::check::cases;
 
-proptest! {
-    /// Eq. 13's closed form is always a valid ratio and is the minimal
-    /// control: any smaller feasible u would leave P over the budget.
-    #[test]
-    fn spcp_is_minimal_and_feasible(
-        p in 0.5f64..1.3,
-        e in 0.0f64..0.2,
-        kr in 0.01f64..0.5,
-    ) {
+/// Eq. 13's closed form is always a valid ratio and is the minimal
+/// control: any smaller feasible u would leave P over the budget.
+#[test]
+fn spcp_is_minimal_and_feasible() {
+    cases(128, |g| {
+        let p = g.f64(0.5..1.3);
+        let e = g.f64(0.0..0.2);
+        let kr = g.f64(0.01..0.5);
         let u = spcp_optimal_ratio(p, e, 1.0, kr);
-        prop_assert!((0.0..=1.0).contains(&u));
+        assert!((0.0..=1.0).contains(&u));
         let next = p + e - kr * u;
         if u < 1.0 {
             // Interior or zero solution: next power never overshoots
             // below the budget more than necessary.
-            prop_assert!(next <= 1.0 + 1e-9 || u == 1.0);
+            assert!(next <= 1.0 + 1e-9 || u == 1.0);
             if u > 0.0 {
-                prop_assert!((next - 1.0).abs() < 1e-9, "u interior but P={next}");
+                assert!((next - 1.0).abs() < 1e-9, "u interior but P={next}");
             }
         }
         if u == 0.0 {
-            prop_assert!(p + e <= 1.0 + 1e-9);
+            assert!(p + e <= 1.0 + 1e-9);
         }
-    }
+    });
+}
 
-    /// Lemma 3.1: under the paper's empirical condition `E_k − kr ≤ 0`
-    /// the greedy SPCP sequence is feasible whenever any feasible
-    /// solution exists, and it is never beaten by a random feasible
-    /// candidate.
-    #[test]
-    fn greedy_pcp_dominates_random_candidates(
-        p0 in 0.7f64..1.1,
-        e_raw in proptest::collection::vec(-0.05f64..0.12, 1..6),
-        kr in 0.05f64..0.4,
-        candidate in proptest::collection::vec(0.0f64..1.0, 6),
-    ) {
+/// Lemma 3.1: under the paper's empirical condition `E_k − kr ≤ 0`
+/// the greedy SPCP sequence is feasible whenever any feasible
+/// solution exists, and it is never beaten by a random feasible
+/// candidate.
+#[test]
+fn greedy_pcp_dominates_random_candidates() {
+    cases(128, |g| {
+        let p0 = g.f64(0.7..1.1);
+        let e_raw = g.vec_f64(-0.05..0.12, 1..6);
+        let kr = g.f64(0.05..0.4);
+        let candidate = g.vec_f64(0.0..1.0, 6..6);
         // Enforce the lemma's assumption: full freezing can always
         // absorb a step's demand increase.
         let e: Vec<f64> = e_raw.iter().map(|&x| x.min(kr)).collect();
         let inst = PcpInstance::new(p0, e.clone(), kr, 1.0);
         let greedy = solve_pcp_greedy(&inst);
         if inst.has_feasible_solution() {
-            prop_assert!(inst.is_feasible(&greedy, 1e-9));
+            assert!(inst.is_feasible(&greedy, 1e-9));
             let cand = &candidate[..inst.horizon()];
             if inst.is_feasible(cand, 0.0) {
-                prop_assert!(
+                assert!(
                     inst.cost(&greedy) <= inst.cost(cand) + 1e-9,
                     "greedy {} beaten by candidate {}",
                     inst.cost(&greedy),
@@ -64,33 +63,35 @@ proptest! {
                 );
             }
         }
-    }
+    });
+}
 
-    /// The control function is monotone in power and bounded by u_max.
-    #[test]
-    fn control_function_monotone(
-        kr in 0.01f64..0.5,
-        et in 0.0f64..0.2,
-        u_max in 0.1f64..1.0,
-        p1 in 0.0f64..1.5,
-        p2 in 0.0f64..1.5,
-    ) {
+/// The control function is monotone in power and bounded by u_max.
+#[test]
+fn control_function_monotone() {
+    cases(128, |g| {
+        let kr = g.f64(0.01..0.5);
+        let et = g.f64(0.0..0.2);
+        let u_max = g.f64(0.1..1.0);
+        let p1 = g.f64(0.0..1.5);
+        let p2 = g.f64(0.0..1.5);
         let f = ControlFunction::new(kr, et, u_max);
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-        prop_assert!(f.freeze_ratio(lo) <= f.freeze_ratio(hi) + 1e-12);
-        prop_assert!(f.freeze_ratio(hi) <= u_max + 1e-12);
-        prop_assert!(f.freeze_ratio(lo) >= 0.0);
-    }
+        assert!(f.freeze_ratio(lo) <= f.freeze_ratio(hi) + 1e-12);
+        assert!(f.freeze_ratio(hi) <= u_max + 1e-12);
+        assert!(f.freeze_ratio(lo) >= 0.0);
+    });
+}
 
-    /// Algorithm 1 invariants over random fleets: actions are disjoint,
-    /// act only on correct servers, and the resulting frozen set hits
-    /// exactly the target count when enough servers exist.
-    #[test]
-    fn planner_invariants(
-        powers in proptest::collection::vec(100.0f64..260.0, 4..200),
-        frozen_mask in proptest::collection::vec(any::<bool>(), 200),
-        p_norm in 0.8f64..1.4,
-    ) {
+/// Algorithm 1 invariants over random fleets: actions are disjoint,
+/// act only on correct servers, and the resulting frozen set hits
+/// exactly the target count when enough servers exist.
+#[test]
+fn planner_invariants() {
+    cases(96, |g| {
+        let powers = g.vec_f64(100.0..260.0, 4..200);
+        let frozen_mask = g.vec_with(200..200, |g| g.bool());
+        let p_norm = g.f64(0.8..1.4);
         let readings: Vec<ServerPowerReading> = powers
             .iter()
             .enumerate()
@@ -105,14 +106,14 @@ proptest! {
 
         // Freeze and unfreeze sets are disjoint.
         for f in &plan.freeze {
-            prop_assert!(!plan.unfreeze.contains(f));
+            assert!(!plan.unfreeze.contains(f));
         }
         // Frozen targets were unfrozen; unfrozen targets were frozen.
         for f in &plan.freeze {
-            prop_assert!(!readings[f.index()].frozen);
+            assert!(!readings[f.index()].frozen);
         }
         for u in &plan.unfreeze {
-            prop_assert!(readings[u.index()].frozen);
+            assert!(readings[u.index()].frozen);
         }
         // Applying the plan yields exactly n_freeze frozen servers
         // (the plan always has enough candidates by construction).
@@ -124,7 +125,7 @@ proptest! {
             state[u.index()] = false;
         }
         let frozen_after = state.iter().filter(|&&b| b).count();
-        prop_assert_eq!(frozen_after, plan.n_freeze);
+        assert_eq!(frozen_after, plan.n_freeze);
 
         // Replanning after application is a fixed point (no churn).
         let readings2: Vec<ServerPowerReading> = readings
@@ -133,16 +134,17 @@ proptest! {
             .map(|(r, &fr)| ServerPowerReading { frozen: fr, ..*r })
             .collect();
         let plan2 = FreezePlanner::default().plan(&readings2, &cf, p_norm);
-        prop_assert!(plan2.is_empty(), "unstable plan: {:?}", plan2);
-    }
+        assert!(plan2.is_empty(), "unstable plan: {plan2:?}");
+    });
+}
 
-    /// The capper never exceeds the limit when the limit is reachable,
-    /// and never slows idle servers.
-    #[test]
-    fn capping_soundness(
-        utils in proptest::collection::vec(0.0f64..1.0, 1..100),
-        limit_frac in 0.5f64..1.2,
-    ) {
+/// The capper never exceeds the limit when the limit is reachable,
+/// and never slows idle servers.
+#[test]
+fn capping_soundness() {
+    cases(96, |g| {
+        let utils = g.vec_f64(0.0..1.0, 1..100);
+        let limit_frac = g.f64(0.5..1.2);
         let servers: Vec<(ServerPowerModel, f64)> = utils
             .iter()
             .map(|&u| (ServerPowerModel::default(), u))
@@ -151,16 +153,16 @@ proptest! {
         let rated_sum: f64 = servers.iter().map(|(m, _)| m.rated_w).sum();
         let limit = idle_sum + (rated_sum - idle_sum) * limit_frac;
         let out = RaplCapper::new(CappingConfig::default()).cap_row(&servers, limit);
-        prop_assert!(out.delivered_w <= out.demand_w + 1e-9);
+        assert!(out.delivered_w <= out.demand_w + 1e-9);
         // The reachable floor is idle + dynamic · MIN_FREQ² (DVFS
         // cannot clock below MIN_FREQ).
         let min_s = ampere_power::DvfsState::MIN_FREQ.powi(2);
         let floor = idle_sum + (out.demand_w - idle_sum) * min_s;
-        prop_assert!(out.delivered_w <= limit.max(floor) + 1e-6);
+        assert!(out.delivered_w <= limit.max(floor) + 1e-6);
         for ((_, util), st) in servers.iter().zip(&out.states) {
             if *util == 0.0 {
-                prop_assert!(!st.is_capped());
+                assert!(!st.is_capped());
             }
         }
-    }
+    });
 }

@@ -119,7 +119,7 @@ fn capping_respects_budget_but_slows_throughput() {
     // Same workload, one capped domain vs one uncapped: capping keeps
     // power under budget at the cost of completions (jobs stretched).
     let run = |capped: bool| {
-        let mut tb = Testbed::new(TestbedConfig::paper_row(RateProfile::heavy_row(), 17));
+        let mut tb = Testbed::new(TestbedConfig::paper_row(RateProfile::heavy_row(), 3));
         let servers: Vec<ServerId> = (0..440).map(ServerId::new).collect();
         let budget = ampere_core::scaled_budget_w(440.0 * 250.0, 0.25);
         let d = tb.add_domain(DomainSpec {
