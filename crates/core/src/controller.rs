@@ -12,7 +12,7 @@
 use ampere_cluster::{Cluster, ServerId};
 use ampere_sched::Scheduler;
 use ampere_sim::{SimDuration, SimTime};
-use ampere_telemetry::{buckets, Counter, Event, Gauge, Histogram, Severity, Telemetry};
+use ampere_telemetry::{buckets, Counter, Event, Gauge, Histogram, Severity, SpanCtx, Telemetry};
 
 use crate::algorithm::{FreezeActions, FreezePlanner, ServerPowerReading};
 use crate::model::ControlFunction;
@@ -111,6 +111,11 @@ pub struct AmpereController {
     planner: FreezePlanner,
     trace: Vec<ControlRecord>,
     last_decision: Option<SimTime>,
+    /// Root span of the most recent [`Self::decide`] call. Everything
+    /// that decision causes (freezes, dispatch suppression, the power
+    /// response) is traced under it; [`SpanCtx::NONE`] when telemetry
+    /// is disabled, keeping uninstrumented runs free.
+    last_span: SpanCtx,
     telemetry: Telemetry,
     tick_counter: Counter,
     power_gauge: Gauge,
@@ -138,6 +143,7 @@ impl AmpereController {
             config,
             trace: Vec::new(),
             last_decision: None,
+            last_span: SpanCtx::NONE,
             tick_counter: telemetry.counter("controller_ticks", &[]),
             power_gauge: telemetry.gauge("controller_power_norm", &[]),
             et_hist: telemetry.histogram("controller_et", &[], &buckets::ratio()),
@@ -172,6 +178,13 @@ impl AmpereController {
         readings: &[ServerPowerReading],
     ) -> (FreezeActions, f64) {
         let _timer = self.telemetry.timer("controller_decide", &[]);
+        // Every tick opens a fresh causal episode: freezes, dispatch
+        // suppression and the eventual power response all trace back to
+        // this root span. Registering it as the active tick lets
+        // measurement-side components (power monitor) join too.
+        let span = self.telemetry.root_span();
+        self.last_span = span;
+        self.telemetry.set_active_tick(now, span);
         self.predictor.observe(now, power_norm);
         let et = self.predictor.estimate(now);
         self.prediction.observe(power_norm, et);
@@ -190,6 +203,7 @@ impl AmpereController {
         };
         self.telemetry.emit_with(|| {
             Event::new(now, Severity::Info, "controller", "tick")
+                .in_span(span)
                 .with("power_norm", power_norm)
                 .with("et", et)
                 .with("u_target", actions.target_ratio)
@@ -198,6 +212,15 @@ impl AmpereController {
                 .with("decided", !observe_only)
         });
         (actions, et)
+    }
+
+    /// Root span of the most recent [`Self::decide`] call
+    /// ([`SpanCtx::NONE`] before the first tick or when telemetry is
+    /// disabled). Drivers hand this to collaborators — the scheduler's
+    /// freeze bookkeeping, the breaker — so downstream events join the
+    /// tick's trace.
+    pub fn last_tick_span(&self) -> SpanCtx {
+        self.last_span
     }
 
     /// One full control interval: read the domain power from the
@@ -214,6 +237,7 @@ impl AmpereController {
         let power_norm = readings.iter().map(|r| r.power_w).sum::<f64>() / domain.budget_w;
         let (actions, et) = self.decide(now, power_norm, &readings);
         sched.set_clock(now);
+        sched.set_tick_span(self.last_span);
         for &id in &actions.unfreeze {
             sched.unfreeze(cluster, id);
         }

@@ -61,14 +61,26 @@ fn one_tick_emits_expected_event_sequence() {
     assert_eq!(tick.field("froze").unwrap().as_u64(), Some(4));
     assert_eq!(tick.field("unfroze").unwrap().as_u64(), Some(0));
 
-    // … then one scheduler freeze event per frozen server, same instant.
+    // The tick opens a root span: its own trace, no parent.
+    assert!(tick.span.is_root(), "tick span: {:?}", tick.span);
+    assert_eq!(tick.span.trace.raw(), tick.span.span.raw());
+
+    // … then one scheduler freeze event per frozen server, same
+    // instant, each a child span of the tick that decided it.
     let freezes: Vec<&Event> = evs[1..].iter().collect();
     assert_eq!(freezes.len(), 4, "events: {evs:?}");
     for f in &freezes {
         assert_eq!((f.component, f.name), ("scheduler", "freeze"));
         assert_eq!(f.sim_time, now);
         assert!(f.field("server").unwrap().as_u64().is_some());
+        assert_eq!(f.span.trace, tick.span.trace, "freeze in another trace");
+        assert_eq!(f.span.parent, Some(tick.span.span));
     }
+    // Span ids are unique across the dump.
+    let mut ids: Vec<u64> = evs.iter().map(|e| e.span.span.raw()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), evs.len());
 
     // Metrics agree with the events.
     let snap = tel.snapshot().unwrap();
@@ -146,4 +158,50 @@ fn disabled_telemetry_changes_no_behavior() {
     let disabled = run(Telemetry::disabled());
     let enabled = run(Telemetry::builder().build());
     assert_eq!(disabled, enabled);
+}
+
+#[test]
+fn repeated_ticks_produce_identical_traced_dumps() {
+    // Span ids come from a deterministic counter, so two identical runs
+    // serialize byte-identically — the reproducibility contract traced
+    // runs must keep.
+    let run = || {
+        let (sink, events) = RingBufferSink::new(256);
+        let tel = Telemetry::builder()
+            .min_severity(Severity::Debug)
+            .sink(sink)
+            .build();
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = Scheduler::with_telemetry(Box::new(RandomFit::default()), 5, tel.clone());
+        let mut ctl = AmpereController::with_telemetry(
+            ControllerConfig::default(),
+            Box::new(HistoricalPercentile::flat(0.02)),
+            tel,
+        );
+        let servers: Vec<ServerId> = (0..8).map(ServerId::new).collect();
+        let domain = ControlDomain::new(servers.clone(), 1_600.0);
+        for (i, &id) in servers.iter().enumerate() {
+            cluster
+                .server_mut(id)
+                .place(
+                    JobId::new(i as u64),
+                    Resources::cores_gb(32, 64),
+                    SimDuration::from_mins(3),
+                )
+                .unwrap();
+        }
+        for m in 1..=6 {
+            ctl.tick(SimTime::from_mins(m), &domain, &mut cluster, &mut sched);
+            cluster.advance(SimDuration::from_mins(1));
+        }
+        events
+            .events()
+            .iter()
+            .map(Event::to_json)
+            .collect::<Vec<String>>()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.iter().any(|l| l.contains("\"unfreeze\"")), "no unfreezes");
+    assert_eq!(a, b, "traced dumps differ across identical runs");
 }

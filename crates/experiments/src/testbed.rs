@@ -408,6 +408,12 @@ impl Testbed {
                     .collect();
                 let controller = self.domains[d].controller.as_mut().expect("checked");
                 let (actions, _et) = controller.decide(self.now, power_norm, &readings);
+                let tick_span = controller.last_tick_span();
+                // Freezes applied below trace back to this tick, and the
+                // breaker attributes next minute's violation (power
+                // produced under this decision interval) to it too.
+                self.sched.set_tick_span(tick_span);
+                self.domains[d].breaker.set_control_span(tick_span);
                 u_target = actions.target_ratio;
                 froze = actions.freeze.len();
                 unfroze = actions.unfreeze.len();

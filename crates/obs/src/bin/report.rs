@@ -1,0 +1,130 @@
+//! `report` — analyze a telemetry dump and gate CI on a baseline.
+//!
+//! ```text
+//! report --telemetry FILE [--md FILE] [--json FILE]
+//!        [--write-baseline FILE] [--baseline FILE --check]
+//! ```
+//!
+//! Reads the dump produced by `repro … --telemetry FILE`, prints the
+//! Markdown report to stdout (or `--md FILE`), and optionally:
+//!
+//! - `--json FILE` writes the machine-readable report;
+//! - `--write-baseline FILE` snapshots the run summary with default
+//!   per-metric tolerances (commit this as the known-good baseline);
+//! - `--baseline FILE --check` compares the summary against a baseline
+//!   and exits 1 when any metric drifts outside tolerance.
+//!
+//! Exit codes: 0 success, 1 baseline regression, 2 usage or schema
+//! error.
+
+use ampere_obs::reader::read_run;
+use ampere_obs::report::{check, parse_baseline, render_check, write_baseline, RunReport};
+
+use std::process::ExitCode;
+
+struct Args {
+    telemetry: String,
+    md: Option<String>,
+    json: Option<String>,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    do_check: bool,
+}
+
+const USAGE: &str = "usage: report --telemetry FILE [--md FILE] [--json FILE] \
+                     [--write-baseline FILE] [--baseline FILE --check]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut telemetry = None;
+    let mut md = None;
+    let mut json = None;
+    let mut baseline = None;
+    let mut write_baseline = None;
+    let mut do_check = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--telemetry" => telemetry = Some(value("--telemetry")?),
+            "--md" => md = Some(value("--md")?),
+            "--json" => json = Some(value("--json")?),
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--write-baseline" => write_baseline = Some(value("--write-baseline")?),
+            "--check" => do_check = true,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    if do_check && baseline.is_none() {
+        return Err(format!("--check needs --baseline FILE\n{USAGE}"));
+    }
+    Ok(Args {
+        telemetry: telemetry.ok_or_else(|| format!("--telemetry FILE is required\n{USAGE}"))?,
+        md,
+        json,
+        baseline,
+        write_baseline,
+        do_check,
+    })
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    let run = read_run(&args.telemetry).map_err(|e| format!("{}: {e}", args.telemetry))?;
+    let report = RunReport::build(&run);
+
+    let markdown = report.to_markdown();
+    match &args.md {
+        Some(path) => {
+            std::fs::write(path, &markdown).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{markdown}"),
+    }
+    if let Some(path) = &args.json {
+        let mut json = report.to_json();
+        json.push('\n');
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &args.write_baseline {
+        std::fs::write(path, write_baseline(&report.summary))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if args.do_check {
+        let path = args.baseline.as_deref().expect("validated in parse_args");
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let baseline = parse_baseline(&text).map_err(|e| format!("{path}: {e}"))?;
+        let results = check(&report.summary, &baseline);
+        let (table, all_ok) = render_check(&results);
+        eprintln!("\nbaseline check against {path}:\n{table}");
+        if !all_ok {
+            eprintln!("baseline check FAILED");
+            return Ok(ExitCode::from(1));
+        }
+        eprintln!("baseline check passed");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("report: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # ampere-obs — offline run analysis for telemetry dumps
+//!
+//! The control stack (`ampere-core`, `ampere-sched`, `ampere-power`)
+//! emits causally-traced JSONL telemetry when a pipeline is installed;
+//! `repro --telemetry FILE` captures a whole experiment run to one
+//! file. This crate reads those dumps back and answers the questions a
+//! run leaves behind:
+//!
+//! - **What happened?** [`reader`] streams and validates the dump;
+//!   [`trace`] reassembles the span tree (which controller tick caused
+//!   which freeze, which decision interval a breaker violation fell in).
+//! - **How did control behave?** [`analysis`] computes freeze-duration
+//!   CDFs, decision→response latency, violation attribution by `Et`
+//!   regime, violation-epoch timelines and a flat [`RunSummary`].
+//! - **Did it regress?** [`report`] renders Markdown/JSON reports and
+//!   implements the baseline gate behind `report --check`: a committed
+//!   known-good summary with per-metric tolerances that CI compares
+//!   every smoke run against.
+//!
+//! Everything is offline and dependency-free: the dump is the only
+//! input, and seeded runs produce byte-identical dumps, so summaries —
+//! and therefore baselines — are deterministic.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod reader;
+pub mod report;
+pub mod trace;
+
+pub use analysis::{
+    decision_latency, freeze_durations, segments, violation_epochs, DecisionLatency, Distribution,
+    RunSummary, ViolationAttribution, ViolationEpoch, ET_BINS,
+};
+pub use reader::{read_run, MetricLine, MetricValue, ReadError, Run, RunLine, RunReader};
+pub use report::{
+    check, parse_baseline, render_check, write_baseline, BaselineMetric, CheckResult, RunReport,
+};
+pub use trace::{LinkReport, TraceIndex};

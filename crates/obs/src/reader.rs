@@ -1,0 +1,300 @@
+//! Streaming reader for telemetry dumps.
+//!
+//! A run dump (`repro --telemetry FILE`) is JSONL with two line shapes:
+//! events (`{"t_ms":…,"sev":…,"component":…,"event":…,…}`, written as
+//! the run executes) and, appended at the end, the metrics snapshot
+//! (`{"metric":…,"labels":{…},"type":…,…}`). [`RunReader`] streams the
+//! file line by line, classifying and validating each one, so analyses
+//! never hold the raw text in memory. [`read_run`] is the collect-all
+//! convenience for moderate files.
+
+use ampere_telemetry::json::{self, JsonValue};
+use ampere_telemetry::{Event, ParsedEvent, Value};
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+/// One parsed metric line of the trailing snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricLine {
+    /// Metric name.
+    pub name: String,
+    /// Label set, in file order.
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// The typed value of a [`MetricLine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic counter.
+    Counter(u64),
+    /// A last-write gauge.
+    Gauge(f64),
+    /// A fixed-bucket histogram.
+    Histogram {
+        /// Finite bucket upper bounds.
+        bounds: Vec<f64>,
+        /// Per-bucket counts (one longer than `bounds`).
+        counts: Vec<u64>,
+        /// Sum of recorded samples.
+        sum: f64,
+    },
+}
+
+impl MetricLine {
+    /// The counter value, if this is a counter.
+    pub fn as_counter(&self) -> Option<u64> {
+        match self.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One classified line of a run dump.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunLine {
+    /// A structured event.
+    Event(ParsedEvent),
+    /// A metric-snapshot line.
+    Metric(MetricLine),
+}
+
+/// A schema violation, with the 1-based line it happened on.
+#[derive(Debug)]
+pub struct ReadError {
+    /// 1-based line number in the dump (0 for I/O errors before a line).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Streaming dump reader: an iterator of [`RunLine`]s.
+pub struct RunReader<R> {
+    input: R,
+    line_no: usize,
+    buf: String,
+}
+
+impl RunReader<BufReader<File>> {
+    /// Opens a dump file.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufReader::new(File::open(path)?)))
+    }
+}
+
+impl<R: BufRead> RunReader<R> {
+    /// Wraps any buffered reader.
+    pub fn new(input: R) -> Self {
+        Self {
+            input,
+            line_no: 0,
+            buf: String::new(),
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ReadError {
+        ReadError {
+            line: self.line_no,
+            message: message.into(),
+        }
+    }
+
+    fn parse_metric(&self, line: &str) -> Result<MetricLine, ReadError> {
+        let pairs = json::parse_object_full(line).map_err(|e| self.err(e.to_string()))?;
+        let mut name = None;
+        let mut labels = Vec::new();
+        let mut kind = None;
+        let mut value = None;
+        let mut bounds = None;
+        let mut counts = None;
+        let mut sum = None;
+        for (key, val) in pairs {
+            match (key.as_str(), val) {
+                ("metric", JsonValue::Scalar(Value::Str(s))) => name = Some(s),
+                ("labels", JsonValue::Object(pairs)) => {
+                    for (k, v) in pairs {
+                        match v {
+                            Value::Str(s) => labels.push((k, s)),
+                            _ => return Err(self.err("label values must be strings")),
+                        }
+                    }
+                }
+                ("type", JsonValue::Scalar(Value::Str(s))) => kind = Some(s),
+                ("value", JsonValue::Scalar(v)) => value = Some(v),
+                ("bounds", JsonValue::Array(v)) => bounds = Some(v),
+                ("counts", JsonValue::Array(v)) => counts = Some(v),
+                ("sum", JsonValue::Scalar(v)) => sum = v.as_f64(),
+                ("count", _) => {} // Redundant with counts; ignored.
+                (k, _) => return Err(self.err(format!("unexpected metric key {k:?}"))),
+            }
+        }
+        let name = name.ok_or_else(|| self.err("metric line missing name"))?;
+        let value = match kind.as_deref() {
+            Some("counter") => MetricValue::Counter(
+                value
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| self.err("counter without integer value"))?,
+            ),
+            Some("gauge") => MetricValue::Gauge(
+                value
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| self.err("gauge without numeric value"))?,
+            ),
+            Some("histogram") => MetricValue::Histogram {
+                bounds: bounds.ok_or_else(|| self.err("histogram without bounds"))?,
+                counts: counts
+                    .ok_or_else(|| self.err("histogram without counts"))?
+                    .into_iter()
+                    .map(|c| c as u64)
+                    .collect(),
+                sum: sum.ok_or_else(|| self.err("histogram without sum"))?,
+            },
+            _ => return Err(self.err("metric line missing or unknown type")),
+        };
+        Ok(MetricLine {
+            name,
+            labels,
+            value,
+        })
+    }
+}
+
+impl<R: BufRead> Iterator for RunReader<R> {
+    type Item = Result<RunLine, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            self.line_no += 1;
+            match self.input.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(self.err(e.to_string()))),
+            }
+            let line = self.buf.trim();
+            if line.is_empty() {
+                continue;
+            }
+            // The two writers each start their objects with a fixed key,
+            // so the prefix is the discriminator.
+            return Some(if line.starts_with("{\"metric\"") {
+                self.parse_metric(line).map(RunLine::Metric)
+            } else {
+                Event::parse_json(line)
+                    .map(RunLine::Event)
+                    .map_err(|e| self.err(e.to_string()))
+            });
+        }
+    }
+}
+
+/// A fully loaded run dump.
+#[derive(Debug, Clone, Default)]
+pub struct Run {
+    /// Events, in emission order.
+    pub events: Vec<ParsedEvent>,
+    /// Metric-snapshot lines (empty if the run was cut short).
+    pub metrics: Vec<MetricLine>,
+}
+
+impl Run {
+    /// Collects a reader, failing on the first schema violation.
+    pub fn collect<R: BufRead>(reader: RunReader<R>) -> Result<Self, ReadError> {
+        let mut run = Run::default();
+        for line in reader {
+            match line? {
+                RunLine::Event(e) => run.events.push(e),
+                RunLine::Metric(m) => run.metrics.push(m),
+            }
+        }
+        Ok(run)
+    }
+
+    /// A metric by name and exact label set.
+    pub fn metric(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricLine> {
+        self.metrics.iter().find(|m| {
+            m.name == name
+                && m.labels.len() == labels.len()
+                && m.labels
+                    .iter()
+                    .all(|(k, v)| labels.iter().any(|&(lk, lv)| lk == k && lv == v))
+        })
+    }
+}
+
+/// Loads a dump file completely.
+pub fn read_run(path: impl AsRef<Path>) -> Result<Run, ReadError> {
+    let reader = RunReader::open(&path).map_err(|e| ReadError {
+        line: 0,
+        message: format!("{}: {e}", path.as_ref().display()),
+    })?;
+    Run::collect(reader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const DUMP: &str = concat!(
+        "{\"t_ms\":60000,\"sev\":\"info\",\"component\":\"controller\",\"event\":\"tick\",",
+        "\"trace\":1,\"span\":1,\"power_norm\":1.25,\"et\":0.02,\"froze\":4}\n",
+        "{\"t_ms\":60000,\"sev\":\"info\",\"component\":\"scheduler\",\"event\":\"freeze\",",
+        "\"trace\":1,\"span\":2,\"parent\":1,\"server\":3}\n",
+        "\n",
+        "{\"metric\":\"controller_ticks\",\"labels\":{},\"type\":\"counter\",\"value\":1}\n",
+        "{\"metric\":\"sched_wait_rounds\",\"labels\":{\"row\":\"r0\"},\"type\":\"histogram\",",
+        "\"bounds\":[1.0,2.0],\"counts\":[3,1,0],\"count\":4,\"sum\":5.0}\n",
+    );
+
+    #[test]
+    fn classifies_events_and_metrics() {
+        let run = Run::collect(RunReader::new(Cursor::new(DUMP))).unwrap();
+        assert_eq!(run.events.len(), 2);
+        assert_eq!(run.metrics.len(), 2);
+        assert_eq!(run.events[0].name, "tick");
+        assert_eq!(run.events[1].span.parent.map(|p| p.raw()), Some(1));
+        assert_eq!(
+            run.metric("controller_ticks", &[]).unwrap().as_counter(),
+            Some(1)
+        );
+        let hist = run.metric("sched_wait_rounds", &[("row", "r0")]).unwrap();
+        match &hist.value {
+            MetricValue::Histogram { counts, sum, .. } => {
+                assert_eq!(counts, &[3, 1, 0]);
+                assert!((sum - 5.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected value {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers_on_schema_errors() {
+        let bad =
+            "{\"t_ms\":0,\"sev\":\"info\",\"component\":\"a\",\"event\":\"b\"}\n{\"nope\":1}\n";
+        let mut reader = RunReader::new(Cursor::new(bad));
+        assert!(reader.next().unwrap().is_ok());
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_malformed_metric_lines() {
+        let bad = "{\"metric\":\"x\",\"labels\":{},\"type\":\"counter\"}\n";
+        let err = Run::collect(RunReader::new(Cursor::new(bad))).unwrap_err();
+        assert!(err.message.contains("counter"), "{err}");
+    }
+}

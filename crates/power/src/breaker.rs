@@ -9,7 +9,7 @@
 //! overload persists.
 
 use ampere_sim::SimTime;
-use ampere_telemetry::{buckets, Counter, Event, Histogram, Severity, Telemetry};
+use ampere_telemetry::{buckets, Counter, Event, Histogram, Severity, SpanCtx, Telemetry};
 
 /// A row-level circuit breaker / violation counter.
 #[derive(Debug, Clone)]
@@ -23,6 +23,13 @@ pub struct CircuitBreaker {
     worst_overload_w: f64,
     telemetry: Telemetry,
     label: String,
+    /// Trace context of the control decision whose interval this
+    /// breaker is currently observing (set by the driver after each
+    /// controller tick). A violation at minute `m` is caused by the
+    /// decision in force *before* `m`, so drivers wire the previous
+    /// tick's span here — violation and trip events then join that
+    /// tick's trace.
+    control_span: SpanCtx,
     violation_counter: Counter,
     run_hist: Histogram,
 }
@@ -50,6 +57,7 @@ impl CircuitBreaker {
             worst_overload_w: 0.0,
             telemetry: ampere_telemetry::global(),
             label: String::new(),
+            control_span: SpanCtx::NONE,
             violation_counter: Counter::noop(),
             run_hist: Histogram::noop(),
         };
@@ -87,6 +95,13 @@ impl CircuitBreaker {
         self.limit_w
     }
 
+    /// Sets the trace context violations observed from now on belong
+    /// to: the controller tick whose decision interval is in force.
+    /// [`SpanCtx::NONE`] leaves breaker events untraced.
+    pub fn set_control_span(&mut self, span: SpanCtx) {
+        self.control_span = span;
+    }
+
     /// Records one power sample; returns `true` if this sample is a
     /// violation (over the limit).
     pub fn observe(&mut self, at: SimTime, power_w: f64) -> bool {
@@ -98,6 +113,7 @@ impl CircuitBreaker {
             self.violation_counter.inc();
             self.telemetry.emit_with(|| {
                 Event::new(at, Severity::Warn, "breaker", "violation")
+                    .in_span(self.control_span)
                     .with("row", self.label.as_str())
                     .with("power_w", power_w)
                     .with("limit_w", self.limit_w)
@@ -108,6 +124,7 @@ impl CircuitBreaker {
                 self.tripped_at = Some(at);
                 self.telemetry.emit_with(|| {
                     Event::new(at, Severity::Error, "breaker", "trip")
+                        .in_span(self.control_span)
                         .with("row", self.label.as_str())
                         .with("power_w", power_w)
                         .with("limit_w", self.limit_w)
@@ -198,6 +215,29 @@ mod tests {
     #[should_panic(expected = "bad breaker limit")]
     fn rejects_bad_limit() {
         let _ = CircuitBreaker::new(0.0, 1);
+    }
+
+    #[test]
+    fn violations_join_the_wired_control_span() {
+        use ampere_telemetry::{RingBufferSink, Telemetry};
+
+        let (sink, events) = RingBufferSink::new(32);
+        let tel = Telemetry::builder().sink(sink).build();
+        let mut b = CircuitBreaker::new(100.0, 2).with_telemetry(tel.clone());
+        let tick = tel.root_span();
+        b.set_control_span(tick);
+        b.observe(t(0), 110.0);
+        b.observe(t(1), 110.0); // Trips.
+        let evs = events.events();
+        let violation = evs.iter().find(|e| e.name == "violation").unwrap();
+        assert_eq!(violation.span, tick);
+        let trip = evs.iter().find(|e| e.name == "trip").unwrap();
+        assert_eq!(trip.span, tick);
+        // An unwired breaker emits untraced violations.
+        let mut b = CircuitBreaker::new(100.0, 5).with_telemetry(tel);
+        b.observe(t(2), 120.0);
+        let evs = events.events();
+        assert!(evs.last().unwrap().span.is_none());
     }
 
     #[test]

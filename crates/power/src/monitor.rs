@@ -9,7 +9,7 @@
 //! paper's easy-failover design.
 
 use ampere_sim::{SimDuration, SimTime};
-use ampere_telemetry::{Counter, Gauge, Telemetry};
+use ampere_telemetry::{Counter, Event, Gauge, Severity, Telemetry};
 
 use crate::tsdb::TimeSeriesDb;
 
@@ -91,6 +91,7 @@ pub struct PowerMonitor {
     store_server_series: bool,
     db: TimeSeriesDb,
     last_sample_at: Option<SimTime>,
+    telemetry: Telemetry,
     samples_ingested: Counter,
     sweeps_ingested: Counter,
     dc_power_gauge: Gauge,
@@ -123,6 +124,7 @@ impl PowerMonitor {
             samples_ingested: telemetry.counter("monitor_samples_ingested", &[]),
             sweeps_ingested: telemetry.counter("monitor_sweeps_ingested", &[]),
             dc_power_gauge: telemetry.gauge("monitor_dc_power_w", &[]),
+            telemetry,
         }
     }
 
@@ -171,6 +173,15 @@ impl PowerMonitor {
         self.samples_ingested.inc_by(samples.len() as u64);
         self.sweeps_ingested.inc();
         self.dc_power_gauge.set(total);
+        // The sweep measures power produced under the decision interval
+        // currently in force, so it joins the active tick span (untraced
+        // when no controller has registered one).
+        let span = self.telemetry.active_tick();
+        self.telemetry.emit_in_span(span, || {
+            Event::new(at, Severity::Debug, "monitor", "sweep")
+                .with("servers", samples.len())
+                .with("dc_power_w", total)
+        });
     }
 
     /// Read access to the underlying database (the controller's query
@@ -276,5 +287,32 @@ mod tests {
     #[should_panic(expected = "interval must be positive")]
     fn rejects_zero_interval() {
         let _ = PowerMonitor::new(SimDuration::ZERO, false);
+    }
+
+    #[test]
+    fn sweep_events_join_the_active_tick() {
+        use ampere_telemetry::{RingBufferSink, Severity, Telemetry};
+
+        let (sink, events) = RingBufferSink::new(8);
+        let tel = Telemetry::builder()
+            .min_severity(Severity::Debug)
+            .sink(sink)
+            .build();
+        let mut mon = PowerMonitor::with_telemetry(SimDuration::MINUTE, false, tel.clone());
+
+        // No controller tick registered yet: the sweep is untraced.
+        let (at, samples) = sweep(1);
+        mon.ingest(at, &samples);
+        let first = events.events().pop().unwrap();
+        assert_eq!(first.name, "sweep");
+        assert!(first.span.is_none());
+        assert_eq!(first.field("dc_power_w").unwrap().as_f64(), Some(700.0));
+
+        // With an active tick, the sweep joins its trace.
+        let tick = tel.root_span();
+        tel.set_active_tick(SimTime::from_mins(2), tick);
+        let (at, samples) = sweep(2);
+        mon.ingest(at, &samples);
+        assert_eq!(events.events().pop().unwrap().span, tick);
     }
 }

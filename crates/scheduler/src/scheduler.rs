@@ -1,12 +1,12 @@
 //! The scheduler's low level: queueing, candidate tracking, dispatch,
 //! and the freeze/unfreeze interface Ampere controls power through.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use ampere_cluster::{Cluster, JobId, ServerId};
 use ampere_sim::{derive_stream, rng::streams, SimRng, SimTime};
 use ampere_stats::Summary;
-use ampere_telemetry::{buckets, Counter, Event, Gauge, Histogram, Severity, Telemetry};
+use ampere_telemetry::{buckets, Counter, Event, Gauge, Histogram, Severity, SpanCtx, Telemetry};
 use ampere_workload::JobRequest;
 
 use crate::policy::{Candidate, PlacementContext, PlacementPolicy};
@@ -34,6 +34,15 @@ pub struct DispatchOutcome {
     pub queued: usize,
 }
 
+/// What the scheduler remembers about an in-force freeze: the span the
+/// decision was traced under (so the unfreeze closes the same span) and
+/// when it took effect (so the unfreeze can report the hold duration).
+#[derive(Debug, Clone, Copy)]
+struct FreezeRecord {
+    span: SpanCtx,
+    at: Option<SimTime>,
+}
+
 /// The low-level scheduler.
 pub struct Scheduler {
     policy: Box<dyn PlacementPolicy>,
@@ -51,8 +60,18 @@ pub struct Scheduler {
     /// this distribution — the paper's throughput cost made visible.
     wait_rounds: Summary,
     /// Sim time of the current tick, for stamping telemetry events.
-    /// Maintained by [`Scheduler::set_clock`].
-    clock: SimTime,
+    /// Maintained by [`Scheduler::set_clock`]; `None` until the driver
+    /// first calls it (events then carry `t_ms=0` plus `t_unset=true`
+    /// and a one-shot warning fires, instead of silently lying).
+    clock: Option<SimTime>,
+    /// Whether the missing-clock warning has already been emitted.
+    clock_warned: bool,
+    /// Trace context of the controller tick currently driving this
+    /// scheduler (set by [`Scheduler::set_tick_span`]); freeze and
+    /// dispatch events emitted while it is live link back to that tick.
+    tick_span: SpanCtx,
+    /// Span + start time per frozen server, keyed by raw server id.
+    freeze_book: HashMap<u64, FreezeRecord>,
     telemetry: Telemetry,
     submitted_counter: Counter,
     placed_counter: Counter,
@@ -61,6 +80,7 @@ pub struct Scheduler {
     unfrozen_counter: Counter,
     queue_gauge: Gauge,
     wait_hist: Histogram,
+    freeze_hist: Histogram,
 }
 
 impl Scheduler {
@@ -84,7 +104,10 @@ impl Scheduler {
             dispatch_budget: 50_000,
             round: 0,
             wait_rounds: Summary::new(),
-            clock: SimTime::ZERO,
+            clock: None,
+            clock_warned: false,
+            tick_span: SpanCtx::NONE,
+            freeze_book: HashMap::new(),
             submitted_counter: telemetry.counter("sched_jobs_submitted", &[]),
             placed_counter: telemetry.counter("sched_jobs_placed", &[]),
             completed_counter: telemetry.counter("sched_jobs_completed", &[]),
@@ -96,14 +119,50 @@ impl Scheduler {
                 &[],
                 &buckets::exponential(1.0, 2.0, 10),
             ),
+            freeze_hist: telemetry.histogram(
+                "sched_freeze_mins",
+                &[],
+                &buckets::exponential(5.0, 2.0, 10),
+            ),
             telemetry,
         }
     }
 
     /// Sets the sim time stamped onto telemetry events emitted by the
     /// freeze/unfreeze/dispatch paths. Drivers call this once per tick.
+    /// If a driver never does, emitted events carry `t_ms=0` with a
+    /// `t_unset=true` marker and a one-shot `clock-unset` warning.
     pub fn set_clock(&mut self, now: SimTime) {
-        self.clock = now;
+        self.clock = Some(now);
+    }
+
+    /// Sets the trace context of the controller tick currently driving
+    /// freezes and dispatch. [`SpanCtx::NONE`] detaches (freeze spans
+    /// then start their own root traces).
+    pub fn set_tick_span(&mut self, span: SpanCtx) {
+        self.tick_span = span;
+    }
+
+    /// The timestamp for an event emitted now, plus whether the clock
+    /// was never set (callers mark such events with `t_unset=true`).
+    /// Fires the one-shot `clock-unset` warning on first unset use.
+    fn stamp(&mut self) -> (SimTime, bool) {
+        match self.clock {
+            Some(t) => (t, false),
+            None => {
+                if !self.clock_warned {
+                    self.clock_warned = true;
+                    self.telemetry.emit_with(|| {
+                        Event::new(SimTime::ZERO, Severity::Warn, "scheduler", "clock-unset").with(
+                            "hint",
+                            "Scheduler::set_clock was never called; \
+                                 events carry t_ms=0 and t_unset=true",
+                        )
+                    });
+                }
+                (SimTime::ZERO, true)
+            }
+        }
     }
 
     /// The active policy's name.
@@ -147,9 +206,25 @@ impl Scheduler {
         if !s.is_frozen() {
             s.freeze();
             self.frozen_counter.inc();
+            let (now, unset) = self.stamp();
+            // One child span per freeze, under the controller tick that
+            // decided it; the matching unfreeze closes the same span.
+            let span = self.telemetry.child_span(self.tick_span);
+            self.freeze_book.insert(
+                server.raw(),
+                FreezeRecord {
+                    span,
+                    at: (!unset).then_some(now),
+                },
+            );
             self.telemetry.emit_with(|| {
-                Event::new(self.clock, Severity::Info, "scheduler", "freeze")
-                    .with("server", server.raw())
+                let mut e = Event::new(now, Severity::Info, "scheduler", "freeze")
+                    .in_span(span)
+                    .with("server", server.raw());
+                if unset {
+                    e = e.with("t_unset", true);
+                }
+                e
             });
         }
     }
@@ -160,9 +235,26 @@ impl Scheduler {
         if s.is_frozen() {
             s.unfreeze();
             self.unfrozen_counter.inc();
+            let (now, unset) = self.stamp();
+            let rec = self.freeze_book.remove(&server.raw());
+            let span = rec.map_or(SpanCtx::NONE, |r| r.span);
+            let held_mins = rec
+                .and_then(|r| r.at)
+                .map(|at| now.as_millis().saturating_sub(at.as_millis()) as f64 / 60_000.0);
+            if let Some(h) = held_mins {
+                self.freeze_hist.record(h);
+            }
             self.telemetry.emit_with(|| {
-                Event::new(self.clock, Severity::Info, "scheduler", "unfreeze")
-                    .with("server", server.raw())
+                let mut e = Event::new(now, Severity::Info, "scheduler", "unfreeze")
+                    .in_span(span)
+                    .with("server", server.raw());
+                if let Some(h) = held_mins {
+                    e = e.with("held_mins", h);
+                }
+                if unset {
+                    e = e.with("t_unset", true);
+                }
+                e
             });
         }
     }
@@ -182,6 +274,7 @@ impl Scheduler {
     /// for headroom-aware policies; pass `&[]` otherwise.
     pub fn dispatch(&mut self, cluster: &mut Cluster, row_headroom: &[f64]) -> DispatchOutcome {
         let _timer = self.telemetry.timer("sched_dispatch", &[]);
+        let (now, unset) = self.stamp();
         let mut candidates: Vec<Candidate> = Vec::with_capacity(cluster.server_count());
         let mut by_row: Vec<Vec<usize>> = vec![Vec::new(); cluster.row_count()];
         for s in cluster.servers() {
@@ -240,10 +333,15 @@ impl Scheduler {
         self.placed_counter.inc_by(placed.len() as u64);
         self.queue_gauge.set(self.queue.len() as f64);
         self.telemetry.emit_with(|| {
-            Event::new(self.clock, Severity::Debug, "scheduler", "dispatch")
+            let mut e = Event::new(now, Severity::Debug, "scheduler", "dispatch")
+                .in_span(self.tick_span)
                 .with("placed", placed.len())
                 .with("queued", self.queue.len())
-                .with("examined", budget)
+                .with("examined", budget);
+            if unset {
+                e = e.with("t_unset", true);
+            }
+            e
         });
         DispatchOutcome {
             placed,
@@ -320,6 +418,75 @@ mod tests {
         assert_eq!(count("sched_jobs_completed"), 3);
         assert_eq!(count("sched_servers_frozen"), 1);
         assert_eq!(count("sched_servers_unfrozen"), 1);
+    }
+
+    #[test]
+    fn freeze_spans_link_to_the_tick_and_unfreeze_reports_hold_time() {
+        use ampere_telemetry::RingBufferSink;
+
+        let (sink, events) = RingBufferSink::new(64);
+        let tel = Telemetry::builder()
+            .min_severity(Severity::Debug)
+            .sink(sink)
+            .build();
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = Scheduler::with_telemetry(Box::new(RandomFit::default()), 11, tel.clone());
+
+        let tick = tel.root_span();
+        sched.set_clock(SimTime::from_mins(10));
+        sched.set_tick_span(tick);
+        sched.freeze(&mut cluster, ServerId::new(3));
+        sched.dispatch(&mut cluster, &[]);
+        sched.set_clock(SimTime::from_mins(25));
+        sched.unfreeze(&mut cluster, ServerId::new(3));
+
+        let evs = events.events();
+        let freeze = evs.iter().find(|e| e.name == "freeze").unwrap();
+        assert_eq!(freeze.span.trace, tick.trace);
+        assert_eq!(freeze.span.parent, Some(tick.span));
+        let dispatch = evs.iter().find(|e| e.name == "dispatch").unwrap();
+        assert_eq!(dispatch.span, tick);
+        let unfreeze = evs.iter().find(|e| e.name == "unfreeze").unwrap();
+        // The unfreeze closes the same span the freeze opened and
+        // reports how long the advice was in force.
+        assert_eq!(unfreeze.span, freeze.span);
+        assert_eq!(unfreeze.field("held_mins").unwrap().as_f64(), Some(15.0));
+    }
+
+    #[test]
+    fn unset_clock_warns_once_and_marks_events() {
+        use ampere_telemetry::RingBufferSink;
+
+        let (sink, events) = RingBufferSink::new(64);
+        let tel = Telemetry::builder().sink(sink).build();
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = Scheduler::with_telemetry(Box::new(RandomFit::default()), 11, tel);
+
+        // No set_clock call: events must not pretend t=0 is real.
+        sched.freeze(&mut cluster, ServerId::new(0));
+        sched.freeze(&mut cluster, ServerId::new(1));
+
+        let evs = events.events();
+        let warns: Vec<_> = evs.iter().filter(|e| e.name == "clock-unset").collect();
+        assert_eq!(warns.len(), 1, "warning must be one-shot");
+        assert_eq!(warns[0].severity, Severity::Warn);
+        for freeze in evs.iter().filter(|e| e.name == "freeze") {
+            assert_eq!(freeze.sim_time, SimTime::ZERO);
+            assert_eq!(
+                freeze.field("t_unset"),
+                Some(&ampere_telemetry::Value::Bool(true))
+            );
+        }
+
+        // Once the clock is set the marker disappears.
+        sched.set_clock(SimTime::from_mins(3));
+        sched.unfreeze(&mut cluster, ServerId::new(0));
+        let evs = events.events();
+        let unfreeze = evs.iter().find(|e| e.name == "unfreeze").unwrap();
+        assert_eq!(unfreeze.sim_time, SimTime::from_mins(3));
+        assert!(unfreeze.field("t_unset").is_none());
+        // Frozen-at time was unknown, so no hold duration is claimed.
+        assert!(unfreeze.field("held_mins").is_none());
     }
 
     #[test]

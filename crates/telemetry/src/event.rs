@@ -9,7 +9,10 @@
 
 use ampere_sim::SimTime;
 
+use crate::trace::{SpanCtx, SpanId, TraceId};
+
 use std::fmt;
+use std::fmt::Write as _;
 
 /// Event severity, ordered `Debug < Info < Warn < Error`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -149,12 +152,23 @@ pub struct Event {
     pub component: &'static str,
     /// Event name within the component (`"tick"`, `"freeze"`, `"trip"` …).
     pub name: &'static str,
+    /// Trace context ([`SpanCtx::NONE`] for untraced events: no
+    /// `trace`/`span`/`parent` keys are serialized).
+    pub span: SpanCtx,
     /// Flat key/value payload, in emission order.
     pub fields: Vec<(&'static str, Value)>,
 }
 
 /// JSON keys reserved for the envelope; payload fields must avoid them.
-pub const RESERVED_KEYS: [&str; 4] = ["t_ms", "sev", "component", "event"];
+pub const RESERVED_KEYS: [&str; 7] = [
+    "t_ms",
+    "sev",
+    "component",
+    "event",
+    "trace",
+    "span",
+    "parent",
+];
 
 impl Event {
     /// Creates an event with no payload fields.
@@ -169,8 +183,16 @@ impl Event {
             severity,
             component,
             name,
+            span: SpanCtx::NONE,
             fields: Vec::new(),
         }
+    }
+
+    /// Attaches a trace context (builder style). A [`SpanCtx::NONE`]
+    /// context leaves the event untraced.
+    pub fn in_span(mut self, span: SpanCtx) -> Self {
+        self.span = span;
+        self
     }
 
     /// Appends one payload field (builder style).
@@ -200,6 +222,17 @@ impl Event {
         write_json_string(self.component, &mut out);
         out.push_str(",\"event\":");
         write_json_string(self.name, &mut out);
+        if self.span.is_some() {
+            let _ = write!(
+                out,
+                ",\"trace\":{},\"span\":{}",
+                self.span.trace.raw(),
+                self.span.span.raw()
+            );
+            if let Some(parent) = self.span.parent {
+                let _ = write!(out, ",\"parent\":{}", parent.raw());
+            }
+        }
         for (k, v) in &self.fields {
             out.push(',');
             write_json_string(k, &mut out);
@@ -217,9 +250,33 @@ impl Event {
         let mut severity = None;
         let mut component = None;
         let mut name = None;
+        let mut trace = None;
+        let mut span = None;
+        let mut parent = None;
         let mut fields = Vec::new();
         for (key, value) in pairs {
             match key.as_str() {
+                "trace" => {
+                    trace = Some(
+                        value
+                            .as_u64()
+                            .ok_or(ParseError::new("trace must be an unsigned integer"))?,
+                    )
+                }
+                "span" => {
+                    span = Some(
+                        value
+                            .as_u64()
+                            .ok_or(ParseError::new("span must be an unsigned integer"))?,
+                    )
+                }
+                "parent" => {
+                    parent = Some(
+                        value
+                            .as_u64()
+                            .ok_or(ParseError::new("parent must be an unsigned integer"))?,
+                    )
+                }
                 "t_ms" => {
                     t_ms = Some(
                         value
@@ -253,11 +310,21 @@ impl Event {
                 _ => fields.push((key, value)),
             }
         }
+        let span = match (trace, span) {
+            (None, None) => SpanCtx::NONE,
+            (Some(t), Some(s)) if t != 0 && s != 0 => SpanCtx {
+                trace: TraceId(t),
+                span: SpanId(s),
+                parent: parent.map(SpanId),
+            },
+            _ => return Err(ParseError::new("trace and span keys must appear together")),
+        };
         Ok(ParsedEvent {
             sim_time: SimTime::from_millis(t_ms.ok_or(ParseError::new("missing t_ms"))?),
             severity: severity.ok_or(ParseError::new("missing sev"))?,
             component: component.ok_or(ParseError::new("missing component"))?,
             name: name.ok_or(ParseError::new("missing event"))?,
+            span,
             fields,
         })
     }
@@ -274,6 +341,8 @@ pub struct ParsedEvent {
     pub component: String,
     /// Event name within the component.
     pub name: String,
+    /// Trace context ([`SpanCtx::NONE`] when the line had no trace keys).
+    pub span: SpanCtx,
     /// Payload fields.
     pub fields: Vec<(String, Value)>,
 }
@@ -368,6 +437,49 @@ mod tests {
         let mut s = String::new();
         write_json_f64(f64::NAN, &mut s);
         assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn span_keys_round_trip() {
+        let ctx = SpanCtx {
+            trace: TraceId(7),
+            span: SpanId(9),
+            parent: Some(SpanId(7)),
+        };
+        let e = Event::new(SimTime::from_mins(3), Severity::Info, "scheduler", "freeze")
+            .in_span(ctx)
+            .with("server", 12u64);
+        let json = e.to_json();
+        assert!(
+            json.contains("\"trace\":7,\"span\":9,\"parent\":7"),
+            "{json}"
+        );
+        let parsed = Event::parse_json(&json).unwrap();
+        assert_eq!(parsed.span, ctx);
+        // A root span serializes without a parent key.
+        let root = SpanCtx {
+            trace: TraceId(4),
+            span: SpanId(4),
+            parent: None,
+        };
+        let json = Event::new(SimTime::ZERO, Severity::Info, "controller", "tick")
+            .in_span(root)
+            .to_json();
+        assert!(!json.contains("parent"), "{json}");
+        assert_eq!(Event::parse_json(&json).unwrap().span, root);
+    }
+
+    #[test]
+    fn untraced_events_have_no_trace_keys() {
+        let e = Event::new(SimTime::ZERO, Severity::Info, "test", "e");
+        let json = e.to_json();
+        assert!(!json.contains("trace"), "{json}");
+        assert_eq!(Event::parse_json(&json).unwrap().span, SpanCtx::NONE);
+        // A trace key without a span key is a schema error.
+        assert!(Event::parse_json(
+            r#"{"t_ms":0,"sev":"info","component":"a","event":"b","trace":3}"#
+        )
+        .is_err());
     }
 
     #[test]

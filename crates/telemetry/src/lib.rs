@@ -33,7 +33,8 @@
 //! });
 //!
 //! assert_eq!(events.len(), 1);
-//! assert_eq!(tel.snapshot().unwrap().entries.len(), 1);
+//! // The tick counter plus the always-present sink-error counter.
+//! assert_eq!(tel.snapshot().unwrap().entries.len(), 2);
 //! ```
 
 pub mod event;
@@ -41,6 +42,7 @@ pub mod json;
 pub mod registry;
 pub mod sink;
 pub mod timer;
+pub mod trace;
 
 pub use event::{Event, ParseError, ParsedEvent, Severity, Value};
 pub use registry::{
@@ -49,14 +51,26 @@ pub use registry::{
 };
 pub use sink::{EventSink, JsonlSink, RingBufferHandle, RingBufferSink, StderrSink};
 pub use timer::{ScopedTimer, WallGuard};
+pub use trace::{SpanCtx, SpanId, TraceId};
+
+use ampere_sim::SimTime;
 
 use std::fmt;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 struct Pipeline {
     registry: MetricsRegistry,
     sinks: Mutex<Vec<Box<dyn EventSink>>>,
     min_severity: Severity,
+    /// Deterministic span/trace id source: a plain counter, so traced
+    /// runs replay identically (see [`trace`] module docs). `0` is the
+    /// reserved "no span" id; the first allocation returns 1.
+    next_span: AtomicU64,
+    /// The most recent controller-tick root span and its sim time: the
+    /// decision interval currently in effect, which measurement-side
+    /// events (monitor sweeps) join.
+    active_tick: Mutex<(SimTime, SpanCtx)>,
 }
 
 /// Handle to a telemetry pipeline; disabled (all no-op) by default.
@@ -96,11 +110,21 @@ impl TelemetryBuilder {
     /// Builds an enabled pipeline (even with zero sinks, so metrics
     /// still aggregate).
     pub fn build(self) -> Telemetry {
+        let registry = MetricsRegistry::new();
+        // Sinks that can fail (file I/O) report into this counter
+        // instead of panicking from the emit path.
+        let errors = registry.counter("telemetry_sink_errors", &[]);
+        let mut sinks = self.sinks;
+        for sink in &mut sinks {
+            sink.bind_error_counter(errors.clone());
+        }
         Telemetry {
             pipeline: Some(Arc::new(Pipeline {
-                registry: MetricsRegistry::new(),
-                sinks: Mutex::new(self.sinks),
+                registry,
+                sinks: Mutex::new(sinks),
                 min_severity: self.min_severity.unwrap_or(Severity::Debug),
+                next_span: AtomicU64::new(1),
+                active_tick: Mutex::new((SimTime::ZERO, SpanCtx::NONE)),
             })),
         }
     }
@@ -131,7 +155,12 @@ impl Telemetry {
         if let Some(pipeline) = &self.pipeline {
             let event = build();
             if event.severity >= pipeline.min_severity {
-                let mut sinks = pipeline.sinks.lock().unwrap();
+                // The emit path must never take the simulation down:
+                // recover a poisoned sink list instead of panicking.
+                let mut sinks = pipeline
+                    .sinks
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 for sink in sinks.iter_mut() {
                     sink.record(&event);
                 }
@@ -143,6 +172,89 @@ impl Telemetry {
     /// hot paths.
     pub fn emit(&self, event: Event) {
         self.emit_with(|| event);
+    }
+
+    /// Like [`Telemetry::emit_with`], attaching `span` to the built
+    /// event. With a disabled pipeline `build` never runs.
+    #[inline]
+    pub fn emit_in_span(&self, span: SpanCtx, build: impl FnOnce() -> Event) {
+        self.emit_with(|| build().in_span(span));
+    }
+
+    /// Allocates a root span: a fresh trace whose root span id equals
+    /// the trace id. Returns [`SpanCtx::NONE`] when disabled, so
+    /// uninstrumented runs do no work.
+    pub fn root_span(&self) -> SpanCtx {
+        match &self.pipeline {
+            Some(p) => {
+                let id = p.next_span.fetch_add(1, Ordering::Relaxed);
+                SpanCtx {
+                    trace: TraceId(id),
+                    span: SpanId(id),
+                    parent: None,
+                }
+            }
+            None => SpanCtx::NONE,
+        }
+    }
+
+    /// Allocates a child span of `parent` (same trace, new span id).
+    /// A [`SpanCtx::NONE`] parent starts a new root instead; a disabled
+    /// pipeline returns [`SpanCtx::NONE`].
+    pub fn child_span(&self, parent: SpanCtx) -> SpanCtx {
+        if parent.is_none() {
+            return self.root_span();
+        }
+        match &self.pipeline {
+            Some(p) => {
+                let id = p.next_span.fetch_add(1, Ordering::Relaxed);
+                SpanCtx {
+                    trace: parent.trace,
+                    span: SpanId(id),
+                    parent: Some(parent.span),
+                }
+            }
+            None => SpanCtx::NONE,
+        }
+    }
+
+    /// Registers `ctx` as the decision interval in effect from sim time
+    /// `now` (called by the controller when it opens a tick root span).
+    pub fn set_active_tick(&self, now: SimTime, ctx: SpanCtx) {
+        if let Some(p) = &self.pipeline {
+            *p.active_tick.lock().unwrap_or_else(PoisonError::into_inner) = (now, ctx);
+        }
+    }
+
+    /// The most recently registered tick span — the decision interval
+    /// still in effect — regardless of the current sim time.
+    pub fn active_tick(&self) -> SpanCtx {
+        match &self.pipeline {
+            Some(p) => {
+                p.active_tick
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .1
+            }
+            None => SpanCtx::NONE,
+        }
+    }
+
+    /// The tick span registered exactly at sim time `now`, or
+    /// [`SpanCtx::NONE`] if the active tick was opened at another
+    /// instant.
+    pub fn active_tick_at(&self, now: SimTime) -> SpanCtx {
+        match &self.pipeline {
+            Some(p) => {
+                let (at, ctx) = *p.active_tick.lock().unwrap_or_else(PoisonError::into_inner);
+                if at == now {
+                    ctx
+                } else {
+                    SpanCtx::NONE
+                }
+            }
+            None => SpanCtx::NONE,
+        }
     }
 
     /// Counter handle for `name{labels}`; no-op when disabled.
@@ -196,7 +308,10 @@ impl Telemetry {
     /// Flushes every sink.
     pub fn flush(&self) {
         if let Some(pipeline) = &self.pipeline {
-            let mut sinks = pipeline.sinks.lock().unwrap();
+            let mut sinks = pipeline
+                .sinks
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             for sink in sinks.iter_mut() {
                 sink.flush();
             }

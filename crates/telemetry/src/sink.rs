@@ -5,20 +5,30 @@
 //! upstream (severity threshold) so a sink only formats or stores.
 
 use crate::event::Event;
+use crate::registry::Counter;
 
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Receives every event that passes the pipeline's severity filter.
+///
+/// Sinks sit on the event-emit path and must never panic: a sink that
+/// can fail (file I/O) drops the event and reports through the error
+/// counter bound by [`EventSink::bind_error_counter`] instead.
 pub trait EventSink: Send {
     /// Handles one event.
     fn record(&mut self, event: &Event);
 
     /// Flushes buffered output (no-op by default).
     fn flush(&mut self) {}
+
+    /// Hands the sink the pipeline's `telemetry_sink_errors` counter
+    /// (called once by `TelemetryBuilder::build`). Sinks that cannot
+    /// fail ignore it.
+    fn bind_error_counter(&mut self, _errors: Counter) {}
 }
 
 /// Keeps the last `capacity` events in memory, for tests and live
@@ -52,7 +62,7 @@ impl RingBufferSink {
 
 impl EventSink for RingBufferSink {
     fn record(&mut self, event: &Event) {
-        let mut buf = self.shared.lock().unwrap();
+        let mut buf = self.shared.lock().unwrap_or_else(PoisonError::into_inner);
         if buf.len() == self.capacity {
             buf.pop_front();
         }
@@ -63,12 +73,20 @@ impl EventSink for RingBufferSink {
 impl RingBufferHandle {
     /// A copy of the buffered events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.shared.lock().unwrap().iter().cloned().collect()
+        self.shared
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Number of buffered events.
     pub fn len(&self) -> usize {
-        self.shared.lock().unwrap().len()
+        self.shared
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether nothing is buffered.
@@ -78,8 +96,13 @@ impl RingBufferHandle {
 }
 
 /// Writes one JSON line per event to any [`Write`] target.
+///
+/// I/O errors degrade gracefully: the event is dropped, the pipeline's
+/// `telemetry_sink_errors` counter is incremented, and the emit path
+/// never panics (a full disk must not take the simulation down).
 pub struct JsonlSink<W: Write + Send> {
     out: BufWriter<W>,
+    errors: Counter,
 }
 
 impl JsonlSink<File> {
@@ -94,18 +117,26 @@ impl<W: Write + Send> JsonlSink<W> {
     pub fn new(out: W) -> Self {
         JsonlSink {
             out: BufWriter::new(out),
+            errors: Counter::noop(),
         }
     }
 }
 
 impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn record(&mut self, event: &Event) {
-        // Telemetry must never take the simulation down: drop on error.
-        let _ = writeln!(self.out, "{}", event.to_json());
+        if writeln!(self.out, "{}", event.to_json()).is_err() {
+            self.errors.inc();
+        }
     }
 
     fn flush(&mut self) {
-        let _ = self.out.flush();
+        if self.out.flush().is_err() {
+            self.errors.inc();
+        }
+    }
+
+    fn bind_error_counter(&mut self, errors: Counter) {
+        self.errors = errors;
     }
 }
 
@@ -142,6 +173,45 @@ mod tests {
             .collect();
         assert_eq!(ns, vec![2, 3, 4]);
         assert_eq!(handle.len(), 3);
+    }
+
+    #[test]
+    fn jsonl_sink_drops_events_and_counts_errors_on_io_failure() {
+        use crate::{MetricKind, Severity, Telemetry};
+
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Err(io::Error::other("disk full"))
+            }
+        }
+
+        // BufWriter only hits the device when its buffer fills or on
+        // flush, so emit enough bytes to force real write attempts.
+        let tel = Telemetry::builder()
+            .sink(JsonlSink::new(FailingWriter))
+            .build();
+        for n in 0..10_000 {
+            tel.emit(
+                Event::new(
+                    ampere_sim::SimTime::from_mins(n),
+                    Severity::Info,
+                    "test",
+                    "e",
+                )
+                .with("n", n),
+            );
+        }
+        tel.flush(); // Must not panic.
+        let snap = tel.snapshot().unwrap();
+        let errors = match snap.get("telemetry_sink_errors", &[]).unwrap().kind {
+            MetricKind::Counter(n) => n,
+            ref other => panic!("unexpected kind {other:?}"),
+        };
+        assert!(errors > 0, "I/O failures were not counted");
     }
 
     #[test]
