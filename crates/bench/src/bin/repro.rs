@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations] [--quick] [--csv DIR] [--telemetry FILE]
+//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations|chaos] [--quick] [--csv DIR] [--telemetry FILE]
 //! ```
 //!
 //! `--quick` shrinks run lengths (used by CI); without it each
@@ -41,7 +41,11 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .find(|a| {
-            a.starts_with("fig") || a.starts_with("table") || *a == "all" || *a == "ablations"
+            a.starts_with("fig")
+                || a.starts_with("table")
+                || *a == "all"
+                || *a == "ablations"
+                || *a == "chaos"
         })
         .unwrap_or("all");
 
@@ -85,6 +89,9 @@ fn main() {
     if all || what == "ablations" {
         ablations(quick, &out);
     }
+    if all || what == "chaos" {
+        chaos(quick, &out);
+    }
 
     if let Some(path) = &telemetry_path {
         let tel = ampere_telemetry::global();
@@ -101,6 +108,51 @@ fn main() {
             eprintln!("telemetry written to {}", path.display());
         }
     }
+}
+
+fn chaos(quick: bool, out: &Output) {
+    println!("=== Chaos: fault injection, graceful degradation, capping backstop ===\n");
+    let config = if quick {
+        exp::chaos::ChaosConfig::quick()
+    } else {
+        exp::chaos::ChaosConfig::paper()
+    };
+    let r = exp::chaos::run(&config);
+    let rows: Vec<Vec<String>> = r
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                pct(c.dropout),
+                c.outage_mins.to_string(),
+                c.violations.to_string(),
+                if c.tripped { "YES" } else { "no" }.to_string(),
+                c.degraded_ticks.to_string(),
+                c.backstop_ticks.to_string(),
+                c.failovers.to_string(),
+                f3(c.min_coverage),
+                f3(c.throughput_ratio),
+            ]
+        })
+        .collect();
+    out.table(
+        "Chaos sweep: dropout x outage",
+        &[
+            "dropout",
+            "outage(min)",
+            "violations",
+            "tripped",
+            "degraded",
+            "backstop",
+            "failovers",
+            "min_cov",
+            "r_thru",
+        ],
+        &rows,
+    );
+    println!(
+        "(safety claim: the `tripped` column must be all `no` — capping backstops the breaker)\n"
+    );
 }
 
 fn ablations(quick: bool, out: &Output) {

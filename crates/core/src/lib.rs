@@ -69,15 +69,20 @@
 pub mod algorithm;
 pub mod controller;
 pub mod economics;
+pub mod error;
 pub mod experiment;
 pub mod metrics;
 pub mod model;
 pub mod predict;
 pub mod rhc;
+pub mod watchdog;
 
 pub use algorithm::{FreezeActions, FreezePlanner, ServerPowerReading};
-pub use controller::{AmpereController, ControlDomain, ControlRecord, ControllerConfig};
+pub use controller::{
+    AmpereController, ControlDomain, ControlMode, ControlRecord, ControllerConfig, DegradedPolicy,
+};
 pub use economics::{CapacityGain, CostModel};
+pub use error::ControlConfigError;
 pub use experiment::{scaled_budget_w, ParitySplit};
 pub use metrics::{gtpw, over_provision_ratio, tpw, ThroughputComparison};
 pub use model::{ControlFunction, ControlModel};
@@ -85,3 +90,4 @@ pub use predict::{
     ArPredictor, EwmaPredictor, HistoricalPercentile, PowerChangePredictor, PredictionTracker,
 };
 pub use rhc::{solve_pcp_general, solve_pcp_greedy, spcp_optimal_ratio, PcpInstance};
+pub use watchdog::{TickWatchdog, WatchdogConfig};

@@ -12,6 +12,8 @@ use ampere_sim::SimTime;
 use ampere_stats::percentile;
 use ampere_telemetry::{buckets, Histogram, Telemetry};
 
+use crate::error::ControlConfigError;
+
 /// A predictor of the next-interval power increase, in
 /// budget-normalized units.
 pub trait PowerChangePredictor: Send {
@@ -86,8 +88,22 @@ impl HistoricalPercentile {
     /// paper uses 99.5). Hours without enough data fall back to the
     /// global percentile; an empty history falls back to `default_et`.
     pub fn fit(history: &[(SimTime, f64)], pct: f64, default_et: f64) -> Self {
-        assert!((0.0..=100.0).contains(&pct), "bad percentile");
-        assert!(default_et >= 0.0, "bad default Et");
+        Self::try_fit(history, pct, default_et).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`HistoricalPercentile::fit`] with a typed error instead of
+    /// a panic on invalid parameters.
+    pub fn try_fit(
+        history: &[(SimTime, f64)],
+        pct: f64,
+        default_et: f64,
+    ) -> Result<Self, ControlConfigError> {
+        if !(0.0..=100.0).contains(&pct) {
+            return Err(ControlConfigError::BadPercentile(pct));
+        }
+        if default_et.is_nan() || default_et < 0.0 {
+            return Err(ControlConfigError::BadDefaultEt(default_et));
+        }
         let mut per_hour_diffs: Vec<Vec<f64>> = vec![Vec::new(); 24];
         let mut all_diffs = Vec::new();
         for w in history.windows(2) {
@@ -107,13 +123,20 @@ impl HistoricalPercentile {
                 per_hour[h] = percentile(diffs, pct).map(|v| v.max(0.0)).unwrap_or(global);
             }
         }
-        Self { per_hour }
+        Ok(Self { per_hour })
     }
 
     /// Constructs directly from a per-hour table (tests, hand tuning).
     pub fn from_table(per_hour: [f64; 24]) -> Self {
-        assert!(per_hour.iter().all(|v| *v >= 0.0 && v.is_finite()));
-        Self { per_hour }
+        Self::try_from_table(per_hour).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`HistoricalPercentile::from_table`] with a typed error.
+    pub fn try_from_table(per_hour: [f64; 24]) -> Result<Self, ControlConfigError> {
+        if let Some(bad) = per_hour.iter().find(|v| !(**v >= 0.0 && v.is_finite())) {
+            return Err(ControlConfigError::BadTable(*bad));
+        }
+        Ok(Self { per_hour })
     }
 
     /// A flat margin, the simplest safe configuration.
@@ -131,12 +154,19 @@ impl HistoricalPercentile {
     /// conservative as we are preparing for almost the largest change
     /// in observed history"): quiet calibration hours must not leave
     /// the controller with no safety margin.
-    pub fn with_floor(mut self, floor: f64) -> Self {
-        assert!(floor >= 0.0 && floor.is_finite(), "bad floor");
+    pub fn with_floor(self, floor: f64) -> Self {
+        self.try_with_floor(floor).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`HistoricalPercentile::with_floor`] with a typed error.
+    pub fn try_with_floor(mut self, floor: f64) -> Result<Self, ControlConfigError> {
+        if !(floor >= 0.0 && floor.is_finite()) {
+            return Err(ControlConfigError::BadFloor(floor));
+        }
         for v in &mut self.per_hour {
             *v = v.max(floor);
         }
-        self
+        Ok(self)
     }
 }
 
@@ -168,16 +198,25 @@ impl EwmaPredictor {
     /// Creates a predictor with smoothing `alpha`, deviation multiplier
     /// `cushion` and a minimum margin `floor`.
     pub fn new(alpha: f64, cushion: f64, floor: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "bad alpha");
-        assert!(cushion >= 0.0 && floor >= 0.0, "bad cushion/floor");
-        Self {
+        Self::try_new(alpha, cushion, floor).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`EwmaPredictor::new`] with a typed error.
+    pub fn try_new(alpha: f64, cushion: f64, floor: f64) -> Result<Self, ControlConfigError> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(ControlConfigError::BadAlpha(alpha));
+        }
+        if !(cushion >= 0.0 && floor >= 0.0) {
+            return Err(ControlConfigError::BadCushionOrFloor);
+        }
+        Ok(Self {
             alpha,
             cushion,
             last_power: None,
             mean_diff: 0.0,
             abs_dev: 0.0,
             floor,
-        }
+        })
     }
 
     /// A reasonable default configuration.
@@ -224,8 +263,18 @@ pub struct ArPredictor {
 impl ArPredictor {
     /// Creates an AR(1) predictor with forgetting factor `decay`.
     pub fn new(decay: f64, cushion: f64, floor: f64) -> Self {
-        assert!(decay > 0.0 && decay <= 1.0, "bad decay");
-        Self {
+        Self::try_new(decay, cushion, floor).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`ArPredictor::new`] with a typed error.
+    pub fn try_new(decay: f64, cushion: f64, floor: f64) -> Result<Self, ControlConfigError> {
+        if !(decay > 0.0 && decay <= 1.0) {
+            return Err(ControlConfigError::BadDecay(decay));
+        }
+        if !(cushion >= 0.0 && floor >= 0.0) {
+            return Err(ControlConfigError::BadCushionOrFloor);
+        }
+        Ok(Self {
             phi_num: 0.0,
             phi_den: 1e-9,
             decay,
@@ -234,7 +283,7 @@ impl ArPredictor {
             last_power: None,
             last_diff: None,
             abs_dev: 0.0,
-        }
+        })
     }
 
     /// A reasonable default configuration.
@@ -364,6 +413,43 @@ mod tests {
             t += SimDuration::MINUTE;
         }
         assert!(est.phi() > 0.7, "phi = {}", est.phi());
+    }
+
+    #[test]
+    fn try_constructors_report_typed_errors() {
+        assert_eq!(
+            HistoricalPercentile::try_fit(&[], 101.0, 0.02).err(),
+            Some(ControlConfigError::BadPercentile(101.0))
+        );
+        assert_eq!(
+            HistoricalPercentile::try_fit(&[], 99.5, -0.1).err(),
+            Some(ControlConfigError::BadDefaultEt(-0.1))
+        );
+        assert_eq!(
+            HistoricalPercentile::try_from_table([-0.5; 24]).err(),
+            Some(ControlConfigError::BadTable(-0.5))
+        );
+        assert!(HistoricalPercentile::flat(0.02)
+            .try_with_floor(f64::NAN)
+            .is_err());
+        assert_eq!(
+            EwmaPredictor::try_new(0.0, 1.0, 0.0).err(),
+            Some(ControlConfigError::BadAlpha(0.0))
+        );
+        assert_eq!(
+            EwmaPredictor::try_new(0.5, -1.0, 0.0).err(),
+            Some(ControlConfigError::BadCushionOrFloor)
+        );
+        assert_eq!(
+            ArPredictor::try_new(1.5, 1.0, 0.0).err(),
+            Some(ControlConfigError::BadDecay(1.5))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad percentile")]
+    fn panicking_fit_keeps_historical_message() {
+        HistoricalPercentile::fit(&[], -1.0, 0.02);
     }
 
     #[test]

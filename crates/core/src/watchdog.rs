@@ -1,0 +1,240 @@
+//! The tick watchdog that arms the capping backstop.
+//!
+//! The paper keeps RAPL capping armed as the "last line of defense"
+//! (§2.1) precisely because the statistical controller can fail — crash,
+//! partition, or go blind when telemetry stops flowing. The watchdog
+//! models the supervisor that notices: every expected control interval
+//! it is told whether the controller actually ran *with usable data*.
+//! After `arm_after` consecutive unhealthy intervals it arms the
+//! backstop (the driver then hands the domain to the [`RaplCapper`]);
+//! after `disarm_after` consecutive healthy intervals it stands the
+//! backstop down again. The hysteresis keeps a flapping controller from
+//! toggling capping every minute.
+//!
+//! `arm_after` must stay below the breaker's trip threshold (5
+//! consecutive over-limit minutes in our model) so capping — not the
+//! fuse — is always the first responder to a dead controller.
+//!
+//! [`RaplCapper`]: ../../ampere_power/capping/struct.RaplCapper.html
+
+use ampere_sim::SimTime;
+use ampere_telemetry::{Counter, Event, Severity, Telemetry};
+
+use crate::error::ControlConfigError;
+
+/// Watchdog thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Consecutive unhealthy intervals before the backstop arms.
+    pub arm_after: u32,
+    /// Consecutive healthy intervals before the backstop disarms.
+    pub disarm_after: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            // Three missed minutes < the breaker's five-minute trip
+            // curve, with margin for the one-tick capping latency.
+            arm_after: 3,
+            disarm_after: 5,
+        }
+    }
+}
+
+/// Detects controller outages and blind intervals, arming the RAPL
+/// capping backstop before the circuit breaker would trip.
+#[derive(Debug)]
+pub struct TickWatchdog {
+    config: WatchdogConfig,
+    unhealthy_run: u32,
+    healthy_run: u32,
+    armed: bool,
+    armed_since: Option<SimTime>,
+    arms: u64,
+    telemetry: Telemetry,
+    armed_counter: Counter,
+}
+
+impl TickWatchdog {
+    /// Creates a watchdog reporting into the global telemetry pipeline.
+    /// Panics on zero thresholds; use [`TickWatchdog::try_new`] for the
+    /// typed error.
+    pub fn new(config: WatchdogConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`TickWatchdog::new`] with a typed error.
+    pub fn try_new(config: WatchdogConfig) -> Result<Self, ControlConfigError> {
+        Self::try_with_telemetry(config, ampere_telemetry::global())
+    }
+
+    /// Like [`TickWatchdog::try_new`] with an explicit pipeline.
+    pub fn try_with_telemetry(
+        config: WatchdogConfig,
+        telemetry: Telemetry,
+    ) -> Result<Self, ControlConfigError> {
+        if config.arm_after == 0 || config.disarm_after == 0 {
+            return Err(ControlConfigError::BadWatchdogThreshold);
+        }
+        Ok(Self {
+            config,
+            unhealthy_run: 0,
+            healthy_run: 0,
+            armed: false,
+            armed_since: None,
+            arms: 0,
+            armed_counter: telemetry.counter("watchdog_backstop_arms", &[]),
+            telemetry,
+        })
+    }
+
+    /// The thresholds in force.
+    pub fn config(&self) -> WatchdogConfig {
+        self.config
+    }
+
+    /// Whether the backstop is currently armed.
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// How many times the backstop armed over the run.
+    pub fn arms(&self) -> u64 {
+        self.arms
+    }
+
+    /// Reports one expected control interval. `healthy` means the
+    /// controller ran *and* had fresh enough data to act on; a missed
+    /// tick or a blind one (all telemetry stale) is unhealthy. Returns
+    /// whether the backstop is armed after this observation.
+    pub fn observe(&mut self, now: SimTime, healthy: bool) -> bool {
+        if healthy {
+            self.healthy_run += 1;
+            self.unhealthy_run = 0;
+            if self.armed && self.healthy_run >= self.config.disarm_after {
+                self.armed = false;
+                let armed_mins = self
+                    .armed_since
+                    .take()
+                    .map(|t| now.since(t).as_mins_f64())
+                    .unwrap_or(0.0);
+                self.telemetry.emit_with(|| {
+                    Event::new(now, Severity::Info, "watchdog", "backstop_disarmed")
+                        .with("armed_mins", armed_mins)
+                });
+            }
+        } else {
+            self.unhealthy_run += 1;
+            self.healthy_run = 0;
+            if !self.armed && self.unhealthy_run >= self.config.arm_after {
+                self.armed = true;
+                self.armed_since = Some(now);
+                self.arms += 1;
+                self.armed_counter.inc();
+                self.telemetry.emit_with(|| {
+                    Event::new(now, Severity::Warn, "watchdog", "backstop_armed")
+                        .with("unhealthy_ticks", u64::from(self.unhealthy_run))
+                });
+            }
+        }
+        self.armed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampere_sim::SimDuration;
+
+    fn t(min: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(min)
+    }
+
+    fn watchdog() -> TickWatchdog {
+        TickWatchdog::new(WatchdogConfig {
+            arm_after: 3,
+            disarm_after: 2,
+        })
+    }
+
+    #[test]
+    fn arms_after_consecutive_unhealthy_ticks() {
+        let mut w = watchdog();
+        assert!(!w.observe(t(1), false));
+        assert!(!w.observe(t(2), false));
+        assert!(w.observe(t(3), false), "third miss must arm");
+        assert!(w.armed());
+        assert_eq!(w.arms(), 1);
+    }
+
+    #[test]
+    fn sporadic_misses_do_not_arm() {
+        let mut w = watchdog();
+        for m in 1..=20 {
+            // Two misses, one healthy tick, repeating: never 3 in a row.
+            w.observe(t(m), m % 3 == 0);
+        }
+        assert!(!w.armed());
+    }
+
+    #[test]
+    fn disarms_only_after_sustained_recovery() {
+        let mut w = watchdog();
+        for m in 1..=3 {
+            w.observe(t(m), false);
+        }
+        assert!(w.armed());
+        assert!(w.observe(t(4), true), "one healthy tick must not disarm");
+        assert!(!w.observe(t(5), true), "second healthy tick disarms");
+        assert!(!w.armed());
+    }
+
+    #[test]
+    fn flapping_resets_the_recovery_run() {
+        let mut w = watchdog();
+        for m in 1..=3 {
+            w.observe(t(m), false);
+        }
+        w.observe(t(4), true);
+        w.observe(t(5), false); // Recovery run resets.
+        assert!(w.observe(t(6), true));
+        assert!(!w.observe(t(7), true));
+    }
+
+    #[test]
+    fn emits_armed_and_disarmed_events_with_duration() {
+        use ampere_telemetry::{RingBufferSink, Telemetry};
+        let (sink, events) = RingBufferSink::new(16);
+        let tel = Telemetry::builder().sink(sink).build();
+        let mut w = TickWatchdog::try_with_telemetry(
+            WatchdogConfig {
+                arm_after: 2,
+                disarm_after: 1,
+            },
+            tel,
+        )
+        .unwrap();
+        w.observe(t(1), false);
+        w.observe(t(2), false);
+        w.observe(t(7), true);
+        let evs = events.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "backstop_armed");
+        assert_eq!(evs[0].severity, Severity::Warn);
+        assert_eq!(evs[1].name, "backstop_disarmed");
+        assert_eq!(evs[1].field("armed_mins").unwrap().as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn rejects_zero_thresholds() {
+        assert_eq!(
+            TickWatchdog::try_new(WatchdogConfig {
+                arm_after: 0,
+                disarm_after: 5
+            })
+            .err(),
+            Some(ControlConfigError::BadWatchdogThreshold)
+        );
+    }
+}

@@ -28,7 +28,7 @@ fn one_tick_emits_expected_event_sequence() {
         tel.clone(),
     );
     let servers: Vec<ServerId> = (0..8).map(ServerId::new).collect();
-    let domain = ControlDomain::new(servers.clone(), 1_600.0);
+    let domain = ControlDomain::new(servers.clone(), 1_600.0).expect("valid budget");
 
     // Load every domain server to full utilization (8 × 250 W = 2000 W
     // against a 1600 W budget → 1.25 normalized, control must act).
@@ -104,7 +104,8 @@ fn prediction_error_histogram_fills_after_two_ticks() {
         Box::new(HistoricalPercentile::flat(0.02)),
         tel.clone(),
     );
-    let domain = ControlDomain::new((0..8).map(ServerId::new).collect(), 1_600.0);
+    let domain =
+        ControlDomain::new((0..8).map(ServerId::new).collect(), 1_600.0).expect("valid budget");
     for m in 1..=3 {
         ctl.tick(SimTime::from_mins(m), &domain, &mut cluster, &mut sched);
     }
@@ -137,7 +138,7 @@ fn disabled_telemetry_changes_no_behavior() {
             tel,
         );
         let servers: Vec<ServerId> = (0..8).map(ServerId::new).collect();
-        let domain = ControlDomain::new(servers.clone(), 1_600.0);
+        let domain = ControlDomain::new(servers.clone(), 1_600.0).expect("valid budget");
         for (i, &id) in servers.iter().enumerate() {
             cluster
                 .server_mut(id)
@@ -179,7 +180,7 @@ fn repeated_ticks_produce_identical_traced_dumps() {
             tel,
         );
         let servers: Vec<ServerId> = (0..8).map(ServerId::new).collect();
-        let domain = ControlDomain::new(servers.clone(), 1_600.0);
+        let domain = ControlDomain::new(servers.clone(), 1_600.0).expect("valid budget");
         for (i, &id) in servers.iter().enumerate() {
             cluster
                 .server_mut(id)

@@ -78,6 +78,9 @@ mod tests {
             placed_jobs: 0,
             froze: 0,
             unfroze: 0,
+            coverage: 1.0,
+            degraded: false,
+            backstop_armed: false,
         }
     }
 

@@ -1,0 +1,298 @@
+//! Chaos sweep: graceful degradation under injected faults.
+//!
+//! The paper's architecture (§3.2, §3.5) claims robustness by design —
+//! capping as the "last line of defense", a stateless controller that
+//! can be replaced after a crash — but never measures what faults cost.
+//! This experiment injects a seeded [`FaultPlan`] (per-server sample
+//! dropout × a controller outage window, plus sensor noise and lost
+//! freeze RPCs) into the standard parity-split row and sweeps the grid,
+//! asking two questions per cell:
+//!
+//! 1. **Safety** — does the breaker ever trip? The degraded controller
+//!    (freezes held, `Et` inflated) plus the watchdog-armed capping
+//!    backstop must keep the answer *no* even when the controller is
+//!    down for the whole outage window.
+//! 2. **Cost** — how much throughput does conservatism buy safety
+//!    with? Each cell's placed-job count is normalized against the
+//!    fault-free cell of the same seed.
+
+use ampere_cluster::ServerId;
+use ampere_core::{scaled_budget_w, ParitySplit};
+use ampere_faults::{FaultPlan, OutageWindow};
+use ampere_power::CappingConfig;
+use ampere_sched::RandomFit;
+use ampere_sim::{SimDuration, SimTime};
+use ampere_workload::RateProfile;
+
+use crate::calibrate::{controller_with, et_from_records};
+use crate::testbed::{DomainId, DomainSpec, Testbed, TestbedConfig};
+
+/// Configuration of the chaos sweep.
+pub struct ChaosConfig {
+    /// Measured hours per grid cell.
+    pub hours: u64,
+    /// Warm-up minutes discarded before measurement.
+    pub warmup_mins: u64,
+    /// Hours of uncontrolled calibration used to fit the `Et` table.
+    pub calibration_hours: u64,
+    /// Over-provisioning ratio.
+    pub r_o: f64,
+    /// RNG seed (workload and fault streams both derive from it).
+    pub seed: u64,
+    /// Sample-dropout rates swept (first entry should be 0.0 — it is
+    /// the throughput baseline).
+    pub dropout_rates: Vec<f64>,
+    /// Controller-outage lengths swept, in minutes (0 = no outage).
+    pub outage_mins: Vec<u64>,
+    /// Probability that a freeze/unfreeze RPC is lost, applied to every
+    /// faulted cell.
+    pub rpc_loss: f64,
+    /// Extra relative sensor noise on surviving samples, every faulted
+    /// cell.
+    pub sensor_noise: f64,
+}
+
+impl ChaosConfig {
+    /// Paper-scale sweep: a 440-server row, heavy workload, 8 measured
+    /// hours per cell.
+    pub fn paper() -> Self {
+        Self {
+            hours: 8,
+            warmup_mins: 120,
+            calibration_hours: 8,
+            r_o: 0.25,
+            seed: 17,
+            dropout_rates: vec![0.0, 0.1, 0.25, 0.4],
+            outage_mins: vec![0, 10, 30],
+            rpc_loss: 0.05,
+            sensor_noise: 0.01,
+        }
+    }
+
+    /// CI-sized sweep (minutes, not hours) covering the acceptance
+    /// cell: ≥ 20 % dropout combined with a 10-minute outage.
+    pub fn quick() -> Self {
+        Self {
+            hours: 2,
+            warmup_mins: 60,
+            calibration_hours: 2,
+            dropout_rates: vec![0.0, 0.25],
+            outage_mins: vec![0, 10],
+            ..Self::paper()
+        }
+    }
+}
+
+/// One cell of the dropout × outage grid.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosCell {
+    /// Sample-dropout rate injected.
+    pub dropout: f64,
+    /// Controller-outage length injected, in minutes.
+    pub outage_mins: u64,
+    /// Breaker violations in the measured window (minutes over budget).
+    pub violations: u64,
+    /// Whether the breaker tripped (5 consecutive violations) — the
+    /// failure the whole stack exists to prevent.
+    pub tripped: bool,
+    /// Ticks the controller spent in degraded mode.
+    pub degraded_ticks: u64,
+    /// Ticks with the watchdog's capping backstop armed.
+    pub backstop_ticks: u64,
+    /// Replacement controllers cold-started from the time-series DB.
+    pub failovers: u64,
+    /// Lowest per-tick sample coverage seen.
+    pub min_coverage: f64,
+    /// Jobs placed on the controlled domain in the measured window.
+    pub placed: u64,
+    /// `placed` normalized to the fault-free cell (the throughput cost
+    /// of degradation; 1.0 = free).
+    pub throughput_ratio: f64,
+}
+
+/// The swept grid.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    /// One entry per (dropout, outage) pair, outage-major order.
+    pub cells: Vec<ChaosCell>,
+    /// Placed jobs in the fault-free cell (the denominator).
+    pub baseline_placed: u64,
+}
+
+impl ChaosResult {
+    /// The cell for a given grid coordinate, if swept.
+    pub fn cell(&self, dropout: f64, outage_mins: u64) -> Option<&ChaosCell> {
+        self.cells
+            .iter()
+            .find(|c| c.dropout == dropout && c.outage_mins == outage_mins)
+    }
+}
+
+fn faulted_testbed(
+    config: &ChaosConfig,
+    controller: Option<ampere_core::AmpereController>,
+    faults: Option<FaultPlan>,
+) -> (Testbed, DomainId) {
+    let tb_config = TestbedConfig {
+        capping: CappingConfig {
+            // Not armed up front: only the watchdog backstop may engage
+            // it, which is exactly what the sweep is probing.
+            enabled: true,
+            ..CappingConfig::default()
+        },
+        policy: Box::new(RandomFit::default()),
+        faults,
+        ..TestbedConfig::paper_row(RateProfile::heavy_row(), config.seed)
+    };
+    let mut tb = Testbed::new(tb_config);
+    let spec = *tb.cluster().spec();
+    let all: Vec<ServerId> = (0..spec.server_count() as u64).map(ServerId::new).collect();
+    let (exp, _rest) = ParitySplit::split(all);
+    let group_rated = exp.len() as f64 * spec.power_model.rated_w;
+    let budget = scaled_budget_w(group_rated, config.r_o);
+    let dom = tb.add_domain(DomainSpec {
+        name: "chaos".into(),
+        servers: exp,
+        budget_w: budget,
+        controller,
+        capped: false,
+    });
+    (tb, dom)
+}
+
+/// Runs the sweep.
+pub fn run(config: &ChaosConfig) -> ChaosResult {
+    // Phase 1 — fault-free calibration fits the `Et` table, exactly as
+    // a production deployment would have done before faults strike.
+    let (mut cal, cal_dom) = faulted_testbed(config, None, None);
+    cal.run_for(SimDuration::from_hours(config.calibration_hours));
+    let et = et_from_records(cal.records(cal_dom));
+
+    let measured_mins = config.hours * 60;
+    let mut cells = Vec::new();
+    let mut baseline_placed = 0u64;
+    for &outage in &config.outage_mins {
+        for &dropout in &config.dropout_rates {
+            let faulted = dropout > 0.0 || outage > 0;
+            let plan = faulted.then(|| {
+                // The outage opens one third into the measured window —
+                // the controller is warm, then vanishes.
+                let start = SimTime::from_mins(config.warmup_mins + measured_mins / 3);
+                FaultPlan {
+                    sample_dropout: dropout,
+                    sensor_noise: config.sensor_noise,
+                    rpc_loss: config.rpc_loss,
+                    outages: (outage > 0)
+                        .then(|| OutageWindow {
+                            start,
+                            end: start + SimDuration::from_mins(outage),
+                        })
+                        .into_iter()
+                        .collect(),
+                    ..FaultPlan::seeded(config.seed)
+                }
+            });
+            let controller = controller_with(Box::new(et.clone()));
+            let (mut tb, dom) = faulted_testbed(config, Some(controller), plan);
+            tb.run_for(SimDuration::from_mins(config.warmup_mins));
+            let skip = tb.records(dom).len();
+            tb.run_for(SimDuration::from_mins(measured_mins));
+
+            let recs = &tb.records(dom)[skip..];
+            let placed: u64 = recs.iter().map(|r| r.placed_jobs).sum();
+            if dropout == 0.0 && outage == 0 {
+                baseline_placed = placed;
+            }
+            cells.push(ChaosCell {
+                dropout,
+                outage_mins: outage,
+                violations: recs.iter().filter(|r| r.violation).count() as u64,
+                tripped: tb.breaker(dom).tripped_at().is_some(),
+                degraded_ticks: recs.iter().filter(|r| r.degraded).count() as u64,
+                backstop_ticks: recs.iter().filter(|r| r.backstop_armed).count() as u64,
+                failovers: tb.failovers(dom),
+                min_coverage: recs.iter().map(|r| r.coverage).fold(1.0, f64::min),
+                placed,
+                throughput_ratio: if baseline_placed > 0 {
+                    placed as f64 / baseline_placed as f64
+                } else {
+                    1.0
+                },
+            });
+        }
+    }
+    ChaosResult {
+        cells,
+        baseline_placed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ChaosResult {
+        run(&ChaosConfig::quick())
+    }
+
+    #[test]
+    fn acceptance_no_trips_anywhere_and_backstop_covers_the_outage() {
+        let r = quick();
+        assert_eq!(r.cells.len(), 4);
+        for c in &r.cells {
+            assert!(
+                !c.tripped,
+                "breaker tripped at dropout={} outage={}",
+                c.dropout, c.outage_mins
+            );
+        }
+        // The acceptance cell: ≥ 20 % dropout + a 10-minute outage.
+        let worst = r.cell(0.25, 10).expect("acceptance cell swept");
+        assert!(
+            worst.backstop_ticks > 0,
+            "watchdog never armed the backstop through a 10-minute outage"
+        );
+        assert_eq!(worst.failovers, 1, "recovery must cold-start exactly once");
+        assert!(worst.min_coverage < 0.9, "dropout not visible in coverage");
+    }
+
+    #[test]
+    fn degradation_costs_bounded_throughput() {
+        let r = quick();
+        assert!(r.baseline_placed > 0);
+        for c in &r.cells {
+            // Holding freezes and inflating Et must cost something in
+            // the faulted cells, but not collapse throughput.
+            assert!(
+                c.throughput_ratio > 0.5,
+                "cell dropout={} outage={} ratio={}",
+                c.dropout,
+                c.outage_mins,
+                c.throughput_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_drives_degraded_ticks() {
+        let r = quick();
+        let clean = r.cell(0.0, 0).unwrap();
+        let noisy = r.cell(0.25, 0).unwrap();
+        assert_eq!(clean.degraded_ticks, 0, "fault-free run must stay nominal");
+        assert_eq!(clean.failovers, 0);
+        assert!(noisy.min_coverage < clean.min_coverage);
+    }
+
+    #[test]
+    fn same_seed_same_grid() {
+        let config = ChaosConfig::quick();
+        let a = run(&config);
+        let b = run(&config);
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.violations, y.violations);
+            assert_eq!(x.placed, y.placed);
+            assert_eq!(x.degraded_ticks, y.degraded_ticks);
+            assert_eq!(x.backstop_ticks, y.backstop_ticks);
+        }
+    }
+}

@@ -22,9 +22,11 @@
 //! | [`fig11`] | Redis p99.9 latency: power capping vs Ampere |
 //! | [`fig12`] | Power + throughput under control, r_O = 0.25, 4 h |
 //! | [`table3`]| G_TPW across r_O × workload (13 rows) |
+//! | [`chaos`] | Fault-injection sweep: dropout × outage, breaker safety + throughput cost |
 
 pub mod ablation;
 pub mod calibrate;
+pub mod chaos;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -21,12 +21,17 @@
 //!    measurement, freezing/unfreezing through the scheduler API.
 
 use ampere_cluster::{Cluster, ClusterSpec, RowId, ServerId};
-use ampere_core::{AmpereController, ServerPowerReading};
+use ampere_core::{
+    AmpereController, ControlMode, HistoricalPercentile, ServerPowerReading, TickWatchdog,
+    WatchdogConfig,
+};
+use ampere_faults::{FaultInjector, FaultPlan, SweepFaults};
 use ampere_power::{
     monitor::ServerSample, CappingConfig, CircuitBreaker, PowerMonitor, RaplCapper,
 };
 use ampere_sched::{PlacementPolicy, RandomFit, Scheduler};
 use ampere_sim::{derive_stream, rng::streams, Distribution, Normal, SimDuration, SimRng, SimTime};
+use ampere_telemetry::{Event, Severity};
 use ampere_workload::{BatchWorkload, RateProfile};
 
 /// Index of a registered power domain.
@@ -73,6 +78,13 @@ pub struct DomainTickRecord {
     pub froze: usize,
     /// Servers newly unfrozen by the controller this tick.
     pub unfroze: usize,
+    /// Fraction of the domain's servers whose samples reached the
+    /// monitoring pipeline this tick (1.0 without fault injection).
+    pub coverage: f64,
+    /// Whether the controller ran this tick in degraded mode.
+    pub degraded: bool,
+    /// Whether the capping backstop was armed at the end of the tick.
+    pub backstop_armed: bool,
 }
 
 struct DomainState {
@@ -82,6 +94,10 @@ struct DomainState {
     controller: Option<AmpereController>,
     capped: bool,
     breaker: CircuitBreaker,
+    /// Arms the RAPL backstop when the controller misses ticks or goes
+    /// blind; only observed on controlled domains.
+    watchdog: TickWatchdog,
+    failovers: u64,
     records: Vec<DomainTickRecord>,
 }
 
@@ -107,6 +123,10 @@ pub struct TestbedConfig {
     #[allow(clippy::type_complexity)]
     pub server_classes:
         Option<Box<dyn Fn(usize) -> (ampere_power::ServerPowerModel, ampere_cluster::Resources)>>,
+    /// Optional seeded fault plan (sample dropout, sensor drift, sweep
+    /// loss, controller outages, lost freeze RPCs). `None` runs the
+    /// fault-free simulation unchanged.
+    pub faults: Option<FaultPlan>,
 }
 
 impl TestbedConfig {
@@ -122,6 +142,7 @@ impl TestbedConfig {
             capping: CappingConfig::default(),
             policy: Box::new(RandomFit::default()),
             server_classes: None,
+            faults: None,
         }
     }
 }
@@ -140,7 +161,23 @@ pub struct Testbed {
     noise_rng: SimRng,
     row_budgets_w: Vec<f64>,
     /// Scratch: last measured per-server watts (index = server id).
+    /// This is the *physical* truth (plus IPMI noise): the breaker and
+    /// the per-tick records see it, because the breaker is a fuse, not
+    /// a software consumer of the telemetry pipeline.
     last_measurement: Vec<f64>,
+    /// What the telemetry pipeline last *reported* per server — under
+    /// fault injection this lags or distorts `last_measurement`
+    /// (dropped samples keep their stale value). The controller's
+    /// per-server readings come from here: a blinded controller must
+    /// not see the truth.
+    last_telemetry: Vec<f64>,
+    injector: Option<FaultInjector>,
+    /// Whether the controller process was up last tick (failover fires
+    /// on the down→up transition).
+    controller_was_up: bool,
+    /// Accumulated sweep-fault totals across the run.
+    sweep_faults: SweepFaults,
+    sweeps_lost: u64,
 }
 
 impl Testbed {
@@ -172,12 +209,19 @@ impl Testbed {
             noise_rng: derive_stream(config.seed, streams::POWER_NOISE),
             row_budgets_w,
             last_measurement: vec![0.0; n],
+            last_telemetry: vec![0.0; n],
+            injector: config.faults.map(FaultInjector::new),
+            controller_was_up: true,
+            sweep_faults: SweepFaults::default(),
+            sweeps_lost: 0,
         }
     }
 
     /// Registers a power domain; returns its id.
     pub fn add_domain(&mut self, spec: DomainSpec) -> DomainId {
         assert!(!spec.servers.is_empty(), "empty domain");
+        let id = self.domains.len();
+        self.monitor.track_domain(id as u64, spec.servers.len());
         self.domains.push(DomainState {
             breaker: CircuitBreaker::new(spec.budget_w, 5).with_label(spec.name.clone()),
             name: spec.name,
@@ -185,9 +229,11 @@ impl Testbed {
             budget_w: spec.budget_w,
             controller: spec.controller,
             capped: spec.capped,
+            watchdog: TickWatchdog::new(WatchdogConfig::default()),
+            failovers: 0,
             records: Vec::new(),
         });
-        self.domains.len() - 1
+        id
     }
 
     /// Convenience: registers every row as an uncontrolled, uncapped
@@ -252,6 +298,24 @@ impl Testbed {
     /// Sum of jobs placed on a domain across all recorded ticks.
     pub fn placed_jobs(&self, id: DomainId) -> u64 {
         self.domains[id].records.iter().map(|r| r.placed_jobs).sum()
+    }
+
+    /// Whether the domain's capping backstop is currently armed by the
+    /// watchdog (independent of the configured `capped` flag).
+    pub fn backstop_armed(&self, id: DomainId) -> bool {
+        self.domains[id].watchdog.armed()
+    }
+
+    /// How many times a replacement controller cold-started on this
+    /// domain (one per recovered outage).
+    pub fn failovers(&self, id: DomainId) -> u64 {
+        self.domains[id].failovers
+    }
+
+    /// Accumulated sweep-fault totals (samples seen / dropped) plus the
+    /// number of whole sweeps lost, across the run.
+    pub fn sweep_fault_totals(&self) -> (SweepFaults, u64) {
+        (self.sweep_faults, self.sweeps_lost)
     }
 
     /// Manually freezes a server (experiment interventions, e.g. Fig 4).
@@ -325,7 +389,10 @@ impl Testbed {
         // `self.cluster` while reading `self.domains[d]`.
         #[allow(clippy::needless_range_loop)]
         for d in 0..self.domains.len() {
-            if !self.domains[d].capped {
+            // Configured capping, or the watchdog-armed backstop (armed
+            // state is from last tick's observation — the one-interval
+            // engagement latency a real RAPL hand-off would have).
+            if !(self.domains[d].capped || self.domains[d].watchdog.armed()) {
                 continue;
             }
             let servers: Vec<ServerId> = self.domains[d].servers.clone();
@@ -357,7 +424,51 @@ impl Testbed {
         for s in &samples {
             self.last_measurement[s.server as usize] = s.watts;
         }
-        self.monitor.ingest(self.now, &samples);
+        // The monitoring pipeline sees the sweep *after* fault
+        // injection: dropped samples, extra sensor noise/bias, possibly
+        // a wholly lost sweep. The physical truth above is untouched —
+        // the breaker keeps tripping on real watts even when the
+        // software stack is blind.
+        let mut telemetry_samples = samples;
+        if let Some(inj) = &mut self.injector {
+            let f = inj.corrupt_sweep(self.now, &mut telemetry_samples);
+            self.sweep_faults.total += f.total;
+            self.sweep_faults.dropped += f.dropped;
+            if f.lost {
+                self.sweeps_lost += 1;
+            }
+        }
+        let mut reported = vec![false; self.cluster.server_count()];
+        for s in &telemetry_samples {
+            reported[s.server as usize] = true;
+            self.last_telemetry[s.server as usize] = s.watts;
+        }
+        self.monitor.ingest(self.now, &telemetry_samples);
+        // Partial per-domain readings: sum of the samples that arrived
+        // plus how many did, so the monitor can qualify the reading
+        // with coverage and age instead of handing out a bare number.
+        for d in 0..self.domains.len() {
+            let (sum, count) = self.domains[d]
+                .servers
+                .iter()
+                .filter(|s| reported[s.index()])
+                .fold((0.0, 0usize), |(w, n), s| {
+                    (w + self.last_telemetry[s.index()], n + 1)
+                });
+            self.monitor.ingest_domain(self.now, d as u64, sum, count);
+        }
+
+        // Is the controller process up this tick? Outage windows down
+        // every controlled domain at once (one controller host, §3.2);
+        // recovery cold-starts replacements from the time-series DB.
+        let controller_up = self
+            .injector
+            .as_mut()
+            .is_none_or(|i| i.controller_up(self.now));
+        if controller_up && !self.controller_was_up {
+            self.failover_controllers();
+        }
+        self.controller_was_up = controller_up;
 
         // Per-domain accounting + control.
         let placed_per_server: Vec<u64> = {
@@ -392,37 +503,65 @@ impl Testbed {
             let violation = self.domains[d].breaker.observe(self.now, power_w);
             let power_norm = power_w / self.domains[d].budget_w;
 
-            // 5. Control interval on the same measurement.
+            // 5. Control interval on the monitor's qualified reading of
+            // the (possibly faulted) telemetry — never on the physical
+            // truth the breaker sees.
             let mut u_target = 0.0;
             let mut froze = 0;
             let mut unfroze = 0;
+            let mut degraded = false;
+            let reading = self.monitor.domain_reading(d as u64, self.now);
+            let coverage = reading.map_or(1.0, |r| r.coverage);
             if self.domains[d].controller.is_some() {
-                let readings: Vec<ServerPowerReading> = self.domains[d]
-                    .servers
-                    .iter()
-                    .map(|&id| ServerPowerReading {
-                        id,
-                        power_w: self.last_measurement[id.index()],
-                        frozen: self.cluster.server(id).is_frozen(),
-                    })
-                    .collect();
-                let controller = self.domains[d].controller.as_mut().expect("checked");
-                let (actions, _et) = controller.decide(self.now, power_norm, &readings);
-                let tick_span = controller.last_tick_span();
-                // Freezes applied below trace back to this tick, and the
-                // breaker attributes next minute's violation (power
-                // produced under this decision interval) to it too.
-                self.sched.set_tick_span(tick_span);
-                self.domains[d].breaker.set_control_span(tick_span);
-                u_target = actions.target_ratio;
-                froze = actions.freeze.len();
-                unfroze = actions.unfreeze.len();
-                for &id in &actions.unfreeze {
-                    self.sched.unfreeze(&mut self.cluster, id);
+                if let (true, Some(reading)) = (controller_up, reading) {
+                    let readings: Vec<ServerPowerReading> = self.domains[d]
+                        .servers
+                        .iter()
+                        .map(|&id| ServerPowerReading {
+                            id,
+                            power_w: self.last_telemetry[id.index()],
+                            frozen: self.cluster.server(id).is_frozen(),
+                        })
+                        .collect();
+                    let budget_w = self.domains[d].budget_w;
+                    let controller = self.domains[d].controller.as_mut().expect("checked");
+                    let (actions, _et) =
+                        controller.decide_on_reading(self.now, &reading, budget_w, &readings);
+                    let tick_span = controller.last_tick_span();
+                    // Freezes applied below trace back to this tick, and the
+                    // breaker attributes next minute's violation (power
+                    // produced under this decision interval) to it too.
+                    self.sched.set_tick_span(tick_span);
+                    self.domains[d].breaker.set_control_span(tick_span);
+                    u_target = actions.target_ratio;
+                    froze = actions.freeze.len();
+                    unfroze = actions.unfreeze.len();
+                    // Freeze/unfreeze are RPCs to the scheduler; the
+                    // fault plan may lose them. A lost call is simply
+                    // never applied — the next interval's decision sees
+                    // the resulting state and re-issues.
+                    for &id in &actions.unfreeze {
+                        if self.rpc_delivered("unfreeze", id) {
+                            self.sched.unfreeze(&mut self.cluster, id);
+                        }
+                    }
+                    for &id in &actions.freeze {
+                        if self.rpc_delivered("freeze", id) {
+                            self.sched.freeze(&mut self.cluster, id);
+                        }
+                    }
                 }
-                for &id in &actions.freeze {
-                    self.sched.freeze(&mut self.cluster, id);
-                }
+                // The watchdog's view: a healthy interval means the
+                // controller ran with data good enough for nominal
+                // mode. Missed ticks (outage), blind ticks (no reading)
+                // and degraded ticks all count against it.
+                degraded = controller_up
+                    && self.domains[d]
+                        .controller
+                        .as_ref()
+                        .is_some_and(|c| c.mode() == ControlMode::Degraded);
+                let healthy = controller_up && reading.is_some() && !degraded;
+                self.domains[d].watchdog.observe(self.now, healthy);
             }
 
             let dom = &self.domains[d];
@@ -444,8 +583,56 @@ impl Testbed {
                 placed_jobs: placed,
                 froze,
                 unfroze,
+                coverage,
+                degraded,
+                backstop_armed: dom.watchdog.armed(),
             };
             self.domains[d].records.push(record);
+        }
+    }
+
+    /// Whether a freeze/unfreeze RPC gets through the fault plan.
+    fn rpc_delivered(&mut self, op: &'static str, server: ServerId) -> bool {
+        self.injector
+            .as_mut()
+            .is_none_or(|i| i.rpc_delivered(self.now, op, server.raw()))
+    }
+
+    /// §3.5 failover: the dead controller's replacement is built from
+    /// scratch — same configuration, but its `Et` predictor is refit
+    /// from the domain's history in the time-series DB (the paper's
+    /// MySQL store), because the controller itself carried no state
+    /// worth recovering. The frozen set lives in the cluster and is
+    /// picked up by the first post-recovery reading.
+    fn failover_controllers(&mut self) {
+        for d in 0..self.domains.len() {
+            let Some(old) = self.domains[d].controller.as_ref() else {
+                continue;
+            };
+            let config = *old.config();
+            let budget_w = self.domains[d].budget_w;
+            let history: Vec<(SimTime, f64)> = self
+                .monitor
+                .domain_points(d as u64)
+                .iter()
+                .map(|&(t, w)| (t, w / budget_w))
+                .collect();
+            let predictor = HistoricalPercentile::fit(
+                &history,
+                crate::calibrate::ET_PERCENTILE,
+                crate::calibrate::DEFAULT_ET,
+            )
+            .with_floor(crate::calibrate::ET_FLOOR);
+            self.domains[d].controller = Some(AmpereController::new(config, Box::new(predictor)));
+            self.domains[d].failovers += 1;
+            let name = self.domains[d].name.clone();
+            let points = history.len();
+            let now = self.now;
+            ampere_telemetry::global().emit_with(move || {
+                Event::new(now, Severity::Info, "controller", "failover")
+                    .with("domain", name)
+                    .with("history_points", points)
+            });
         }
     }
 
@@ -479,6 +666,7 @@ mod tests {
             },
             policy: Box::new(RandomFit::default()),
             server_classes: None,
+            faults: None,
         }
     }
 

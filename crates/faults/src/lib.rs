@@ -1,0 +1,49 @@
+//! Seeded, deterministic fault injection for the Ampere control stack.
+//!
+//! The paper's safety story rests on degraded-operation behaviour that
+//! perfect-telemetry simulations never exercise: the controller is
+//! "stateless, and thus if the controller fails, we can easily switch
+//! to a replacement" (§3.5) and RAPL capping stays armed as the "last
+//! line of defense" (§2.1). This crate turns those claims into testable
+//! properties by injecting the fault classes real fleets see:
+//!
+//! - **Sample dropout** — individual IPMI readings go missing from a
+//!   sweep (gappy telemetry).
+//! - **Sensor noise and bias** — extra relative error on surviving
+//!   readings, on top of the testbed's base measurement noise.
+//! - **Sweep loss** — a whole sweep never reaches the monitor, so
+//!   consumers only have stale data.
+//! - **Controller outages** — windows during which the controller
+//!   misses its tick entirely (crash, partition, redeploy).
+//! - **Lost scheduler RPCs** — freeze/unfreeze calls that never arrive.
+//!
+//! Every draw comes from its own [`ampere_sim::SimRng`] stream derived
+//! from the plan seed, so a faulted run is byte-reproducible and fault
+//! draws never perturb workload or placement streams.
+//!
+//! # Example
+//!
+//! ```
+//! use ampere_faults::{FaultInjector, FaultPlan};
+//! use ampere_power::monitor::ServerSample;
+//! use ampere_sim::SimTime;
+//!
+//! let plan = FaultPlan {
+//!     sample_dropout: 0.5,
+//!     ..FaultPlan::seeded(7)
+//! };
+//! let mut inj = FaultInjector::new(plan);
+//! let mut sweep: Vec<ServerSample> = (0..100)
+//!     .map(|i| ServerSample { server: i, rack: 0, row: 0, watts: 200.0 })
+//!     .collect();
+//! let faults = inj.corrupt_sweep(SimTime::from_mins(1), &mut sweep);
+//! assert_eq!(faults.total, 100);
+//! assert_eq!(sweep.len(), 100 - faults.dropped);
+//! assert!(faults.dropped > 20, "half the samples should drop");
+//! ```
+
+mod inject;
+mod plan;
+
+pub use inject::{FaultInjector, SweepFaults};
+pub use plan::{FaultPlan, FaultPlanError, OutageWindow};

@@ -1,0 +1,216 @@
+//! The declarative fault plan: what to break, how often, and when.
+
+use ampere_sim::SimTime;
+
+/// A half-open window `[start, end)` during which the controller is
+/// down and misses every tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// First missed tick instant.
+    pub start: SimTime,
+    /// First instant the controller is back.
+    pub end: SimTime,
+}
+
+impl OutageWindow {
+    /// Whether `at` falls inside the outage.
+    pub fn contains(&self, at: SimTime) -> bool {
+        self.start <= at && at < self.end
+    }
+}
+
+/// A seeded, declarative description of the faults to inject. All
+/// probabilities are per-event (per sample, per sweep, per RPC); the
+/// default plan injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault streams (independent of the testbed seed, so
+    /// the same workload can be replayed under different fault draws).
+    pub seed: u64,
+    /// Probability that an individual server sample is lost from a
+    /// sweep before it reaches the monitor.
+    pub sample_dropout: f64,
+    /// Probability that a whole sweep is lost (consumers keep only
+    /// stale data for that interval).
+    pub sweep_loss: f64,
+    /// Extra relative standard deviation applied to surviving samples,
+    /// on top of the testbed's base measurement noise.
+    pub sensor_noise: f64,
+    /// Relative bias applied to surviving samples (`0.02` reads 2 %
+    /// high, `-0.02` reads 2 % low).
+    pub sensor_bias: f64,
+    /// Probability that a freeze/unfreeze RPC is lost at the scheduler
+    /// boundary.
+    pub rpc_loss: f64,
+    /// Controller outage windows (missed ticks).
+    pub outages: Vec<OutageWindow>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing, with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            sample_dropout: 0.0,
+            sweep_loss: 0.0,
+            sensor_noise: 0.0,
+            sensor_bias: 0.0,
+            rpc_loss: 0.0,
+            outages: Vec::new(),
+        }
+    }
+
+    /// Validates the plan.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let prob = |name: &'static str, v: f64| {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(FaultPlanError::BadProbability { name, value: v })
+            }
+        };
+        prob("sample_dropout", self.sample_dropout)?;
+        prob("sweep_loss", self.sweep_loss)?;
+        prob("rpc_loss", self.rpc_loss)?;
+        if !(self.sensor_noise >= 0.0 && self.sensor_noise.is_finite()) {
+            return Err(FaultPlanError::BadSensorNoise(self.sensor_noise));
+        }
+        // A bias at or below −100 % would turn readings negative.
+        if !(self.sensor_bias > -1.0 && self.sensor_bias.is_finite()) {
+            return Err(FaultPlanError::BadSensorBias(self.sensor_bias));
+        }
+        for w in &self.outages {
+            if w.end <= w.start {
+                return Err(FaultPlanError::EmptyOutage {
+                    start: w.start,
+                    end: w.end,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.sample_dropout == 0.0
+            && self.sweep_loss == 0.0
+            && self.sensor_noise == 0.0
+            && self.sensor_bias == 0.0
+            && self.rpc_loss == 0.0
+            && self.outages.is_empty()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::seeded(0)
+    }
+}
+
+/// Why a [`FaultPlan`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// A probability field was outside `[0, 1]`.
+    BadProbability {
+        /// Field name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// `sensor_noise` was negative or non-finite.
+    BadSensorNoise(f64),
+    /// `sensor_bias` was ≤ −1 or non-finite.
+    BadSensorBias(f64),
+    /// An outage window had `end <= start`.
+    EmptyOutage {
+        /// Window start.
+        start: SimTime,
+        /// Window end.
+        end: SimTime,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadProbability { name, value } => {
+                write!(f, "bad probability: {name} = {value} outside [0, 1]")
+            }
+            Self::BadSensorNoise(v) => write!(f, "bad sensor_noise: {v}"),
+            Self::BadSensorBias(v) => write!(f, "bad sensor_bias: {v}"),
+            Self::EmptyOutage { start, end } => {
+                write!(
+                    f,
+                    "empty outage window: start {} ms, end {} ms",
+                    start.as_millis(),
+                    end.as_millis()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_noop_and_valid() {
+        let plan = FaultPlan::seeded(3);
+        assert!(plan.is_noop());
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        let plan = FaultPlan {
+            sample_dropout: 1.5,
+            ..FaultPlan::seeded(1)
+        };
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::BadProbability {
+                name: "sample_dropout",
+                value: 1.5
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_empty_outage() {
+        let plan = FaultPlan {
+            outages: vec![OutageWindow {
+                start: SimTime::from_mins(10),
+                end: SimTime::from_mins(10),
+            }],
+            ..FaultPlan::seeded(1)
+        };
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::EmptyOutage { .. })
+        ));
+    }
+
+    #[test]
+    fn outage_window_is_half_open() {
+        let w = OutageWindow {
+            start: SimTime::from_mins(5),
+            end: SimTime::from_mins(8),
+        };
+        assert!(!w.contains(SimTime::from_mins(4)));
+        assert!(w.contains(SimTime::from_mins(5)));
+        assert!(w.contains(SimTime::from_mins(7)));
+        assert!(!w.contains(SimTime::from_mins(8)));
+    }
+
+    #[test]
+    fn error_display_names_the_field() {
+        let err = FaultPlanError::BadProbability {
+            name: "rpc_loss",
+            value: -0.1,
+        };
+        assert!(err.to_string().contains("rpc_loss"));
+    }
+}

@@ -265,6 +265,80 @@ pub fn violation_epochs(events: &[ParsedEvent]) -> Vec<ViolationEpoch> {
     epochs
 }
 
+/// What fault injection did to a run and how the stack degraded:
+/// everything the chaos experiments and drills leave in the event
+/// stream and metrics snapshot. All zeros for a fault-free run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradedOps {
+    /// Controller ticks executed in degraded mode.
+    pub degraded_ticks: u64,
+    /// Nominal↔degraded mode transitions.
+    pub mode_transitions: u64,
+    /// Controller outages begun (`faults/outage_begin`).
+    pub outages: u64,
+    /// Times the watchdog armed the capping backstop.
+    pub backstop_arms: u64,
+    /// Total minutes the backstop stayed armed (sum of `armed_mins`
+    /// over disarm events; a backstop still armed at end-of-run is not
+    /// counted).
+    pub backstop_armed_mins: f64,
+    /// Replacement controllers cold-started from the time-series DB.
+    pub failovers: u64,
+    /// Per-server samples dropped by the injector (metrics snapshot;
+    /// 0 when the dump has no snapshot).
+    pub samples_dropped: u64,
+    /// Whole sweeps lost by the injector.
+    pub sweeps_lost: u64,
+    /// Freeze/unfreeze RPCs lost at the scheduler boundary.
+    pub rpcs_lost: u64,
+}
+
+impl DegradedOps {
+    /// Extracts degraded-operation evidence from a loaded run.
+    pub fn build(run: &Run) -> Self {
+        let events = &run.events;
+        let count = |component: &str, name: &str| {
+            events
+                .iter()
+                .filter(|e| e.component == component && e.name == name)
+                .count() as u64
+        };
+        let counter = |name: &str| {
+            run.metric(name, &[])
+                .and_then(|m| m.as_counter())
+                .unwrap_or(0)
+        };
+        DegradedOps {
+            degraded_ticks: events
+                .iter()
+                .filter(|e| e.component == "controller" && e.name == "tick")
+                .filter(|e| {
+                    e.field("mode")
+                        .and_then(|v| v.as_str())
+                        .is_some_and(|m| m == "degraded")
+                })
+                .count() as u64,
+            mode_transitions: count("controller", "mode"),
+            outages: count("faults", "outage_begin"),
+            backstop_arms: count("watchdog", "backstop_armed"),
+            backstop_armed_mins: events
+                .iter()
+                .filter(|e| e.component == "watchdog" && e.name == "backstop_disarmed")
+                .filter_map(|e| f64_field(e, "armed_mins"))
+                .sum(),
+            failovers: count("controller", "failover"),
+            samples_dropped: counter("fault_samples_dropped"),
+            sweeps_lost: counter("fault_sweeps_lost"),
+            rpcs_lost: counter("fault_rpcs_lost"),
+        }
+    }
+
+    /// Whether the run shows any fault or degradation at all.
+    pub fn is_clean(&self) -> bool {
+        *self == DegradedOps::default()
+    }
+}
+
 /// The one-table summary of a run: every value is a plain number so the
 /// same list drives the Markdown table, the JSON report and the
 /// baseline regression check.
@@ -299,6 +373,7 @@ impl RunSummary {
         let durations = freeze_durations(events);
         let latency = decision_latency(events);
         let attribution = ViolationAttribution::build(events, &index);
+        let degraded = DegradedOps::build(run);
         let sink_errors = run
             .metric("telemetry_sink_errors", &[])
             .and_then(|m| m.as_counter())
@@ -316,6 +391,10 @@ impl RunSummary {
             ("violations_linked", link.violations_linked as f64),
             ("breaker_trips", count("breaker", "trip")),
             ("sink_errors", sink_errors),
+            ("degraded_ticks", degraded.degraded_ticks as f64),
+            ("mode_transitions", degraded.mode_transitions as f64),
+            ("backstop_arms", degraded.backstop_arms as f64),
+            ("failovers", degraded.failovers as f64),
         ];
         let mut push_opt = |name: &'static str, v: Option<f64>| {
             if let Some(v) = v {
@@ -482,6 +561,80 @@ mod tests {
         assert!((eps[0].start_min - 1.0).abs() < 1e-12);
         assert!((eps[0].end_min - 3.0).abs() < 1e-12);
         assert_eq!(eps[1].count, 1);
+    }
+
+    #[test]
+    fn degraded_ops_from_events_and_counters() {
+        let degraded_tick = parsed(
+            Event::new(SimTime::from_mins(3), Severity::Info, "controller", "tick")
+                .with("power_norm", 0.9)
+                .with("mode", "degraded"),
+        );
+        let transition = parsed(
+            Event::new(SimTime::from_mins(3), Severity::Warn, "controller", "mode")
+                .with("from", "nominal")
+                .with("to", "degraded"),
+        );
+        let outage = parsed(Event::new(
+            SimTime::from_mins(4),
+            Severity::Warn,
+            "faults",
+            "outage_begin",
+        ));
+        let armed = parsed(Event::new(
+            SimTime::from_mins(5),
+            Severity::Warn,
+            "watchdog",
+            "backstop_armed",
+        ));
+        let disarmed = parsed(
+            Event::new(
+                SimTime::from_mins(12),
+                Severity::Info,
+                "watchdog",
+                "backstop_disarmed",
+            )
+            .with("armed_mins", 7.0),
+        );
+        let failover = parsed(Event::new(
+            SimTime::from_mins(14),
+            Severity::Info,
+            "controller",
+            "failover",
+        ));
+        let run = Run {
+            events: vec![
+                tick(1, 1, 0.8, 0, 0.02), // Nominal: not counted.
+                degraded_tick,
+                transition,
+                outage,
+                armed,
+                disarmed,
+                failover,
+            ],
+            metrics: vec![crate::reader::MetricLine {
+                name: "fault_samples_dropped".into(),
+                labels: Vec::new(),
+                value: crate::reader::MetricValue::Counter(42),
+            }],
+        };
+        let d = DegradedOps::build(&run);
+        assert!(!d.is_clean());
+        assert_eq!(d.degraded_ticks, 1);
+        assert_eq!(d.mode_transitions, 1);
+        assert_eq!(d.outages, 1);
+        assert_eq!(d.backstop_arms, 1);
+        assert!((d.backstop_armed_mins - 7.0).abs() < 1e-12);
+        assert_eq!(d.failovers, 1);
+        assert_eq!(d.samples_dropped, 42);
+        assert_eq!(d.sweeps_lost, 0);
+
+        let s = RunSummary::build(&run);
+        assert_eq!(s.get("degraded_ticks"), Some(1.0));
+        assert_eq!(s.get("backstop_arms"), Some(1.0));
+        assert_eq!(s.get("failovers"), Some(1.0));
+
+        assert!(DegradedOps::build(&Run::default()).is_clean());
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub mod report;
 pub mod trace;
 
 pub use analysis::{
-    decision_latency, freeze_durations, segments, violation_epochs, DecisionLatency, Distribution,
-    RunSummary, ViolationAttribution, ViolationEpoch, ET_BINS,
+    decision_latency, freeze_durations, segments, violation_epochs, DecisionLatency, DegradedOps,
+    Distribution, RunSummary, ViolationAttribution, ViolationEpoch, ET_BINS,
 };
 pub use reader::{read_run, MetricLine, MetricValue, ReadError, Run, RunLine, RunReader};
 pub use report::{

@@ -10,8 +10,8 @@
 //! linkage) fails the build instead of rotting silently.
 
 use crate::analysis::{
-    decision_latency, freeze_durations, violation_epochs, DecisionLatency, Distribution,
-    RunSummary, ViolationAttribution, ViolationEpoch, ET_BINS,
+    decision_latency, freeze_durations, violation_epochs, DecisionLatency, DegradedOps,
+    Distribution, RunSummary, ViolationAttribution, ViolationEpoch, ET_BINS,
 };
 use crate::reader::Run;
 use crate::trace::{LinkReport, TraceIndex};
@@ -36,6 +36,8 @@ pub struct RunReport {
     pub attribution: ViolationAttribution,
     /// Violation epochs, in file order.
     pub epochs: Vec<ViolationEpoch>,
+    /// Fault-injection and degraded-operation evidence.
+    pub degraded: DegradedOps,
 }
 
 impl RunReport {
@@ -49,6 +51,7 @@ impl RunReport {
             latency: decision_latency(&run.events),
             attribution: ViolationAttribution::build(&run.events, &index),
             epochs: violation_epochs(&run.events),
+            degraded: DegradedOps::build(run),
         }
     }
 
@@ -118,6 +121,28 @@ impl RunReport {
         }
         let _ = writeln!(out, "| unlinked | {} |", self.attribution.unlinked);
 
+        let _ = writeln!(out, "\n## Degraded operation\n");
+        if self.degraded.is_clean() {
+            let _ = writeln!(out, "No fault injection or degraded operation in this run.");
+        } else {
+            let d = &self.degraded;
+            let _ = writeln!(out, "| metric | value |");
+            let _ = writeln!(out, "|---|---:|");
+            let _ = writeln!(out, "| degraded controller ticks | {} |", d.degraded_ticks);
+            let _ = writeln!(out, "| mode transitions | {} |", d.mode_transitions);
+            let _ = writeln!(out, "| controller outages | {} |", d.outages);
+            let _ = writeln!(out, "| backstop arms | {} |", d.backstop_arms);
+            let _ = writeln!(
+                out,
+                "| backstop armed (min) | {} |",
+                fmt_num(d.backstop_armed_mins)
+            );
+            let _ = writeln!(out, "| controller failovers | {} |", d.failovers);
+            let _ = writeln!(out, "| samples dropped | {} |", d.samples_dropped);
+            let _ = writeln!(out, "| sweeps lost | {} |", d.sweeps_lost);
+            let _ = writeln!(out, "| freeze RPCs lost | {} |", d.rpcs_lost);
+        }
+
         let _ = writeln!(out, "\n## Violation epochs\n");
         if self.epochs.is_empty() {
             let _ = writeln!(out, "No violations.");
@@ -177,6 +202,20 @@ impl RunReport {
             out,
             "],\"violations_unlinked\":{}",
             self.attribution.unlinked
+        );
+        let d = &self.degraded;
+        let _ = write!(
+            out,
+            ",\"degraded\":{{\"degraded_ticks\":{},\"mode_transitions\":{},\
+             \"outages\":{},\"backstop_arms\":{},\"backstop_armed_mins\":",
+            d.degraded_ticks, d.mode_transitions, d.outages, d.backstop_arms
+        );
+        push_json_f64(&mut out, d.backstop_armed_mins);
+        let _ = write!(
+            out,
+            ",\"failovers\":{},\"samples_dropped\":{},\"sweeps_lost\":{},\
+             \"rpcs_lost\":{}}}",
+            d.failovers, d.samples_dropped, d.sweeps_lost, d.rpcs_lost
         );
         out.push_str(",\"epochs\":[");
         for (i, ep) in self.epochs.iter().enumerate() {

@@ -50,6 +50,7 @@ fn traced_run() -> Vec<u8> {
         },
         policy: Box::new(RandomFit::default()),
         server_classes: None,
+        faults: None,
     });
     let (exp, _ctl) = ParitySplit::split((0..16).map(ServerId::new));
     tb.add_domain(DomainSpec {

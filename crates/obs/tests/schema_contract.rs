@@ -35,6 +35,7 @@ fn smoke_run(path: &std::path::Path) {
         },
         policy: Box::new(RandomFit::default()),
         server_classes: None,
+        faults: None,
     });
     let (exp, _ctl) = ParitySplit::split((0..16).map(ServerId::new));
     let budget = 8.0 * 250.0 / 1.25;

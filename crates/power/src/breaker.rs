@@ -11,6 +11,8 @@
 use ampere_sim::SimTime;
 use ampere_telemetry::{buckets, Counter, Event, Histogram, Severity, SpanCtx, Telemetry};
 
+use crate::error::PowerConfigError;
+
 /// A row-level circuit breaker / violation counter.
 #[derive(Debug, Clone)]
 pub struct CircuitBreaker {
@@ -46,8 +48,18 @@ impl CircuitBreaker {
     /// [`CircuitBreaker::with_telemetry`] and
     /// [`CircuitBreaker::with_label`].
     pub fn new(limit_w: f64, trip_after: u32) -> Self {
-        assert!(limit_w > 0.0 && limit_w.is_finite(), "bad breaker limit");
-        assert!(trip_after > 0, "trip_after must be positive");
+        Self::try_new(limit_w, trip_after).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`CircuitBreaker::new`] but returns a typed error instead
+    /// of panicking on invalid input.
+    pub fn try_new(limit_w: f64, trip_after: u32) -> Result<Self, PowerConfigError> {
+        if !(limit_w > 0.0 && limit_w.is_finite()) {
+            return Err(PowerConfigError::BadBreakerLimit(limit_w));
+        }
+        if trip_after == 0 {
+            return Err(PowerConfigError::BadTripAfter);
+        }
         let mut breaker = Self {
             limit_w,
             trip_after,
@@ -62,7 +74,7 @@ impl CircuitBreaker {
             run_hist: Histogram::noop(),
         };
         breaker.rebind_metrics();
-        breaker
+        Ok(breaker)
     }
 
     /// Replaces the telemetry pipeline (builder style).
@@ -215,6 +227,24 @@ mod tests {
     #[should_panic(expected = "bad breaker limit")]
     fn rejects_bad_limit() {
         let _ = CircuitBreaker::new(0.0, 1);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        use crate::error::PowerConfigError;
+        assert!(matches!(
+            CircuitBreaker::try_new(f64::NAN, 5),
+            Err(PowerConfigError::BadBreakerLimit(v)) if v.is_nan()
+        ));
+        assert!(matches!(
+            CircuitBreaker::try_new(-1.0, 5),
+            Err(PowerConfigError::BadBreakerLimit(v)) if v == -1.0
+        ));
+        assert_eq!(
+            CircuitBreaker::try_new(100.0, 0).err(),
+            Some(PowerConfigError::BadTripAfter)
+        );
+        assert!(CircuitBreaker::try_new(100.0, 5).is_ok());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! risk the thermal breaker curve (and, with Ampere, the controller's
 //! safety margin) has to absorb.
 
+use crate::error::PowerConfigError;
 use crate::model::{DvfsState, ServerPowerModel};
 
 /// How the capper distributes a row limit over servers.
@@ -91,17 +92,22 @@ pub struct RaplCapper {
 }
 
 impl RaplCapper {
-    /// Creates a capper with the given configuration.
+    /// Creates a capper with the given configuration. Panics on invalid
+    /// input; use [`RaplCapper::try_new`] for the typed error.
     pub fn new(config: CappingConfig) -> Self {
-        assert!(
-            config.min_freq > 0.0 && config.min_freq <= 1.0,
-            "bad min_freq"
-        );
-        assert!(
-            config.target_fraction > 0.0 && config.target_fraction <= 1.0,
-            "bad target_fraction"
-        );
-        Self { config }
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`RaplCapper::new`] but returns a typed error instead of
+    /// panicking on invalid input.
+    pub fn try_new(config: CappingConfig) -> Result<Self, PowerConfigError> {
+        if !(config.min_freq > 0.0 && config.min_freq <= 1.0) {
+            return Err(PowerConfigError::BadMinFreq(config.min_freq));
+        }
+        if !(config.target_fraction > 0.0 && config.target_fraction <= 1.0) {
+            return Err(PowerConfigError::BadTargetFraction(config.target_fraction));
+        }
+        Ok(Self { config })
     }
 
     /// The active configuration.

@@ -56,6 +56,7 @@
 
 pub mod breaker;
 pub mod capping;
+pub mod error;
 pub mod hierarchy;
 pub mod model;
 pub mod monitor;
@@ -63,7 +64,8 @@ pub mod tsdb;
 
 pub use breaker::CircuitBreaker;
 pub use capping::{CappingConfig, CappingMode, CappingOutcome, RaplCapper};
+pub use error::PowerConfigError;
 pub use hierarchy::{provision, PowerNode, ProvisionPlan, ProvisioningScheme};
 pub use model::{DvfsState, ServerPowerModel};
-pub use monitor::{PowerMonitor, SeriesKey, TopologyLevel};
+pub use monitor::{DomainReading, PowerMonitor, SeriesKey, TopologyLevel};
 pub use tsdb::{OutOfOrderSample, TimeSeriesDb};

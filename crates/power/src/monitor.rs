@@ -8,9 +8,12 @@
 //! monitor itself is stateless apart from the database, matching the
 //! paper's easy-failover design.
 
+use std::collections::BTreeMap;
+
 use ampere_sim::{SimDuration, SimTime};
 use ampere_telemetry::{Counter, Event, Gauge, Severity, Telemetry};
 
+use crate::error::PowerConfigError;
 use crate::tsdb::TimeSeriesDb;
 
 /// Aggregation level of a power series.
@@ -22,6 +25,9 @@ pub enum TopologyLevel {
     Rack,
     /// A row / PDU (≈ 20 racks); the control domain.
     Row,
+    /// A virtual control domain (a §4.1.2 experiment group or any
+    /// server set registered via [`PowerMonitor::track_domain`]).
+    Domain,
     /// The whole data center.
     DataCenter,
 }
@@ -55,6 +61,11 @@ impl SeriesKey {
         Self::new(TopologyLevel::Row, index)
     }
 
+    /// Key of a virtual control-domain series.
+    pub const fn domain(index: u64) -> Self {
+        Self::new(TopologyLevel::Domain, index)
+    }
+
     /// Key of the single data-center series.
     pub const fn data_center() -> Self {
         Self::new(TopologyLevel::DataCenter, 0)
@@ -84,6 +95,44 @@ pub struct ServerSample {
     pub watts: f64,
 }
 
+/// A qualified domain power reading: the raw partial sum plus how
+/// complete and how old it is. Consumers that previously got a bare
+/// `f64` now see *data quality* and can degrade gracefully — full
+/// fresh data runs Algorithm 1 unchanged, while stale or low-coverage
+/// data warrants a conservative mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainReading {
+    /// Sum of the watts actually reported (a *partial* sum when
+    /// samples dropped; scale by `1 / coverage` for an unbiased
+    /// estimate of the true domain power).
+    pub power_w: f64,
+    /// Fraction of the domain's servers that reported (`1.0` when the
+    /// population is unknown).
+    pub coverage: f64,
+    /// How old the reading is: zero when this sweep produced it,
+    /// growing while sweeps are lost.
+    pub age: SimDuration,
+}
+
+impl DomainReading {
+    /// Coverage-corrected estimate of the full domain power.
+    pub fn estimate_w(&self) -> f64 {
+        if self.coverage > 0.0 {
+            self.power_w / self.coverage
+        } else {
+            self.power_w
+        }
+    }
+}
+
+/// Per-tracked-entity metadata backing [`DomainReading`]: when the
+/// latest stored point was measured and how many servers it covered.
+#[derive(Debug, Clone, Copy)]
+struct ReadingMeta {
+    at: SimTime,
+    reported: usize,
+}
+
 /// The sampling and aggregating power monitor.
 #[derive(Debug)]
 pub struct PowerMonitor {
@@ -91,6 +140,16 @@ pub struct PowerMonitor {
     store_server_series: bool,
     db: TimeSeriesDb,
     last_sample_at: Option<SimTime>,
+    /// Expected server count per row (set via
+    /// [`PowerMonitor::set_row_population`]); rows not present report
+    /// coverage 1.0.
+    row_expected: BTreeMap<u64, usize>,
+    /// Latest row sweep metadata, keyed by row index.
+    row_meta: BTreeMap<u64, ReadingMeta>,
+    /// Expected server count per tracked virtual domain.
+    domain_expected: BTreeMap<u64, usize>,
+    /// Latest domain ingest metadata, keyed by domain index.
+    domain_meta: BTreeMap<u64, ReadingMeta>,
     telemetry: Telemetry,
     samples_ingested: Counter,
     sweeps_ingested: Counter,
@@ -104,8 +163,16 @@ impl PowerMonitor {
     /// per-server history is kept (needed for Fig 4 but expensive at
     /// data-center scale).
     pub fn new(interval: SimDuration, store_server_series: bool) -> Self {
-        assert!(interval > SimDuration::ZERO, "interval must be positive");
-        Self::with_telemetry(interval, store_server_series, ampere_telemetry::global())
+        Self::try_new(interval, store_server_series).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`PowerMonitor::new`] but returns a typed error instead of
+    /// panicking on a non-positive interval.
+    pub fn try_new(
+        interval: SimDuration,
+        store_server_series: bool,
+    ) -> Result<Self, PowerConfigError> {
+        Self::try_with_telemetry(interval, store_server_series, ampere_telemetry::global())
     }
 
     /// Like [`PowerMonitor::new`] with an explicit telemetry pipeline
@@ -115,17 +182,33 @@ impl PowerMonitor {
         store_server_series: bool,
         telemetry: Telemetry,
     ) -> Self {
-        assert!(interval > SimDuration::ZERO, "interval must be positive");
-        Self {
+        Self::try_with_telemetry(interval, store_server_series, telemetry)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`PowerMonitor::with_telemetry`] with a typed error.
+    pub fn try_with_telemetry(
+        interval: SimDuration,
+        store_server_series: bool,
+        telemetry: Telemetry,
+    ) -> Result<Self, PowerConfigError> {
+        if interval <= SimDuration::ZERO {
+            return Err(PowerConfigError::NonPositiveInterval(interval));
+        }
+        Ok(Self {
             interval,
             store_server_series,
             db: TimeSeriesDb::new().with_telemetry(telemetry.clone()),
             last_sample_at: None,
+            row_expected: BTreeMap::new(),
+            row_meta: BTreeMap::new(),
+            domain_expected: BTreeMap::new(),
+            domain_meta: BTreeMap::new(),
             samples_ingested: telemetry.counter("monitor_samples_ingested", &[]),
             sweeps_ingested: telemetry.counter("monitor_sweeps_ingested", &[]),
             dc_power_gauge: telemetry.gauge("monitor_dc_power_w", &[]),
             telemetry,
-        }
+        })
     }
 
     /// Monitor with the paper's one-minute interval, row/rack/DC only.
@@ -150,14 +233,15 @@ impl PowerMonitor {
     /// Aggregates rack, row and data-center sums and appends everything
     /// to the database.
     pub fn ingest(&mut self, at: SimTime, samples: &[ServerSample]) {
-        use std::collections::BTreeMap;
         self.last_sample_at = Some(at);
         let mut racks: BTreeMap<u64, f64> = BTreeMap::new();
-        let mut rows: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut rows: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
         let mut total = 0.0;
         for s in samples {
             *racks.entry(s.rack).or_insert(0.0) += s.watts;
-            *rows.entry(s.row).or_insert(0.0) += s.watts;
+            let row = rows.entry(s.row).or_insert((0.0, 0));
+            row.0 += s.watts;
+            row.1 += 1;
             total += s.watts;
             if self.store_server_series {
                 self.db.append(SeriesKey::server(s.server), at, s.watts);
@@ -166,8 +250,9 @@ impl PowerMonitor {
         for (rack, w) in racks {
             self.db.append(SeriesKey::rack(rack), at, w);
         }
-        for (row, w) in rows {
+        for (row, (w, reported)) in rows {
             self.db.append(SeriesKey::row(row), at, w);
+            self.row_meta.insert(row, ReadingMeta { at, reported });
         }
         self.db.append(SeriesKey::data_center(), at, total);
         self.samples_ingested.inc_by(samples.len() as u64);
@@ -198,6 +283,77 @@ impl PowerMonitor {
     /// Full row power history as values.
     pub fn row_history(&self, row: u64) -> Vec<f64> {
         self.db.values(SeriesKey::row(row))
+    }
+
+    /// Declares how many servers a row is expected to report, enabling
+    /// coverage accounting in [`PowerMonitor::row_reading`]. Without
+    /// this, coverage is reported as 1.0 (population unknown).
+    pub fn set_row_population(&mut self, row: u64, servers: usize) {
+        self.row_expected.insert(row, servers);
+    }
+
+    /// Latest row power as a qualified [`DomainReading`]: the partial
+    /// sum, the fraction of the row that reported it, and its age at
+    /// `now`. `None` until the row's first sample arrives.
+    pub fn row_reading(&self, row: u64, now: SimTime) -> Option<DomainReading> {
+        let (_, power_w) = self.db.latest(SeriesKey::row(row))?;
+        let meta = self.row_meta.get(&row)?;
+        Some(DomainReading {
+            power_w,
+            coverage: coverage(meta.reported, self.row_expected.get(&row).copied()),
+            age: now.since(meta.at),
+        })
+    }
+
+    /// Registers a virtual control domain (a §4.1.2 experiment group,
+    /// or any server set controlled against one budget) of
+    /// `servers` members, so its series and coverage are tracked.
+    pub fn track_domain(&mut self, domain: u64, servers: usize) {
+        self.domain_expected.insert(domain, servers);
+    }
+
+    /// Ingests one domain-level observation: the partial power sum of
+    /// the `reported` servers that responded this sweep. A sweep in
+    /// which *no* domain server reported stores nothing — the previous
+    /// reading simply ages.
+    pub fn ingest_domain(&mut self, at: SimTime, domain: u64, power_w: f64, reported: usize) {
+        if reported == 0 {
+            return;
+        }
+        self.db.append(SeriesKey::domain(domain), at, power_w);
+        self.domain_meta
+            .insert(domain, ReadingMeta { at, reported });
+    }
+
+    /// Latest domain power as a qualified [`DomainReading`] (see
+    /// [`PowerMonitor::row_reading`]). This is the controller's query
+    /// surface under degraded telemetry: `coverage < 1` flags partial
+    /// sweeps, a growing `age` flags lost ones.
+    pub fn domain_reading(&self, domain: u64, now: SimTime) -> Option<DomainReading> {
+        let (_, power_w) = self.db.latest(SeriesKey::domain(domain))?;
+        let meta = self.domain_meta.get(&domain)?;
+        Some(DomainReading {
+            power_w,
+            coverage: coverage(meta.reported, self.domain_expected.get(&domain).copied()),
+            age: now.since(meta.at),
+        })
+    }
+
+    /// Full domain power history with timestamps — what a replacement
+    /// controller cold-starts its `Et` predictor from after a failover
+    /// (the paper's §3.5: all state worth keeping lives in the
+    /// time-series database, not the controller).
+    pub fn domain_points(&self, domain: u64) -> &[(SimTime, f64)] {
+        self.db.series(SeriesKey::domain(domain))
+    }
+}
+
+/// Reported-over-expected coverage, clamped to `[0, 1]`; unknown
+/// populations read as full coverage.
+fn coverage(reported: usize, expected: Option<usize>) -> f64 {
+    match expected {
+        Some(n) if n > 0 => (reported as f64 / n as f64).min(1.0),
+        _ => 1.0,
     }
 }
 
@@ -287,6 +443,75 @@ mod tests {
     #[should_panic(expected = "interval must be positive")]
     fn rejects_zero_interval() {
         let _ = PowerMonitor::new(SimDuration::ZERO, false);
+    }
+
+    #[test]
+    fn try_new_reports_typed_error() {
+        use crate::error::PowerConfigError;
+        assert_eq!(
+            PowerMonitor::try_new(SimDuration::ZERO, false).err(),
+            Some(PowerConfigError::NonPositiveInterval(SimDuration::ZERO))
+        );
+        assert!(PowerMonitor::try_new(SimDuration::MINUTE, false).is_ok());
+    }
+
+    #[test]
+    fn row_reading_reports_coverage_and_age() {
+        let mut mon = PowerMonitor::paper_default();
+        mon.set_row_population(0, 3);
+        let (at, samples) = sweep(1);
+        mon.ingest(at, &samples);
+        // Row 0 has 3 reporting servers out of a declared 3.
+        let r = mon.row_reading(0, SimTime::from_mins(1)).unwrap();
+        assert_eq!(r.power_w, 450.0);
+        assert_eq!(r.coverage, 1.0);
+        assert_eq!(r.age, SimDuration::ZERO);
+
+        // A partial sweep: only one of row 0's servers reports.
+        let partial = vec![ServerSample {
+            server: 0,
+            rack: 0,
+            row: 0,
+            watts: 100.0,
+        }];
+        mon.ingest(SimTime::from_mins(2), &partial);
+        let r = mon.row_reading(0, SimTime::from_mins(2)).unwrap();
+        assert_eq!(r.power_w, 100.0);
+        assert!((r.coverage - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.estimate_w() - 300.0).abs() < 1e-9);
+
+        // Two sweeps later with nothing new, the reading has aged.
+        let r = mon.row_reading(0, SimTime::from_mins(4)).unwrap();
+        assert_eq!(r.age, SimDuration::from_mins(2));
+
+        // Undeclared rows report full coverage.
+        let r1 = mon.row_reading(1, SimTime::from_mins(2)).unwrap();
+        assert_eq!(r1.coverage, 1.0);
+    }
+
+    #[test]
+    fn domain_series_back_failover_cold_starts() {
+        let mut mon = PowerMonitor::paper_default();
+        mon.track_domain(0, 8);
+        assert!(mon.domain_reading(0, SimTime::from_mins(1)).is_none());
+        for m in 1..=5 {
+            mon.ingest_domain(SimTime::from_mins(m), 0, 1_000.0 + m as f64, 8);
+        }
+        // An empty report stores nothing; the reading just ages.
+        mon.ingest_domain(SimTime::from_mins(6), 0, 0.0, 0);
+        let r = mon.domain_reading(0, SimTime::from_mins(6)).unwrap();
+        assert_eq!(r.power_w, 1_005.0);
+        assert_eq!(r.coverage, 1.0);
+        assert_eq!(r.age, SimDuration::from_mins(1));
+        // The history a replacement predictor refits from.
+        assert_eq!(mon.domain_points(0).len(), 5);
+        assert_eq!(mon.domain_points(0)[0], (SimTime::from_mins(1), 1_001.0));
+
+        // Partial coverage propagates into the reading.
+        mon.ingest_domain(SimTime::from_mins(7), 0, 500.0, 4);
+        let r = mon.domain_reading(0, SimTime::from_mins(7)).unwrap();
+        assert_eq!(r.coverage, 0.5);
+        assert_eq!(r.estimate_w(), 1_000.0);
     }
 
     #[test]

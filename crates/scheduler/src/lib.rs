@@ -48,4 +48,4 @@ pub mod scheduler;
 pub use policy::{
     BestFit, Candidate, LeastLoaded, PlacementContext, PlacementPolicy, PowerSpread, RandomFit,
 };
-pub use scheduler::{DispatchOutcome, SchedStats, Scheduler};
+pub use scheduler::{DispatchOutcome, FreezeStatus, SchedStats, Scheduler};

@@ -34,6 +34,23 @@ pub struct DispatchOutcome {
     pub queued: usize,
 }
 
+/// Outcome of a [`Scheduler::freeze`] or [`Scheduler::unfreeze`] call.
+///
+/// The two-call API stays idempotent — a redundant call is not an error
+/// — but callers that *should* know the server's state (the controller,
+/// failover drills) can now see when their view drifted from reality.
+/// Redundant calls also tick the `sched_redundant_ops` counter, making
+/// a confused controller visible in metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreezeStatus {
+    /// The server changed state.
+    Applied,
+    /// The server was already in the requested state; nothing happened.
+    AlreadyInState,
+    /// No such server in the cluster; nothing happened.
+    UnknownServer,
+}
+
 /// What the scheduler remembers about an in-force freeze: the span the
 /// decision was traced under (so the unfreeze closes the same span) and
 /// when it took effect (so the unfreeze can report the hold duration).
@@ -78,6 +95,7 @@ pub struct Scheduler {
     completed_counter: Counter,
     frozen_counter: Counter,
     unfrozen_counter: Counter,
+    redundant_counter: Counter,
     queue_gauge: Gauge,
     wait_hist: Histogram,
     freeze_hist: Histogram,
@@ -113,6 +131,7 @@ impl Scheduler {
             completed_counter: telemetry.counter("sched_jobs_completed", &[]),
             frozen_counter: telemetry.counter("sched_servers_frozen", &[]),
             unfrozen_counter: telemetry.counter("sched_servers_unfrozen", &[]),
+            redundant_counter: telemetry.counter("sched_redundant_ops", &[]),
             queue_gauge: telemetry.gauge("sched_queue_len", &[]),
             wait_hist: telemetry.histogram(
                 "sched_wait_rounds",
@@ -200,63 +219,79 @@ impl Scheduler {
 
     /// The `freeze` API (§2.1): advise that `server` get no new jobs.
     /// Running jobs are unaffected. Idempotent (repeat calls on an
-    /// already-frozen server emit no telemetry).
-    pub fn freeze(&mut self, cluster: &mut Cluster, server: ServerId) {
-        let s = cluster.server_mut(server);
-        if !s.is_frozen() {
-            s.freeze();
-            self.frozen_counter.inc();
-            let (now, unset) = self.stamp();
-            // One child span per freeze, under the controller tick that
-            // decided it; the matching unfreeze closes the same span.
-            let span = self.telemetry.child_span(self.tick_span);
-            self.freeze_book.insert(
-                server.raw(),
-                FreezeRecord {
-                    span,
-                    at: (!unset).then_some(now),
-                },
-            );
-            self.telemetry.emit_with(|| {
-                let mut e = Event::new(now, Severity::Info, "scheduler", "freeze")
-                    .in_span(span)
-                    .with("server", server.raw());
-                if unset {
-                    e = e.with("t_unset", true);
-                }
-                e
-            });
+    /// already-frozen server emit no telemetry, return
+    /// [`FreezeStatus::AlreadyInState`] and tick `sched_redundant_ops`).
+    pub fn freeze(&mut self, cluster: &mut Cluster, server: ServerId) -> FreezeStatus {
+        if server.raw() as usize >= cluster.server_count() {
+            self.redundant_counter.inc();
+            return FreezeStatus::UnknownServer;
         }
-    }
-
-    /// The `unfreeze` API: make `server` schedulable again. Idempotent.
-    pub fn unfreeze(&mut self, cluster: &mut Cluster, server: ServerId) {
         let s = cluster.server_mut(server);
         if s.is_frozen() {
-            s.unfreeze();
-            self.unfrozen_counter.inc();
-            let (now, unset) = self.stamp();
-            let rec = self.freeze_book.remove(&server.raw());
-            let span = rec.map_or(SpanCtx::NONE, |r| r.span);
-            let held_mins = rec
-                .and_then(|r| r.at)
-                .map(|at| now.as_millis().saturating_sub(at.as_millis()) as f64 / 60_000.0);
-            if let Some(h) = held_mins {
-                self.freeze_hist.record(h);
-            }
-            self.telemetry.emit_with(|| {
-                let mut e = Event::new(now, Severity::Info, "scheduler", "unfreeze")
-                    .in_span(span)
-                    .with("server", server.raw());
-                if let Some(h) = held_mins {
-                    e = e.with("held_mins", h);
-                }
-                if unset {
-                    e = e.with("t_unset", true);
-                }
-                e
-            });
+            self.redundant_counter.inc();
+            return FreezeStatus::AlreadyInState;
         }
+        s.freeze();
+        self.frozen_counter.inc();
+        let (now, unset) = self.stamp();
+        // One child span per freeze, under the controller tick that
+        // decided it; the matching unfreeze closes the same span.
+        let span = self.telemetry.child_span(self.tick_span);
+        self.freeze_book.insert(
+            server.raw(),
+            FreezeRecord {
+                span,
+                at: (!unset).then_some(now),
+            },
+        );
+        self.telemetry.emit_with(|| {
+            let mut e = Event::new(now, Severity::Info, "scheduler", "freeze")
+                .in_span(span)
+                .with("server", server.raw());
+            if unset {
+                e = e.with("t_unset", true);
+            }
+            e
+        });
+        FreezeStatus::Applied
+    }
+
+    /// The `unfreeze` API: make `server` schedulable again. Idempotent,
+    /// with the same status reporting as [`Scheduler::freeze`].
+    pub fn unfreeze(&mut self, cluster: &mut Cluster, server: ServerId) -> FreezeStatus {
+        if server.raw() as usize >= cluster.server_count() {
+            self.redundant_counter.inc();
+            return FreezeStatus::UnknownServer;
+        }
+        let s = cluster.server_mut(server);
+        if !s.is_frozen() {
+            self.redundant_counter.inc();
+            return FreezeStatus::AlreadyInState;
+        }
+        s.unfreeze();
+        self.unfrozen_counter.inc();
+        let (now, unset) = self.stamp();
+        let rec = self.freeze_book.remove(&server.raw());
+        let span = rec.map_or(SpanCtx::NONE, |r| r.span);
+        let held_mins = rec
+            .and_then(|r| r.at)
+            .map(|at| now.as_millis().saturating_sub(at.as_millis()) as f64 / 60_000.0);
+        if let Some(h) = held_mins {
+            self.freeze_hist.record(h);
+        }
+        self.telemetry.emit_with(|| {
+            let mut e = Event::new(now, Severity::Info, "scheduler", "unfreeze")
+                .in_span(span)
+                .with("server", server.raw());
+            if let Some(h) = held_mins {
+                e = e.with("held_mins", h);
+            }
+            if unset {
+                e = e.with("t_unset", true);
+            }
+            e
+        });
+        FreezeStatus::Applied
     }
 
     /// Records completions so throughput accounting stays in one place.
@@ -393,8 +428,12 @@ mod tests {
         sched.set_clock(SimTime::from_mins(7));
 
         let target = ServerId::new(0);
-        sched.freeze(&mut cluster, target);
-        sched.freeze(&mut cluster, target); // Idempotent: no second event.
+        assert_eq!(sched.freeze(&mut cluster, target), FreezeStatus::Applied);
+        // Idempotent: no second event, but the redundancy is reported.
+        assert_eq!(
+            sched.freeze(&mut cluster, target),
+            FreezeStatus::AlreadyInState
+        );
         sched.submit((0..5).map(|i| request(i, 2, 5)));
         sched.dispatch(&mut cluster, &[]);
         sched.unfreeze(&mut cluster, target);
@@ -418,6 +457,44 @@ mod tests {
         assert_eq!(count("sched_jobs_completed"), 3);
         assert_eq!(count("sched_servers_frozen"), 1);
         assert_eq!(count("sched_servers_unfrozen"), 1);
+        assert_eq!(count("sched_redundant_ops"), 1);
+    }
+
+    #[test]
+    fn freeze_status_reports_redundant_and_unknown_calls() {
+        use ampere_telemetry::MetricKind;
+
+        let tel = Telemetry::builder().build();
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        let mut sched = Scheduler::with_telemetry(Box::new(RandomFit::default()), 11, tel.clone());
+        sched.set_clock(SimTime::from_mins(1));
+
+        let s = ServerId::new(2);
+        // Unfreeze of a never-frozen server is redundant, not an error.
+        assert_eq!(
+            sched.unfreeze(&mut cluster, s),
+            FreezeStatus::AlreadyInState
+        );
+        assert_eq!(sched.freeze(&mut cluster, s), FreezeStatus::Applied);
+        assert_eq!(sched.freeze(&mut cluster, s), FreezeStatus::AlreadyInState);
+        assert_eq!(sched.unfreeze(&mut cluster, s), FreezeStatus::Applied);
+        // A lost RPC retried against a decommissioned id must not panic.
+        let ghost = ServerId::new(cluster.server_count() as u64 + 7);
+        assert_eq!(
+            sched.freeze(&mut cluster, ghost),
+            FreezeStatus::UnknownServer
+        );
+        assert_eq!(
+            sched.unfreeze(&mut cluster, ghost),
+            FreezeStatus::UnknownServer
+        );
+        assert!(!cluster.server(s).is_frozen());
+
+        let snap = tel.snapshot().unwrap();
+        match snap.get("sched_redundant_ops", &[]).unwrap().kind {
+            MetricKind::Counter(n) => assert_eq!(n, 4),
+            ref other => panic!("unexpected kind {other:?}"),
+        }
     }
 
     #[test]

@@ -213,6 +213,14 @@ pub mod streams {
     pub const POWER_NOISE: u64 = 5;
     /// Workload profile perturbations (diurnal noise).
     pub const PROFILE: u64 = 6;
+    /// Fault injection: per-server sample dropout draws.
+    pub const FAULT_DROPOUT: u64 = 7;
+    /// Fault injection: extra sensor noise and bias.
+    pub const FAULT_SENSOR: u64 = 8;
+    /// Fault injection: lost freeze/unfreeze RPCs.
+    pub const FAULT_RPC: u64 = 9;
+    /// Fault injection: whole-sweep loss and outage placement.
+    pub const FAULT_OUTAGE: u64 = 10;
 }
 
 #[cfg(test)]

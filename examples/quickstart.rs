@@ -23,6 +23,7 @@ fn main() {
             u_max: 0.5,
             r_stable: 0.8,
             interval: SimDuration::MINUTE,
+            ..ControllerConfig::default()
         },
         // The production safety margin (see ampere-experiments::calibrate).
         Box::new(HistoricalPercentile::flat(0.065)),

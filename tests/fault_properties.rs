@@ -1,0 +1,179 @@
+//! Property-based tests on the fault-injection harness and graceful
+//! degradation: over randomized fault plans, the degraded stack never
+//! lets the breaker get closer to tripping than the healthy stack on
+//! the same workload seed, an engaged capping backstop never lets a
+//! tick count toward a breaker trip, and every faulted run is
+//! byte-reproducible from its seed.
+
+use ampere_cluster::{ClusterSpec, ServerId};
+use ampere_core::{AmpereController, ControllerConfig, HistoricalPercentile, ParitySplit};
+use ampere_experiments::{DomainId, DomainSpec, Testbed, TestbedConfig};
+use ampere_faults::{FaultPlan, OutageWindow};
+use ampere_power::CappingConfig;
+use ampere_sched::RandomFit;
+use ampere_sim::check::cases;
+use ampere_sim::{SimDuration, SimTime};
+use ampere_workload::RateProfile;
+
+const RUN_MINS: u64 = 150;
+
+/// A tiny controlled row (8 of 16 servers, r_O = 0.25) with capping
+/// available for the watchdog backstop to arm.
+fn testbed(seed: u64, faults: Option<FaultPlan>) -> (Testbed, DomainId) {
+    let mut tb = Testbed::new(TestbedConfig {
+        spec: ClusterSpec::tiny(),
+        profile: RateProfile::Constant { per_min: 800.0 },
+        seed,
+        tick: SimDuration::MINUTE,
+        measurement_noise: 0.003,
+        capping: CappingConfig::default(),
+        policy: Box::new(RandomFit::default()),
+        server_classes: None,
+        faults,
+    });
+    let (exp, _rest) = ParitySplit::split((0..16).map(ServerId::new));
+    let budget = 8.0 * 250.0 / 1.25;
+    let controller = AmpereController::new(
+        ControllerConfig::default(),
+        Box::new(HistoricalPercentile::flat(0.05)),
+    );
+    let d = tb.add_domain(DomainSpec {
+        name: "experiment".into(),
+        servers: exp,
+        budget_w: budget,
+        controller: Some(controller),
+        capped: false,
+    });
+    (tb, d)
+}
+
+/// A random but valid fault plan: dropout up to near-half the fleet,
+/// noisy/biased sensors, lost RPCs, and one mid-run controller outage.
+fn random_plan(g: &mut ampere_sim::check::Gen) -> FaultPlan {
+    let outage_start = g.u64(30..80);
+    let outage_mins = g.u64(0..20);
+    FaultPlan {
+        sample_dropout: g.f64(0.0..0.45),
+        sweep_loss: g.f64(0.0..0.05),
+        sensor_noise: g.f64(0.0..0.02),
+        sensor_bias: g.f64(-0.02..0.02),
+        rpc_loss: g.f64(0.0..0.2),
+        outages: (outage_mins > 0)
+            .then(|| OutageWindow {
+                start: SimTime::from_mins(outage_start),
+                end: SimTime::from_mins(outage_start + outage_mins),
+            })
+            .into_iter()
+            .collect(),
+        ..FaultPlan::seeded(g.u64(0..u64::MAX / 2))
+    }
+}
+
+fn longest_violation_run(tb: &Testbed, d: DomainId) -> u64 {
+    let mut longest = 0u64;
+    let mut run = 0u64;
+    for r in tb.records(d) {
+        run = if r.violation { run + 1 } else { 0 };
+        longest = longest.max(run);
+    }
+    longest
+}
+
+/// An engaged capping backstop never lets a tick count toward a
+/// breaker trip, and a degraded stack never sustains over-budget power
+/// longer than the healthy stack plus the breaker's safety margin.
+#[test]
+fn degradation_never_outlasts_the_breaker() {
+    cases(10, |g| {
+        let seed = g.u64(0..1 << 40);
+        let plan = random_plan(g);
+        plan.validate().expect("generated plan must be valid");
+
+        let (mut healthy, hd) = testbed(seed, None);
+        healthy.run_for(SimDuration::from_mins(RUN_MINS));
+        let (mut faulted, fd) = testbed(seed, Some(plan));
+        faulted.run_for(SimDuration::from_mins(RUN_MINS));
+
+        // Capping engages one tick after the watchdog arms; from then
+        // on the backstop holds true power at 98 % of the budget, so a
+        // protected tick can never count toward a breaker trip.
+        let recs = faulted.records(fd);
+        for pair in recs.windows(2) {
+            if pair[0].backstop_armed && pair[1].backstop_armed {
+                assert!(
+                    !pair[1].violation,
+                    "violation at t={:?} while the capping backstop was engaged",
+                    pair[1].time
+                );
+            }
+        }
+
+        // The breaker trips at 5 consecutive violations; degradation
+        // must stay within the healthy envelope plus that margin.
+        let healthy_run = longest_violation_run(&healthy, hd);
+        let faulted_run = longest_violation_run(&faulted, fd);
+        assert!(
+            faulted_run <= healthy_run.max(4),
+            "faulted stack sustained {faulted_run} over-budget minutes \
+             (healthy {healthy_run})"
+        );
+    });
+}
+
+/// Two runs from the same seed and plan produce bit-identical records
+/// and fault tallies — the whole point of a seeded fault plan.
+#[test]
+fn faulted_runs_are_byte_reproducible() {
+    cases(6, |g| {
+        let seed = g.u64(0..1 << 40);
+        let plan = random_plan(g);
+
+        let (mut a, da) = testbed(seed, Some(plan.clone()));
+        a.run_for(SimDuration::from_mins(RUN_MINS));
+        let (mut b, db) = testbed(seed, Some(plan));
+        b.run_for(SimDuration::from_mins(RUN_MINS));
+
+        // Debug formatting carries full f64 precision, so equal strings
+        // mean bit-equal trajectories.
+        assert_eq!(
+            format!("{:?}", a.records(da)),
+            format!("{:?}", b.records(db)),
+            "same seed, different trajectory"
+        );
+        let (fa, la) = a.sweep_fault_totals();
+        let (fb, lb) = b.sweep_fault_totals();
+        assert_eq!((fa.dropped, fa.total, la), (fb.dropped, fb.total, lb));
+        assert_eq!(a.failovers(da), b.failovers(db));
+    });
+}
+
+/// Fault injection is observable where it should be: dropout shows up
+/// as reduced coverage, outages as degraded/backstop ticks and a
+/// failover, while physical truth (the breaker) keeps watching real
+/// watts.
+#[test]
+fn faults_leave_a_visible_trail() {
+    let plan = FaultPlan {
+        sample_dropout: 0.3,
+        rpc_loss: 0.1,
+        sensor_noise: 0.01,
+        outages: vec![OutageWindow {
+            start: SimTime::from_mins(60),
+            end: SimTime::from_mins(70),
+        }],
+        ..FaultPlan::seeded(99)
+    };
+    let (mut tb, d) = testbed(7, Some(plan));
+    tb.run_for(SimDuration::from_mins(RUN_MINS));
+
+    let recs = tb.records(d);
+    let min_cov = recs.iter().map(|r| r.coverage).fold(1.0, f64::min);
+    assert!(min_cov < 0.95, "30% dropout invisible in coverage");
+    assert!(
+        recs.iter().any(|r| r.degraded || r.backstop_armed),
+        "a 10-minute outage left no degraded or backstop ticks"
+    );
+    assert_eq!(tb.failovers(d), 1, "controller must cold-start once");
+    let (sweep, _lost) = tb.sweep_fault_totals();
+    assert!(sweep.dropped > 0, "injector dropped no samples");
+}
