@@ -98,7 +98,7 @@ fn main() {
             "testbed_tick_440_servers_heavy",
             || {
                 let mut tb = Testbed::new(TestbedConfig::paper_row(RateProfile::heavy_row(), 1));
-                tb.add_row_domains(1.0);
+                tb.add_row_domains(1.0).expect("rows registered once");
                 tb.run_for(SimDuration::from_mins(30));
                 tb
             },

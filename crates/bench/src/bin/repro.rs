@@ -1,12 +1,27 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations|chaos] [--quick] [--csv DIR] [--telemetry FILE]
+//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations|chaos|scale]
+//!       [--quick] [--csv DIR] [--telemetry FILE] [--workers N] [--scale-out FILE]
 //! ```
 //!
 //! `--quick` shrinks run lengths (used by CI); without it each
 //! experiment runs at paper scale. Output is plain text: `# name`
 //! series blocks and markdown tables, recorded in `EXPERIMENTS.md`.
+//!
+//! `--workers N` sets the default worker-pool width. Selected
+//! experiments *compute* concurrently — each on its own captured
+//! telemetry pipeline and its own derived RNG streams — then *print*
+//! serially in the fixed figure order, so stdout, the telemetry JSONL
+//! and every number are byte-identical at any worker count (see
+//! DESIGN.md §9). The chaos grid, the ablation groups, Table 3's cases
+//! and Fig 10's two workloads additionally fan out internally.
+//!
+//! `repro scale` runs the rows × workers scaling sweep instead of a
+//! figure: it prints a throughput/speedup table, verifies that every
+//! worker count produced the same trajectory checksum, and writes the
+//! sweep as JSONL to `BENCH_scale.json` (override with
+//! `--scale-out FILE`; render with `ampere-obs report --scale FILE`).
 //!
 //! `--telemetry FILE` installs the global telemetry pipeline before any
 //! testbed is built: every structured event (controller ticks, freezes,
@@ -15,6 +30,10 @@
 
 use ampere_bench::{f3, pct, Output};
 use ampere_experiments as exp;
+
+/// Deferred printing half of one experiment: everything the compute
+/// phase produced, replayed onto stdout/CSV in serial figure order.
+type Printer = Box<dyn FnOnce(&Output) + Send>;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +48,14 @@ fn main() {
         .position(|a| a == "--telemetry")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+    {
+        ampere_par::set_default_workers(n);
+    }
     // Install before building any testbed: components capture the
     // global handle at construction time.
     if let Some(path) = &telemetry_path {
@@ -46,51 +73,66 @@ fn main() {
                 || *a == "all"
                 || *a == "ablations"
                 || *a == "chaos"
+                || *a == "scale"
         })
         .unwrap_or("all");
 
-    let all = what == "all";
-    if all || what == "fig1" {
-        fig1(quick, &out);
-    }
-    if all || what == "fig2" {
-        fig2(quick, &out);
-    }
-    if all || what == "fig4" {
-        fig4(quick, &out);
-    }
-    if all || what == "fig5" {
-        fig5(quick, &out);
-    }
-    if all || what == "fig6" {
-        fig6(&out);
-    }
-    if all || what == "fig7" {
-        fig7(quick, &out);
-    }
-    if all || what == "fig8" {
-        fig8(quick, &out);
-    }
-    if all || what == "fig9" {
-        fig9(quick, &out);
-    }
-    if all || what == "fig10" || what == "table2" {
-        fig10_table2(quick, &out);
-    }
-    if all || what == "fig11" {
-        fig11(quick, &out);
-    }
-    if all || what == "fig12" {
-        fig12(quick, &out);
-    }
-    if all || what == "table3" {
-        table3(quick, &out);
-    }
-    if all || what == "ablations" {
-        ablations(quick, &out);
-    }
-    if all || what == "chaos" {
-        chaos(quick, &out);
+    if what == "scale" {
+        scale(quick, &args);
+    } else {
+        let all = what == "all";
+        // Compute phase: every selected experiment becomes one task on
+        // the worker pool, returning its printer. Telemetry is captured
+        // per task and replayed in this (serial) order.
+        let mut jobs: Vec<ampere_par::Task<'static, Printer>> = Vec::new();
+        if all || what == "fig1" {
+            jobs.push(Box::new(move || fig1(quick)));
+        }
+        if all || what == "fig2" {
+            jobs.push(Box::new(move || fig2(quick)));
+        }
+        if all || what == "fig4" {
+            jobs.push(Box::new(move || fig4(quick)));
+        }
+        if all || what == "fig5" {
+            jobs.push(Box::new(move || fig5(quick)));
+        }
+        if all || what == "fig6" {
+            jobs.push(Box::new(move || fig6()));
+        }
+        if all || what == "fig7" {
+            jobs.push(Box::new(move || fig7(quick)));
+        }
+        if all || what == "fig8" {
+            jobs.push(Box::new(move || fig8(quick)));
+        }
+        if all || what == "fig9" {
+            jobs.push(Box::new(move || fig9(quick)));
+        }
+        if all || what == "fig10" || what == "table2" {
+            jobs.push(Box::new(move || fig10_table2(quick)));
+        }
+        if all || what == "fig11" {
+            jobs.push(Box::new(move || fig11(quick)));
+        }
+        if all || what == "fig12" {
+            jobs.push(Box::new(move || fig12(quick)));
+        }
+        if all || what == "table3" {
+            jobs.push(Box::new(move || table3(quick)));
+        }
+        if all || what == "ablations" {
+            jobs.push(Box::new(move || ablations(quick)));
+        }
+        if all || what == "chaos" {
+            jobs.push(Box::new(move || chaos(quick)));
+        }
+        let pool = ampere_par::WorkerPool::with_default_workers();
+        // Print phase: serial, in figure order, regardless of which
+        // worker finished first.
+        for printer in ampere_par::run_captured(&pool, jobs) {
+            printer(&out);
+        }
     }
 
     if let Some(path) = &telemetry_path {
@@ -110,53 +152,84 @@ fn main() {
     }
 }
 
-fn chaos(quick: bool, out: &Output) {
-    println!("=== Chaos: fault injection, graceful degradation, capping backstop ===\n");
+fn scale(quick: bool, args: &[String]) {
+    let max_workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(ampere_par::available_workers);
+    let config = if quick {
+        ampere_bench::scale::ScaleConfig::quick(max_workers)
+    } else {
+        ampere_bench::scale::ScaleConfig::paper(max_workers)
+    };
+    println!("=== Scale: rows x workers — parallel engine throughput ===\n");
+    let r = ampere_bench::scale::run(&config);
+    print!("{}", r.render_table());
+    let path = args
+        .iter()
+        .position(|a| a == "--scale-out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "BENCH_scale.json".to_string(), String::clone);
+    std::fs::write(&path, r.to_jsonl()).expect("write scale sweep");
+    eprintln!("scale sweep written to {path}");
+    if r.thread_invariant() {
+        println!("\nthread-invariant: every worker count reproduced the same trajectory checksum");
+    } else {
+        eprintln!("\nDETERMINISM BROKEN: checksums differ across worker counts");
+        std::process::exit(1);
+    }
+}
+
+fn chaos(quick: bool) -> Printer {
     let config = if quick {
         exp::chaos::ChaosConfig::quick()
     } else {
         exp::chaos::ChaosConfig::paper()
     };
     let r = exp::chaos::run(&config);
-    let rows: Vec<Vec<String>> = r
-        .cells
-        .iter()
-        .map(|c| {
-            vec![
-                pct(c.dropout),
-                c.outage_mins.to_string(),
-                c.violations.to_string(),
-                if c.tripped { "YES" } else { "no" }.to_string(),
-                c.degraded_ticks.to_string(),
-                c.backstop_ticks.to_string(),
-                c.failovers.to_string(),
-                f3(c.min_coverage),
-                f3(c.throughput_ratio),
-            ]
-        })
-        .collect();
-    out.table(
-        "Chaos sweep: dropout x outage",
-        &[
-            "dropout",
-            "outage(min)",
-            "violations",
-            "tripped",
-            "degraded",
-            "backstop",
-            "failovers",
-            "min_cov",
-            "r_thru",
-        ],
-        &rows,
-    );
-    println!(
-        "(safety claim: the `tripped` column must be all `no` — capping backstops the breaker)\n"
-    );
+    Box::new(move |out| {
+        println!("=== Chaos: fault injection, graceful degradation, capping backstop ===\n");
+        let rows: Vec<Vec<String>> = r
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    pct(c.dropout),
+                    c.outage_mins.to_string(),
+                    c.violations.to_string(),
+                    if c.tripped { "YES" } else { "no" }.to_string(),
+                    c.degraded_ticks.to_string(),
+                    c.backstop_ticks.to_string(),
+                    c.failovers.to_string(),
+                    f3(c.min_coverage),
+                    f3(c.throughput_ratio),
+                ]
+            })
+            .collect();
+        out.table(
+            "Chaos sweep: dropout x outage",
+            &[
+                "dropout",
+                "outage(min)",
+                "violations",
+                "tripped",
+                "degraded",
+                "backstop",
+                "failovers",
+                "min_cov",
+                "r_thru",
+            ],
+            &rows,
+        );
+        println!(
+            "(safety claim: the `tripped` column must be all `no` — capping backstops the breaker)\n"
+        );
+    })
 }
 
-fn ablations(quick: bool, out: &Output) {
-    println!("=== Ablations: design choices and parameters (heavy, r_O = 0.25) ===\n");
+fn ablations(quick: bool) -> Printer {
     let config = if quick {
         exp::ablation::AblationConfig {
             hours: 4,
@@ -166,39 +239,42 @@ fn ablations(quick: bool, out: &Output) {
     } else {
         exp::ablation::AblationConfig::default()
     };
-    for (name, rows) in exp::ablation::run_all(&config) {
-        let table: Vec<Vec<String>> = rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.setting.clone(),
-                    r.violations.to_string(),
-                    f3(r.u_mean),
-                    format!("{:.0}", r.churn_per_hour),
-                    f3(r.r_thru),
-                    f3(r.p_mean),
-                    f3(r.wait_mean_mins),
-                ]
-            })
-            .collect();
-        out.table(
-            &name,
-            &[
-                "setting",
-                "violations",
-                "u_mean",
-                "churn/h",
-                "r_thru",
-                "P_mean",
-                "wait(min)",
-            ],
-            &table,
-        );
-    }
+    let groups = exp::ablation::run_all(&config);
+    Box::new(move |out| {
+        println!("=== Ablations: design choices and parameters (heavy, r_O = 0.25) ===\n");
+        for (name, rows) in &groups {
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.setting.clone(),
+                        r.violations.to_string(),
+                        f3(r.u_mean),
+                        format!("{:.0}", r.churn_per_hour),
+                        f3(r.r_thru),
+                        f3(r.p_mean),
+                        f3(r.wait_mean_mins),
+                    ]
+                })
+                .collect();
+            out.table(
+                name,
+                &[
+                    "setting",
+                    "violations",
+                    "u_mean",
+                    "churn/h",
+                    "r_thru",
+                    "P_mean",
+                    "wait(min)",
+                ],
+                &table,
+            );
+        }
+    })
 }
 
-fn fig1(quick: bool, out: &Output) {
-    println!("=== Fig 1: CDF of power utilization by level ===\n");
+fn fig1(quick: bool) -> Printer {
     let config = if quick {
         exp::fig1::Fig1Config {
             rows: 4,
@@ -212,19 +288,21 @@ fn fig1(quick: bool, out: &Output) {
         exp::fig1::Fig1Config::default()
     };
     let r = exp::fig1::run(config);
-    for level in [&r.rack, &r.row, &r.dc] {
-        println!(
-            "# {}: mean={} max={}",
-            level.label,
-            f3(level.mean),
-            f3(level.max)
-        );
-        out.series(level.label, level.points.iter().copied());
-    }
+    Box::new(move |out| {
+        println!("=== Fig 1: CDF of power utilization by level ===\n");
+        for level in [&r.rack, &r.row, &r.dc] {
+            println!(
+                "# {}: mean={} max={}",
+                level.label,
+                f3(level.mean),
+                f3(level.max)
+            );
+            out.series(level.label, level.points.iter().copied());
+        }
+    })
 }
 
-fn fig2(quick: bool, out: &Output) {
-    println!("=== Fig 2: row power variation (5 rows, 2 h) ===\n");
+fn fig2(quick: bool) -> Printer {
     let config = if quick {
         exp::fig2::Fig2Config {
             rows: 6,
@@ -239,33 +317,35 @@ fn fig2(quick: bool, out: &Output) {
         exp::fig2::Fig2Config::default()
     };
     let r = exp::fig2::run(config);
-    for (i, row) in r.heatmap.iter().enumerate() {
-        let mean = row.iter().sum::<f64>() / row.len() as f64;
-        let min = row.iter().cloned().fold(f64::MAX, f64::min);
-        let max = row.iter().cloned().fold(f64::MIN, f64::max);
+    Box::new(move |out| {
+        println!("=== Fig 2: row power variation (5 rows, 2 h) ===\n");
+        for (i, row) in r.heatmap.iter().enumerate() {
+            let mean = row.iter().sum::<f64>() / row.len() as f64;
+            let min = row.iter().cloned().fold(f64::MAX, f64::min);
+            let max = row.iter().cloned().fold(f64::MIN, f64::max);
+            println!(
+                "row {i}: mean={} range=[{}, {}] over {} minutes",
+                f3(mean),
+                f3(min),
+                f3(max),
+                row.len()
+            );
+            out.series_sampled(
+                &format!("fig2 row{i} normalized power"),
+                row.iter().enumerate().map(|(m, &p)| (m as f64, p)),
+                20,
+            );
+        }
         println!(
-            "row {i}: mean={} range=[{}, {}] over {} minutes",
-            f3(mean),
-            f3(min),
-            f3(max),
-            row.len()
+            "\npairwise correlations: n={} frac(<0.33)={} (paper: ~80%)",
+            r.correlations.len(),
+            pct(r.frac_below_033)
         );
-        out.series_sampled(
-            &format!("fig2 row{i} normalized power"),
-            row.iter().enumerate().map(|(m, &p)| (m as f64, p)),
-            20,
-        );
-    }
-    println!(
-        "\npairwise correlations: n={} frac(<0.33)={} (paper: ~80%)",
-        r.correlations.len(),
-        pct(r.frac_below_033)
-    );
-    println!("spatial spread of row means: {}\n", f3(r.spatial_spread));
+        println!("spatial spread of row means: {}\n", f3(r.spatial_spread));
+    })
 }
 
-fn fig4(quick: bool, out: &Output) {
-    println!("=== Fig 4: power decay of frozen servers ===\n");
+fn fig4(quick: bool) -> Printer {
     let config = if quick {
         exp::fig4::Fig4Config {
             warmup_mins: 90,
@@ -275,20 +355,22 @@ fn fig4(quick: bool, out: &Output) {
         exp::fig4::Fig4Config::default()
     };
     let r = exp::fig4::run(config);
-    out.series(
-        "mean normalized power of frozen group vs minutes",
-        r.series.iter().map(|&(m, p)| (m as f64, p)),
-    );
-    println!(
-        "initial={} final={} minutes-to-90%-drop={} (paper: ~35 min)\n",
-        f3(r.initial),
-        f3(r.final_level),
-        r.mins_to_90pct_drop
-    );
+    Box::new(move |out| {
+        println!("=== Fig 4: power decay of frozen servers ===\n");
+        out.series(
+            "mean normalized power of frozen group vs minutes",
+            r.series.iter().map(|&(m, p)| (m as f64, p)),
+        );
+        println!(
+            "initial={} final={} minutes-to-90%-drop={} (paper: ~35 min)\n",
+            f3(r.initial),
+            f3(r.final_level),
+            r.mins_to_90pct_drop
+        );
+    })
 }
 
-fn fig5(quick: bool, out: &Output) {
-    println!("=== Fig 5: f(u) vs freezing ratio u ===\n");
+fn fig5(quick: bool) -> Printer {
     let config = if quick {
         exp::fig5::Fig5Config {
             levels: vec![0.0, 0.2, 0.4, 0.6],
@@ -302,48 +384,54 @@ fn fig5(quick: bool, out: &Output) {
         exp::fig5::Fig5Config::default()
     };
     let r = exp::fig5::run(config);
-    for (q, curve) in ["p25", "p50", "p75"].iter().zip(&r.curves) {
-        out.series(&format!("f(u) {q}"), curve.iter().copied());
-    }
-    println!(
-        "steady-state fit: kr={} (R²={}); one-minute fit: kr={} (R²={})",
-        f3(r.model.kr),
-        f3(r.model.r_squared),
-        f3(r.model_one_minute.kr),
-        f3(r.model_one_minute.r_squared)
-    );
-    println!("samples: {}\n", r.samples.len());
+    Box::new(move |out| {
+        println!("=== Fig 5: f(u) vs freezing ratio u ===\n");
+        for (q, curve) in ["p25", "p50", "p75"].iter().zip(&r.curves) {
+            out.series(&format!("f(u) {q}"), curve.iter().copied());
+        }
+        println!(
+            "steady-state fit: kr={} (R²={}); one-minute fit: kr={} (R²={})",
+            f3(r.model.kr),
+            f3(r.model.r_squared),
+            f3(r.model_one_minute.kr),
+            f3(r.model_one_minute.r_squared)
+        );
+        println!("samples: {}\n", r.samples.len());
+    })
 }
 
-fn fig6(out: &Output) {
-    println!("=== Fig 6: the control function F (production calibration) ===\n");
+fn fig6() -> Printer {
     let r = exp::fig6::run(exp::fig6::Fig6Config::default());
-    out.series("freezing ratio u vs row power P", r.curve.iter().copied());
-    println!(
-        "threshold ratio = {} | saturates (u = 0.5) at P = {}\n",
-        f3(r.threshold),
-        f3(r.saturation_power)
-    );
+    Box::new(move |out| {
+        println!("=== Fig 6: the control function F (production calibration) ===\n");
+        out.series("freezing ratio u vs row power P", r.curve.iter().copied());
+        println!(
+            "threshold ratio = {} | saturates (u = 0.5) at P = {}\n",
+            f3(r.threshold),
+            f3(r.saturation_power)
+        );
+    })
 }
 
-fn fig7(quick: bool, out: &Output) {
-    println!("=== Fig 7: CDF of batch job durations ===\n");
+fn fig7(quick: bool) -> Printer {
     let r = exp::fig7::run(exp::fig7::Fig7Config {
         samples: if quick { 20_000 } else { 200_000 },
         seed: 7,
     });
-    out.series("duration CDF (minutes)", r.cdf.iter().copied());
-    println!(
-        "mean={:.2} min (paper ~9); P(d<=2min)={} (paper ~0.4); P(d<=10min)={}; max={:.1} min\n",
-        r.mean_mins,
-        pct(r.frac_under_2min),
-        pct(r.frac_under_10min),
-        r.max_mins
-    );
+    Box::new(move |out| {
+        println!("=== Fig 7: CDF of batch job durations ===\n");
+        out.series("duration CDF (minutes)", r.cdf.iter().copied());
+        println!(
+            "mean={:.2} min (paper ~9); P(d<=2min)={} (paper ~0.4); P(d<=10min)={}; max={:.1} min\n",
+            r.mean_mins,
+            pct(r.frac_under_2min),
+            pct(r.frac_under_10min),
+            r.max_mins
+        );
+    })
 }
 
-fn fig8(quick: bool, out: &Output) {
-    println!("=== Fig 8: row power over 24 h (normalized to max) ===\n");
+fn fig8(quick: bool) -> Printer {
     let config = if quick {
         exp::fig8::Fig8Config {
             hours: 8,
@@ -354,20 +442,22 @@ fn fig8(quick: bool, out: &Output) {
         exp::fig8::Fig8Config::default()
     };
     let r = exp::fig8::run(config);
-    out.series_sampled(
-        "normalized row power vs minute",
-        r.series.iter().map(|&(m, p)| (m as f64, p)),
-        30,
-    );
-    println!(
-        "mean={} swing={} (paper: ~0.75–1.0)\n",
-        f3(r.mean),
-        f3(r.swing)
-    );
+    Box::new(move |out| {
+        println!("=== Fig 8: row power over 24 h (normalized to max) ===\n");
+        out.series_sampled(
+            "normalized row power vs minute",
+            r.series.iter().map(|&(m, p)| (m as f64, p)),
+            30,
+        );
+        println!(
+            "mean={} swing={} (paper: ~0.75–1.0)\n",
+            f3(r.mean),
+            f3(r.swing)
+        );
+    })
 }
 
-fn fig9(quick: bool, out: &Output) {
-    println!("=== Fig 9: CDF of power changes at 1/5/20/60-min scales ===\n");
+fn fig9(quick: bool) -> Printer {
     let config = if quick {
         exp::fig9::Fig9Config {
             hours: 10,
@@ -378,91 +468,107 @@ fn fig9(quick: bool, out: &Output) {
         exp::fig9::Fig9Config::default()
     };
     let r = exp::fig9::run(config);
-    let rows: Vec<Vec<String>> = r
-        .scales
-        .iter()
-        .map(|s| {
-            vec![
-                format!("{}-min", s.scale_mins),
-                pct(s.frac_within_2p5),
-                f3(s.max_abs),
-                s.points.len().to_string(),
-            ]
-        })
-        .collect();
-    out.table(
-        "power-change distribution by scale",
-        &["scale", "within ±2.5%", "max |Δ|", "points"],
-        &rows,
-    );
-    println!("(paper: 1-min changes within ±2.5% for 99% of the time, up to ~10%)\n");
+    Box::new(move |out| {
+        println!("=== Fig 9: CDF of power changes at 1/5/20/60-min scales ===\n");
+        let rows: Vec<Vec<String>> = r
+            .scales
+            .iter()
+            .map(|s| {
+                vec![
+                    format!("{}-min", s.scale_mins),
+                    pct(s.frac_within_2p5),
+                    f3(s.max_abs),
+                    s.points.len().to_string(),
+                ]
+            })
+            .collect();
+        out.table(
+            "power-change distribution by scale",
+            &["scale", "within ±2.5%", "max |Δ|", "points"],
+            &rows,
+        );
+        println!("(paper: 1-min changes within ±2.5% for 99% of the time, up to ~10%)\n");
+    })
 }
 
-fn fig10_table2(quick: bool, out: &Output) {
-    println!("=== Fig 10 + Table 2: control under light/heavy workload (r_O = 0.25) ===\n");
-    let mut rows = Vec::new();
-    for kind in [
+fn fig10_table2(quick: bool) -> Printer {
+    let kinds = [
         exp::fig10::WorkloadKind::Light,
         exp::fig10::WorkloadKind::Heavy,
-    ] {
-        let config = if quick {
-            exp::fig10::Fig10Config {
-                hours: 8,
-                warmup_mins: 90,
-                calibration_hours: 8,
-                ..exp::fig10::Fig10Config::paper(kind)
+    ];
+    // The two workload columns are independent runs: fan them out.
+    let tasks: Vec<ampere_par::Task<'static, exp::fig10::Fig10Result>> = kinds
+        .iter()
+        .map(|&kind| {
+            let task: ampere_par::Task<'static, exp::fig10::Fig10Result> = Box::new(move || {
+                let config = if quick {
+                    exp::fig10::Fig10Config {
+                        hours: 8,
+                        warmup_mins: 90,
+                        calibration_hours: 8,
+                        ..exp::fig10::Fig10Config::paper(kind)
+                    }
+                } else {
+                    exp::fig10::Fig10Config::paper(kind)
+                };
+                exp::fig10::run(config)
+            });
+            task
+        })
+        .collect();
+    let pool = ampere_par::WorkerPool::with_default_workers();
+    let results = ampere_par::run_captured(&pool, tasks);
+    Box::new(move |out| {
+        println!("=== Fig 10 + Table 2: control under light/heavy workload (r_O = 0.25) ===\n");
+        let mut rows = Vec::new();
+        for (kind, r) in kinds.iter().zip(results) {
+            out.series_sampled(
+                &format!("{} exp power_norm", kind.name()),
+                r.exp_trace.iter().map(|&(m, p, _)| (m as f64, p)),
+                30,
+            );
+            out.series_sampled(
+                &format!("{} exp freezing ratio", kind.name()),
+                r.exp_trace.iter().map(|&(m, _, u)| (m as f64, u)),
+                30,
+            );
+            out.series_sampled(
+                &format!("{} ctl power_norm", kind.name()),
+                r.ctl_trace.iter().map(|&(m, p)| (m as f64, p)),
+                30,
+            );
+            for (group, s) in [("Exp", r.exp), ("Ctr", r.ctl)] {
+                rows.push(vec![
+                    kind.name().to_string(),
+                    group.to_string(),
+                    pct(s.u_mean),
+                    pct(s.u_max),
+                    f3(s.p_mean),
+                    f3(s.p_max),
+                    s.violations.to_string(),
+                ]);
             }
-        } else {
-            exp::fig10::Fig10Config::paper(kind)
-        };
-        let r = exp::fig10::run(config);
-        out.series_sampled(
-            &format!("{} exp power_norm", kind.name()),
-            r.exp_trace.iter().map(|&(m, p, _)| (m as f64, p)),
-            30,
-        );
-        out.series_sampled(
-            &format!("{} exp freezing ratio", kind.name()),
-            r.exp_trace.iter().map(|&(m, _, u)| (m as f64, u)),
-            30,
-        );
-        out.series_sampled(
-            &format!("{} ctl power_norm", kind.name()),
-            r.ctl_trace.iter().map(|&(m, p)| (m as f64, p)),
-            30,
-        );
-        for (group, s) in [("Exp", r.exp), ("Ctr", r.ctl)] {
-            rows.push(vec![
-                kind.name().to_string(),
-                group.to_string(),
-                pct(s.u_mean),
-                pct(s.u_max),
-                f3(s.p_mean),
-                f3(s.p_max),
-                s.violations.to_string(),
-            ]);
         }
-    }
-    out.table(
-        "Table 2: controller effectiveness",
-        &[
-            "Workload",
-            "Group",
-            "u_mean",
-            "u_max",
-            "P_mean",
-            "P_max",
-            "Violations",
-        ],
-        &rows,
-    );
-    println!(
-        "(paper heavy: Exp umean 24.7%, Pmax 1.002, 1 violation; Ctr Pmax 1.025, 321 violations)\n"
-    );
+        out.table(
+            "Table 2: controller effectiveness",
+            &[
+                "Workload",
+                "Group",
+                "u_mean",
+                "u_max",
+                "P_mean",
+                "P_max",
+                "Violations",
+            ],
+            &rows,
+        );
+        println!(
+            "(paper heavy: Exp umean 24.7%, Pmax 1.002, 1 violation; Ctr Pmax 1.025, 321 violations)\n"
+        );
+    })
 }
 
-fn fig11(quick: bool, out: &Output) {
-    println!("=== Fig 11: Redis p99.9 latency — power capping vs Ampere ===\n");
+fn fig11(quick: bool) -> Printer {
     let config = if quick {
         exp::fig11::Fig11Config {
             hours: 4,
@@ -474,40 +580,42 @@ fn fig11(quick: bool, out: &Output) {
         exp::fig11::Fig11Config::default()
     };
     let r = exp::fig11::run(config);
-    let max_capped = r
-        .reports
-        .iter()
-        .map(|rep| rep.capped_p999_us)
-        .fold(0.0f64, f64::max);
-    let rows: Vec<Vec<String>> = r
-        .reports
-        .iter()
-        .map(|rep| {
-            vec![
-                rep.op.name().to_string(),
-                f3(rep.capped_p999_us / max_capped),
-                f3(rep.ampere_p999_us / max_capped),
-                format!("{:.2}x", rep.inflation()),
-            ]
-        })
-        .collect();
-    out.table(
-        "p99.9 latency (normalized to worst capped op)",
-        &["op", "capping", "Ampere", "inflation"],
-        &rows,
-    );
-    println!(
-        "capping engaged {} of minutes; {} of servers capped then; episode ≈ {:.1} min; capped freq ≈ {}",
-        pct(r.capped_time_fraction),
-        pct(r.servers_capped_fraction),
-        r.episode_mins,
-        f3(r.capped_freq)
-    );
-    println!("(paper: capping ~doubles p99.9; 54.3% of servers capped ~15% of the time)\n");
+    Box::new(move |out| {
+        println!("=== Fig 11: Redis p99.9 latency — power capping vs Ampere ===\n");
+        let max_capped = r
+            .reports
+            .iter()
+            .map(|rep| rep.capped_p999_us)
+            .fold(0.0f64, f64::max);
+        let rows: Vec<Vec<String>> = r
+            .reports
+            .iter()
+            .map(|rep| {
+                vec![
+                    rep.op.name().to_string(),
+                    f3(rep.capped_p999_us / max_capped),
+                    f3(rep.ampere_p999_us / max_capped),
+                    format!("{:.2}x", rep.inflation()),
+                ]
+            })
+            .collect();
+        out.table(
+            "p99.9 latency (normalized to worst capped op)",
+            &["op", "capping", "Ampere", "inflation"],
+            &rows,
+        );
+        println!(
+            "capping engaged {} of minutes; {} of servers capped then; episode ≈ {:.1} min; capped freq ≈ {}",
+            pct(r.capped_time_fraction),
+            pct(r.servers_capped_fraction),
+            r.episode_mins,
+            f3(r.capped_freq)
+        );
+        println!("(paper: capping ~doubles p99.9; 54.3% of servers capped ~15% of the time)\n");
+    })
 }
 
-fn fig12(quick: bool, out: &Output) {
-    println!("=== Fig 12: power and throughput under control (r_O = 0.25, 4 h) ===\n");
+fn fig12(quick: bool) -> Printer {
     let config = if quick {
         exp::fig12::Fig12Config {
             hours: 3,
@@ -519,36 +627,38 @@ fn fig12(quick: bool, out: &Output) {
         exp::fig12::Fig12Config::default()
     };
     let r = exp::fig12::run(config);
-    out.series_sampled(
-        "exp power_norm",
-        r.power.iter().map(|&(m, e, _)| (m as f64, e)),
-        15,
-    );
-    out.series_sampled(
-        "ctl power_norm",
-        r.power.iter().map(|&(m, _, c)| (m as f64, c)),
-        15,
-    );
-    out.series_sampled(
-        "throughput ratio (15-min window)",
-        r.throughput_ratio.iter().map(|&(m, t)| (m as f64, t)),
-        15,
-    );
-    println!(
-        "threshold={} overall rT={} G_TPW={}; boxed-period rT={} G_TPW={}",
-        f3(r.threshold),
-        f3(r.overall.ratio()),
-        pct(r.gtpw_overall),
-        f3(r.boxed_period.ratio()),
-        pct(r.gtpw_boxed)
-    );
-    println!(
-        "(paper: rT 0.8 in the boxed high-power period → G_TPW ≈ 0; 0.95 on average → ≈ 0.19)\n"
-    );
+    Box::new(move |out| {
+        println!("=== Fig 12: power and throughput under control (r_O = 0.25, 4 h) ===\n");
+        out.series_sampled(
+            "exp power_norm",
+            r.power.iter().map(|&(m, e, _)| (m as f64, e)),
+            15,
+        );
+        out.series_sampled(
+            "ctl power_norm",
+            r.power.iter().map(|&(m, _, c)| (m as f64, c)),
+            15,
+        );
+        out.series_sampled(
+            "throughput ratio (15-min window)",
+            r.throughput_ratio.iter().map(|&(m, t)| (m as f64, t)),
+            15,
+        );
+        println!(
+            "threshold={} overall rT={} G_TPW={}; boxed-period rT={} G_TPW={}",
+            f3(r.threshold),
+            f3(r.overall.ratio()),
+            pct(r.gtpw_overall),
+            f3(r.boxed_period.ratio()),
+            pct(r.gtpw_boxed)
+        );
+        println!(
+            "(paper: rT 0.8 in the boxed high-power period → G_TPW ≈ 0; 0.95 on average → ≈ 0.19)\n"
+        );
+    })
 }
 
-fn table3(quick: bool, out: &Output) {
-    println!("=== Table 3: G_TPW across r_O and workload ===\n");
+fn table3(quick: bool) -> Printer {
     let config = if quick {
         exp::table3::Table3Config {
             hours: 6,
@@ -560,40 +670,43 @@ fn table3(quick: bool, out: &Output) {
         exp::table3::Table3Config::default()
     };
     let r = exp::table3::run(config);
-    let rows: Vec<Vec<String>> = r
-        .rows
-        .iter()
-        .enumerate()
-        .map(|(i, row)| {
-            vec![
-                format!("{}{}", i + 1, if row.case.typical { "*" } else { "" }),
-                format!("{:.2}", row.case.r_o),
-                f3(row.p_mean),
-                f3(row.p_max),
-                f3(row.u_mean),
-                f3(row.r_thru),
-                pct(row.gtpw),
-                row.violations.to_string(),
-            ]
-        })
-        .collect();
-    out.table(
-        "Table 3 (rows marked * are typical workload)",
-        &[
-            "#",
-            "r_O",
-            "P_mean",
-            "P_max",
-            "u_mean",
-            "r_thru",
-            "G_TPW",
-            "Violations",
-        ],
-        &rows,
-    );
-    println!("typical-workload G_TPW by r_O:");
-    for (ro, g) in r.typical_gtpw_by_ro() {
-        println!("  r_O = {ro:.2}: G_TPW = {}", pct(g));
-    }
-    println!("(paper: r_O = 0.17 is the safe/effective choice, G_TPW ≈ 15–17%)\n");
+    Box::new(move |out| {
+        println!("=== Table 3: G_TPW across r_O and workload ===\n");
+        let rows: Vec<Vec<String>> = r
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                vec![
+                    format!("{}{}", i + 1, if row.case.typical { "*" } else { "" }),
+                    format!("{:.2}", row.case.r_o),
+                    f3(row.p_mean),
+                    f3(row.p_max),
+                    f3(row.u_mean),
+                    f3(row.r_thru),
+                    pct(row.gtpw),
+                    row.violations.to_string(),
+                ]
+            })
+            .collect();
+        out.table(
+            "Table 3 (rows marked * are typical workload)",
+            &[
+                "#",
+                "r_O",
+                "P_mean",
+                "P_max",
+                "u_mean",
+                "r_thru",
+                "G_TPW",
+                "Violations",
+            ],
+            &rows,
+        );
+        println!("typical-workload G_TPW by r_O:");
+        for (ro, g) in r.typical_gtpw_by_ro() {
+            println!("  r_O = {ro:.2}: G_TPW = {}", pct(g));
+        }
+        println!("(paper: r_O = 0.17 is the safe/effective choice, G_TPW ≈ 15–17%)\n");
+    })
 }

@@ -318,16 +318,34 @@ pub fn row_vs_rack(config: &AblationConfig) -> Vec<AblationRow> {
     out
 }
 
-/// Runs the full ablation suite.
+/// Runs the full ablation suite. The six groups are independent, so
+/// they fan out over the default worker pool; per-group telemetry is
+/// captured and replayed in suite order, keeping the event stream
+/// byte-identical to a serial run at any worker count.
 pub fn run_all(config: &AblationConfig) -> Vec<(String, Vec<AblationRow>)> {
-    vec![
-        ("control interval".into(), control_interval(config)),
-        ("r_stable".into(), r_stable(config)),
-        ("u_max".into(), u_max(config)),
-        ("kr sensitivity".into(), kr_sensitivity(config)),
-        ("Et predictor".into(), predictors(config)),
-        ("row vs rack control".into(), row_vs_rack(config)),
-    ]
+    type Group = fn(&AblationConfig) -> Vec<AblationRow>;
+    let groups: [(&str, Group); 6] = [
+        ("control interval", control_interval),
+        ("r_stable", r_stable),
+        ("u_max", u_max),
+        ("kr sensitivity", kr_sensitivity),
+        ("Et predictor", predictors),
+        ("row vs rack control", row_vs_rack),
+    ];
+    let pool = ampere_par::WorkerPool::with_default_workers();
+    let tasks: Vec<ampere_par::Task<'_, Vec<AblationRow>>> = groups
+        .iter()
+        .map(|&(_, f)| {
+            let task: ampere_par::Task<'_, Vec<AblationRow>> = Box::new(move || f(config));
+            task
+        })
+        .collect();
+    let results = ampere_par::run_captured(&pool, tasks);
+    groups
+        .iter()
+        .zip(results)
+        .map(|(&(name, _), rows)| (name.to_string(), rows))
+        .collect()
 }
 
 #[cfg(test)]

@@ -160,7 +160,60 @@ fn faulted_testbed(
     (tb, dom)
 }
 
-/// Runs the sweep.
+/// Runs one cell of the grid against a pre-fitted `Et` table.
+fn run_cell(
+    config: &ChaosConfig,
+    et: &ampere_core::HistoricalPercentile,
+    dropout: f64,
+    outage: u64,
+    measured_mins: u64,
+) -> ChaosCell {
+    let faulted = dropout > 0.0 || outage > 0;
+    let plan = faulted.then(|| {
+        // The outage opens one third into the measured window —
+        // the controller is warm, then vanishes.
+        let start = SimTime::from_mins(config.warmup_mins + measured_mins / 3);
+        FaultPlan {
+            sample_dropout: dropout,
+            sensor_noise: config.sensor_noise,
+            rpc_loss: config.rpc_loss,
+            outages: (outage > 0)
+                .then(|| OutageWindow {
+                    start,
+                    end: start + SimDuration::from_mins(outage),
+                })
+                .into_iter()
+                .collect(),
+            ..FaultPlan::seeded(config.seed)
+        }
+    });
+    let controller = controller_with(Box::new(et.clone()));
+    let (mut tb, dom) = faulted_testbed(config, Some(controller), plan);
+    tb.run_for(SimDuration::from_mins(config.warmup_mins));
+    let skip = tb.records(dom).len();
+    tb.run_for(SimDuration::from_mins(measured_mins));
+
+    let recs = &tb.records(dom)[skip..];
+    ChaosCell {
+        dropout,
+        outage_mins: outage,
+        violations: recs.iter().filter(|r| r.violation).count() as u64,
+        tripped: tb.breaker(dom).tripped_at().is_some(),
+        degraded_ticks: recs.iter().filter(|r| r.degraded).count() as u64,
+        backstop_ticks: recs.iter().filter(|r| r.backstop_armed).count() as u64,
+        failovers: tb.failovers(dom),
+        min_coverage: recs.iter().map(|r| r.coverage).fold(1.0, f64::min),
+        placed: recs.iter().map(|r| r.placed_jobs).sum(),
+        // Filled in after the whole grid is back: the denominator is
+        // the fault-free cell, which may run on any worker.
+        throughput_ratio: 1.0,
+    }
+}
+
+/// Runs the sweep. Grid cells are independent given the calibrated
+/// `Et` table, so they fan out over the default worker pool; telemetry
+/// is captured per cell and replayed in grid order, keeping the event
+/// stream byte-identical to a serial sweep at any worker count.
 pub fn run(config: &ChaosConfig) -> ChaosResult {
     // Phase 1 — fault-free calibration fits the `Et` table, exactly as
     // a production deployment would have done before faults strike.
@@ -169,56 +222,30 @@ pub fn run(config: &ChaosConfig) -> ChaosResult {
     let et = et_from_records(cal.records(cal_dom));
 
     let measured_mins = config.hours * 60;
-    let mut cells = Vec::new();
-    let mut baseline_placed = 0u64;
-    for &outage in &config.outage_mins {
-        for &dropout in &config.dropout_rates {
-            let faulted = dropout > 0.0 || outage > 0;
-            let plan = faulted.then(|| {
-                // The outage opens one third into the measured window —
-                // the controller is warm, then vanishes.
-                let start = SimTime::from_mins(config.warmup_mins + measured_mins / 3);
-                FaultPlan {
-                    sample_dropout: dropout,
-                    sensor_noise: config.sensor_noise,
-                    rpc_loss: config.rpc_loss,
-                    outages: (outage > 0)
-                        .then(|| OutageWindow {
-                            start,
-                            end: start + SimDuration::from_mins(outage),
-                        })
-                        .into_iter()
-                        .collect(),
-                    ..FaultPlan::seeded(config.seed)
-                }
-            });
-            let controller = controller_with(Box::new(et.clone()));
-            let (mut tb, dom) = faulted_testbed(config, Some(controller), plan);
-            tb.run_for(SimDuration::from_mins(config.warmup_mins));
-            let skip = tb.records(dom).len();
-            tb.run_for(SimDuration::from_mins(measured_mins));
+    let grid: Vec<(u64, f64)> = config
+        .outage_mins
+        .iter()
+        .flat_map(|&outage| config.dropout_rates.iter().map(move |&d| (outage, d)))
+        .collect();
+    let pool = ampere_par::WorkerPool::with_default_workers();
+    let tasks: Vec<ampere_par::Task<'_, ChaosCell>> = grid
+        .iter()
+        .map(|&(outage, dropout)| {
+            let et = &et;
+            let task: ampere_par::Task<'_, ChaosCell> =
+                Box::new(move || run_cell(config, et, dropout, outage, measured_mins));
+            task
+        })
+        .collect();
+    let mut cells = ampere_par::run_captured(&pool, tasks);
 
-            let recs = &tb.records(dom)[skip..];
-            let placed: u64 = recs.iter().map(|r| r.placed_jobs).sum();
-            if dropout == 0.0 && outage == 0 {
-                baseline_placed = placed;
-            }
-            cells.push(ChaosCell {
-                dropout,
-                outage_mins: outage,
-                violations: recs.iter().filter(|r| r.violation).count() as u64,
-                tripped: tb.breaker(dom).tripped_at().is_some(),
-                degraded_ticks: recs.iter().filter(|r| r.degraded).count() as u64,
-                backstop_ticks: recs.iter().filter(|r| r.backstop_armed).count() as u64,
-                failovers: tb.failovers(dom),
-                min_coverage: recs.iter().map(|r| r.coverage).fold(1.0, f64::min),
-                placed,
-                throughput_ratio: if baseline_placed > 0 {
-                    placed as f64 / baseline_placed as f64
-                } else {
-                    1.0
-                },
-            });
+    let baseline_placed = cells
+        .iter()
+        .find(|c| c.dropout == 0.0 && c.outage_mins == 0)
+        .map_or(0, |c| c.placed);
+    for cell in &mut cells {
+        if baseline_placed > 0 {
+            cell.throughput_ratio = cell.placed as f64 / baseline_placed as f64;
         }
     }
     ChaosResult {

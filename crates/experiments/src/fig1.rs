@@ -101,7 +101,7 @@ pub fn run(config: Fig1Config) -> Fig1Result {
             spec,
             ..TestbedConfig::paper_row(profile, config.seed + r as u64)
         });
-        tb.add_row_domains(1.0);
+        tb.add_row_domains(1.0).expect("rows registered once");
         tb.run_for(SimDuration::from_hours(config.warmup_hours));
         let skip = (config.warmup_hours * 60) as usize;
         tb.run_for(SimDuration::from_hours(config.hours));

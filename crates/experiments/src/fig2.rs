@@ -80,7 +80,7 @@ pub fn run(config: Fig2Config) -> Fig2Result {
             spec,
             ..TestbedConfig::paper_row(profile, config.seed + 31 * r as u64)
         });
-        tb.add_row_domains(1.0);
+        tb.add_row_domains(1.0).expect("rows registered once");
         tb.run_for(SimDuration::from_hours(config.warmup_hours + config.hours));
         let skip = (config.warmup_hours * 60) as usize;
         series.push(

@@ -54,7 +54,7 @@ pub struct Fig4Result {
 /// Runs the reproduction.
 pub fn run(config: Fig4Config) -> Fig4Result {
     let mut tb = Testbed::new(TestbedConfig::paper_row(config.profile, config.seed));
-    tb.add_row_domains(1.0);
+    tb.add_row_domains(1.0).expect("rows registered once");
     tb.run_for(SimDuration::from_mins(config.warmup_mins));
 
     // Pick the highest-power servers from the last measurement sweep.

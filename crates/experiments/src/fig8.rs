@@ -44,7 +44,7 @@ pub struct Fig8Result {
 /// Runs the reproduction.
 pub fn run(config: Fig8Config) -> Fig8Result {
     let mut tb = Testbed::new(TestbedConfig::paper_row(config.profile, config.seed));
-    let rows = tb.add_row_domains(1.0);
+    let rows = tb.add_row_domains(1.0).expect("rows registered once");
     tb.run_for(SimDuration::from_hours(config.warmup_hours));
     let skip = tb.records(rows[0]).len();
     tb.run_for(SimDuration::from_hours(config.hours));

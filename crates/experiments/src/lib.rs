@@ -41,4 +41,7 @@ pub mod fig9;
 pub mod table3;
 pub mod testbed;
 
-pub use testbed::{DomainId, DomainSpec, DomainTickRecord, Testbed, TestbedConfig};
+pub use testbed::{
+    DomainId, DomainSpec, DomainTickRecord, ShardedTestbed, ShardedTestbedConfig, Testbed,
+    TestbedConfig, TestbedError,
+};

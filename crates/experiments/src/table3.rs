@@ -207,14 +207,24 @@ pub fn run_case(case: CaseSpec, config: &Table3Config, seed_offset: u64) -> Tabl
     }
 }
 
-/// Runs the full table.
+/// Runs the full table. Each case seeds its own RNG streams and is
+/// independent of the others, so cases fan out over the default worker
+/// pool; telemetry is captured per case and replayed in case order,
+/// keeping the event stream byte-identical to a serial run.
 pub fn run(config: Table3Config) -> Table3Result {
-    let rows = config
+    let pool = ampere_par::WorkerPool::with_default_workers();
+    let tasks: Vec<ampere_par::Task<'_, Table3Row>> = config
         .cases
         .iter()
         .enumerate()
-        .map(|(i, &case)| run_case(case, &config, i as u64 * 101))
+        .map(|(i, &case)| {
+            let config = &config;
+            let task: ampere_par::Task<'_, Table3Row> =
+                Box::new(move || run_case(case, config, i as u64 * 101));
+            task
+        })
         .collect();
+    let rows = ampere_par::run_captured(&pool, tasks);
     Table3Result { rows }
 }
 

@@ -30,12 +30,36 @@ use ampere_power::{
     monitor::ServerSample, CappingConfig, CircuitBreaker, PowerMonitor, RaplCapper,
 };
 use ampere_sched::{PlacementPolicy, RandomFit, Scheduler};
-use ampere_sim::{derive_stream, rng::streams, Distribution, Normal, SimDuration, SimRng, SimTime};
+use ampere_sim::{
+    derive_stream, derive_subseed, rng::streams, Distribution, Normal, SimDuration, SimRng, SimTime,
+};
 use ampere_telemetry::{Event, Severity};
 use ampere_workload::{BatchWorkload, RateProfile};
 
+use std::fmt;
+
 /// Index of a registered power domain.
 pub type DomainId = usize;
+
+/// Errors from testbed domain registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestbedError {
+    /// The row already backs a row domain: registering it again would
+    /// double-count its power and race two breakers over one budget.
+    DuplicateRowDomain(RowId),
+}
+
+impl fmt::Display for TestbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestbedError::DuplicateRowDomain(row) => {
+                write!(f, "row {} is already registered as a domain", row.index())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TestbedError {}
 
 /// Specification of one power domain.
 pub struct DomainSpec {
@@ -178,6 +202,8 @@ pub struct Testbed {
     /// Accumulated sweep-fault totals across the run.
     sweep_faults: SweepFaults,
     sweeps_lost: u64,
+    /// Rows already registered as row domains (guards double counting).
+    row_domain_registered: Vec<bool>,
 }
 
 impl Testbed {
@@ -214,6 +240,7 @@ impl Testbed {
             controller_was_up: true,
             sweep_faults: SweepFaults::default(),
             sweeps_lost: 0,
+            row_domain_registered: vec![false; config.spec.rows],
         }
     }
 
@@ -238,12 +265,23 @@ impl Testbed {
 
     /// Convenience: registers every row as an uncontrolled, uncapped
     /// domain with budget `rated · scale`.
-    pub fn add_row_domains(&mut self, budget_scale: f64) -> Vec<DomainId> {
+    ///
+    /// # Errors
+    /// [`TestbedError::DuplicateRowDomain`] if any row is already
+    /// registered (e.g. a second call); no domain is added in that case.
+    pub fn add_row_domains(&mut self, budget_scale: f64) -> Result<Vec<DomainId>, TestbedError> {
+        // Validate before mutating: either every row registers or none.
+        for (r, registered) in self.row_domain_registered.iter().enumerate() {
+            if *registered {
+                return Err(TestbedError::DuplicateRowDomain(RowId::new(r as u64)));
+            }
+        }
         let rated = self.cluster.spec().rated_row_power_w();
-        (0..self.cluster.row_count())
+        Ok((0..self.cluster.row_count())
             .map(|r| {
                 let row = RowId::new(r as u64);
                 let servers = self.cluster.row_server_ids(row).collect();
+                self.row_domain_registered[r] = true;
                 self.add_domain(DomainSpec {
                     name: format!("row{r}"),
                     servers,
@@ -252,7 +290,7 @@ impl Testbed {
                     capped: false,
                 })
             })
-            .collect()
+            .collect())
     }
 
     /// Current simulation time.
@@ -648,6 +686,223 @@ impl Testbed {
     }
 }
 
+/// Configuration of a [`ShardedTestbed`]: `shards` independent
+/// single-row testbeds advanced in lockstep.
+pub struct ShardedTestbedConfig {
+    /// Number of row shards.
+    pub shards: usize,
+    /// Per-shard cluster shape (normally one row; the row domain of
+    /// shard `i` is that shard's row 0).
+    pub spec: ClusterSpec,
+    /// Per-shard arrival profile.
+    pub profile: RateProfile,
+    /// Master seed; shard `i` simulates under
+    /// `derive_subseed(seed, streams::SHARD, i)`.
+    pub seed: u64,
+    /// Row budget as a fraction of rated power.
+    pub budget_scale: f64,
+    /// Attach the default Ampere controller to each shard's row domain.
+    pub controlled: bool,
+    /// Worker threads advancing the shards (1 = serial).
+    pub workers: usize,
+}
+
+impl ShardedTestbedConfig {
+    /// A quick-mode sharded run: tiny single rows of 8 servers, a
+    /// constant arrival rate that keeps the controller busy, budgets at
+    /// 80 % of rated.
+    pub fn quick(shards: usize, workers: usize, seed: u64) -> Self {
+        ShardedTestbedConfig {
+            shards,
+            spec: ClusterSpec {
+                rows: 1,
+                ..ClusterSpec::tiny()
+            },
+            profile: RateProfile::Constant { per_min: 300.0 },
+            seed,
+            budget_scale: 0.8,
+            controlled: true,
+            workers,
+        }
+    }
+}
+
+struct TestbedShard {
+    tb: Testbed,
+    domain: DomainId,
+    /// Private telemetry capture; `None` when the parent pipeline is
+    /// disabled. Everything the shard's components record lands here
+    /// until [`ShardedTestbed::finish`] replays it in shard order.
+    capture: Option<ampere_telemetry::Capture>,
+}
+
+impl TestbedShard {
+    fn step(&mut self) {
+        let TestbedShard { tb, capture, .. } = self;
+        match capture {
+            Some(c) => c.with(|| tb.step()),
+            None => tb.step(),
+        }
+    }
+}
+
+/// Row-parallel simulation: each row domain is an independent
+/// [`Testbed`] shard with its own seed sub-stream, advanced in lockstep
+/// by the `ampere-par` worker pool with a barrier at every control tick.
+///
+/// Determinism contract (DESIGN §9): shard `i`'s entire draw sequence
+/// depends only on `(seed, streams::SHARD, i)`, shards share no mutable
+/// state while stepping, and telemetry replays in shard order on
+/// [`ShardedTestbed::finish`] — so records, events and metrics are
+/// byte-identical at any worker count.
+pub struct ShardedTestbed {
+    shards: Vec<TestbedShard>,
+    pool: ampere_par::WorkerPool,
+    tick: SimDuration,
+    ticks_run: u64,
+    finished: bool,
+}
+
+impl ShardedTestbed {
+    /// Builds `config.shards` independent shards. Each shard's
+    /// components are constructed under its private telemetry capture,
+    /// so their construction-time [`ampere_telemetry::global`] lookups
+    /// bind to the capture pipeline.
+    pub fn new(config: ShardedTestbedConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        let parent = ampere_telemetry::global();
+        let shards = (0..config.shards)
+            .map(|i| {
+                let capture = ampere_telemetry::Capture::new_under(&parent);
+                let sub_seed = derive_subseed(config.seed, streams::SHARD, i as u64);
+                let build = || {
+                    let mut tb = Testbed::new(TestbedConfig {
+                        spec: config.spec,
+                        profile: config.profile.clone(),
+                        seed: sub_seed,
+                        tick: SimDuration::MINUTE,
+                        measurement_noise: 0.003,
+                        capping: CappingConfig {
+                            enabled: false,
+                            ..CappingConfig::default()
+                        },
+                        policy: Box::new(RandomFit::default()),
+                        server_classes: None,
+                        faults: None,
+                    });
+                    let rated = tb.cluster().spec().rated_row_power_w();
+                    let servers = tb.cluster().row_server_ids(RowId::new(0)).collect();
+                    let domain = tb.add_domain(DomainSpec {
+                        name: format!("shard{i}"),
+                        servers,
+                        budget_w: rated * config.budget_scale,
+                        controller: config.controlled.then(crate::calibrate::default_controller),
+                        capped: false,
+                    });
+                    (tb, domain)
+                };
+                let (tb, domain) = match &capture {
+                    Some(c) => c.with(build),
+                    None => build(),
+                };
+                TestbedShard {
+                    tb,
+                    domain,
+                    capture,
+                }
+            })
+            .collect();
+        ShardedTestbed {
+            shards,
+            pool: ampere_par::WorkerPool::new(config.workers),
+            tick: SimDuration::MINUTE,
+            ticks_run: 0,
+            finished: false,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ticks every shard has completed.
+    pub fn ticks_run(&self) -> u64 {
+        self.ticks_run
+    }
+
+    /// Advances every shard by `duration` (a whole number of ticks),
+    /// with a barrier between ticks: no shard starts tick `k + 1`
+    /// before every shard finished tick `k`, mirroring the serial
+    /// testbed's per-tick measurement alignment.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let ticks = duration.as_millis() / self.tick.as_millis();
+        assert!(
+            ticks * self.tick.as_millis() == duration.as_millis(),
+            "duration must be a multiple of the tick"
+        );
+        self.pool
+            .step_ticks(&mut self.shards, ticks, |_, shard| shard.step());
+        self.ticks_run += ticks;
+    }
+
+    /// A shard's tick records (its main row/controlled domain).
+    pub fn records(&self, shard: usize) -> &[DomainTickRecord] {
+        let s = &self.shards[shard];
+        s.tb.records(s.domain)
+    }
+
+    /// A shard's underlying testbed (read access).
+    pub fn testbed(&self, shard: usize) -> &Testbed {
+        &self.shards[shard].tb
+    }
+
+    /// Total breaker violations across all shards.
+    pub fn total_violations(&self) -> u64 {
+        self.shards.iter().map(|s| s.tb.violations(s.domain)).sum()
+    }
+
+    /// Replays every shard's captured telemetry into the parent
+    /// pipeline, in shard order (idempotent; a no-op when the parent
+    /// was disabled at construction).
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let parent = ampere_telemetry::global();
+        for shard in &mut self.shards {
+            if let Some(capture) = shard.capture.take() {
+                ampere_telemetry::fanin::replay_into(&parent, capture.finish());
+            }
+        }
+    }
+
+    /// An order-sensitive FNV-1a digest over every shard's records:
+    /// equal checksums mean bit-equal trajectories. Used by `repro
+    /// scale` and the determinism tests to compare runs cheaply.
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (i, shard) in self.shards.iter().enumerate() {
+            mix(i as u64);
+            for r in shard.tb.records(shard.domain) {
+                mix(r.time.as_millis());
+                mix(r.power_w.to_bits());
+                mix(r.frozen as u64);
+                mix(r.u_target.to_bits());
+                mix(u64::from(r.violation));
+                mix(r.placed_jobs);
+                mix(r.mean_freq.to_bits());
+            }
+        }
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -673,7 +928,7 @@ mod tests {
     #[test]
     fn rows_get_monitored() {
         let mut tb = Testbed::new(quick_config(RateProfile::Constant { per_min: 200.0 }));
-        tb.add_row_domains(1.0);
+        tb.add_row_domains(1.0).unwrap();
         tb.run_for(SimDuration::from_mins(10));
         assert_eq!(tb.monitor().row_history(0).len(), 10);
         assert_eq!(tb.records(0).len(), 10);
@@ -687,7 +942,7 @@ mod tests {
     #[test]
     fn workload_raises_power() {
         let mut tb = Testbed::new(quick_config(RateProfile::Constant { per_min: 400.0 }));
-        let rows = tb.add_row_domains(1.0);
+        let rows = tb.add_row_domains(1.0).unwrap();
         tb.run_for(SimDuration::from_mins(30));
         let recs = tb.records(rows[0]);
         let early = recs[0].power_w;
@@ -756,7 +1011,7 @@ mod tests {
     #[test]
     fn manual_freeze_reduces_placements() {
         let mut tb = Testbed::new(quick_config(RateProfile::Constant { per_min: 400.0 }));
-        let d_all = tb.add_row_domains(1.0);
+        let d_all = tb.add_row_domains(1.0).unwrap();
         // Freeze all of row 0; jobs must land in row 1 only.
         for id in 0..8 {
             tb.freeze(ServerId::new(id));
@@ -773,5 +1028,63 @@ mod tests {
     fn run_for_rejects_partial_ticks() {
         let mut tb = Testbed::new(quick_config(RateProfile::Constant { per_min: 1.0 }));
         tb.run_for(SimDuration::from_secs(90));
+    }
+
+    #[test]
+    fn duplicate_row_domains_rejected() {
+        let mut tb = Testbed::new(quick_config(RateProfile::Constant { per_min: 10.0 }));
+        let first = tb.add_row_domains(1.0).unwrap();
+        assert_eq!(first.len(), 2);
+        let err = tb.add_row_domains(0.9).unwrap_err();
+        assert_eq!(err, TestbedError::DuplicateRowDomain(RowId::new(0)));
+        assert!(err.to_string().contains("already registered"));
+        // The failed call registered nothing: domain count is unchanged
+        // and the testbed still runs.
+        tb.run_for(SimDuration::from_mins(2));
+        assert_eq!(tb.records(first[1]).len(), 2);
+    }
+
+    #[test]
+    fn sharded_testbed_matches_itself_at_any_worker_count() {
+        let run = |workers: usize| {
+            let mut sh = ShardedTestbed::new(ShardedTestbedConfig::quick(5, workers, 42));
+            sh.run_for(SimDuration::from_mins(30));
+            sh.finish();
+            sh.checksum()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(4));
+        // And the same seed replays exactly.
+        assert_eq!(serial, run(1));
+        // A different seed diverges.
+        let mut other = ShardedTestbed::new(ShardedTestbedConfig::quick(5, 2, 43));
+        other.run_for(SimDuration::from_mins(30));
+        assert_ne!(serial, other.checksum());
+    }
+
+    #[test]
+    fn sharded_shards_are_independent_of_shard_count() {
+        // Shard 1's trajectory is the same whether 3 or 6 shards run.
+        let records = |shards: usize| {
+            let mut sh = ShardedTestbed::new(ShardedTestbedConfig::quick(shards, 2, 7));
+            sh.run_for(SimDuration::from_mins(20));
+            sh.records(1)
+                .iter()
+                .map(|r| (r.power_w.to_bits(), r.frozen, r.placed_jobs))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(records(3), records(6));
+    }
+
+    #[test]
+    fn sharded_controllers_act_under_pressure() {
+        let mut sh = ShardedTestbed::new(ShardedTestbedConfig::quick(3, 2, 11));
+        sh.run_for(SimDuration::from_mins(120));
+        let froze_any =
+            (0..sh.shard_count()).any(|s| sh.records(s).iter().any(|r| r.freezing_ratio > 0.0));
+        assert!(froze_any, "no shard controller ever froze a server");
+        assert_eq!(sh.ticks_run(), 120);
+        assert_eq!(sh.records(0).len(), 120);
     }
 }

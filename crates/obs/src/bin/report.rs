@@ -1,29 +1,36 @@
 //! `report` — analyze a telemetry dump and gate CI on a baseline.
 //!
 //! ```text
-//! report --telemetry FILE [--md FILE] [--json FILE]
+//! report [--telemetry FILE] [--scale FILE] [--md FILE] [--json FILE]
 //!        [--write-baseline FILE] [--baseline FILE --check]
 //! ```
 //!
 //! Reads the dump produced by `repro … --telemetry FILE`, prints the
 //! Markdown report to stdout (or `--md FILE`), and optionally:
 //!
+//! - `--scale FILE` appends the scale-sweep section (throughput,
+//!   speedup, thread-invariance verdict) parsed from the
+//!   `BENCH_scale.json` written by `repro scale`; a checksum mismatch
+//!   across worker counts fails the run. May be used without
+//!   `--telemetry` to report on the sweep alone;
 //! - `--json FILE` writes the machine-readable report;
 //! - `--write-baseline FILE` snapshots the run summary with default
 //!   per-metric tolerances (commit this as the known-good baseline);
 //! - `--baseline FILE --check` compares the summary against a baseline
 //!   and exits 1 when any metric drifts outside tolerance.
 //!
-//! Exit codes: 0 success, 1 baseline regression, 2 usage or schema
-//! error.
+//! Exit codes: 0 success, 1 baseline regression or broken thread
+//! invariance, 2 usage or schema error.
 
 use ampere_obs::reader::read_run;
 use ampere_obs::report::{check, parse_baseline, render_check, write_baseline, RunReport};
+use ampere_obs::scale::ScaleSweep;
 
 use std::process::ExitCode;
 
 struct Args {
-    telemetry: String,
+    telemetry: Option<String>,
+    scale: Option<String>,
     md: Option<String>,
     json: Option<String>,
     baseline: Option<String>,
@@ -31,11 +38,12 @@ struct Args {
     do_check: bool,
 }
 
-const USAGE: &str = "usage: report --telemetry FILE [--md FILE] [--json FILE] \
+const USAGE: &str = "usage: report [--telemetry FILE] [--scale FILE] [--md FILE] [--json FILE] \
                      [--write-baseline FILE] [--baseline FILE --check]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut telemetry = None;
+    let mut scale = None;
     let mut md = None;
     let mut json = None;
     let mut baseline = None;
@@ -50,6 +58,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         };
         match arg.as_str() {
             "--telemetry" => telemetry = Some(value("--telemetry")?),
+            "--scale" => scale = Some(value("--scale")?),
             "--md" => md = Some(value("--md")?),
             "--json" => json = Some(value("--json")?),
             "--baseline" => baseline = Some(value("--baseline")?),
@@ -62,8 +71,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if do_check && baseline.is_none() {
         return Err(format!("--check needs --baseline FILE\n{USAGE}"));
     }
+    if telemetry.is_none() && scale.is_none() {
+        return Err(format!(
+            "--telemetry FILE or --scale FILE is required\n{USAGE}"
+        ));
+    }
+    if telemetry.is_none() && (do_check || write_baseline.is_some() || json.is_some()) {
+        return Err(format!(
+            "--check/--write-baseline/--json need --telemetry FILE\n{USAGE}"
+        ));
+    }
     Ok(Args {
-        telemetry: telemetry.ok_or_else(|| format!("--telemetry FILE is required\n{USAGE}"))?,
+        telemetry,
+        scale,
         md,
         json,
         baseline,
@@ -73,10 +93,31 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 }
 
 fn run(args: &Args) -> Result<ExitCode, String> {
-    let run = read_run(&args.telemetry).map_err(|e| format!("{}: {e}", args.telemetry))?;
-    let report = RunReport::build(&run);
+    let report = match &args.telemetry {
+        Some(path) => {
+            let run = read_run(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(RunReport::build(&run))
+        }
+        None => None,
+    };
+    let sweep = match &args.scale {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(ScaleSweep::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
 
-    let markdown = report.to_markdown();
+    let mut markdown = report
+        .as_ref()
+        .map(RunReport::to_markdown)
+        .unwrap_or_default();
+    if let Some(sweep) = &sweep {
+        if !markdown.is_empty() && !markdown.ends_with("\n\n") {
+            markdown.push('\n');
+        }
+        markdown.push_str(&sweep.to_markdown());
+    }
     match &args.md {
         Some(path) => {
             std::fs::write(path, &markdown).map_err(|e| format!("{path}: {e}"))?;
@@ -84,31 +125,46 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         }
         None => print!("{markdown}"),
     }
-    if let Some(path) = &args.json {
+    if let (Some(path), Some(report)) = (&args.json, &report) {
         let mut json = report.to_json();
         json.push('\n');
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote {path}");
     }
-    if let Some(path) = &args.write_baseline {
+    if let (Some(path), Some(report)) = (&args.write_baseline, &report) {
         std::fs::write(path, write_baseline(&report.summary))
             .map_err(|e| format!("{path}: {e}"))?;
         eprintln!("wrote {path}");
     }
+
+    let mut failed = false;
     if args.do_check {
+        let report = report.as_ref().expect("validated in parse_args");
         let path = args.baseline.as_deref().expect("validated in parse_args");
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let baseline = parse_baseline(&text).map_err(|e| format!("{path}: {e}"))?;
         let results = check(&report.summary, &baseline);
         let (table, all_ok) = render_check(&results);
         eprintln!("\nbaseline check against {path}:\n{table}");
-        if !all_ok {
+        if all_ok {
+            eprintln!("baseline check passed");
+        } else {
             eprintln!("baseline check FAILED");
-            return Ok(ExitCode::from(1));
+            failed = true;
         }
-        eprintln!("baseline check passed");
     }
-    Ok(ExitCode::SUCCESS)
+    if let Some(sweep) = &sweep {
+        let broken = sweep.invariance_violations();
+        if !broken.is_empty() {
+            eprintln!("scale sweep: thread invariance BROKEN at row count(s) {broken:?}");
+            failed = true;
+        }
+    }
+    Ok(if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn main() -> ExitCode {

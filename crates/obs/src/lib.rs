@@ -16,6 +16,9 @@
 //!   implements the baseline gate behind `report --check`: a committed
 //!   known-good summary with per-metric tolerances that CI compares
 //!   every smoke run against.
+//! - **Did it scale?** [`scale`] parses the `repro scale` sweep
+//!   (`BENCH_scale.json`) and renders throughput, speedup and the
+//!   thread-invariance verdict behind `report --scale`.
 //!
 //! Everything is offline and dependency-free: the dump is the only
 //! input, and seeded runs produce byte-identical dumps, so summaries —
@@ -26,6 +29,7 @@
 pub mod analysis;
 pub mod reader;
 pub mod report;
+pub mod scale;
 pub mod trace;
 
 pub use analysis::{
@@ -36,4 +40,5 @@ pub use reader::{read_run, MetricLine, MetricValue, ReadError, Run, RunLine, Run
 pub use report::{
     check, parse_baseline, render_check, write_baseline, BaselineMetric, CheckResult, RunReport,
 };
+pub use scale::{ScalePoint, ScaleSweep};
 pub use trace::{LinkReport, TraceIndex};

@@ -1,0 +1,249 @@
+//! Scale-sweep analysis: the report section behind `report --scale`.
+//!
+//! `repro scale` emits `BENCH_scale.json` — a JSONL header line plus
+//! one line per (rows × workers) grid point, each carrying wall-clock
+//! throughput, speedup vs the single-worker run and the deterministic
+//! trajectory checksum of the sharded testbed. This module parses that
+//! dump and renders a Markdown section with two verdicts:
+//!
+//! - **throughput/speedup** — simulated domain-minutes per wall-second
+//!   and the speedup ladder per row count (the engine's scaling curve);
+//! - **thread invariance** — every worker count at a given row count
+//!   must reproduce the same checksum. A mismatch means the parallel
+//!   engine broke its determinism contract, and the report gate fails.
+
+use ampere_telemetry::json;
+use ampere_telemetry::Value;
+
+use std::fmt::Write as _;
+
+/// One parsed grid point of the sweep.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Shard (row) count.
+    pub rows: u64,
+    /// Worker threads.
+    pub workers: u64,
+    /// Wall-clock milliseconds for the run.
+    pub wall_ms: f64,
+    /// Throughput: simulated domain-minutes per wall-second.
+    pub sim_mins_per_sec: f64,
+    /// Speedup vs the 1-worker run at the same row count.
+    pub speedup: f64,
+    /// Trajectory checksum, as the emitted hex string.
+    pub checksum: String,
+}
+
+/// A parsed `BENCH_scale.json` dump.
+#[derive(Debug, Clone)]
+pub struct ScaleSweep {
+    /// Simulated minutes per grid point.
+    pub sim_minutes: u64,
+    /// Master seed of the sweep.
+    pub seed: u64,
+    /// All grid points, in sweep order.
+    pub points: Vec<ScalePoint>,
+}
+
+fn field<'a>(pairs: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn num(pairs: &[(String, Value)], key: &str) -> Result<f64, String> {
+    match field(pairs, key)? {
+        Value::U64(v) => Ok(*v as f64),
+        Value::I64(v) => Ok(*v as f64),
+        Value::F64(v) => Ok(*v),
+        other => Err(format!("field {key:?} is not a number: {other:?}")),
+    }
+}
+
+fn uint(pairs: &[(String, Value)], key: &str) -> Result<u64, String> {
+    match field(pairs, key)? {
+        Value::U64(v) => Ok(*v),
+        other => Err(format!(
+            "field {key:?} is not an unsigned integer: {other:?}"
+        )),
+    }
+}
+
+impl ScaleSweep {
+    /// Parses the JSONL dump written by `repro scale`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or("empty scale dump")?;
+        let pairs = json::parse_object(header).map_err(|e| format!("header: {e}"))?;
+        match field(&pairs, "bench")? {
+            Value::Str(s) if s == "scale" => {}
+            other => return Err(format!("not a scale dump: bench = {other:?}")),
+        }
+        let sim_minutes = uint(&pairs, "sim_minutes")?;
+        let seed = uint(&pairs, "seed")?;
+        let declared = uint(&pairs, "points")? as usize;
+
+        let mut points = Vec::new();
+        for (no, line) in lines {
+            let pairs = json::parse_object(line).map_err(|e| format!("line {}: {e}", no + 1))?;
+            let checksum = match field(&pairs, "checksum")? {
+                Value::Str(s) => s.clone(),
+                other => return Err(format!("line {}: checksum is {other:?}", no + 1)),
+            };
+            points.push(ScalePoint {
+                rows: uint(&pairs, "rows")?,
+                workers: uint(&pairs, "workers")?,
+                wall_ms: num(&pairs, "wall_ms")?,
+                sim_mins_per_sec: num(&pairs, "sim_mins_per_sec")?,
+                speedup: num(&pairs, "speedup")?,
+                checksum,
+            });
+        }
+        if points.len() != declared {
+            return Err(format!(
+                "header declares {declared} points, dump has {}",
+                points.len()
+            ));
+        }
+        Ok(ScaleSweep {
+            sim_minutes,
+            seed,
+            points,
+        })
+    }
+
+    /// Row counts in sweep order, deduplicated.
+    fn row_counts(&self) -> Vec<u64> {
+        let mut rows: Vec<u64> = self.points.iter().map(|p| p.rows).collect();
+        rows.dedup();
+        rows
+    }
+
+    /// Row counts whose checksums differ across worker counts — empty
+    /// when the determinism contract held.
+    pub fn invariance_violations(&self) -> Vec<u64> {
+        self.row_counts()
+            .into_iter()
+            .filter(|&rows| {
+                let mut sums = self
+                    .points
+                    .iter()
+                    .filter(|p| p.rows == rows)
+                    .map(|p| &p.checksum);
+                match sums.next() {
+                    Some(first) => sums.any(|c| c != first),
+                    None => false,
+                }
+            })
+            .collect()
+    }
+
+    /// Best speedup observed anywhere in the sweep (the headline
+    /// scaling number). On a box with fewer cores than workers the
+    /// peak can sit at a small row count — or at 1.0x outright — so
+    /// the row/worker coordinates are part of the answer.
+    pub fn peak_speedup(&self) -> Option<(u64, u64, f64)> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+            .map(|p| (p.rows, p.workers, p.speedup))
+    }
+
+    /// Renders the Markdown report section.
+    pub fn to_markdown(&self) -> String {
+        let mut md = String::new();
+        let _ = writeln!(md, "## Scale sweep\n");
+        let _ = writeln!(
+            md,
+            "{} simulated minutes per point, seed {}.\n",
+            self.sim_minutes, self.seed
+        );
+        let _ = writeln!(
+            md,
+            "| rows | workers | wall ms | sim-mins/sec | speedup | checksum |"
+        );
+        let _ = writeln!(
+            md,
+            "|-----:|--------:|--------:|-------------:|--------:|:---------|"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                md,
+                "| {} | {} | {:.1} | {:.1} | {:.2}x | `{}` |",
+                p.rows, p.workers, p.wall_ms, p.sim_mins_per_sec, p.speedup, p.checksum
+            );
+        }
+        let _ = writeln!(md);
+        if let Some((rows, workers, speedup)) = self.peak_speedup() {
+            let _ = writeln!(
+                md,
+                "Peak speedup: **{speedup:.2}x** at {rows} rows / {workers} workers."
+            );
+        }
+        let broken = self.invariance_violations();
+        if broken.is_empty() {
+            let _ = writeln!(
+                md,
+                "Thread invariance: **OK** — every worker count reproduced the same \
+                 trajectory checksum at every row count."
+            );
+        } else {
+            let _ = writeln!(
+                md,
+                "Thread invariance: **BROKEN** — checksums differ across worker counts \
+                 at row count(s) {broken:?}. The parallel engine violated its determinism \
+                 contract (DESIGN.md §9)."
+            );
+        }
+        md
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DUMP: &str = "\
+{\"bench\":\"scale\",\"sim_minutes\":12,\"seed\":42,\"points\":3}
+{\"rows\":1,\"workers\":1,\"wall_ms\":10.0,\"sim_mins\":12,\"sim_mins_per_sec\":1200.0,\"speedup\":1.0,\"checksum\":\"00000000deadbeef\"}
+{\"rows\":4,\"workers\":1,\"wall_ms\":40.0,\"sim_mins\":48,\"sim_mins_per_sec\":1200.0,\"speedup\":1.0,\"checksum\":\"00000000cafef00d\"}
+{\"rows\":4,\"workers\":2,\"wall_ms\":20.0,\"sim_mins\":48,\"sim_mins_per_sec\":2400.0,\"speedup\":2.0,\"checksum\":\"00000000cafef00d\"}
+";
+
+    #[test]
+    fn parses_and_reports_invariant_sweep() {
+        let sweep = ScaleSweep::parse(DUMP).unwrap();
+        assert_eq!(sweep.points.len(), 3);
+        assert_eq!(sweep.sim_minutes, 12);
+        assert!(sweep.invariance_violations().is_empty());
+        assert_eq!(sweep.peak_speedup(), Some((4, 2, 2.0)));
+        let md = sweep.to_markdown();
+        assert!(md.contains("## Scale sweep"));
+        assert!(md.contains("**OK**"));
+        assert!(md.contains("**2.00x**"));
+    }
+
+    #[test]
+    fn detects_checksum_divergence() {
+        let broken = DUMP.replace(
+            "cafef00d\"}\n{\"rows\":4,\"workers\":2",
+            "deadf00d\"}\n{\"rows\":4,\"workers\":2",
+        );
+        let sweep = ScaleSweep::parse(&broken).unwrap();
+        assert_eq!(sweep.invariance_violations(), vec![4]);
+        assert!(sweep.to_markdown().contains("**BROKEN**"));
+    }
+
+    #[test]
+    fn rejects_malformed_dumps() {
+        assert!(ScaleSweep::parse("").is_err());
+        assert!(ScaleSweep::parse("{\"bench\":\"other\"}").is_err());
+        let short = "{\"bench\":\"scale\",\"sim_minutes\":1,\"seed\":1,\"points\":2}\n";
+        assert!(ScaleSweep::parse(short).unwrap_err().contains("declares 2"));
+    }
+}

@@ -43,5 +43,5 @@ pub mod time;
 pub use dist::{DistError, Distribution, Exp, LogNormal, Normal, Poisson};
 pub use id::IdGen;
 pub use queue::EventQueue;
-pub use rng::{derive_stream, SimRng};
+pub use rng::{derive_stream, derive_subseed, derive_substream, SimRng};
 pub use time::{SimDuration, SimTime};

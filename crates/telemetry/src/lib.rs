@@ -38,6 +38,7 @@
 //! ```
 
 pub mod event;
+pub mod fanin;
 pub mod json;
 pub mod registry;
 pub mod sink;
@@ -45,6 +46,7 @@ pub mod timer;
 pub mod trace;
 
 pub use event::{Event, ParseError, ParsedEvent, Severity, Value};
+pub use fanin::{Capture, Captured};
 pub use registry::{
     buckets, Counter, Gauge, Histogram, MetricKind, MetricSnapshot, MetricsRegistry,
     MetricsSnapshot,
@@ -55,6 +57,7 @@ pub use trace::{SpanCtx, SpanId, TraceId};
 
 use ampere_sim::SimTime;
 
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
@@ -321,11 +324,35 @@ impl Telemetry {
 
 static GLOBAL: RwLock<Option<Telemetry>> = RwLock::new(None);
 
+thread_local! {
+    /// Per-thread override stack consulted by [`global()`] before the
+    /// process-wide handle. Pushed/popped by [`fanin::Capture::with`] so
+    /// parallel tasks record into private capture pipelines; a stack so
+    /// captures nest (fan-out inside fan-out).
+    static OVERRIDE: RefCell<Vec<Telemetry>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) fn push_thread_override(telemetry: Telemetry) {
+    OVERRIDE.with(|stack| stack.borrow_mut().push(telemetry));
+}
+
+pub(crate) fn pop_thread_override() {
+    OVERRIDE.with(|stack| {
+        stack.borrow_mut().pop();
+    });
+}
+
 /// The process-wide telemetry handle; disabled until [`install_global`].
 ///
 /// Components capture this at construction time, so install the pipeline
 /// *before* building the testbed/controllers that should report into it.
+/// A thread-local override installed by [`fanin::Capture::with`] takes
+/// precedence, so tasks running under the parallel engine resolve to
+/// their private capture pipeline instead.
 pub fn global() -> Telemetry {
+    if let Some(telemetry) = OVERRIDE.with(|stack| stack.borrow().last().cloned()) {
+        return telemetry;
+    }
     GLOBAL.read().unwrap().clone().unwrap_or_default()
 }
 

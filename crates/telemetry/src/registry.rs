@@ -299,6 +299,81 @@ impl MetricsRegistry {
         self.histogram("timer_sim_mins", &all, &buckets::exponential(0.25, 2.0, 16))
     }
 
+    /// Merges a snapshot (from a parallel task's capture registry) into
+    /// this registry: counters add, histograms add per-bucket counts and
+    /// sums, gauges take the snapshot value (last merge wins, matching
+    /// the last-write-wins of a serial run). Metrics absent here are
+    /// created.
+    ///
+    /// # Panics
+    /// If a key names a metric of a different type, or a histogram with
+    /// different bucket bounds.
+    pub fn merge(&self, snapshot: &MetricsSnapshot) {
+        let mut metrics = self.metrics.lock().unwrap();
+        for entry in &snapshot.entries {
+            let name = entry.name;
+            let slot = metrics.entry((name, entry.labels.clone()));
+            match &entry.kind {
+                MetricKind::Counter(v) => {
+                    let metric =
+                        slot.or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
+                    match metric {
+                        Metric::Counter(cell) => {
+                            cell.fetch_add(*v, Ordering::Relaxed);
+                        }
+                        _ => panic!("metric {name:?} already registered with a different type"),
+                    }
+                }
+                MetricKind::Gauge(v) => {
+                    let metric = slot
+                        .or_insert_with(|| Metric::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))));
+                    match metric {
+                        Metric::Gauge(bits) => bits.store(v.to_bits(), Ordering::Relaxed),
+                        _ => panic!("metric {name:?} already registered with a different type"),
+                    }
+                }
+                MetricKind::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                } => {
+                    let metric = slot.or_insert_with(|| {
+                        Metric::Histogram(Arc::new(HistogramCore {
+                            bounds: bounds.clone(),
+                            buckets: (0..counts.len()).map(|_| AtomicU64::new(0)).collect(),
+                            sum_bits: AtomicU64::new(0f64.to_bits()),
+                        }))
+                    });
+                    match metric {
+                        Metric::Histogram(core) => {
+                            assert_eq!(
+                                core.bounds, *bounds,
+                                "metric {name:?} merged with different histogram bounds"
+                            );
+                            for (bucket, c) in core.buckets.iter().zip(counts) {
+                                bucket.fetch_add(*c, Ordering::Relaxed);
+                            }
+                            let mut old = core.sum_bits.load(Ordering::Relaxed);
+                            loop {
+                                let new = (f64::from_bits(old) + sum).to_bits();
+                                match core.sum_bits.compare_exchange_weak(
+                                    old,
+                                    new,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => break,
+                                    Err(actual) => old = actual,
+                                }
+                            }
+                        }
+                        _ => panic!("metric {name:?} already registered with a different type"),
+                    }
+                }
+            }
+        }
+    }
+
     /// A point-in-time copy of every metric, sorted by name and labels.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let metrics = self.metrics.lock().unwrap();

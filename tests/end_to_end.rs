@@ -97,7 +97,7 @@ fn monitor_aggregation_is_consistent_across_levels() {
         },
         ..TestbedConfig::paper_row(RateProfile::light_row(), 3)
     });
-    tb.add_row_domains(1.0);
+    tb.add_row_domains(1.0).expect("rows registered once");
     tb.run_for(SimDuration::from_mins(30));
     let db = tb.monitor().db();
     // Row series equals the sum of its rack series at every sample.

@@ -1,0 +1,106 @@
+//! Determinism contract of the parallel engine (DESIGN.md §9).
+//!
+//! The engine promises *structural* determinism: worker count is a
+//! throughput knob, never an input. These tests pin the contract at
+//! the observable boundaries — the telemetry JSONL dump, the offline
+//! analyzer's report built from it, and the sharded testbed's
+//! trajectory checksum must all be byte-identical whether the same
+//! seeded run executes on one worker or many, and stable across
+//! re-runs of the same seed.
+
+use ampere_experiments::{ShardedTestbed, ShardedTestbedConfig};
+use ampere_sim::SimDuration;
+
+use std::sync::Mutex;
+
+/// Serializes tests that install the process-global telemetry
+/// pipeline: the dump file is per-scenario, but the global slot is
+/// shared.
+static GLOBAL_PIPELINE: Mutex<()> = Mutex::new(());
+
+fn dump_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "ampere-parallel-properties-{}-{tag}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// Runs a 6-shard, 30-simulated-minute sharded testbed on `workers`
+/// threads with the global pipeline streaming to a JSONL file, and
+/// returns the dump contents.
+fn sharded_dump(workers: usize, tag: &str) -> String {
+    let _guard = GLOBAL_PIPELINE.lock().unwrap();
+    let path = dump_path(tag);
+    let sink = ampere_telemetry::JsonlSink::create(&path).expect("create dump");
+    ampere_telemetry::install_global(ampere_telemetry::Telemetry::builder().sink(sink).build());
+
+    let mut sharded = ShardedTestbed::new(ShardedTestbedConfig::quick(6, workers, 99));
+    sharded.run_for(SimDuration::from_mins(30));
+    sharded.finish();
+
+    ampere_telemetry::global().flush();
+    ampere_telemetry::reset_global();
+    std::fs::read_to_string(&path).expect("read dump")
+}
+
+#[test]
+fn telemetry_dump_is_byte_identical_across_worker_counts() {
+    let serial = sharded_dump(1, "w1");
+    let parallel = sharded_dump(4, "w4");
+    assert!(
+        serial.lines().count() > 10,
+        "scenario emitted too little telemetry to be a meaningful check"
+    );
+    assert_eq!(
+        serial, parallel,
+        "workers=1 and workers=4 must produce byte-identical telemetry"
+    );
+}
+
+#[test]
+fn telemetry_dump_is_stable_across_reruns() {
+    let first = sharded_dump(2, "rerun-a");
+    let second = sharded_dump(2, "rerun-b");
+    assert_eq!(first, second, "same seed, same workers, same bytes");
+}
+
+#[test]
+fn analyzer_report_is_identical_across_worker_counts() {
+    let _ = sharded_dump(1, "report-w1");
+    let _ = sharded_dump(3, "report-w3");
+    let report = |tag: &str| {
+        let run = ampere_obs::read_run(dump_path(tag).to_str().unwrap()).expect("parse dump");
+        ampere_obs::RunReport::build(&run)
+    };
+    let serial = report("report-w1");
+    let parallel = report("report-w3");
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "offline analysis (RunSummary and all derived stats) must not see worker count"
+    );
+    assert_eq!(serial.to_markdown(), parallel.to_markdown());
+}
+
+#[test]
+fn trajectory_checksum_is_worker_count_invariant() {
+    let checksum = |rows: usize, workers: usize, seed: u64| {
+        let mut sharded = ShardedTestbed::new(ShardedTestbedConfig::quick(rows, workers, seed));
+        sharded.run_for(SimDuration::from_mins(20));
+        sharded.finish();
+        sharded.checksum()
+    };
+    let reference = checksum(5, 1, 7);
+    for workers in [2, 3, 5, 8] {
+        assert_eq!(
+            checksum(5, workers, 7),
+            reference,
+            "checksum diverged at workers={workers}"
+        );
+    }
+    assert_ne!(
+        checksum(5, 1, 8),
+        reference,
+        "different seeds must diverge — otherwise the checksum is vacuous"
+    );
+}
