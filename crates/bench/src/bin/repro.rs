@@ -3,6 +3,8 @@
 //! ```text
 //! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations|chaos|scale]
 //!       [--quick] [--csv DIR] [--telemetry FILE] [--workers N] [--scale-out FILE]
+//! repro scenarios --count N --seed S [--workers W] [--scenarios-out FILE]
+//! repro scenario --seed S [--shrink-level K] [--workers W]
 //! ```
 //!
 //! `--quick` shrinks run lengths (used by CI); without it each
@@ -27,6 +29,18 @@
 //! testbed is built: every structured event (controller ticks, freezes,
 //! breaker trips, …) streams to `FILE` as JSONL, and a final metrics
 //! snapshot is appended when the run completes.
+//!
+//! `repro scenarios` runs a seeded batch of randomized simulation
+//! scenarios through the invariant registry (see `ampere-scenario`),
+//! shrinks every failure to a minimal reproduction, prints a
+//! copy-paste-runnable `repro:` command per failure, writes the batch
+//! as JSONL to `BENCH_scenarios.json` (override with
+//! `--scenarios-out FILE`; render with `ampere-obs report --scenarios
+//! FILE`) and exits non-zero if any invariant was violated. `repro
+//! scenario` replays one scenario — optionally at a shrink level a
+//! failure printed — and reports a per-invariant verdict. Both honor
+//! the `AMPERE_SCENARIO_BUG` environment variable so a repro command
+//! can re-arm the planted bug that produced the failure.
 
 use ampere_bench::{f3, pct, Output};
 use ampere_experiments as exp;
@@ -74,11 +88,17 @@ fn main() {
                 || *a == "ablations"
                 || *a == "chaos"
                 || *a == "scale"
+                || *a == "scenario"
+                || *a == "scenarios"
         })
         .unwrap_or("all");
 
     if what == "scale" {
         scale(quick, &args);
+    } else if what == "scenarios" {
+        scenarios(&args);
+    } else if what == "scenario" {
+        scenario(&args);
     } else {
         let all = what == "all";
         // Compute phase: every selected experiment becomes one task on
@@ -178,6 +198,168 @@ fn scale(quick: bool, args: &[String]) {
         println!("\nthread-invariant: every worker count reproduced the same trajectory checksum");
     } else {
         eprintln!("\nDETERMINISM BROKEN: checksums differ across worker counts");
+        std::process::exit(1);
+    }
+}
+
+/// Parses `--name value` anywhere in the argument list.
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+}
+
+/// This binary's own invocation path, quoted into repro commands so
+/// they run from any working directory.
+fn argv0() -> String {
+    std::env::args().next().unwrap_or_else(|| "repro".into())
+}
+
+fn scenarios(args: &[String]) {
+    use ampere_scenario as sc;
+    let seed: u64 = flag(args, "--seed").unwrap_or(2026);
+    let count: usize = flag(args, "--count").unwrap_or(50);
+    let workers: usize = flag(args, "--workers").unwrap_or(1);
+    let bug = sc::InjectedBug::from_env();
+    let config = sc::BatchConfig {
+        seed,
+        count,
+        workers,
+        options: sc::RunOptions {
+            check_determinism: true,
+            bug,
+        },
+        shrink_failures: true,
+    };
+    println!("=== Scenarios: {count} randomized simulations, seed {seed} ===\n");
+    if let Some(b) = bug {
+        println!("planted bug: {} (from ${})\n", b.env_value(), sc::BUG_ENV);
+    }
+    let report = sc::run_batch(&config);
+    println!(
+        "passed {}/{}  digest {:016x}",
+        report.passed(),
+        report.count,
+        report.digest
+    );
+    for (kind, n) in report.tally() {
+        if n > 0 {
+            println!("  {kind}: {n} scenarios violated");
+        }
+    }
+    if let Some((idx, margin)) = report.worst_margin() {
+        println!("worst breaker margin: {margin:+.4} (scenario {idx})");
+    }
+    let program = argv0();
+    let bug_env = bug.map(sc::InjectedBug::env_value);
+    for row in report.rows.iter().filter(|r| !r.outcome.passed()) {
+        println!("\nFAIL scenario {} seed {}", row.index, row.seed);
+        println!("  {}", row.outcome.scenario.describe());
+        for v in &row.outcome.violations {
+            println!("  {v}");
+        }
+        if let Some(s) = &row.shrink {
+            println!(
+                "  shrunk {} levels along [{}] in {} runs to:",
+                s.level,
+                s.axes.join(", "),
+                s.runs
+            );
+            println!("  {}", s.minimal);
+            println!(
+                "repro: {}",
+                sc::repro_command(&program, bug_env, row.seed, s.level, workers)
+            );
+        } else {
+            println!(
+                "repro: {}",
+                sc::repro_command(&program, bug_env, row.seed, 0, workers)
+            );
+        }
+    }
+    let path: String =
+        flag(args, "--scenarios-out").unwrap_or_else(|| "BENCH_scenarios.json".to_string());
+    std::fs::write(&path, report.to_jsonl(bug_env)).expect("write scenario batch");
+    eprintln!("scenario batch written to {path}");
+    if report.failed() == 0 {
+        println!("\nverdict: PASS — every invariant held across {count} scenarios");
+    } else {
+        println!(
+            "\nverdict: FAIL — {} of {count} scenarios violated invariants",
+            report.failed()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn scenario(args: &[String]) {
+    use ampere_scenario as sc;
+    let seed: u64 = flag(args, "--seed").expect("repro scenario requires --seed");
+    let level: u32 = flag(args, "--shrink-level").unwrap_or(0);
+    let bug = sc::InjectedBug::from_env();
+    let opts = sc::RunOptions {
+        check_determinism: true,
+        bug,
+    };
+    let original = sc::Scenario::generate(seed);
+    let target = if level == 0 {
+        original
+    } else {
+        // Reconstruct the shrunk scenario a batch failure printed: the
+        // shrinker is deterministic, so replaying `level` accepted
+        // steps lands on the exact scenario the failure reported.
+        let kinds = sc::run_scenario(&original, &opts).violated_kinds();
+        if kinds.is_empty() {
+            eprintln!(
+                "note: seed {seed} passes unshrunk (is ${} set as it was in CI?); \
+                 replaying the original scenario",
+                sc::BUG_ENV
+            );
+            original
+        } else {
+            sc::shrink_to_level(&original, &kinds, &opts, level).scenario
+        }
+    };
+    println!("=== Scenario replay: seed {seed}, shrink level {level} ===\n");
+    if let Some(b) = bug {
+        println!("planted bug: {} (from ${})", b.env_value(), sc::BUG_ENV);
+    }
+    println!("{}\n", target.describe());
+    let outcome = sc::run_scenario(&target, &opts);
+    for kind in sc::InvariantKind::ALL {
+        let hits: Vec<&sc::Violation> = outcome
+            .violations
+            .iter()
+            .filter(|v| v.invariant == kind)
+            .collect();
+        if hits.is_empty() {
+            println!("invariant {kind}: PASS");
+        } else {
+            println!("invariant {kind}: FAIL ({} violations)", hits.len());
+            for v in hits.iter().take(5) {
+                println!("    {v}");
+            }
+        }
+    }
+    let s = &outcome.stats;
+    println!(
+        "\nstats: ticks={} servers={} violation_mins={} min_margin={:+.4} \
+         max_frozen={} placed={} degraded={} backstop={}",
+        s.ticks,
+        s.servers,
+        s.violations,
+        s.min_margin,
+        s.max_frozen,
+        s.placed,
+        s.degraded_ticks,
+        s.backstop_ticks
+    );
+    if outcome.passed() {
+        println!("verdict: PASS");
+    } else {
+        let kinds: Vec<&str> = outcome.violated_kinds().iter().map(|k| k.name()).collect();
+        println!("verdict: FAIL {}", kinds.join(","));
         std::process::exit(1);
     }
 }

@@ -203,6 +203,51 @@ mod tests {
     }
 
     #[test]
+    fn arms_on_exactly_the_third_tick_not_second_or_fourth() {
+        let mut w = watchdog();
+        // A run of two misses broken by a healthy tick stays below the
+        // threshold: the counter resets, nothing arms.
+        w.observe(t(1), false);
+        w.observe(t(2), false);
+        w.observe(t(3), true);
+        assert!(!w.armed());
+        assert_eq!(w.arms(), 0);
+        // A fresh run arms on observation 3 of the run — the return
+        // value flips from false to true at that tick, not one later.
+        assert!(!w.observe(t(4), false));
+        assert!(!w.observe(t(5), false));
+        assert!(w.observe(t(6), false), "must arm on the third miss");
+        assert_eq!(w.arms(), 1);
+    }
+
+    #[test]
+    fn continued_unhealthy_ticks_never_double_arm() {
+        let mut w = watchdog();
+        for m in 1..=20 {
+            w.observe(t(m), false);
+        }
+        assert!(w.armed());
+        assert_eq!(w.arms(), 1, "arms() must not increment while already armed");
+    }
+
+    #[test]
+    fn rearming_after_a_full_recovery_counts_a_second_arm() {
+        let mut w = watchdog();
+        for m in 1..=3 {
+            w.observe(t(m), false); // Arm #1.
+        }
+        for m in 4..=5 {
+            w.observe(t(m), true); // disarm_after = 2 → stood down.
+        }
+        assert!(!w.armed());
+        for m in 6..=8 {
+            w.observe(t(m), false); // Arm #2, a distinct episode.
+        }
+        assert!(w.armed());
+        assert_eq!(w.arms(), 2);
+    }
+
+    #[test]
     fn emits_armed_and_disarmed_events_with_duration() {
         use ampere_telemetry::{RingBufferSink, Telemetry};
         let (sink, events) = RingBufferSink::new(16);

@@ -1,0 +1,163 @@
+//! Boundary tests for [`DegradedPolicy`]: the exact coverage and age
+//! values where the controller flips between Nominal and Degraded, and
+//! the mode-event contract (exactly one event per edge, none while the
+//! mode holds).
+//!
+//! The healthy predicate is `coverage >= min_coverage && age <=
+//! max_age` — both thresholds *inclusive* on the healthy side — so the
+//! interesting inputs are the thresholds themselves and one resolution
+//! step past them.
+
+use ampere_core::{AmpereController, ControlMode, ControllerConfig, ServerPowerReading};
+use ampere_core::{DegradedPolicy, HistoricalPercentile};
+use ampere_power::DomainReading;
+use ampere_sim::{SimDuration, SimTime};
+use ampere_telemetry::{RingBufferSink, Telemetry};
+
+const BUDGET_W: f64 = 2_000.0;
+
+fn controller() -> AmpereController {
+    AmpereController::new(
+        ControllerConfig::default(),
+        Box::new(HistoricalPercentile::flat(0.02)),
+    )
+}
+
+fn policy() -> DegradedPolicy {
+    ControllerConfig::default().degraded
+}
+
+fn readings() -> Vec<ServerPowerReading> {
+    (0..8)
+        .map(|i| ServerPowerReading {
+            id: ampere_cluster::ServerId::new(i),
+            power_w: 240.0,
+            frozen: false,
+        })
+        .collect()
+}
+
+fn reading(coverage: f64, age: SimDuration) -> DomainReading {
+    DomainReading {
+        power_w: 1_500.0 * coverage,
+        coverage,
+        age,
+    }
+}
+
+fn mode_after(coverage: f64, age: SimDuration) -> ControlMode {
+    let mut ctl = controller();
+    ctl.decide_on_reading(
+        SimTime::from_mins(1),
+        &reading(coverage, age),
+        BUDGET_W,
+        &readings(),
+    );
+    ctl.mode()
+}
+
+#[test]
+fn coverage_one_is_nominal_and_coverage_zero_is_degraded() {
+    assert_eq!(mode_after(1.0, SimDuration::ZERO), ControlMode::Nominal);
+    assert_eq!(mode_after(0.0, SimDuration::ZERO), ControlMode::Degraded);
+}
+
+#[test]
+fn coverage_zero_still_decides_without_dividing_by_zero() {
+    // The coverage-corrected estimate is undefined at coverage 0; the
+    // reading falls back to the raw (zero) sum and the controller must
+    // still produce a finite, in-bounds decision rather than panic.
+    let mut ctl = controller();
+    let (actions, et) = ctl.decide_on_reading(
+        SimTime::from_mins(1),
+        &reading(0.0, SimDuration::ZERO),
+        BUDGET_W,
+        &readings(),
+    );
+    assert!(et.is_finite());
+    assert!(actions.target_ratio.is_finite());
+    assert!((0.0..=1.0).contains(&actions.target_ratio));
+}
+
+#[test]
+fn coverage_exactly_at_the_threshold_is_nominal() {
+    let min_coverage = policy().min_coverage;
+    assert_eq!(
+        mode_after(min_coverage, SimDuration::ZERO),
+        ControlMode::Nominal,
+        "coverage == min_coverage must count as healthy (>= is inclusive)"
+    );
+    assert_eq!(
+        mode_after(min_coverage - 1e-9, SimDuration::ZERO),
+        ControlMode::Degraded,
+        "any coverage below the threshold must degrade"
+    );
+}
+
+#[test]
+fn age_exactly_at_the_threshold_is_nominal_one_millisecond_past_is_not() {
+    let max_age = policy().max_age;
+    assert_eq!(
+        mode_after(1.0, max_age),
+        ControlMode::Nominal,
+        "age == max_age must count as healthy (<= is inclusive)"
+    );
+    assert_eq!(
+        mode_after(1.0, max_age + SimDuration::from_millis(1)),
+        ControlMode::Degraded,
+        "one resolution step past max_age must degrade"
+    );
+}
+
+#[test]
+fn each_mode_edge_emits_exactly_one_event() {
+    let (sink, events) = RingBufferSink::new(256);
+    let tel = Telemetry::builder().sink(sink).build();
+    let mut ctl = AmpereController::with_telemetry(
+        ControllerConfig::default(),
+        Box::new(HistoricalPercentile::flat(0.02)),
+        tel,
+    );
+    let srv = readings();
+    // Nominal (the initial mode — no event), then hold Degraded for
+    // three ticks (one event on entry, none while held), then hold
+    // Nominal for three (one event on exit, none after).
+    let plan: [(f64, ControlMode); 8] = [
+        (1.0, ControlMode::Nominal),
+        (1.0, ControlMode::Nominal),
+        (0.2, ControlMode::Degraded),
+        (0.2, ControlMode::Degraded),
+        (0.2, ControlMode::Degraded),
+        (1.0, ControlMode::Nominal),
+        (1.0, ControlMode::Nominal),
+        (1.0, ControlMode::Nominal),
+    ];
+    for (minute, (coverage, expect)) in plan.iter().enumerate() {
+        ctl.decide_on_reading(
+            SimTime::from_mins(minute as u64 + 1),
+            &reading(*coverage, SimDuration::ZERO),
+            BUDGET_W,
+            &srv,
+        );
+        assert_eq!(ctl.mode(), *expect, "minute {}", minute + 1);
+    }
+    let transitions: Vec<(String, String)> = events
+        .events()
+        .iter()
+        .filter(|e| e.name == "mode")
+        .map(|e| {
+            (
+                e.field("from").unwrap().as_str().unwrap().to_string(),
+                e.field("to").unwrap().as_str().unwrap().to_string(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        transitions,
+        vec![
+            ("nominal".to_string(), "degraded".to_string()),
+            ("degraded".to_string(), "nominal".to_string()),
+        ],
+        "exactly one mode event per edge, none while a mode holds"
+    );
+}

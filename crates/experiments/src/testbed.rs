@@ -115,6 +115,10 @@ struct DomainState {
     name: String,
     servers: Vec<ServerId>,
     budget_w: f64,
+    /// Budget the *controller* regulates against, when different from
+    /// the breaker's `budget_w` (provisioning skew, safety margins).
+    /// `None` means both sides see the same number.
+    control_budget_w: Option<f64>,
     controller: Option<AmpereController>,
     capped: bool,
     breaker: CircuitBreaker,
@@ -254,6 +258,7 @@ impl Testbed {
             name: spec.name,
             servers: spec.servers,
             budget_w: spec.budget_w,
+            control_budget_w: None,
             controller: spec.controller,
             capped: spec.capped,
             watchdog: TickWatchdog::new(WatchdogConfig::default()),
@@ -321,6 +326,29 @@ impl Testbed {
     /// A domain's name.
     pub fn domain_name(&self, id: DomainId) -> &str {
         &self.domains[id].name
+    }
+
+    /// The servers belonging to a domain.
+    pub fn domain_servers(&self, id: DomainId) -> &[ServerId] {
+        &self.domains[id].servers
+    }
+
+    /// A domain's breaker budget in watts.
+    pub fn domain_budget_w(&self, id: DomainId) -> f64 {
+        self.domains[id].budget_w
+    }
+
+    /// Overrides the budget the domain's *controller* regulates against,
+    /// leaving the breaker on the original `budget_w`. Models a
+    /// provisioning skew between the control plane and the physical
+    /// breaker (e.g. a safety margin, or — mis-signed — a planted bug
+    /// for the scenario harness's canary). `None` restores the default
+    /// (controller sees the breaker budget).
+    pub fn set_control_budget_w(&mut self, id: DomainId, budget_w: Option<f64>) {
+        if let Some(w) = budget_w {
+            assert!(w > 0.0 && w.is_finite(), "bad control budget");
+        }
+        self.domains[id].control_budget_w = budget_w;
     }
 
     /// A domain's breaker (violations, trip state).
@@ -561,7 +589,9 @@ impl Testbed {
                             frozen: self.cluster.server(id).is_frozen(),
                         })
                         .collect();
-                    let budget_w = self.domains[d].budget_w;
+                    let budget_w = self.domains[d]
+                        .control_budget_w
+                        .unwrap_or(self.domains[d].budget_w);
                     let controller = self.domains[d].controller.as_mut().expect("checked");
                     let (actions, _et) =
                         controller.decide_on_reading(self.now, &reading, budget_w, &readings);
@@ -648,7 +678,9 @@ impl Testbed {
                 continue;
             };
             let config = *old.config();
-            let budget_w = self.domains[d].budget_w;
+            let budget_w = self.domains[d]
+                .control_budget_w
+                .unwrap_or(self.domains[d].budget_w);
             let history: Vec<(SimTime, f64)> = self
                 .monitor
                 .domain_points(d as u64)

@@ -1,8 +1,8 @@
 //! `report` — analyze a telemetry dump and gate CI on a baseline.
 //!
 //! ```text
-//! report [--telemetry FILE] [--scale FILE] [--md FILE] [--json FILE]
-//!        [--write-baseline FILE] [--baseline FILE --check]
+//! report [--telemetry FILE] [--scale FILE] [--scenarios FILE] [--md FILE]
+//!        [--json FILE] [--write-baseline FILE] [--baseline FILE --check]
 //! ```
 //!
 //! Reads the dump produced by `repro … --telemetry FILE`, prints the
@@ -13,6 +13,11 @@
 //!   `BENCH_scale.json` written by `repro scale`; a checksum mismatch
 //!   across worker counts fails the run. May be used without
 //!   `--telemetry` to report on the sweep alone;
+//! - `--scenarios FILE` appends the scenario-sweep section (invariant
+//!   tally, worst breaker margin, per-failure shrink summary and repro
+//!   command) parsed from the `BENCH_scenarios.json` written by
+//!   `repro scenarios`; any failing scenario fails the run. Also usable
+//!   without `--telemetry`;
 //! - `--json FILE` writes the machine-readable report;
 //! - `--write-baseline FILE` snapshots the run summary with default
 //!   per-metric tolerances (commit this as the known-good baseline);
@@ -25,12 +30,14 @@
 use ampere_obs::reader::read_run;
 use ampere_obs::report::{check, parse_baseline, render_check, write_baseline, RunReport};
 use ampere_obs::scale::ScaleSweep;
+use ampere_obs::scenario::ScenarioBatch;
 
 use std::process::ExitCode;
 
 struct Args {
     telemetry: Option<String>,
     scale: Option<String>,
+    scenarios: Option<String>,
     md: Option<String>,
     json: Option<String>,
     baseline: Option<String>,
@@ -38,12 +45,14 @@ struct Args {
     do_check: bool,
 }
 
-const USAGE: &str = "usage: report [--telemetry FILE] [--scale FILE] [--md FILE] [--json FILE] \
-                     [--write-baseline FILE] [--baseline FILE --check]";
+const USAGE: &str = "usage: report [--telemetry FILE] [--scale FILE] [--scenarios FILE] \
+                     [--md FILE] [--json FILE] [--write-baseline FILE] \
+                     [--baseline FILE --check]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut telemetry = None;
     let mut scale = None;
+    let mut scenarios = None;
     let mut md = None;
     let mut json = None;
     let mut baseline = None;
@@ -59,6 +68,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match arg.as_str() {
             "--telemetry" => telemetry = Some(value("--telemetry")?),
             "--scale" => scale = Some(value("--scale")?),
+            "--scenarios" => scenarios = Some(value("--scenarios")?),
             "--md" => md = Some(value("--md")?),
             "--json" => json = Some(value("--json")?),
             "--baseline" => baseline = Some(value("--baseline")?),
@@ -71,9 +81,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if do_check && baseline.is_none() {
         return Err(format!("--check needs --baseline FILE\n{USAGE}"));
     }
-    if telemetry.is_none() && scale.is_none() {
+    if telemetry.is_none() && scale.is_none() && scenarios.is_none() {
         return Err(format!(
-            "--telemetry FILE or --scale FILE is required\n{USAGE}"
+            "--telemetry, --scale or --scenarios FILE is required\n{USAGE}"
         ));
     }
     if telemetry.is_none() && (do_check || write_baseline.is_some() || json.is_some()) {
@@ -84,6 +94,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(Args {
         telemetry,
         scale,
+        scenarios,
         md,
         json,
         baseline,
@@ -107,6 +118,13 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         }
         None => None,
     };
+    let batch = match &args.scenarios {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(ScenarioBatch::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
 
     let mut markdown = report
         .as_ref()
@@ -117,6 +135,12 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             markdown.push('\n');
         }
         markdown.push_str(&sweep.to_markdown());
+    }
+    if let Some(batch) = &batch {
+        if !markdown.is_empty() && !markdown.ends_with("\n\n") {
+            markdown.push('\n');
+        }
+        markdown.push_str(&batch.to_markdown());
     }
     match &args.md {
         Some(path) => {
@@ -157,6 +181,15 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         let broken = sweep.invariance_violations();
         if !broken.is_empty() {
             eprintln!("scale sweep: thread invariance BROKEN at row count(s) {broken:?}");
+            failed = true;
+        }
+    }
+    if let Some(batch) = &batch {
+        if batch.failed > 0 {
+            eprintln!(
+                "scenario sweep: {} of {} scenarios violated invariants",
+                batch.failed, batch.count
+            );
             failed = true;
         }
     }

@@ -30,6 +30,7 @@ pub mod analysis;
 pub mod reader;
 pub mod report;
 pub mod scale;
+pub mod scenario;
 pub mod trace;
 
 pub use analysis::{

@@ -1,0 +1,313 @@
+//! Scenario-sweep analysis: the report section behind `report
+//! --scenarios`.
+//!
+//! `repro scenarios` emits `BENCH_scenarios.json` — a JSONL header line
+//! plus one line per scenario, each carrying the invariant verdict, the
+//! smallest breaker margin seen, the run digest, and (on failures) the
+//! shrink summary with the copy-paste repro command. This module parses
+//! that dump and renders a Markdown section: the pass/fail tally per
+//! invariant, the worst breaker margins, and a block per failure with
+//! its minimal reproduction. Any failed row fails the report gate.
+
+use ampere_telemetry::json;
+use ampere_telemetry::Value;
+
+use std::fmt::Write as _;
+
+/// One scenario's parsed row.
+#[derive(Debug, Clone)]
+pub struct ScenarioRow {
+    /// Index within the batch.
+    pub index: u64,
+    /// The scenario's own seed.
+    pub seed: u64,
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Fleet size.
+    pub servers: u64,
+    /// `"pass"` or `"fail"`.
+    pub status: String,
+    /// Smallest normalized breaker headroom seen (negative = over).
+    pub min_margin: f64,
+    /// Violated invariant names (empty on pass).
+    pub violations: Vec<String>,
+    /// Run digest, as the emitted hex string.
+    pub digest: String,
+    /// Accepted shrink steps (failures only).
+    pub shrink_level: Option<u64>,
+    /// Axes the shrinker reduced (failures only).
+    pub shrink_axes: Option<String>,
+    /// The self-contained repro command (failures only).
+    pub repro: Option<String>,
+}
+
+/// A parsed `BENCH_scenarios.json` dump.
+#[derive(Debug, Clone)]
+pub struct ScenarioBatch {
+    /// Master seed of the batch.
+    pub seed: u64,
+    /// Scenarios the header declares.
+    pub count: u64,
+    /// Passing scenarios per the header.
+    pub passed: u64,
+    /// Failing scenarios per the header.
+    pub failed: u64,
+    /// Combined batch digest, as the emitted hex string.
+    pub digest: String,
+    /// Per-scenario rows, in index order.
+    pub rows: Vec<ScenarioRow>,
+}
+
+fn field<'a>(pairs: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn uint(pairs: &[(String, Value)], key: &str) -> Result<u64, String> {
+    match field(pairs, key)? {
+        Value::U64(v) => Ok(*v),
+        other => Err(format!(
+            "field {key:?} is not an unsigned integer: {other:?}"
+        )),
+    }
+}
+
+fn float(pairs: &[(String, Value)], key: &str) -> Result<f64, String> {
+    match field(pairs, key)? {
+        Value::U64(v) => Ok(*v as f64),
+        Value::I64(v) => Ok(*v as f64),
+        Value::F64(v) => Ok(*v),
+        other => Err(format!("field {key:?} is not a number: {other:?}")),
+    }
+}
+
+fn string(pairs: &[(String, Value)], key: &str) -> Result<String, String> {
+    match field(pairs, key)? {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(format!("field {key:?} is not a string: {other:?}")),
+    }
+}
+
+fn opt_string(pairs: &[(String, Value)], key: &str) -> Option<String> {
+    match pairs.iter().find(|(k, _)| k == key) {
+        Some((_, Value::Str(s))) => Some(s.clone()),
+        _ => None,
+    }
+}
+
+impl ScenarioBatch {
+    /// Parses the JSONL dump written by `repro scenarios`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or("empty scenario dump")?;
+        let pairs = json::parse_object(header).map_err(|e| format!("header: {e}"))?;
+        match field(&pairs, "bench")? {
+            Value::Str(s) if s == "scenarios" => {}
+            other => return Err(format!("not a scenarios dump: bench = {other:?}")),
+        }
+        let seed = uint(&pairs, "seed")?;
+        let count = uint(&pairs, "count")?;
+        let passed = uint(&pairs, "passed")?;
+        let failed = uint(&pairs, "failed")?;
+        let digest = string(&pairs, "digest")?;
+
+        let mut rows = Vec::new();
+        for (no, line) in lines {
+            let pairs = json::parse_object(line).map_err(|e| format!("line {}: {e}", no + 1))?;
+            let violations = string(&pairs, "violations")?
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            rows.push(ScenarioRow {
+                index: uint(&pairs, "index")?,
+                seed: uint(&pairs, "seed")?,
+                ticks: uint(&pairs, "ticks")?,
+                servers: uint(&pairs, "servers")?,
+                status: string(&pairs, "status")?,
+                min_margin: float(&pairs, "min_margin")?,
+                violations,
+                digest: string(&pairs, "digest")?,
+                shrink_level: uint(&pairs, "shrink_level").ok(),
+                shrink_axes: opt_string(&pairs, "shrink_axes"),
+                repro: opt_string(&pairs, "repro"),
+            });
+        }
+        if rows.len() != count as usize {
+            return Err(format!(
+                "header declares {count} scenarios, dump has {}",
+                rows.len()
+            ));
+        }
+        let observed_failed = rows.iter().filter(|r| r.status != "pass").count() as u64;
+        if observed_failed != failed {
+            return Err(format!(
+                "header declares {failed} failures, rows show {observed_failed}"
+            ));
+        }
+        Ok(ScenarioBatch {
+            seed,
+            count,
+            passed,
+            failed,
+            digest,
+            rows,
+        })
+    }
+
+    /// The failing rows, in index order.
+    pub fn failures(&self) -> Vec<&ScenarioRow> {
+        self.rows.iter().filter(|r| r.status != "pass").collect()
+    }
+
+    /// How many scenarios violated each invariant name seen in the
+    /// dump, in first-seen order.
+    pub fn tally(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = Vec::new();
+        for row in &self.rows {
+            for v in &row.violations {
+                match out.iter_mut().find(|(name, _)| name == v) {
+                    Some((_, n)) => *n += 1,
+                    None => out.push((v.clone(), 1)),
+                }
+            }
+        }
+        out
+    }
+
+    /// The smallest breaker margin in the batch, with its scenario
+    /// index (the headline how-close-did-we-get number).
+    pub fn worst_margin(&self) -> Option<(u64, f64)> {
+        self.rows
+            .iter()
+            .map(|r| (r.index, r.min_margin))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Renders the Markdown report section.
+    pub fn to_markdown(&self) -> String {
+        let mut md = String::new();
+        let _ = writeln!(md, "## Scenario sweep\n");
+        let _ = writeln!(
+            md,
+            "{} randomized scenarios from seed {}, batch digest `{}`: \
+             **{} passed, {} failed**.\n",
+            self.count, self.seed, self.digest, self.passed, self.failed
+        );
+        let tally = self.tally();
+        if !tally.is_empty() {
+            let _ = writeln!(md, "| invariant | scenarios violated |");
+            let _ = writeln!(md, "|:----------|-------------------:|");
+            for (name, n) in &tally {
+                let _ = writeln!(md, "| {name} | {n} |");
+            }
+            let _ = writeln!(md);
+        }
+        if let Some((index, margin)) = self.worst_margin() {
+            let _ = writeln!(
+                md,
+                "Worst breaker margin: **{margin:+.4}** (scenario {index}; negative \
+                 means over budget at some minute).\n"
+            );
+        }
+        for row in self.failures() {
+            let _ = writeln!(
+                md,
+                "### Scenario {} failed: {}\n",
+                row.index,
+                row.violations.join(", ")
+            );
+            let _ = writeln!(
+                md,
+                "Seed {}, {} ticks, {} servers, digest `{}`.",
+                row.seed, row.ticks, row.servers, row.digest
+            );
+            if let (Some(level), Some(axes)) = (row.shrink_level, &row.shrink_axes) {
+                let _ = writeln!(md, "Shrunk {level} levels along [{axes}].");
+            }
+            if let Some(repro) = &row.repro {
+                let _ = writeln!(md, "\n```sh\n{repro}\n```");
+            }
+            let _ = writeln!(md);
+        }
+        if self.failed == 0 {
+            let _ = writeln!(
+                md,
+                "Invariants: **OK** — breaker safety, frozen bounds, power \
+                 conservation, freeze accounting and byte-determinism held \
+                 across every scenario."
+            );
+        } else {
+            let _ = writeln!(
+                md,
+                "Invariants: **VIOLATED** — re-run the repro command(s) above to \
+                 reproduce each minimal failing scenario locally."
+            );
+        }
+        md
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GREEN: &str = concat!(
+        "{\"bench\":\"scenarios\",\"seed\":2026,\"count\":2,\"passed\":2,\"failed\":0,\"digest\":\"00ff\"}\n",
+        "{\"index\":0,\"seed\":11,\"ticks\":60,\"servers\":8,\"status\":\"pass\",\"min_margin\":0.1,\"violations\":\"\",\"digest\":\"aa\"}\n",
+        "{\"index\":1,\"seed\":12,\"ticks\":90,\"servers\":16,\"status\":\"pass\",\"min_margin\":0.05,\"violations\":\"\",\"digest\":\"bb\"}\n",
+    );
+
+    const RED: &str = concat!(
+        "{\"bench\":\"scenarios\",\"seed\":1,\"count\":2,\"passed\":1,\"failed\":1,\"digest\":\"00ff\"}\n",
+        "{\"index\":0,\"seed\":11,\"ticks\":60,\"servers\":8,\"status\":\"pass\",\"min_margin\":0.1,\"violations\":\"\",\"digest\":\"aa\"}\n",
+        "{\"index\":1,\"seed\":12,\"ticks\":90,\"servers\":16,\"status\":\"fail\",\"min_margin\":-0.06,\"violations\":\"breaker-safety\",\"digest\":\"bb\",\
+\"shrink_level\":3,\"shrink_axes\":\"ticks,faults\",\"shrink_runs\":9,\"repro\":\"repro scenario --seed 12 --shrink-level 3 --workers 1\"}\n",
+    );
+
+    #[test]
+    fn parses_a_green_dump() {
+        let batch = ScenarioBatch::parse(GREEN).unwrap();
+        assert_eq!(batch.count, 2);
+        assert_eq!(batch.failed, 0);
+        assert!(batch.failures().is_empty());
+        assert!(batch.tally().is_empty());
+        assert_eq!(batch.worst_margin(), Some((1, 0.05)));
+        let md = batch.to_markdown();
+        assert!(md.contains("## Scenario sweep"));
+        assert!(md.contains("**OK**"));
+    }
+
+    #[test]
+    fn parses_failures_with_repro() {
+        let batch = ScenarioBatch::parse(RED).unwrap();
+        assert_eq!(batch.failed, 1);
+        let failures = batch.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].shrink_level, Some(3));
+        assert_eq!(batch.tally(), vec![("breaker-safety".to_string(), 1)]);
+        assert_eq!(batch.worst_margin(), Some((1, -0.06)));
+        let md = batch.to_markdown();
+        assert!(md.contains("### Scenario 1 failed: breaker-safety"));
+        assert!(md.contains("```sh\nrepro scenario --seed 12"));
+        assert!(md.contains("**VIOLATED**"));
+    }
+
+    #[test]
+    fn rejects_inconsistent_dumps() {
+        assert!(ScenarioBatch::parse("").is_err());
+        assert!(ScenarioBatch::parse("{\"bench\":\"scale\",\"seed\":1}").is_err());
+        // Row count disagrees with the header.
+        let short = GREEN.lines().take(2).collect::<Vec<_>>().join("\n");
+        assert!(ScenarioBatch::parse(&short).is_err());
+        // Failure tally disagrees with the header.
+        let lying = RED.replace("\"failed\":1", "\"failed\":0");
+        assert!(ScenarioBatch::parse(&lying).is_err());
+    }
+}

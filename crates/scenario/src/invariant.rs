@@ -1,0 +1,123 @@
+//! The invariant registry: the global properties every scenario run
+//! must satisfy, whatever the axes drew.
+//!
+//! Each invariant is a *system-level* claim from the paper or from the
+//! workspace's own design contracts, not a unit property:
+//!
+//! 1. **breaker-safety** — the breaker never trips while the controller
+//!    is healthy *and has shedding headroom left*. Trips are excused
+//!    when the trip window overlaps degraded mode, an armed capping
+//!    backstop, or a controller outage (plus a short grace period while
+//!    the backstop reacts) — the §3.2 "last line of defense" story,
+//!    where faults hand over to capping — and when the controller sits
+//!    pinned at `u_max`: a pinned controller has already demanded the
+//!    maximum shedding the §4.1.1 cap allows, so a trip there means the
+//!    scenario drew a budget below the fleet's physical floor, and
+//!    tripping is exactly what the breaker exists to do.
+//! 2. **frozen-bounds** — the frozen-server count never exceeds the
+//!    domain, the freezing ratio stays in `[0, 1]` and the controller's
+//!    target never exceeds its configured `u_max`.
+//! 3. **power-conservation** — domain power readings stay inside the
+//!    physical envelope (`idle floor ≤ P ≤ rated`, with noise slack),
+//!    normalized records agree with their own budget, and the final
+//!    domain reading equals the sum of its member servers' measurements.
+//! 4. **freeze-accounting** — every `freeze` event is matched by an
+//!    `unfreeze` or remains frozen at end of run: the running balance
+//!    of the telemetry stream stays within `[0, fleet]` and ends equal
+//!    to the observed frozen count.
+//! 5. **determinism** — running the same scenario twice produces a
+//!    byte-identical record + telemetry digest (the PR-4 fan-in
+//!    contract, re-checked end-to-end).
+
+use std::fmt;
+
+/// Which invariant a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InvariantKind {
+    /// Breaker tripped during a healthy window.
+    BreakerSafety,
+    /// Frozen counts or ratios out of bounds.
+    FrozenBounds,
+    /// Power readings inconsistent or outside the physical envelope.
+    PowerConservation,
+    /// Freeze/unfreeze event stream does not balance.
+    FreezeAccounting,
+    /// Same seed produced different bytes.
+    Determinism,
+}
+
+impl InvariantKind {
+    /// Every invariant, in registry order.
+    pub const ALL: [InvariantKind; 5] = [
+        InvariantKind::BreakerSafety,
+        InvariantKind::FrozenBounds,
+        InvariantKind::PowerConservation,
+        InvariantKind::FreezeAccounting,
+        InvariantKind::Determinism,
+    ];
+
+    /// Stable kebab-case name (used in JSONL rows and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            InvariantKind::BreakerSafety => "breaker-safety",
+            InvariantKind::FrozenBounds => "frozen-bounds",
+            InvariantKind::PowerConservation => "power-conservation",
+            InvariantKind::FreezeAccounting => "freeze-accounting",
+            InvariantKind::Determinism => "determinism",
+        }
+    }
+
+    /// Parses a registry name back to the kind.
+    pub fn from_name(name: &str) -> Option<InvariantKind> {
+        InvariantKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One invariant violation found in a scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub invariant: InvariantKind,
+    /// Simulation minute of the violating observation, when localized.
+    pub tick: Option<u64>,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tick {
+            Some(t) => write!(f, "{} @t={}m: {}", self.invariant, t, self.detail),
+            None => write!(f, "{}: {}", self.invariant, self.detail),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in InvariantKind::ALL {
+            assert_eq!(InvariantKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(InvariantKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn display_includes_tick_when_localized() {
+        let v = Violation {
+            invariant: InvariantKind::BreakerSafety,
+            tick: Some(42),
+            detail: "tripped".into(),
+        };
+        assert_eq!(v.to_string(), "breaker-safety @t=42m: tripped");
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic scenario-simulation testing for the Ampere workspace.
+//!
+//! FoundationDB-style simulation testing, scaled to this codebase: a
+//! seeded generator composes randomized end-to-end scenarios from the
+//! axes the workspace already has — workload presets, topology shape,
+//! controller-config perturbations and a [`FaultPlan`] — runs each on
+//! the [`Testbed`], and checks a registry of *system-level* invariants
+//! (breaker safety, frozen bounds, power conservation, freeze
+//! accounting, byte-determinism). On failure the harness shrinks the
+//! scenario along each axis to a minimal reproduction and emits a
+//! self-contained repro command.
+//!
+//! Everything derives from seeds (`ampere_sim::derive_subseed`, stream
+//! [`streams::SCENARIO`]), so:
+//!
+//! - a batch is reproducible from one seed,
+//! - any scenario in it is reproducible from its own seed,
+//! - any shrink level is reproducible from `(seed, level)`,
+//!
+//! and `repro scenario --seed S --shrink-level K` reconstructs exactly
+//! the scenario a CI failure printed.
+//!
+//! [`FaultPlan`]: ampere_faults::FaultPlan
+//! [`Testbed`]: ampere_experiments::Testbed
+//! [`streams::SCENARIO`]: ampere_sim::rng::streams::SCENARIO
+
+pub mod batch;
+pub mod invariant;
+pub mod run;
+pub mod scenario;
+pub mod shrink;
+
+pub use batch::{repro_command, run_batch, shell_quote, BatchConfig, BatchReport, BatchRow};
+pub use invariant::{InvariantKind, Violation};
+pub use run::{run_scenario, InjectedBug, RunOptions, RunStats, ScenarioOutcome, BUG_ENV};
+pub use scenario::{ControlAxis, FaultAxis, Scenario, WorkloadAxis, WorkloadKind};
+pub use shrink::{shrink, shrink_to_level, ShrinkResult, MIN_TICKS};

@@ -1,0 +1,312 @@
+//! Greedy scenario shrinking: reduce a failing scenario to a minimal
+//! reproducing one, axis by axis.
+//!
+//! The algorithm is deterministic first-accept-with-restart over an
+//! ordered candidate list (the property-testing classic): try each
+//! shrinking transformation in order; the first one that still
+//! reproduces the failure is accepted and the scan restarts from the
+//! top; when a full pass accepts nothing, the scenario is minimal with
+//! respect to the candidate set. "Still reproduces" means the run
+//! violates at least one of the *same invariant kinds* as the original
+//! failure — a shrink is not allowed to trade one failure for an
+//! unrelated one.
+//!
+//! Determinism: the candidate order is fixed and [`run_scenario`] is a
+//! pure function of `(scenario, options)`, so the accepted sequence —
+//! and therefore the scenario at every shrink level — is reconstructible
+//! from `(seed, level)` alone. That is what lets the repro command be
+//! just `repro scenario --seed S --shrink-level K`.
+
+use crate::invariant::InvariantKind;
+use crate::run::{run_scenario, RunOptions, ScenarioOutcome};
+use crate::scenario::{FaultAxis, Scenario};
+
+/// Shrinking never shortens a run below this many ticks: the
+/// breaker-safety invariant only charges windows after the cold-start
+/// warmup ([`crate::run::BREAKER_WARMUP_TICKS`]), and a would-trip
+/// needs 5 consecutive minutes after that.
+pub const MIN_TICKS: u64 = 40;
+
+/// The result of shrinking one failing scenario.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimal (or level-capped) reproducing scenario.
+    pub scenario: Scenario,
+    /// How many shrinking steps were accepted.
+    pub level: u32,
+    /// The distinct axes shrunk, in first-accepted order.
+    pub shrunk_axes: Vec<&'static str>,
+    /// Scenario runs spent searching.
+    pub runs: u32,
+    /// The outcome of the final (shrunk) scenario.
+    pub outcome: ScenarioOutcome,
+}
+
+/// One shrinking transformation: an axis label and a reducer returning
+/// `None` when it would not change the scenario.
+type Candidate = (&'static str, fn(&Scenario) -> Option<Scenario>);
+
+/// The ordered candidate list. Big, coarse reductions first (drop the
+/// whole fault plan, halve the horizon) so most of the search budget
+/// goes to scenarios that are already small.
+const CANDIDATES: &[Candidate] = &[
+    ("ticks", |s| {
+        let shorter = (s.ticks / 2).max(MIN_TICKS);
+        (shorter < s.ticks).then(|| Scenario {
+            ticks: shorter,
+            faults: clamp_outage(s.faults, shorter),
+            ..s.clone()
+        })
+    }),
+    ("faults", |s| {
+        (!s.faults.is_noop()).then(|| Scenario {
+            faults: FaultAxis::none(),
+            ..s.clone()
+        })
+    }),
+    ("rows", |s| {
+        (s.rows > 1).then(|| Scenario {
+            rows: 1,
+            ..s.clone()
+        })
+    }),
+    ("racks", |s| {
+        (s.racks_per_row > 1).then(|| Scenario {
+            racks_per_row: 1,
+            ..s.clone()
+        })
+    }),
+    ("servers", |s| {
+        let fewer = (s.servers_per_rack / 2).max(4);
+        (fewer < s.servers_per_rack).then(|| Scenario {
+            servers_per_rack: fewer,
+            ..s.clone()
+        })
+    }),
+    ("fault-dropout", |s| {
+        (s.faults.dropout != 0.0).then(|| Scenario {
+            faults: FaultAxis {
+                dropout: 0.0,
+                ..s.faults
+            },
+            ..s.clone()
+        })
+    }),
+    ("fault-bias", |s| {
+        (s.faults.sensor_bias != 0.0).then(|| Scenario {
+            faults: FaultAxis {
+                sensor_bias: 0.0,
+                ..s.faults
+            },
+            ..s.clone()
+        })
+    }),
+    ("fault-rpc", |s| {
+        (s.faults.rpc_loss != 0.0).then(|| Scenario {
+            faults: FaultAxis {
+                rpc_loss: 0.0,
+                ..s.faults
+            },
+            ..s.clone()
+        })
+    }),
+    ("fault-outage", |s| {
+        s.faults.outage.is_some().then(|| Scenario {
+            faults: FaultAxis {
+                outage: None,
+                ..s.faults
+            },
+            ..s.clone()
+        })
+    }),
+    ("workload-amplitude", |s| {
+        (s.workload.amplitude != 0.0).then(|| {
+            let mut next = s.clone();
+            next.workload.amplitude = 0.0;
+            next
+        })
+    }),
+    ("control-kr", |s| {
+        (s.control.kr_scale != 1.0).then(|| {
+            let mut next = s.clone();
+            next.control.kr_scale = 1.0;
+            next
+        })
+    }),
+];
+
+/// Keeps an outage window inside a shortened run (an outage that never
+/// happens is not a faithful shrink of one that did — dropping it is
+/// the `fault-outage` candidate's job, not a side effect).
+fn clamp_outage(faults: FaultAxis, ticks: u64) -> FaultAxis {
+    FaultAxis {
+        outage: faults.outage.map(|(start, len)| {
+            let start = start.min(ticks.saturating_sub(len + 1).max(1));
+            (start, len)
+        }),
+        ..faults
+    }
+}
+
+/// Shrinks a failing scenario as far as the candidate set allows.
+/// `original_kinds` is the invariant signature of the original failure;
+/// panics if empty (shrinking a passing scenario is meaningless).
+pub fn shrink(
+    original: &Scenario,
+    original_kinds: &[InvariantKind],
+    opts: &RunOptions,
+) -> ShrinkResult {
+    shrink_to_level(original, original_kinds, opts, u32::MAX)
+}
+
+/// Shrinks, stopping after `max_level` accepted steps. Because the
+/// search is deterministic, `shrink_to_level(s, k, o, K)` for `K` less
+/// than the full level replays the exact prefix of the full shrink —
+/// the repro command uses this to reconstruct any intermediate scenario
+/// from `(seed, K)`.
+pub fn shrink_to_level(
+    original: &Scenario,
+    original_kinds: &[InvariantKind],
+    opts: &RunOptions,
+    max_level: u32,
+) -> ShrinkResult {
+    assert!(
+        !original_kinds.is_empty(),
+        "cannot shrink a passing scenario"
+    );
+    // Determinism re-runs double the cost of every probe and the
+    // digest comparison is only needed when determinism itself is the
+    // failure under investigation.
+    let probe_opts = RunOptions {
+        check_determinism: original_kinds.contains(&InvariantKind::Determinism),
+        ..*opts
+    };
+    let reproduces = |outcome: &ScenarioOutcome| {
+        outcome
+            .violated_kinds()
+            .iter()
+            .any(|k| original_kinds.contains(k))
+    };
+
+    let mut current = original.clone();
+    let mut outcome = run_scenario(&current, &probe_opts);
+    let mut runs = 1;
+    debug_assert!(
+        reproduces(&outcome),
+        "original scenario no longer fails under probe options"
+    );
+    let mut level = 0;
+    let mut shrunk_axes: Vec<&'static str> = Vec::new();
+
+    'outer: while level < max_level {
+        for (axis, reduce) in CANDIDATES {
+            let Some(candidate) = reduce(&current) else {
+                continue;
+            };
+            let probe = run_scenario(&candidate, &probe_opts);
+            runs += 1;
+            if reproduces(&probe) {
+                current = candidate;
+                outcome = probe;
+                level += 1;
+                if !shrunk_axes.contains(axis) {
+                    shrunk_axes.push(axis);
+                }
+                continue 'outer;
+            }
+        }
+        break;
+    }
+
+    ShrinkResult {
+        scenario: current,
+        level,
+        shrunk_axes,
+        runs,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ControlAxis, WorkloadAxis, WorkloadKind};
+
+    fn sample() -> Scenario {
+        Scenario {
+            seed: 1,
+            ticks: 120,
+            rows: 2,
+            racks_per_row: 2,
+            servers_per_rack: 8,
+            workload: WorkloadAxis {
+                kind: WorkloadKind::Heavy,
+                rate_scale: 1.0,
+                amplitude: 0.3,
+            },
+            control: ControlAxis {
+                budget_scale: 0.9,
+                et: 0.06,
+                kr_scale: 1.2,
+                u_max: 0.5,
+                margin: 0.1,
+            },
+            faults: FaultAxis {
+                dropout: 0.1,
+                sensor_bias: 0.01,
+                rpc_loss: 0.05,
+                outage: Some((40, 10)),
+            },
+        }
+    }
+
+    #[test]
+    fn every_candidate_strictly_reduces_or_declines() {
+        let s = sample();
+        for (axis, reduce) in CANDIDATES {
+            if let Some(next) = reduce(&s) {
+                assert_ne!(&next, &s, "candidate {axis} must change the scenario");
+                // Applying the same candidate repeatedly must terminate.
+                let mut cur = next;
+                for _ in 0..64 {
+                    match reduce(&cur) {
+                        Some(n) => {
+                            assert_ne!(n, cur, "candidate {axis} loops");
+                            cur = n;
+                        }
+                        None => break,
+                    }
+                }
+                assert!(
+                    reduce(&cur).is_none() || *axis == "ticks",
+                    "candidate {axis} never reaches a fixed point"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ticks_candidate_bottoms_out_at_min() {
+        let mut s = sample();
+        for _ in 0..16 {
+            match CANDIDATES[0].1(&s) {
+                Some(next) => s = next,
+                None => break,
+            }
+        }
+        assert_eq!(s.ticks, MIN_TICKS);
+        // The outage stayed inside the shortened run.
+        let (start, len) = s.faults.outage.unwrap();
+        assert!(
+            start + len < s.ticks,
+            "outage [{start}, {start}+{len}) escapes the run"
+        );
+        assert!(start >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink a passing scenario")]
+    fn shrinking_a_pass_panics() {
+        shrink(&sample(), &[], &RunOptions::default());
+    }
+}

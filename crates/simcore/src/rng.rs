@@ -255,6 +255,9 @@ pub mod streams {
     /// Parallel engine: per-run sub-seed derivation for experiment
     /// fan-out (chaos cells, ablation variants, sweep points).
     pub const RUN: u64 = 12;
+    /// Scenario harness: per-scenario seed derivation in a batch, and
+    /// a scenario's internal sub-streams (fault-plan seed, axis draws).
+    pub const SCENARIO: u64 = 13;
 }
 
 #[cfg(test)]

@@ -86,6 +86,26 @@ impl Capture {
         })
     }
 
+    /// Builds a capture pipeline that exists on its own, not under a
+    /// parent: events record at every severity and there is no parent
+    /// to replay into. Harnesses that must *observe* a run's event
+    /// stream regardless of whether the process installed a global
+    /// pipeline (e.g. the scenario invariant checker counting
+    /// freeze/unfreeze events) use this as the fallback when
+    /// [`Capture::new_under`] returns `None`.
+    pub fn standalone() -> Capture {
+        let shared = Arc::new(Mutex::new(Vec::new()));
+        let telemetry = Telemetry::builder()
+            .sink(CaptureSink {
+                shared: Arc::clone(&shared),
+            })
+            .build();
+        Capture {
+            telemetry,
+            events: shared,
+        }
+    }
+
     /// The capture pipeline itself (rarely needed; prefer
     /// [`Capture::with`] so construction-time [`global()`](crate::global)
     /// lookups resolve here).

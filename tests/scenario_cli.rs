@@ -1,0 +1,112 @@
+//! End-to-end test of the `repro scenarios` failure path: a failing
+//! batch must print a copy-paste-runnable repro command, and executing
+//! that command verbatim through a shell must reproduce the same
+//! invariant verdict in a fresh process.
+
+use std::process::Command;
+
+/// Batch seed whose first three scenarios include breaker-safety
+/// failures under the planted margin-sign bug (fixed; the generator is
+/// deterministic).
+const BUGGED_BATCH_SEED: &str = "1";
+
+#[test]
+fn failing_batch_prints_a_repro_command_that_reproduces_the_verdict() {
+    let repro = env!("CARGO_BIN_EXE_repro");
+    let out_file = std::env::temp_dir().join(format!("scenario_cli_{}.json", std::process::id()));
+
+    let batch = Command::new(repro)
+        .args([
+            "scenarios",
+            "--count",
+            "3",
+            "--seed",
+            BUGGED_BATCH_SEED,
+            "--workers",
+            "2",
+            "--scenarios-out",
+            out_file.to_str().unwrap(),
+        ])
+        .env("AMPERE_SCENARIO_BUG", "breaker-margin-sign")
+        .output()
+        .expect("run repro scenarios");
+    let stdout = String::from_utf8(batch.stdout).expect("utf8 stdout");
+    assert_eq!(
+        batch.status.code(),
+        Some(1),
+        "bugged batch must exit 1; stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("breaker-safety"),
+        "expected a breaker-safety violation; stdout:\n{stdout}"
+    );
+
+    // The JSONL report landed where asked and carries the repro too.
+    let jsonl = std::fs::read_to_string(&out_file).expect("read scenario JSONL");
+    assert!(jsonl.contains("\"bench\":\"scenarios\""));
+    assert!(jsonl.contains("\"repro\":\""));
+    std::fs::remove_file(&out_file).ok();
+
+    // Take the printed repro command *verbatim* and hand it to a shell,
+    // exactly as a developer pasting from a CI log would.
+    let command = stdout
+        .lines()
+        .find(|l| l.starts_with("repro: "))
+        .and_then(|l| l.strip_prefix("repro: "))
+        .expect("batch output must contain a `repro:` line")
+        .to_string();
+    assert!(
+        command.contains("AMPERE_SCENARIO_BUG=breaker-margin-sign"),
+        "repro command must re-arm the planted bug: {command}"
+    );
+    assert!(
+        command.contains("--workers"),
+        "repro command must pin the worker count: {command}"
+    );
+
+    let replay = Command::new("sh")
+        .arg("-c")
+        .arg(&command)
+        .output()
+        .expect("run printed repro command");
+    let replay_stdout = String::from_utf8(replay.stdout).expect("utf8 replay stdout");
+    assert_eq!(
+        replay.status.code(),
+        Some(1),
+        "replayed command must exit 1; command: {command}\nstdout:\n{replay_stdout}"
+    );
+    let verdict = replay_stdout
+        .lines()
+        .find(|l| l.starts_with("verdict: "))
+        .expect("replay must print a verdict line");
+    assert!(
+        verdict.starts_with("verdict: FAIL") && verdict.contains("breaker-safety"),
+        "replay must reproduce the batch's breaker-safety verdict, got: {verdict}"
+    );
+}
+
+#[test]
+fn green_batch_exits_zero_with_pass_verdict() {
+    let repro = env!("CARGO_BIN_EXE_repro");
+    let out_file =
+        std::env::temp_dir().join(format!("scenario_cli_ok_{}.json", std::process::id()));
+    let batch = Command::new(repro)
+        .args([
+            "scenarios",
+            "--count",
+            "3",
+            "--seed",
+            "2026",
+            "--workers",
+            "2",
+            "--scenarios-out",
+            out_file.to_str().unwrap(),
+        ])
+        .env_remove("AMPERE_SCENARIO_BUG")
+        .output()
+        .expect("run repro scenarios");
+    let stdout = String::from_utf8(batch.stdout).expect("utf8 stdout");
+    assert_eq!(batch.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("verdict: PASS"), "stdout:\n{stdout}");
+    std::fs::remove_file(&out_file).ok();
+}
