@@ -1,8 +1,9 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations|chaos|scale]
+//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations|chaos|scale|profile]
 //!       [--quick] [--csv DIR] [--telemetry FILE] [--workers N] [--scale-out FILE]
+//!       [--profile-out FILE] [--sample-period N]
 //! repro scenarios --count N --seed S [--workers W] [--scenarios-out FILE]
 //! repro scenario --seed S [--shrink-level K] [--workers W]
 //! ```
@@ -25,10 +26,22 @@
 //! sweep as JSONL to `BENCH_scale.json` (override with
 //! `--scale-out FILE`; render with `ampere-obs report --scale FILE`).
 //!
+//! `repro profile` measures what observing the simulator costs: the
+//! same seeded workload runs once with telemetry disabled and once
+//! fully instrumented (serialization, per-tick batching, deterministic
+//! event sampling, the tick-phase profiler), the per-phase wall-time
+//! breakdown and self-overhead fraction are printed, and the result is
+//! written as JSONL to `BENCH_profile.json` (override with
+//! `--profile-out FILE`; render and gate with `ampere-obs report
+//! --profile FILE`). `--sample-period N` sets the 1-in-N event sampler
+//! period. Both passes must produce the same trajectory checksum.
+//!
 //! `--telemetry FILE` installs the global telemetry pipeline before any
 //! testbed is built: every structured event (controller ticks, freezes,
-//! breaker trips, …) streams to `FILE` as JSONL, and a final metrics
-//! snapshot is appended when the run completes.
+//! breaker trips, …) streams to `FILE` as JSONL — batched per tick and
+//! flushed through the capture fan-in, so ordering and bytes are
+//! unchanged from unbatched emission — and a final metrics snapshot is
+//! appended when the run completes.
 //!
 //! `repro scenarios` runs a seeded batch of randomized simulation
 //! scenarios through the invariant registry (see `ampere-scenario`),
@@ -74,7 +87,15 @@ fn main() {
     // global handle at construction time.
     if let Some(path) = &telemetry_path {
         let sink = ampere_telemetry::JsonlSink::create(path).expect("create telemetry file");
-        ampere_telemetry::install_global(ampere_telemetry::Telemetry::builder().sink(sink).build());
+        // Batched emission: events buffer per task and flush per tick
+        // through the capture fan-in; order (and bytes) match the
+        // unbatched path.
+        ampere_telemetry::install_global(
+            ampere_telemetry::Telemetry::builder()
+                .sink(sink)
+                .batched(true)
+                .build(),
+        );
     }
     let out = Output::new(csv_dir).expect("create csv directory");
     let what = args
@@ -88,6 +109,7 @@ fn main() {
                 || *a == "ablations"
                 || *a == "chaos"
                 || *a == "scale"
+                || *a == "profile"
                 || *a == "scenario"
                 || *a == "scenarios"
         })
@@ -95,6 +117,8 @@ fn main() {
 
     if what == "scale" {
         scale(quick, &args);
+    } else if what == "profile" {
+        profile(quick, &args);
     } else if what == "scenarios" {
         scenarios(&args);
     } else if what == "scenario" {
@@ -198,6 +222,37 @@ fn scale(quick: bool, args: &[String]) {
         println!("\nthread-invariant: every worker count reproduced the same trajectory checksum");
     } else {
         eprintln!("\nDETERMINISM BROKEN: checksums differ across worker counts");
+        std::process::exit(1);
+    }
+}
+
+fn profile(quick: bool, args: &[String]) {
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(ampere_par::available_workers);
+    let mut config = if quick {
+        ampere_bench::profile::ProfileConfig::quick(workers)
+    } else {
+        ampere_bench::profile::ProfileConfig::paper(workers)
+    };
+    if let Some(period) = flag(args, "--sample-period") {
+        config.sample_period = period;
+    }
+    println!("=== Profile: telemetry self-overhead and tick-phase breakdown ===\n");
+    let r = ampere_bench::profile::run(&config);
+    print!("{}", r.render_table());
+    let path = args
+        .iter()
+        .position(|a| a == "--profile-out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "BENCH_profile.json".to_string(), String::clone);
+    std::fs::write(&path, r.to_jsonl()).expect("write profile run");
+    eprintln!("profile run written to {path}");
+    if !r.digest_clean() {
+        eprintln!("\nDETERMINISM BROKEN: instrumentation changed the trajectory checksum");
         std::process::exit(1);
     }
 }

@@ -10,6 +10,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 pub mod harness;
+pub mod profile;
 pub mod scale;
 
 /// Print-and-optionally-save sink for the repro binary.

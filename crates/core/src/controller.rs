@@ -13,7 +13,10 @@ use ampere_cluster::{Cluster, ServerId};
 use ampere_power::DomainReading;
 use ampere_sched::Scheduler;
 use ampere_sim::{SimDuration, SimTime};
-use ampere_telemetry::{buckets, Counter, Event, Gauge, Histogram, Severity, SpanCtx, Telemetry};
+use ampere_telemetry::{
+    buckets, Counter, Event, Gauge, Histogram, PhaseProfiler, Severity, SpanCtx, Telemetry,
+    TickPhase, TimerHandle,
+};
 
 use crate::algorithm::{FreezeActions, FreezePlanner, ServerPowerReading};
 use crate::error::ControlConfigError;
@@ -206,6 +209,10 @@ pub struct AmpereController {
     degraded_counter: Counter,
     power_gauge: Gauge,
     et_hist: Histogram,
+    /// Pre-registered `controller_decide` timer pair: `decide` runs per
+    /// tick, so it must not pay registry lookups per call.
+    decide_timer: TimerHandle,
+    profiler: PhaseProfiler,
     prediction: PredictionTracker,
 }
 
@@ -253,6 +260,8 @@ impl AmpereController {
             degraded_counter: telemetry.counter("controller_degraded_ticks", &[]),
             power_gauge: telemetry.gauge("controller_power_norm", &[]),
             et_hist: telemetry.histogram("controller_et", &[], &buckets::ratio()),
+            decide_timer: telemetry.timer_handle("controller_decide", &[]),
+            profiler: PhaseProfiler::new(&telemetry),
             prediction: PredictionTracker::new(&telemetry, predictor.name()),
             predictor,
             telemetry,
@@ -324,7 +333,7 @@ impl AmpereController {
         mode: ControlMode,
         et_extra: f64,
     ) -> (FreezeActions, f64) {
-        let _timer = self.telemetry.timer("controller_decide", &[]);
+        let _timer = self.decide_timer.start();
         // Every tick opens a fresh causal episode: freezes, dispatch
         // suppression and the eventual power response all trace back to
         // this root span. Registering it as the active tick lets
@@ -333,36 +342,45 @@ impl AmpereController {
         self.last_span = span;
         self.telemetry.set_active_tick(now, span);
         self.set_mode(now, mode);
-        if mode == ControlMode::Nominal {
-            // Degraded observations stay out of the predictor: stale or
-            // coverage-scaled samples would contaminate the `Et`
-            // history the healthy path relies on.
-            self.predictor.observe(now, power_norm);
-        }
-        let et = self.predictor.estimate(now) + et_extra;
-        if mode == ControlMode::Nominal {
-            self.prediction.observe(power_norm, et);
-        } else {
-            self.degraded_counter.inc();
-        }
+        let et = {
+            let _phase = self.profiler.phase(TickPhase::Predict);
+            if mode == ControlMode::Nominal {
+                // Degraded observations stay out of the predictor: stale
+                // or coverage-scaled samples would contaminate the `Et`
+                // history the healthy path relies on.
+                self.predictor.observe(now, power_norm);
+            }
+            let et = self.predictor.estimate(now) + et_extra;
+            if mode == ControlMode::Nominal {
+                self.prediction.observe(power_norm, et);
+            } else {
+                self.degraded_counter.inc();
+            }
+            et
+        };
         self.tick_counter.inc();
         self.power_gauge.set(power_norm);
         self.et_hist.record(et);
         let observe_only = self
             .last_decision
             .is_some_and(|last| now > last && now.since(last) < self.config.interval);
-        let mut actions = if observe_only {
-            FreezeActions::default()
-        } else {
-            self.last_decision = Some(now);
-            let cf = ControlFunction::new(self.config.kr, et, self.config.u_max);
-            self.planner.plan(readings, &cf, power_norm)
+        let actions = {
+            let _phase = self.profiler.phase(TickPhase::Decide);
+            let mut actions = if observe_only {
+                FreezeActions::default()
+            } else {
+                self.last_decision = Some(now);
+                let cf = ControlFunction::new(self.config.kr, et, self.config.u_max);
+                self.planner.plan(readings, &cf, power_norm)
+            };
+            if mode == ControlMode::Degraded && !actions.unfreeze.is_empty() {
+                // Hold freezes: with untrusted data, releasing servers
+                // is the one action that can push power over budget
+                // unnoticed.
+                actions.unfreeze.clear();
+            }
+            actions
         };
-        if mode == ControlMode::Degraded && !actions.unfreeze.is_empty() {
-            // Hold freezes: with untrusted data, releasing servers is
-            // the one action that can push power over budget unnoticed.
-            actions.unfreeze.clear();
-        }
         self.telemetry.emit_with(|| {
             Event::new(now, Severity::Info, "controller", "tick")
                 .in_span(span)

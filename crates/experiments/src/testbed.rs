@@ -33,7 +33,7 @@ use ampere_sched::{PlacementPolicy, RandomFit, Scheduler};
 use ampere_sim::{
     derive_stream, derive_subseed, rng::streams, Distribution, Normal, SimDuration, SimRng, SimTime,
 };
-use ampere_telemetry::{Event, Severity};
+use ampere_telemetry::{Event, PhaseProfiler, Severity, Telemetry, TickPhase};
 use ampere_workload::{BatchWorkload, RateProfile};
 
 use std::fmt;
@@ -208,6 +208,11 @@ pub struct Testbed {
     sweeps_lost: u64,
     /// Rows already registered as row domains (guards double counting).
     row_domain_registered: Vec<bool>,
+    /// The pipeline in effect at construction (a capture under the
+    /// parallel engine): the per-tick event-batch flush and the tick
+    /// profiler report here.
+    telemetry: Telemetry,
+    profiler: PhaseProfiler,
 }
 
 impl Testbed {
@@ -245,6 +250,8 @@ impl Testbed {
             sweep_faults: SweepFaults::default(),
             sweeps_lost: 0,
             row_domain_registered: vec![false; config.spec.rows],
+            profiler: PhaseProfiler::new(&ampere_telemetry::global()),
+            telemetry: ampere_telemetry::global(),
         }
     }
 
@@ -438,6 +445,12 @@ impl Testbed {
 
     /// Executes one tick.
     pub fn step(&mut self) {
+        // Whole-tick timer (wall µs + sim mins) when profiling: gated so
+        // unprofiled runs skip even the clock read.
+        let tick_timer = self
+            .profiler
+            .enabled()
+            .then(|| self.profiler.tick_timer().at_sim(self.now));
         // 1. Arrivals and placement. Telemetry events emitted by the
         // scheduler this tick carry the interval-start timestamp.
         self.sched.set_clock(self.now);
@@ -482,6 +495,7 @@ impl Testbed {
 
         // 4. Measurement sweep at the end of the interval. Control
         // actions below happen at the measurement instant.
+        let sweep_phase = self.profiler.phase(TickPhase::MonitorSweep);
         self.now += self.tick;
         self.sched.set_clock(self.now);
         let noise = &self.noise;
@@ -523,6 +537,7 @@ impl Testbed {
                 });
             self.monitor.ingest_domain(self.now, d as u64, sum, count);
         }
+        drop(sweep_phase);
 
         // Is the controller process up this tick? Outage windows down
         // every controlled domain at once (one controller host, §3.2);
@@ -657,6 +672,14 @@ impl Testbed {
             };
             self.domains[d].records.push(record);
         }
+
+        if let Some(timer) = tick_timer {
+            timer.finish_at_sim(self.now);
+        }
+        // Batched pipelines drain once per tick; unbatched pipelines
+        // make this a no-op, so the cadence is a pipeline choice, not a
+        // testbed one.
+        self.telemetry.flush_events();
     }
 
     /// Whether a freeze/unfreeze RPC gets through the fault plan.

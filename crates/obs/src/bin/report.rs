@@ -1,7 +1,8 @@
 //! `report` — analyze a telemetry dump and gate CI on a baseline.
 //!
 //! ```text
-//! report [--telemetry FILE] [--scale FILE] [--scenarios FILE] [--md FILE]
+//! report [--telemetry FILE] [--scale FILE] [--scenarios FILE] [--profile FILE]
+//!        [--max-overhead F] [--min-ticks-per-sec F] [--md FILE]
 //!        [--json FILE] [--write-baseline FILE] [--baseline FILE --check]
 //! ```
 //!
@@ -18,6 +19,14 @@
 //!   command) parsed from the `BENCH_scenarios.json` written by
 //!   `repro scenarios`; any failing scenario fails the run. Also usable
 //!   without `--telemetry`;
+//! - `--profile FILE` appends the profile section (telemetry
+//!   self-overhead, per-phase tick breakdown, instrumentation-digest
+//!   verdict) parsed from the `BENCH_profile.json` written by
+//!   `repro profile`. A checksum mismatch between the no-op and
+//!   instrumented passes always fails the run; `--max-overhead F`
+//!   (fraction, e.g. `0.10`) and `--min-ticks-per-sec F` additionally
+//!   gate the wall-clock-dependent numbers where the environment opts
+//!   in. Also usable without `--telemetry`;
 //! - `--json FILE` writes the machine-readable report;
 //! - `--write-baseline FILE` snapshots the run summary with default
 //!   per-metric tolerances (commit this as the known-good baseline);
@@ -27,6 +36,7 @@
 //! Exit codes: 0 success, 1 baseline regression or broken thread
 //! invariance, 2 usage or schema error.
 
+use ampere_obs::profile::ProfileRun;
 use ampere_obs::reader::read_run;
 use ampere_obs::report::{check, parse_baseline, render_check, write_baseline, RunReport};
 use ampere_obs::scale::ScaleSweep;
@@ -38,6 +48,9 @@ struct Args {
     telemetry: Option<String>,
     scale: Option<String>,
     scenarios: Option<String>,
+    profile: Option<String>,
+    max_overhead: Option<f64>,
+    min_ticks_per_sec: Option<f64>,
     md: Option<String>,
     json: Option<String>,
     baseline: Option<String>,
@@ -46,6 +59,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: report [--telemetry FILE] [--scale FILE] [--scenarios FILE] \
+                     [--profile FILE] [--max-overhead F] [--min-ticks-per-sec F] \
                      [--md FILE] [--json FILE] [--write-baseline FILE] \
                      [--baseline FILE --check]";
 
@@ -53,6 +67,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut telemetry = None;
     let mut scale = None;
     let mut scenarios = None;
+    let mut profile = None;
+    let mut max_overhead = None;
+    let mut min_ticks_per_sec = None;
     let mut md = None;
     let mut json = None;
     let mut baseline = None;
@@ -65,10 +82,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .cloned()
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
+        let fractional = |flag: &str, raw: String| {
+            raw.parse::<f64>()
+                .map_err(|_| format!("{flag} needs a number, got {raw:?}"))
+        };
         match arg.as_str() {
             "--telemetry" => telemetry = Some(value("--telemetry")?),
             "--scale" => scale = Some(value("--scale")?),
             "--scenarios" => scenarios = Some(value("--scenarios")?),
+            "--profile" => profile = Some(value("--profile")?),
+            "--max-overhead" => {
+                max_overhead = Some(fractional("--max-overhead", value("--max-overhead")?)?)
+            }
+            "--min-ticks-per-sec" => {
+                min_ticks_per_sec = Some(fractional(
+                    "--min-ticks-per-sec",
+                    value("--min-ticks-per-sec")?,
+                )?)
+            }
             "--md" => md = Some(value("--md")?),
             "--json" => json = Some(value("--json")?),
             "--baseline" => baseline = Some(value("--baseline")?),
@@ -81,9 +112,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if do_check && baseline.is_none() {
         return Err(format!("--check needs --baseline FILE\n{USAGE}"));
     }
-    if telemetry.is_none() && scale.is_none() && scenarios.is_none() {
+    if profile.is_none() && (max_overhead.is_some() || min_ticks_per_sec.is_some()) {
         return Err(format!(
-            "--telemetry, --scale or --scenarios FILE is required\n{USAGE}"
+            "--max-overhead/--min-ticks-per-sec need --profile FILE\n{USAGE}"
+        ));
+    }
+    if telemetry.is_none() && scale.is_none() && scenarios.is_none() && profile.is_none() {
+        return Err(format!(
+            "--telemetry, --scale, --scenarios or --profile FILE is required\n{USAGE}"
         ));
     }
     if telemetry.is_none() && (do_check || write_baseline.is_some() || json.is_some()) {
@@ -95,6 +131,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         telemetry,
         scale,
         scenarios,
+        profile,
+        max_overhead,
+        min_ticks_per_sec,
         md,
         json,
         baseline,
@@ -125,6 +164,13 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         }
         None => None,
     };
+    let profile = match &args.profile {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(ProfileRun::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
 
     let mut markdown = report
         .as_ref()
@@ -141,6 +187,12 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             markdown.push('\n');
         }
         markdown.push_str(&batch.to_markdown());
+    }
+    if let Some(profile) = &profile {
+        if !markdown.is_empty() && !markdown.ends_with("\n\n") {
+            markdown.push('\n');
+        }
+        markdown.push_str(&profile.to_markdown());
     }
     match &args.md {
         Some(path) => {
@@ -191,6 +243,35 @@ fn run(args: &Args) -> Result<ExitCode, String> {
                 batch.failed, batch.count
             );
             failed = true;
+        }
+    }
+    if let Some(profile) = &profile {
+        if !profile.digest_clean() {
+            eprintln!(
+                "profile run: instrumentation PERTURBED the trajectory ({} vs {})",
+                profile.checksum_noop, profile.checksum_instr
+            );
+            failed = true;
+        }
+        if let Some(max) = args.max_overhead {
+            if profile.overhead_fraction > max {
+                eprintln!(
+                    "profile run: telemetry overhead {:.1}% exceeds --max-overhead {:.1}%",
+                    profile.overhead_fraction * 100.0,
+                    max * 100.0
+                );
+                failed = true;
+            }
+        }
+        if let Some(min) = args.min_ticks_per_sec {
+            if profile.ticks_per_sec_instr < min {
+                eprintln!(
+                    "profile run: instrumented throughput {:.1} ticks/sec is below \
+                     --min-ticks-per-sec {min:.1}",
+                    profile.ticks_per_sec_instr
+                );
+                failed = true;
+            }
         }
     }
     Ok(if failed {

@@ -19,6 +19,10 @@
 //! - **Did it scale?** [`scale`] parses the `repro scale` sweep
 //!   (`BENCH_scale.json`) and renders throughput, speedup and the
 //!   thread-invariance verdict behind `report --scale`.
+//! - **What does observing cost?** [`profile`] parses the
+//!   `repro profile` run (`BENCH_profile.json`) and renders the
+//!   telemetry self-overhead, per-phase wall-time breakdown and the
+//!   instrumentation-digest verdict behind `report --profile`.
 //!
 //! Everything is offline and dependency-free: the dump is the only
 //! input, and seeded runs produce byte-identical dumps, so summaries —
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod profile;
 pub mod reader;
 pub mod report;
 pub mod scale;
@@ -37,6 +42,7 @@ pub use analysis::{
     decision_latency, freeze_durations, segments, violation_epochs, DecisionLatency, DegradedOps,
     Distribution, RunSummary, ViolationAttribution, ViolationEpoch, ET_BINS,
 };
+pub use profile::{ProfilePhase, ProfileRun};
 pub use reader::{read_run, MetricLine, MetricValue, ReadError, Run, RunLine, RunReader};
 pub use report::{
     check, parse_baseline, render_check, write_baseline, BaselineMetric, CheckResult, RunReport,

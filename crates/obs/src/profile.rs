@@ -1,0 +1,284 @@
+//! Profile-run analysis: the report section behind `report --profile`.
+//!
+//! `repro profile` emits `BENCH_profile.json` — a JSONL header line
+//! describing one two-pass overhead measurement (the same seeded
+//! workload with telemetry disabled and fully instrumented), plus one
+//! line per tick phase with the profiler's wall-time breakdown. This
+//! module parses that dump and renders a Markdown section with the
+//! verdicts CI gates on:
+//!
+//! - **digest** — the instrumented pass must reproduce the no-op
+//!   pass's trajectory checksum exactly. Telemetry that perturbs the
+//!   run it observes is a correctness bug and always fails the report;
+//! - **overhead** — the self-overhead fraction and instrumented
+//!   throughput are compared against optional thresholds
+//!   (`--max-overhead`, `--min-ticks-per-sec`), soft by default so the
+//!   wall-clock-dependent numbers only gate where the environment
+//!   opts in.
+
+use ampere_telemetry::json;
+use ampere_telemetry::Value;
+
+use std::fmt::Write as _;
+
+/// One tick phase's parsed wall-time aggregate.
+#[derive(Debug, Clone)]
+pub struct ProfilePhase {
+    /// Phase label (`predict`, `decide`, …).
+    pub phase: String,
+    /// Recorded phase scopes.
+    pub calls: u64,
+    /// Total wall microseconds.
+    pub total_us: f64,
+    /// Mean microseconds per scope.
+    pub mean_us: f64,
+}
+
+/// A parsed `BENCH_profile.json` dump.
+#[derive(Debug, Clone)]
+pub struct ProfileRun {
+    /// Shard (row) count.
+    pub rows: u64,
+    /// Worker threads.
+    pub workers: u64,
+    /// Simulated minutes.
+    pub sim_minutes: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Event-sampler period.
+    pub sample_period: u64,
+    /// Simulated domain-ticks.
+    pub ticks: u64,
+    /// Wall milliseconds, telemetry disabled.
+    pub wall_noop_ms: f64,
+    /// Wall milliseconds, fully instrumented.
+    pub wall_instr_ms: f64,
+    /// Domain-ticks per wall-second, telemetry disabled.
+    pub ticks_per_sec_noop: f64,
+    /// Domain-ticks per wall-second, fully instrumented.
+    pub ticks_per_sec_instr: f64,
+    /// Self-overhead fraction of instrumented wall time.
+    pub overhead_fraction: f64,
+    /// Trajectory checksum of the no-op pass (hex string).
+    pub checksum_noop: String,
+    /// Trajectory checksum of the instrumented pass (hex string).
+    pub checksum_instr: String,
+    /// Events that reached the sinks.
+    pub events_total: u64,
+    /// Events dropped by the deterministic sampler.
+    pub events_sampled_out: u64,
+    /// Events per tick before sampling.
+    pub events_per_tick_pre_sample: f64,
+    /// Events per tick after sampling.
+    pub events_per_tick_post_sample: f64,
+    /// String-keyed (registry mutex) counter cost, ns/op.
+    pub mutex_ns_per_op: f64,
+    /// Pre-registered handle counter cost, ns/op.
+    pub handle_ns_per_op: f64,
+    /// Per-phase breakdown, in tick order.
+    pub phases: Vec<ProfilePhase>,
+}
+
+fn field<'a>(pairs: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn num(pairs: &[(String, Value)], key: &str) -> Result<f64, String> {
+    match field(pairs, key)? {
+        Value::U64(v) => Ok(*v as f64),
+        Value::I64(v) => Ok(*v as f64),
+        Value::F64(v) => Ok(*v),
+        other => Err(format!("field {key:?} is not a number: {other:?}")),
+    }
+}
+
+fn uint(pairs: &[(String, Value)], key: &str) -> Result<u64, String> {
+    match field(pairs, key)? {
+        Value::U64(v) => Ok(*v),
+        other => Err(format!(
+            "field {key:?} is not an unsigned integer: {other:?}"
+        )),
+    }
+}
+
+fn string(pairs: &[(String, Value)], key: &str) -> Result<String, String> {
+    match field(pairs, key)? {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(format!("field {key:?} is not a string: {other:?}")),
+    }
+}
+
+impl ProfileRun {
+    /// Parses the JSONL dump written by `repro profile`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or("empty profile dump")?;
+        let pairs = json::parse_object(header).map_err(|e| format!("header: {e}"))?;
+        match field(&pairs, "bench")? {
+            Value::Str(s) if s == "profile" => {}
+            other => return Err(format!("not a profile dump: bench = {other:?}")),
+        }
+        let declared = uint(&pairs, "phases")? as usize;
+
+        let mut phases = Vec::new();
+        for (no, line) in lines {
+            let pairs = json::parse_object(line).map_err(|e| format!("line {}: {e}", no + 1))?;
+            phases.push(ProfilePhase {
+                phase: string(&pairs, "phase")?,
+                calls: uint(&pairs, "calls")?,
+                total_us: num(&pairs, "total_us")?,
+                mean_us: num(&pairs, "mean_us")?,
+            });
+        }
+        if phases.len() != declared {
+            return Err(format!(
+                "header declares {declared} phases, dump has {}",
+                phases.len()
+            ));
+        }
+        Ok(ProfileRun {
+            rows: uint(&pairs, "rows")?,
+            workers: uint(&pairs, "workers")?,
+            sim_minutes: uint(&pairs, "sim_minutes")?,
+            seed: uint(&pairs, "seed")?,
+            sample_period: uint(&pairs, "sample_period")?,
+            ticks: uint(&pairs, "ticks")?,
+            wall_noop_ms: num(&pairs, "wall_noop_ms")?,
+            wall_instr_ms: num(&pairs, "wall_instr_ms")?,
+            ticks_per_sec_noop: num(&pairs, "ticks_per_sec_noop")?,
+            ticks_per_sec_instr: num(&pairs, "ticks_per_sec_instr")?,
+            overhead_fraction: num(&pairs, "overhead_fraction")?,
+            checksum_noop: string(&pairs, "checksum_noop")?,
+            checksum_instr: string(&pairs, "checksum_instr")?,
+            events_total: uint(&pairs, "events_total")?,
+            events_sampled_out: uint(&pairs, "events_sampled_out")?,
+            events_per_tick_pre_sample: num(&pairs, "events_per_tick_pre_sample")?,
+            events_per_tick_post_sample: num(&pairs, "events_per_tick_post_sample")?,
+            mutex_ns_per_op: num(&pairs, "mutex_ns_per_op")?,
+            handle_ns_per_op: num(&pairs, "handle_ns_per_op")?,
+            phases,
+        })
+    }
+
+    /// Whether instrumentation left the trajectory untouched — the
+    /// hard gate.
+    pub fn digest_clean(&self) -> bool {
+        self.checksum_noop == self.checksum_instr
+    }
+
+    /// Renders the Markdown report section.
+    pub fn to_markdown(&self) -> String {
+        let mut md = String::new();
+        let _ = writeln!(md, "## Profile run\n");
+        let _ = writeln!(
+            md,
+            "{} rows x {} workers, {} simulated minutes ({} ticks), seed {}, \
+             sampler period {}.\n",
+            self.rows, self.workers, self.sim_minutes, self.ticks, self.seed, self.sample_period
+        );
+        let _ = writeln!(md, "| pass | wall ms | ticks/sec | checksum |");
+        let _ = writeln!(md, "|:-----|--------:|----------:|:---------|");
+        let _ = writeln!(
+            md,
+            "| no-op | {:.1} | {:.1} | `{}` |",
+            self.wall_noop_ms, self.ticks_per_sec_noop, self.checksum_noop
+        );
+        let _ = writeln!(
+            md,
+            "| instrumented | {:.1} | {:.1} | `{}` |",
+            self.wall_instr_ms, self.ticks_per_sec_instr, self.checksum_instr
+        );
+        let _ = writeln!(md);
+        let _ = writeln!(
+            md,
+            "Telemetry self-overhead: **{:.1}%** of instrumented wall time. \
+             Events/tick: {:.2} before sampling, {:.2} after ({} sampled out). \
+             Counter op: {:.1} ns string-keyed (registry mutex) vs {:.1} ns \
+             pre-registered handle.\n",
+            self.overhead_fraction * 100.0,
+            self.events_per_tick_pre_sample,
+            self.events_per_tick_post_sample,
+            self.events_sampled_out,
+            self.mutex_ns_per_op,
+            self.handle_ns_per_op
+        );
+        let _ = writeln!(md, "| phase | calls | total us | mean us |");
+        let _ = writeln!(md, "|:------|------:|---------:|--------:|");
+        for p in &self.phases {
+            let _ = writeln!(
+                md,
+                "| {} | {} | {:.1} | {:.2} |",
+                p.phase, p.calls, p.total_us, p.mean_us
+            );
+        }
+        let _ = writeln!(md);
+        if self.digest_clean() {
+            let _ = writeln!(
+                md,
+                "Digest: **CLEAN** — full instrumentation reproduced the no-op \
+                 pass's trajectory checksum."
+            );
+        } else {
+            let _ = writeln!(
+                md,
+                "Digest: **PERTURBED** — instrumentation changed the trajectory \
+                 checksum (`{}` vs `{}`). Telemetry must observe, never steer \
+                 (DESIGN.md §11).",
+                self.checksum_noop, self.checksum_instr
+            );
+        }
+        md
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DUMP: &str = "\
+{\"bench\":\"profile\",\"rows\":6,\"workers\":2,\"sim_minutes\":30,\"seed\":42,\"sample_period\":4,\"ticks\":180,\"wall_noop_ms\":60.0,\"wall_instr_ms\":63.0,\"ticks_per_sec_noop\":3000.0,\"ticks_per_sec_instr\":2857.1,\"overhead_fraction\":0.0476,\"checksum_noop\":\"00000000deadbeef\",\"checksum_instr\":\"00000000deadbeef\",\"events_total\":760,\"events_sampled_out\":94,\"events_per_tick_pre_sample\":4.744,\"events_per_tick_post_sample\":4.222,\"mutex_ns_per_op\":52.4,\"handle_ns_per_op\":9.7,\"phases\":2}
+{\"phase\":\"predict\",\"calls\":180,\"total_us\":33.8,\"mean_us\":0.19}
+{\"phase\":\"decide\",\"calls\":180,\"total_us\":182.0,\"mean_us\":1.01}
+";
+
+    #[test]
+    fn parses_and_reports_clean_run() {
+        let run = ProfileRun::parse(DUMP).unwrap();
+        assert_eq!(run.ticks, 180);
+        assert_eq!(run.phases.len(), 2);
+        assert_eq!(run.phases[1].phase, "decide");
+        assert!(run.digest_clean());
+        let md = run.to_markdown();
+        assert!(md.contains("## Profile run"));
+        assert!(md.contains("**CLEAN**"));
+        assert!(md.contains("**4.8%**"));
+    }
+
+    #[test]
+    fn detects_perturbed_digest() {
+        let broken = DUMP.replace(
+            "\"checksum_instr\":\"00000000deadbeef\"",
+            "\"checksum_instr\":\"00000000cafef00d\"",
+        );
+        let run = ProfileRun::parse(&broken).unwrap();
+        assert!(!run.digest_clean());
+        assert!(run.to_markdown().contains("**PERTURBED**"));
+    }
+
+    #[test]
+    fn rejects_malformed_dumps() {
+        assert!(ProfileRun::parse("").is_err());
+        assert!(ProfileRun::parse("{\"bench\":\"scale\"}").is_err());
+        let short = DUMP.lines().take(2).collect::<Vec<_>>().join("\n");
+        assert!(ProfileRun::parse(&short)
+            .unwrap_err()
+            .contains("declares 2"));
+    }
+}

@@ -159,7 +159,13 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> ScenarioOutcome {
     // (so batches keep the byte-determinism contract); the determinism
     // re-run stays silent — its events exist only to be digested.
     let primary = run_once(scenario, opts.bug, true);
-    let mut violations = evaluate(scenario, &primary);
+    // Invariant evaluation is a profiled tick phase: inert unless the
+    // ambient pipeline enabled profiling.
+    let profiler = ampere_telemetry::PhaseProfiler::new(&ampere_telemetry::global());
+    let mut violations = {
+        let _phase = profiler.phase(ampere_telemetry::TickPhase::InvariantCheck);
+        evaluate(scenario, &primary)
+    };
     if opts.check_determinism {
         let rerun = run_once(scenario, opts.bug, false);
         if rerun.digest != primary.digest {

@@ -6,7 +6,10 @@ use std::collections::{HashMap, VecDeque};
 use ampere_cluster::{Cluster, JobId, ServerId};
 use ampere_sim::{derive_stream, rng::streams, SimRng, SimTime};
 use ampere_stats::Summary;
-use ampere_telemetry::{buckets, Counter, Event, Gauge, Histogram, Severity, SpanCtx, Telemetry};
+use ampere_telemetry::{
+    buckets, Counter, Event, Gauge, Histogram, PhaseProfiler, Severity, SpanCtx, Telemetry,
+    TickPhase, TimerHandle,
+};
 use ampere_workload::JobRequest;
 
 use crate::policy::{Candidate, PlacementContext, PlacementPolicy};
@@ -99,6 +102,10 @@ pub struct Scheduler {
     queue_gauge: Gauge,
     wait_hist: Histogram,
     freeze_hist: Histogram,
+    /// Pre-registered `sched_dispatch` timer pair: dispatch runs per
+    /// tick, so it must not pay registry lookups per call.
+    dispatch_timer: TimerHandle,
+    profiler: PhaseProfiler,
 }
 
 impl Scheduler {
@@ -143,6 +150,8 @@ impl Scheduler {
                 &[],
                 &buckets::exponential(5.0, 2.0, 10),
             ),
+            dispatch_timer: telemetry.timer_handle("sched_dispatch", &[]),
+            profiler: PhaseProfiler::new(&telemetry),
             telemetry,
         }
     }
@@ -150,7 +159,7 @@ impl Scheduler {
     /// Sets the sim time stamped onto telemetry events emitted by the
     /// freeze/unfreeze/dispatch paths. Drivers call this once per tick.
     /// If a driver never does, emitted events carry `t_ms=0` with a
-    /// `t_unset=true` marker and a one-shot `clock-unset` warning.
+    /// `t_unset=true` marker and a one-shot `clock_unset` warning.
     pub fn set_clock(&mut self, now: SimTime) {
         self.clock = Some(now);
     }
@@ -164,7 +173,7 @@ impl Scheduler {
 
     /// The timestamp for an event emitted now, plus whether the clock
     /// was never set (callers mark such events with `t_unset=true`).
-    /// Fires the one-shot `clock-unset` warning on first unset use.
+    /// Fires the one-shot `clock_unset` warning on first unset use.
     fn stamp(&mut self) -> (SimTime, bool) {
         match self.clock {
             Some(t) => (t, false),
@@ -172,7 +181,7 @@ impl Scheduler {
                 if !self.clock_warned {
                     self.clock_warned = true;
                     self.telemetry.emit_with(|| {
-                        Event::new(SimTime::ZERO, Severity::Warn, "scheduler", "clock-unset").with(
+                        Event::new(SimTime::ZERO, Severity::Warn, "scheduler", "clock_unset").with(
                             "hint",
                             "Scheduler::set_clock was never called; \
                                  events carry t_ms=0 and t_unset=true",
@@ -244,7 +253,10 @@ impl Scheduler {
                 at: (!unset).then_some(now),
             },
         );
-        self.telemetry.emit_with(|| {
+        // Per-server event: high-cardinality at hyperscale, so it goes
+        // through the deterministic sampler (a no-op unless the pipeline
+        // configured one). The frozen/unfrozen counters stay exact.
+        self.telemetry.emit_sampled_with(|| {
             let mut e = Event::new(now, Severity::Info, "scheduler", "freeze")
                 .in_span(span)
                 .with("server", server.raw());
@@ -279,7 +291,7 @@ impl Scheduler {
         if let Some(h) = held_mins {
             self.freeze_hist.record(h);
         }
-        self.telemetry.emit_with(|| {
+        self.telemetry.emit_sampled_with(|| {
             let mut e = Event::new(now, Severity::Info, "scheduler", "unfreeze")
                 .in_span(span)
                 .with("server", server.raw());
@@ -308,7 +320,8 @@ impl Scheduler {
     /// `row_headroom` optionally carries per-row normalized unused power
     /// for headroom-aware policies; pass `&[]` otherwise.
     pub fn dispatch(&mut self, cluster: &mut Cluster, row_headroom: &[f64]) -> DispatchOutcome {
-        let _timer = self.telemetry.timer("sched_dispatch", &[]);
+        let _timer = self.dispatch_timer.start();
+        let _phase = self.profiler.phase(TickPhase::Schedule);
         let (now, unset) = self.stamp();
         let mut candidates: Vec<Candidate> = Vec::with_capacity(cluster.server_count());
         let mut by_row: Vec<Vec<usize>> = vec![Vec::new(); cluster.row_count()];
@@ -544,7 +557,7 @@ mod tests {
         sched.freeze(&mut cluster, ServerId::new(1));
 
         let evs = events.events();
-        let warns: Vec<_> = evs.iter().filter(|e| e.name == "clock-unset").collect();
+        let warns: Vec<_> = evs.iter().filter(|e| e.name == "clock_unset").collect();
         assert_eq!(warns.len(), 1, "warning must be one-shot");
         assert_eq!(warns[0].severity, Severity::Warn);
         for freeze in evs.iter().filter(|e| e.name == "freeze") {

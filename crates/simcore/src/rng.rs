@@ -258,6 +258,9 @@ pub mod streams {
     /// Scenario harness: per-scenario seed derivation in a batch, and
     /// a scenario's internal sub-streams (fault-plan seed, axis draws).
     pub const SCENARIO: u64 = 13;
+    /// Telemetry: deterministic 1-in-N event-sampler phase
+    /// ([`derive_subseed`](super::derive_subseed) with the sample period).
+    pub const TELEMETRY_SAMPLE: u64 = 14;
 }
 
 #[cfg(test)]

@@ -74,8 +74,12 @@ pub enum Value {
 impl Value {
     fn write_json(&self, out: &mut String) {
         match self {
-            Value::U64(v) => out.push_str(&v.to_string()),
-            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
             Value::F64(v) => write_json_f64(*v, out),
             Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
             Value::Str(s) => write_json_string(s, out),
@@ -214,14 +218,22 @@ impl Event {
     /// `{"t_ms":60000,"sev":"info","component":"controller","event":"tick",...}`.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(96 + self.fields.len() * 24);
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Serializes into `out` without allocating a fresh `String`. The
+    /// flush-path sinks reuse one thread-local scratch buffer through
+    /// this, so per-event serialization costs no heap traffic.
+    pub fn write_json(&self, out: &mut String) {
         out.push_str("{\"t_ms\":");
-        out.push_str(&self.sim_time.as_millis().to_string());
+        let _ = write!(out, "{}", self.sim_time.as_millis());
         out.push_str(",\"sev\":\"");
         out.push_str(self.severity.as_str());
         out.push_str("\",\"component\":");
-        write_json_string(self.component, &mut out);
+        write_json_string(self.component, out);
         out.push_str(",\"event\":");
-        write_json_string(self.name, &mut out);
+        write_json_string(self.name, out);
         if self.span.is_some() {
             let _ = write!(
                 out,
@@ -235,12 +247,11 @@ impl Event {
         }
         for (k, v) in &self.fields {
             out.push(',');
-            write_json_string(k, &mut out);
+            write_json_string(k, out);
             out.push(':');
-            v.write_json(&mut out);
+            v.write_json(out);
         }
         out.push('}');
-        out
     }
 
     /// Parses one JSONL line produced by [`Event::to_json`].
@@ -395,14 +406,18 @@ pub(crate) fn write_json_string(s: &str, out: &mut String) {
 
 /// Writes an `f64` so that it parses back as a float (always keeps a
 /// decimal point or exponent); non-finite values become `null`.
+///
+/// Formats straight into `out` (no intermediate `to_string`): this sits
+/// on the snapshot-export and event-flush paths, where a per-value heap
+/// allocation is measurable at hyperscale event rates.
 pub(crate) fn write_json_f64(v: f64, out: &mut String) {
     if !v.is_finite() {
         out.push_str("null");
         return;
     }
-    let s = v.to_string();
-    out.push_str(&s);
-    if !s.contains(['.', 'e', 'E']) {
+    let start = out.len();
+    let _ = write!(out, "{v}");
+    if !out[start..].contains(['.', 'e', 'E']) {
         out.push_str(".0");
     }
 }

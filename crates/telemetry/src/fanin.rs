@@ -74,12 +74,23 @@ impl Capture {
     pub fn new_under(parent: &Telemetry) -> Option<Capture> {
         let pipeline = parent.pipeline.as_ref()?;
         let shared = Arc::new(Mutex::new(Vec::new()));
-        let telemetry = Telemetry::builder()
+        // Inherit the parent's whole hot-path configuration — severity
+        // threshold, batching, sampler (period+phase, fresh counter) and
+        // profiling — so a task behaves identically whether it reports
+        // straight into the parent or through a capture. A fresh sampler
+        // counter per capture makes the kept subset a function of shard
+        // contents alone: worker-count invariant by construction.
+        let mut builder = Telemetry::builder()
             .sink(CaptureSink {
                 shared: Arc::clone(&shared),
             })
             .min_severity(pipeline.min_severity)
-            .build();
+            .batched(pipeline.batched)
+            .profiling(pipeline.profiling);
+        if let Some(sampler) = &pipeline.sampler {
+            builder = builder.sample_raw(sampler.period, sampler.phase);
+        }
+        let telemetry = builder.build();
         Some(Capture {
             telemetry,
             events: shared,
@@ -123,8 +134,10 @@ impl Capture {
     }
 
     /// Consumes the capture, returning the buffered events, metrics
-    /// snapshot and span-id usage.
+    /// snapshot and span-id usage. Drains any batched events first, so
+    /// batched pipelines never strand a tail of events.
     pub fn finish(self) -> Captured {
+        self.telemetry.flush_events();
         let events =
             std::mem::take(&mut *self.events.lock().unwrap_or_else(PoisonError::into_inner));
         let snapshot = self.telemetry.snapshot().unwrap_or_default();
@@ -177,6 +190,10 @@ pub fn replay_into(parent: &Telemetry, captured: Captured) {
     let Some(pipeline) = parent.pipeline.as_ref() else {
         return;
     };
+    // Merge cost is part of the tick-phase profile (inert when the
+    // parent pipeline has profiling off).
+    let profiler = crate::profile::PhaseProfiler::new(parent);
+    let _merge = profiler.phase(crate::profile::TickPhase::FanInMerge);
     // Reserve the id block even when no spans were used: fetch_add(0)
     // is a no-op, keeping the counter exact.
     let base = pipeline

@@ -40,6 +40,7 @@
 pub mod event;
 pub mod fanin;
 pub mod json;
+pub mod profile;
 pub mod registry;
 pub mod sink;
 pub mod timer;
@@ -47,12 +48,13 @@ pub mod trace;
 
 pub use event::{Event, ParseError, ParsedEvent, Severity, Value};
 pub use fanin::{Capture, Captured};
+pub use profile::{PhaseGuard, PhaseProfiler, TickPhase};
 pub use registry::{
-    buckets, Counter, Gauge, Histogram, MetricKind, MetricSnapshot, MetricsRegistry,
-    MetricsSnapshot,
+    buckets, Counter, CounterHandle, Gauge, GaugeHandle, Histogram, HistogramHandle, MetricKind,
+    MetricSnapshot, MetricsRegistry, MetricsSnapshot,
 };
 pub use sink::{EventSink, JsonlSink, RingBufferHandle, RingBufferSink, StderrSink};
-pub use timer::{ScopedTimer, WallGuard};
+pub use timer::{ScopedTimer, TimerHandle, WallGuard};
 pub use trace::{SpanCtx, SpanId, TraceId};
 
 use ampere_sim::SimTime;
@@ -62,10 +64,38 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
+/// Deterministic 1-in-N event sampler state. The admission rule is a
+/// pure function of the per-pipeline emission counter — `count % period
+/// == phase` — so the kept subset depends only on emission order, never
+/// on wall clock or thread timing. The phase is derived from the run
+/// seed via `ampere_sim::rng`, so different seeds keep different (but
+/// reproducible) subsets. Captures inherit `(period, phase)` with a
+/// fresh counter, which makes the per-shard kept subsets a function of
+/// shard contents alone — worker-count invariant.
+struct Sampler {
+    period: u64,
+    phase: u64,
+    emitted: AtomicU64,
+    sampled_out: Counter,
+}
+
 struct Pipeline {
     registry: MetricsRegistry,
     sinks: Mutex<Vec<Box<dyn EventSink>>>,
     min_severity: Severity,
+    /// Per-task event buffer (see [`Telemetry::flush_events`]). Empty
+    /// and unused when `batched` is false.
+    batch: Mutex<Vec<Event>>,
+    /// When true, [`Telemetry::emit_with`] appends to `batch` instead of
+    /// taking the sinks lock per event; the testbed drains once per tick.
+    batched: bool,
+    /// Deterministic sampler for [`Telemetry::emit_sampled_with`];
+    /// `None` keeps every sampled-class event (the default).
+    sampler: Option<Sampler>,
+    /// Whether [`PhaseProfiler`]s built against this pipeline resolve
+    /// live histograms (default false: profiling costs two clock reads
+    /// per phase, so it is strictly opt-in).
+    profiling: bool,
     /// Deterministic span/trace id source: a plain counter, so traced
     /// runs replay identically (see [`trace`] module docs). `0` is the
     /// reserved "no span" id; the first allocation returns 1.
@@ -95,6 +125,9 @@ impl fmt::Debug for Telemetry {
 pub struct TelemetryBuilder {
     sinks: Vec<Box<dyn EventSink>>,
     min_severity: Option<Severity>,
+    batched: bool,
+    sample: Option<(u64, u64)>,
+    profiling: bool,
 }
 
 impl TelemetryBuilder {
@@ -110,6 +143,46 @@ impl TelemetryBuilder {
         self
     }
 
+    /// Buffers emitted events and flushes them to the sinks in batches
+    /// (see [`Telemetry::flush_events`]). Emission order is preserved
+    /// exactly, so batched and unbatched pipelines produce byte-identical
+    /// dumps; only the locking cadence changes.
+    pub fn batched(mut self, batched: bool) -> Self {
+        self.batched = batched;
+        self
+    }
+
+    /// Keeps 1-in-`period` of the events emitted through
+    /// [`Telemetry::emit_sampled_with`], with the kept phase derived
+    /// deterministically from `seed`. `period <= 1` keeps everything.
+    pub fn sample_events(self, period: u64, seed: u64) -> Self {
+        let phase = if period > 1 {
+            ampere_sim::rng::derive_subseed(
+                seed,
+                ampere_sim::rng::streams::TELEMETRY_SAMPLE,
+                period,
+            ) % period
+        } else {
+            0
+        };
+        self.sample_raw(period, phase)
+    }
+
+    /// Like [`TelemetryBuilder::sample_events`], but with an already
+    /// derived phase — used by capture pipelines to inherit the parent's
+    /// sampler configuration verbatim.
+    pub(crate) fn sample_raw(mut self, period: u64, phase: u64) -> Self {
+        self.sample = (period > 1).then_some((period, phase));
+        self
+    }
+
+    /// Enables the tick-phase profiler: [`PhaseProfiler`]s built against
+    /// this pipeline resolve live histograms instead of no-ops.
+    pub fn profiling(mut self, profiling: bool) -> Self {
+        self.profiling = profiling;
+        self
+    }
+
     /// Builds an enabled pipeline (even with zero sinks, so metrics
     /// still aggregate).
     pub fn build(self) -> Telemetry {
@@ -121,11 +194,23 @@ impl TelemetryBuilder {
         for sink in &mut sinks {
             sink.bind_error_counter(errors.clone());
         }
+        // The sampled-out counter registers only when a sampler is
+        // configured, so unsampled runs export an unchanged metric set.
+        let sampler = self.sample.map(|(period, phase)| Sampler {
+            period,
+            phase,
+            emitted: AtomicU64::new(0),
+            sampled_out: registry.counter("telemetry_events_sampled_out", &[]),
+        });
         Telemetry {
             pipeline: Some(Arc::new(Pipeline {
                 registry,
                 sinks: Mutex::new(sinks),
                 min_severity: self.min_severity.unwrap_or(Severity::Debug),
+                batch: Mutex::new(Vec::new()),
+                batched: self.batched,
+                sampler,
+                profiling: self.profiling,
                 next_span: AtomicU64::new(1),
                 active_tick: Mutex::new((SimTime::ZERO, SpanCtx::NONE)),
             })),
@@ -158,6 +243,17 @@ impl Telemetry {
         if let Some(pipeline) = &self.pipeline {
             let event = build();
             if event.severity >= pipeline.min_severity {
+                if pipeline.batched {
+                    // Batched hot path: one buffer push now, sinks see
+                    // the event at the next flush_events() in exactly
+                    // this order.
+                    pipeline
+                        .batch
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(event);
+                    return;
+                }
                 // The emit path must never take the simulation down:
                 // recover a poisoned sink list instead of panicking.
                 let mut sinks = pipeline
@@ -175,6 +271,60 @@ impl Telemetry {
     /// hot paths.
     pub fn emit(&self, event: Event) {
         self.emit_with(|| event);
+    }
+
+    /// Emits a high-cardinality per-server event through the
+    /// deterministic 1-in-N sampler. Without a configured sampler
+    /// (the default) this is exactly [`Telemetry::emit_with`]; with one,
+    /// dropped events increment `telemetry_events_sampled_out` so totals
+    /// stay reconstructible from the kept subset plus the counter.
+    #[inline]
+    pub fn emit_sampled_with(&self, build: impl FnOnce() -> Event) {
+        let Some(pipeline) = &self.pipeline else {
+            return;
+        };
+        match &pipeline.sampler {
+            None => self.emit_with(build),
+            Some(sampler) => {
+                let n = sampler.emitted.fetch_add(1, Ordering::Relaxed);
+                if n % sampler.period == sampler.phase {
+                    self.emit_with(build);
+                } else {
+                    sampler.sampled_out.inc();
+                }
+            }
+        }
+    }
+
+    /// Drains the batched event buffer to the sinks, in emission order.
+    /// The testbed calls this once per tick; [`Telemetry::flush`] and
+    /// capture finish call it too, so no event is ever stranded. No-op
+    /// for unbatched pipelines.
+    pub fn flush_events(&self) {
+        let Some(pipeline) = &self.pipeline else {
+            return;
+        };
+        if !pipeline.batched {
+            return;
+        }
+        let drained = std::mem::take(
+            &mut *pipeline
+                .batch
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        if drained.is_empty() {
+            return;
+        }
+        let mut sinks = pipeline
+            .sinks
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for event in &drained {
+            for sink in sinks.iter_mut() {
+                sink.record(event);
+            }
+        }
     }
 
     /// Like [`Telemetry::emit_with`], attaching `span` to the built
@@ -303,13 +453,43 @@ impl Telemetry {
         }
     }
 
+    /// Pre-registers the `<name>_wall_us` / `<name>_sim_mins` histogram
+    /// pair behind a named timer and returns a [`TimerHandle`]: resolve
+    /// once at wiring time, then [`TimerHandle::start`] on the hot path
+    /// costs two `Arc` clones instead of two registry lookups. No-op
+    /// when disabled.
+    pub fn timer_handle(&self, name: &'static str, labels: &[(&'static str, &str)]) -> TimerHandle {
+        match &self.pipeline {
+            Some(p) => TimerHandle::new(
+                p.registry.wall_hist(name, labels),
+                p.registry.sim_hist(name, labels),
+            ),
+            None => TimerHandle::noop(),
+        }
+    }
+
+    /// Whether the tick-phase profiler is enabled for this pipeline.
+    pub fn profiling_enabled(&self) -> bool {
+        self.pipeline.as_ref().is_some_and(|p| p.profiling)
+    }
+
+    /// Events dropped by the deterministic sampler so far (0 without a
+    /// configured sampler).
+    pub fn events_sampled_out(&self) -> u64 {
+        self.pipeline
+            .as_ref()
+            .and_then(|p| p.sampler.as_ref())
+            .map_or(0, |s| s.sampled_out.get())
+    }
+
     /// Snapshot of the metrics registry (`None` when disabled).
     pub fn snapshot(&self) -> Option<MetricsSnapshot> {
         self.pipeline.as_ref().map(|p| p.registry.snapshot())
     }
 
-    /// Flushes every sink.
+    /// Flushes every sink (draining the batched event buffer first).
     pub fn flush(&self) {
+        self.flush_events();
         if let Some(pipeline) = &self.pipeline {
             let mut sinks = pipeline
                 .sinks

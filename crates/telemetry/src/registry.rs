@@ -17,6 +17,15 @@ use std::sync::{Arc, Mutex};
 /// Label set: sorted `(key, value)` pairs.
 pub type Labels = Vec<(&'static str, String)>;
 
+/// A [`Counter`] resolved once at wiring time. The handle *is* the
+/// lock-free cell — the alias names the hot-path contract: look up by
+/// string once, update through the handle forever after.
+pub type CounterHandle = Counter;
+/// A [`Gauge`] resolved once at wiring time (see [`CounterHandle`]).
+pub type GaugeHandle = Gauge;
+/// A [`Histogram`] resolved once at wiring time (see [`CounterHandle`]).
+pub type HistogramHandle = Histogram;
+
 fn labels_of(labels: &[(&'static str, &str)]) -> Labels {
     let mut out: Labels = labels.iter().map(|&(k, v)| (k, v.to_owned())).collect();
     out.sort_unstable();

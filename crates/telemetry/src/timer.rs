@@ -40,6 +40,37 @@ impl Drop for WallGuard {
     }
 }
 
+/// A pre-registered scoped-timer pair: the `timer_wall_us` /
+/// `timer_sim_mins` histograms behind one span name, resolved once at
+/// wiring time. Starting a timer through the handle is two `Arc` clones,
+/// versus two registry-mutex lookups (plus the label-vector allocations
+/// they imply) for the string-keyed [`Telemetry::timer`] path — keep the
+/// latter for cold paths, use a handle anywhere called per tick.
+///
+/// [`Telemetry::timer`]: crate::Telemetry::timer
+#[derive(Debug, Clone, Default)]
+pub struct TimerHandle {
+    wall: Histogram,
+    sim: Histogram,
+}
+
+impl TimerHandle {
+    /// A handle whose timers record nothing (disabled telemetry).
+    pub fn noop() -> Self {
+        TimerHandle::default()
+    }
+
+    pub(crate) fn new(wall: Histogram, sim: Histogram) -> Self {
+        TimerHandle { wall, sim }
+    }
+
+    /// Starts a scope against the pre-resolved histograms.
+    #[inline]
+    pub fn start(&self) -> ScopedTimer {
+        ScopedTimer::new(self.wall.clone(), self.sim.clone())
+    }
+}
+
 /// A scope timed in wall-clock and (optionally) sim time.
 #[derive(Debug)]
 pub struct ScopedTimer {

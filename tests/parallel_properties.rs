@@ -82,6 +82,115 @@ fn analyzer_report_is_identical_across_worker_counts() {
     assert_eq!(serial.to_markdown(), parallel.to_markdown());
 }
 
+/// Like [`sharded_dump`] but with the full hot-path pipeline armed:
+/// per-tick batching, the deterministic 1-in-3 event sampler and the
+/// tick-phase profiler. Returns the event dump and the non-wall-clock
+/// metric lines of the final snapshot (wall-time histograms are the
+/// one legitimately nondeterministic export).
+fn sharded_dump_full(workers: usize, tag: &str) -> (String, String) {
+    let _guard = GLOBAL_PIPELINE.lock().unwrap();
+    let path = dump_path(tag);
+    let sink = ampere_telemetry::JsonlSink::create(&path).expect("create dump");
+    ampere_telemetry::install_global(
+        ampere_telemetry::Telemetry::builder()
+            .sink(sink)
+            .batched(true)
+            .sample_events(3, 99)
+            .profiling(true)
+            .build(),
+    );
+
+    let mut sharded = ShardedTestbed::new(ShardedTestbedConfig::quick(6, workers, 99));
+    sharded.run_for(SimDuration::from_mins(30));
+    sharded.finish();
+
+    let tel = ampere_telemetry::global();
+    tel.flush();
+    let snapshot = tel.snapshot().expect("pipeline installed");
+    ampere_telemetry::reset_global();
+    let metrics: String = snapshot
+        .to_jsonl()
+        .lines()
+        .filter(|l| !l.contains("\"timer_wall_us\"") && !l.contains("\"profile_phase_wall_us\""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    (std::fs::read_to_string(&path).expect("read dump"), metrics)
+}
+
+#[test]
+fn batched_sampled_profiled_dump_is_worker_count_invariant() {
+    let (serial_events, serial_metrics) = sharded_dump_full(1, "full-w1");
+    let (parallel_events, parallel_metrics) = sharded_dump_full(4, "full-w4");
+    assert!(
+        serial_events.lines().count() > 10,
+        "full pipeline emitted too little telemetry to be a meaningful check"
+    );
+    assert_eq!(
+        serial_events, parallel_events,
+        "batching + sampling + profiling must keep the event stream byte-identical \
+         across worker counts"
+    );
+    assert!(
+        serial_metrics.contains("telemetry_events_sampled_out"),
+        "sampler must be live in this scenario"
+    );
+    assert_eq!(
+        serial_metrics, parallel_metrics,
+        "merged per-shard metric cells (everything but wall-clock timings) must not \
+         see worker count"
+    );
+}
+
+#[test]
+fn batching_preserves_event_bytes() {
+    let unbatched = sharded_dump(2, "plain-w2");
+    let (batched, _) = sharded_dump_full(2, "batched-w2");
+    // The full pipeline also samples per-server events, so compare the
+    // unsampled classes only: batching may never reorder or reformat.
+    let keep = |line: &&str| {
+        !line.contains("\"event\":\"freeze\"") && !line.contains("\"event\":\"unfreeze\"")
+    };
+    let unbatched: Vec<&str> = unbatched.lines().filter(keep).collect();
+    let batched: Vec<&str> = batched.lines().filter(keep).collect();
+    assert_eq!(
+        unbatched, batched,
+        "per-tick batching must flush the same bytes in the same order as direct emission"
+    );
+}
+
+#[test]
+fn handle_and_string_keyed_paths_export_identical_jsonl() {
+    // The same update sequence through pre-registered handles vs a
+    // string-keyed lookup per operation must snapshot to identical
+    // bytes: handles are an access-path optimization, not a schema.
+    let tel_handles = ampere_telemetry::Telemetry::builder().build();
+    let tel_strings = ampere_telemetry::Telemetry::builder().build();
+
+    let ticks: ampere_telemetry::CounterHandle = tel_handles.counter("controller_ticks", &[]);
+    let power: ampere_telemetry::GaugeHandle = tel_handles.gauge("monitor_dc_power_w", &[]);
+    let et: ampere_telemetry::HistogramHandle =
+        tel_handles.histogram("controller_et", &[("domain", "row0")], &[0.5, 1.0, 2.0]);
+    for i in 0..100 {
+        ticks.inc();
+        power.set(800.0 + i as f64);
+        et.record(i as f64 / 40.0);
+        tel_strings.counter("controller_ticks", &[]).inc();
+        tel_strings
+            .gauge("monitor_dc_power_w", &[])
+            .set(800.0 + i as f64);
+        tel_strings
+            .histogram("controller_et", &[("domain", "row0")], &[0.5, 1.0, 2.0])
+            .record(i as f64 / 40.0);
+    }
+    let via_handles = tel_handles.snapshot().expect("registry").to_jsonl();
+    let via_strings = tel_strings.snapshot().expect("registry").to_jsonl();
+    assert_eq!(
+        via_handles, via_strings,
+        "handle path and string-keyed path must export byte-identical JSONL"
+    );
+    assert!(via_handles.contains("controller_ticks"));
+}
+
 #[test]
 fn trajectory_checksum_is_worker_count_invariant() {
     let checksum = |rows: usize, workers: usize, seed: u64| {
