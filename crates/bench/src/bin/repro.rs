@@ -1,9 +1,9 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations|chaos|scale|profile]
+//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations|chaos|scale|profile|watch]
 //!       [--quick] [--csv DIR] [--telemetry FILE] [--workers N] [--scale-out FILE]
-//!       [--profile-out FILE] [--sample-period N]
+//!       [--profile-out FILE] [--sample-period N] [--watch-out FILE]
 //! repro scenarios --count N --seed S [--workers W] [--scenarios-out FILE]
 //! repro scenario --seed S [--shrink-level K] [--workers W]
 //! ```
@@ -35,6 +35,18 @@
 //! `--profile-out FILE`; render and gate with `ampere-obs report
 //! --profile FILE`). `--sample-period N` sets the 1-in-N event sampler
 //! period. Both passes must produce the same trajectory checksum.
+//!
+//! `repro watch` runs the live-observability benchmark: a clean
+//! light-workload pass and a chaos-injected heavy pass execute twice —
+//! bare, then with the `ampere-watch` tap attached to the global
+//! pipeline — and the streaming rollups, risk gauges, alert stream and
+//! incident ledger are written as JSONL to `BENCH_watch.json`
+//! (override with `--watch-out FILE`; render and gate with
+//! `ampere-obs report --alerts FILE`). Exits non-zero if the tap
+//! perturbed the trajectory checksum, if any alert fired on the clean
+//! pass, or if the chaos pass failed to open a breaker-proximity
+//! incident. The alert stream evaluates on the merged replay stream,
+//! so it is byte-identical at any `--workers` count.
 //!
 //! `--telemetry FILE` installs the global telemetry pipeline before any
 //! testbed is built: every structured event (controller ticks, freezes,
@@ -110,6 +122,7 @@ fn main() {
                 || *a == "chaos"
                 || *a == "scale"
                 || *a == "profile"
+                || *a == "watch"
                 || *a == "scenario"
                 || *a == "scenarios"
         })
@@ -119,6 +132,8 @@ fn main() {
         scale(quick, &args);
     } else if what == "profile" {
         profile(quick, &args);
+    } else if what == "watch" {
+        watch(quick, &args);
     } else if what == "scenarios" {
         scenarios(&args);
     } else if what == "scenario" {
@@ -253,6 +268,52 @@ fn profile(quick: bool, args: &[String]) {
     eprintln!("profile run written to {path}");
     if !r.digest_clean() {
         eprintln!("\nDETERMINISM BROKEN: instrumentation changed the trajectory checksum");
+        std::process::exit(1);
+    }
+}
+
+fn watch(quick: bool, args: &[String]) {
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(ampere_par::available_workers);
+    let config = if quick {
+        ampere_bench::watch::WatchBenchConfig::quick(workers)
+    } else {
+        ampere_bench::watch::WatchBenchConfig::paper(workers)
+    };
+    println!("=== Watch: streaming rollups, gauges and deterministic alerting ===\n");
+    let r = ampere_bench::watch::run(config);
+    print!("{}", r.render_table());
+    let path = args
+        .iter()
+        .position(|a| a == "--watch-out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "BENCH_watch.json".to_string(), String::clone);
+    std::fs::write(&path, r.to_jsonl()).expect("write watch run");
+    eprintln!("watch run written to {path}");
+    let mut failed = false;
+    if !r.digest_clean() {
+        eprintln!("\nDETERMINISM BROKEN: attaching the watch tap changed the trajectory checksum");
+        failed = true;
+    }
+    if r.clean_fires() != 0 {
+        eprintln!(
+            "\nALERT NOISE: {} alert(s) fired during the clean pass (want 0)",
+            r.clean_fires()
+        );
+        failed = true;
+    }
+    if r.chaos_proximity_incidents() == 0 {
+        eprintln!(
+            "\nALERT MISS: no {} incident opened during the chaos pass (want >= 1)",
+            ampere_bench::watch::PROXIMITY_RULE
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -12,6 +12,7 @@ use std::path::PathBuf;
 pub mod harness;
 pub mod profile;
 pub mod scale;
+pub mod watch;
 
 /// Print-and-optionally-save sink for the repro binary.
 pub struct Output {

@@ -1,0 +1,421 @@
+//! `repro watch` — the live-observability benchmark: two identical
+//! fan-out runs (a clean light-workload pass and a chaos-injected heavy
+//! pass), executed twice — once bare, once with the `ampere-watch` tap
+//! attached — so the rollup/alerting overhead is measured against the
+//! same workload it monitors.
+//!
+//! The gates encoded here are the PR's acceptance criteria:
+//!
+//! - **Determinism** — the simulated trajectories must be bit-identical
+//!   with and without the tap (the tap is a passive sink; if attaching
+//!   it changes the run, something is deeply wrong), and the alert
+//!   stream digest must be worker-invariant (enforced in CI by diffing
+//!   `BENCH_watch.json` across `--workers 1` and `--workers 4`).
+//! - **Silence on health** — the clean pass must fire zero alerts.
+//! - **Signal on chaos** — the chaos pass must open at least one
+//!   breaker-proximity incident, linked to the violating control span.
+//! - **Overhead** — the watch pass may cost at most the profiling bar
+//!   (10 %) over the bare pass; gated by `ampere-obs report --alerts
+//!   --max-overhead`, reported here.
+
+use ampere_experiments as exp;
+use ampere_faults::{FaultPlan, OutageWindow};
+use ampere_sim::SimTime;
+use ampere_telemetry::{install_global, reset_global, JsonlSink, Telemetry};
+use ampere_watch::{pass_marker, Fnv, WatchReport};
+use exp::fig10::{Fig10Config, Fig10Result, WorkloadKind};
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Pass label of the fault-free light-workload task.
+pub const CLEAN_PASS: &str = "clean";
+/// Pass label of the fault-injected heavy-workload task.
+pub const CHAOS_PASS: &str = "chaos";
+/// Rule expected to page during the chaos pass.
+pub const PROXIMITY_RULE: &str = "breaker-proximity";
+
+/// Configuration of the watch benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchBenchConfig {
+    /// Worker threads for the fan-out pool.
+    pub workers: usize,
+    /// RNG seed shared by both tasks (fault streams derive from it).
+    pub seed: u64,
+    /// Measured hours per task.
+    pub hours: u64,
+    /// Warm-up minutes before measurement.
+    pub warmup_mins: u64,
+    /// Uncontrolled calibration hours fitting the `Et` table.
+    pub calibration_hours: u64,
+}
+
+impl WatchBenchConfig {
+    /// CI-sized configuration (same scale as the quick fig10 runs).
+    pub fn quick(workers: usize) -> Self {
+        WatchBenchConfig {
+            workers,
+            seed: 10,
+            hours: 8,
+            warmup_mins: 90,
+            calibration_hours: 8,
+        }
+    }
+
+    /// Paper-scale configuration.
+    pub fn paper(workers: usize) -> Self {
+        WatchBenchConfig {
+            workers,
+            seed: 10,
+            hours: 24,
+            warmup_mins: 120,
+            calibration_hours: 24,
+        }
+    }
+
+    fn fig10(&self, workload: WorkloadKind) -> Fig10Config {
+        Fig10Config {
+            workload,
+            hours: self.hours,
+            warmup_mins: self.warmup_mins,
+            r_o: 0.25,
+            seed: self.seed,
+            calibration_hours: self.calibration_hours,
+        }
+    }
+
+    /// The chaos plan: a quarter of samples dropped, plus a controller
+    /// outage covering a quarter of the measured window so the
+    /// uncontrolled demand runs into the breaker while the watchdog
+    /// backstop holds the fort.
+    pub fn fault_plan(&self) -> FaultPlan {
+        let measured = self.hours * 60;
+        let start = self.warmup_mins + measured / 4;
+        let dur = 60.min(measured / 4).max(1);
+        FaultPlan {
+            sample_dropout: 0.25,
+            outages: vec![OutageWindow {
+                start: SimTime::from_mins(start),
+                end: SimTime::from_mins(start + dur),
+            }],
+            ..FaultPlan::seeded(self.seed.wrapping_mul(1469))
+        }
+    }
+}
+
+/// The benchmark's outcome: timings, trajectory checksums and the full
+/// watch report from the tapped pass.
+#[derive(Debug)]
+pub struct WatchBenchResult {
+    /// Workers the fan-out ran with.
+    pub workers: usize,
+    /// Seed used.
+    pub seed: u64,
+    /// Measured hours per task.
+    pub hours: u64,
+    /// Wall time of the bare pass (ms).
+    pub wall_plain_ms: f64,
+    /// Wall time of the tapped pass (ms).
+    pub wall_watch_ms: f64,
+    /// FNV-1a checksum over both tasks' trajectories, bare pass.
+    pub checksum_plain: u64,
+    /// Same checksum, tapped pass — must equal `checksum_plain`.
+    pub checksum_watch: u64,
+    /// Everything the engine derived from the tapped pass.
+    pub report: WatchReport,
+}
+
+impl WatchBenchResult {
+    /// Fraction of the tapped pass spent on observability.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.wall_watch_ms <= 0.0 {
+            return 0.0;
+        }
+        ((self.wall_watch_ms - self.wall_plain_ms) / self.wall_watch_ms).max(0.0)
+    }
+
+    /// Whether attaching the tap left the simulation untouched.
+    pub fn digest_clean(&self) -> bool {
+        self.checksum_plain == self.checksum_watch
+    }
+
+    /// Alert firings attributed to the clean pass (must be zero).
+    pub fn clean_fires(&self) -> usize {
+        self.report.fires_in_pass(CLEAN_PASS)
+    }
+
+    /// Alert firings attributed to the chaos pass.
+    pub fn chaos_fires(&self) -> usize {
+        self.report.fires_in_pass(CHAOS_PASS)
+    }
+
+    /// Breaker-proximity incidents opened during the chaos pass
+    /// (must be ≥ 1).
+    pub fn chaos_proximity_incidents(&self) -> usize {
+        self.report.incidents_for(CHAOS_PASS, PROXIMITY_RULE)
+    }
+
+    /// All acceptance gates except the overhead bar (which is noisy on
+    /// shared CI runners and gated separately via `report --alerts`).
+    pub fn gates_pass(&self) -> bool {
+        self.digest_clean() && self.clean_fires() == 0 && self.chaos_proximity_incidents() >= 1
+    }
+
+    /// Serializes as JSONL: one header line, then the rule table, the
+    /// alert stream, the incident ledger and the window rollups — the
+    /// exact layout `ampere-obs report --alerts` consumes.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            concat!(
+                "{{\"bench\":\"watch\",\"workers\":{},\"seed\":{},\"hours\":{},",
+                "\"wall_plain_ms\":{:.3},\"wall_watch_ms\":{:.3},\"overhead_fraction\":{:.6},",
+                "\"checksum_plain\":\"{:016x}\",\"checksum_watch\":\"{:016x}\",",
+                "\"rule_digest\":\"{:016x}\",\"alert_digest\":\"{:016x}\",",
+                "\"rules\":{},\"alerts\":{},\"incidents\":{},\"windows\":{},\"events\":{},",
+                "\"clean_fires\":{},\"chaos_fires\":{},\"chaos_proximity_incidents\":{}}}"
+            ),
+            self.workers,
+            self.seed,
+            self.hours,
+            self.wall_plain_ms,
+            self.wall_watch_ms,
+            self.overhead_fraction(),
+            self.checksum_plain,
+            self.checksum_watch,
+            self.report.rule_digest(),
+            self.report.alert_digest(),
+            self.report.rules.len(),
+            self.report.alerts.len(),
+            self.report.incidents.len(),
+            self.report.windows.len(),
+            self.report.events_seen,
+            self.clean_fires(),
+            self.chaos_fires(),
+            self.chaos_proximity_incidents(),
+        );
+        out.push('\n');
+        for rule in &self.report.rules {
+            out.push_str(&rule.to_json_line());
+            out.push('\n');
+        }
+        for alert in &self.report.alerts {
+            out.push_str(&alert.to_json_line());
+            out.push('\n');
+        }
+        for incident in &self.report.incidents {
+            out.push_str(&incident.to_json_line());
+            out.push('\n');
+        }
+        for window in &self.report.windows {
+            out.push_str(&window.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable summary table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "watch benchmark (workers = {})", self.workers);
+        let _ = writeln!(out, "  {:<28} {:>12} {:>12}", "pass", "wall ms", "checksum");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>12.1} {:>12}",
+            "bare",
+            self.wall_plain_ms,
+            format!("{:012x}", self.checksum_plain & 0xffff_ffff_ffff)
+        );
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>12.1} {:>12}",
+            "watch-tapped",
+            self.wall_watch_ms,
+            format!("{:012x}", self.checksum_watch & 0xffff_ffff_ffff)
+        );
+        let _ = writeln!(
+            out,
+            "  overhead {:.2} %   trajectory digest {}",
+            self.overhead_fraction() * 100.0,
+            if self.digest_clean() {
+                "CLEAN"
+            } else {
+                "DIRTY"
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  events {}   windows {}   alerts {}   incidents {}",
+            self.report.events_seen,
+            self.report.windows.len(),
+            self.report.alerts.len(),
+            self.report.incidents.len()
+        );
+        let _ = writeln!(
+            out,
+            "  clean-pass fires {} (want 0)   chaos-pass fires {}   chaos {} incidents {} (want >= 1)",
+            self.clean_fires(),
+            self.chaos_fires(),
+            PROXIMITY_RULE,
+            self.chaos_proximity_incidents()
+        );
+        if !self.report.incidents.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<4} {:<10} {:<24} {:>10} {:>10} {:>10}  trace",
+                "id", "pass", "rule", "opened", "acked", "resolved"
+            );
+            for i in &self.report.incidents {
+                let fmt_at = |at: Option<SimTime>| match at {
+                    Some(t) => format!("{}m", t.as_mins()),
+                    None => "-".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<4} {:<10} {:<24} {:>10} {:>10} {:>10}  {:x}",
+                    i.id,
+                    i.pass,
+                    i.rule,
+                    format!("{}m", i.opened_at.as_mins()),
+                    fmt_at(i.acked_at),
+                    fmt_at(i.resolved_at),
+                    i.span.trace.raw()
+                );
+            }
+        }
+        out
+    }
+}
+
+fn checksum_results(results: &[Fig10Result]) -> u64 {
+    let mut f = Fnv::new();
+    for r in results {
+        for &(m, p, u) in &r.exp_trace {
+            f.bytes(&m.to_le_bytes());
+            f.bytes(&p.to_bits().to_le_bytes());
+            f.bytes(&u.to_bits().to_le_bytes());
+        }
+        for &(m, p) in &r.ctl_trace {
+            f.bytes(&m.to_le_bytes());
+            f.bytes(&p.to_bits().to_le_bytes());
+        }
+        for g in [&r.exp, &r.ctl] {
+            f.bytes(&g.u_mean.to_bits().to_le_bytes());
+            f.bytes(&g.u_max.to_bits().to_le_bytes());
+            f.bytes(&g.p_mean.to_bits().to_le_bytes());
+            f.bytes(&g.p_max.to_bits().to_le_bytes());
+            f.bytes(&g.violations.to_le_bytes());
+        }
+    }
+    f.finish()
+}
+
+/// Runs both tasks once under the current global pipeline; the
+/// per-task captures replay into it in task order, so any attached
+/// tap sees the clean stream strictly before the chaos stream.
+fn run_tasks(config: &WatchBenchConfig) -> Vec<Fig10Result> {
+    let clean_cfg = config.fig10(WorkloadKind::Light);
+    let chaos_cfg = config.fig10(WorkloadKind::Heavy);
+    let faults = config.fault_plan();
+    let tasks: Vec<ampere_par::Task<'static, Fig10Result>> = vec![
+        Box::new(move || {
+            ampere_telemetry::global().emit(pass_marker(CLEAN_PASS));
+            exp::fig10::run(clean_cfg)
+        }),
+        Box::new(move || {
+            ampere_telemetry::global().emit(pass_marker(CHAOS_PASS));
+            exp::fig10::run_with_faults(chaos_cfg, Some(faults))
+        }),
+    ];
+    let pool = ampere_par::WorkerPool::new(config.workers.max(1));
+    let results = ampere_par::run_captured(&pool, tasks);
+    // The replay lands in the parent's per-tick batch; drain it so the
+    // sinks (and the tap) see the tail before the pass is timed off.
+    ampere_telemetry::global().flush_events();
+    results
+}
+
+/// Runs the full benchmark: bare pass, tapped pass, gates.
+pub fn run(config: WatchBenchConfig) -> WatchBenchResult {
+    // Bare pass: events are serialized and discarded, matching the
+    // instrumented profile baseline, but no watch tap is attached.
+    reset_global();
+    install_global(
+        Telemetry::builder()
+            .sink(JsonlSink::new(std::io::sink()))
+            .batched(true)
+            .build(),
+    );
+    let t0 = Instant::now();
+    let plain = run_tasks(&config);
+    let wall_plain_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let checksum_plain = checksum_results(&plain);
+    reset_global();
+
+    // Tapped pass: same pipeline plus the watch tap. The tap observes
+    // the merged replay stream, so its view — and therefore the alert
+    // stream — is identical at any worker count.
+    let (tap, handle) = ampere_watch::tap(ampere_watch::WatchConfig::default());
+    install_global(
+        Telemetry::builder()
+            .sink(JsonlSink::new(std::io::sink()))
+            .sink(tap)
+            .batched(true)
+            .build(),
+    );
+    let t1 = Instant::now();
+    let watched = run_tasks(&config);
+    let wall_watch_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let checksum_watch = checksum_results(&watched);
+    let report = handle.finish();
+    reset_global();
+
+    WatchBenchResult {
+        workers: config.workers,
+        seed: config.seed,
+        hours: config.hours,
+        wall_plain_ms,
+        wall_watch_ms,
+        checksum_plain,
+        checksum_watch,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_bench_is_deterministic_and_serializes() {
+        let config = WatchBenchConfig {
+            workers: 2,
+            seed: 10,
+            hours: 2,
+            warmup_mins: 30,
+            calibration_hours: 2,
+        };
+        let r = run(config);
+        assert!(r.digest_clean(), "tap perturbed the simulation");
+        assert!(r.report.events_seen > 0);
+        assert!(!r.report.windows.is_empty());
+
+        // Rerun: the tapped pass must reproduce the same alert digest.
+        let r2 = run(config);
+        assert_eq!(r.checksum_watch, r2.checksum_watch);
+        assert_eq!(r.report.alert_digest(), r2.report.alert_digest());
+
+        let jsonl = r.to_jsonl();
+        let header = jsonl.lines().next().expect("header line");
+        let fields = ampere_telemetry::json::parse_object(header).expect("valid header");
+        assert!(fields.iter().any(|(k, _)| k == "alert_digest"));
+        assert_eq!(
+            jsonl.lines().count(),
+            1 + r.report.rules.len()
+                + r.report.alerts.len()
+                + r.report.incidents.len()
+                + r.report.windows.len()
+        );
+    }
+}

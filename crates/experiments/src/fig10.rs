@@ -123,12 +123,25 @@ pub fn parity_testbed(
     r_o: f64,
     controller: Option<ampere_core::AmpereController>,
 ) -> (Testbed, DomainId, DomainId) {
+    parity_testbed_with(profile, seed, r_o, controller, None)
+}
+
+/// [`parity_testbed`] with an optional fault plan injected into the
+/// testbed (the chaos variant of the parity experiment).
+pub fn parity_testbed_with(
+    profile: RateProfile,
+    seed: u64,
+    r_o: f64,
+    controller: Option<ampere_core::AmpereController>,
+    faults: Option<ampere_faults::FaultPlan>,
+) -> (Testbed, DomainId, DomainId) {
     let config = TestbedConfig {
         capping: CappingConfig {
             enabled: false,
             ..CappingConfig::default()
         },
         policy: Box::new(RandomFit::default()),
+        faults,
         ..TestbedConfig::paper_row(profile, seed)
     };
     let mut tb = Testbed::new(config);
@@ -156,6 +169,17 @@ pub fn parity_testbed(
 
 /// Runs the reproduction for one workload column.
 pub fn run(config: Fig10Config) -> Fig10Result {
+    run_with_faults(config, None)
+}
+
+/// [`run`] with an optional fault plan applied to the *measured* phase
+/// only: calibration stays fault-free (the `Et` table is fit from clean
+/// history, as in the paper), then the controlled run rides out the
+/// injected faults.
+pub fn run_with_faults(
+    config: Fig10Config,
+    faults: Option<ampere_faults::FaultPlan>,
+) -> Fig10Result {
     // Phase 1 — calibration: an uncontrolled run of the same workload
     // fits the per-hour Et table (§3.6's "monitor the power of all rows
     // ... for a long time").
@@ -167,11 +191,12 @@ pub fn run(config: Fig10Config) -> Fig10Result {
     // Phase 2 — the controlled experiment with the same seed, so both
     // phases see an identical arrival stream.
     let controller = controller_with(Box::new(et));
-    let (mut tb, exp_dom, ctl_dom) = parity_testbed(
+    let (mut tb, exp_dom, ctl_dom) = parity_testbed_with(
         config.workload.profile(),
         config.seed,
         config.r_o,
         Some(controller),
+        faults,
     );
     tb.run_for(SimDuration::from_mins(config.warmup_mins));
     let skip = tb.records(exp_dom).len();

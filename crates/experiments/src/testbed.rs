@@ -213,6 +213,11 @@ pub struct Testbed {
     /// profiler report here.
     telemetry: Telemetry,
     profiler: PhaseProfiler,
+    /// Called at the end of every tick with the post-step sim time
+    /// (after the event-batch flush). The live-watch layer uses this to
+    /// close its in-flight window as soon as the tick completes instead
+    /// of waiting for the next tick's first event.
+    tick_observer: Option<Box<dyn FnMut(SimTime) + Send>>,
 }
 
 impl Testbed {
@@ -252,7 +257,21 @@ impl Testbed {
             row_domain_registered: vec![false; config.spec.rows],
             profiler: PhaseProfiler::new(&ampere_telemetry::global()),
             telemetry: ampere_telemetry::global(),
+            tick_observer: None,
         }
+    }
+
+    /// Installs (or clears) the per-tick observer: called at the end of
+    /// every [`Testbed::step`] with the post-step sim time, after the
+    /// batched telemetry flush. One observer at a time; installing
+    /// replaces the previous one.
+    ///
+    /// Note on parallel runs: inside a capture task the event stream
+    /// only reaches parent sinks at replay, so an observer that drives
+    /// a shared consumer must be installed on serial testbeds only (the
+    /// `ampere-watch` tap is replay-driven for exactly this reason).
+    pub fn set_tick_observer(&mut self, observer: Option<Box<dyn FnMut(SimTime) + Send>>) {
+        self.tick_observer = observer;
     }
 
     /// Registers a power domain; returns its id.
@@ -680,6 +699,11 @@ impl Testbed {
         // make this a no-op, so the cadence is a pipeline choice, not a
         // testbed one.
         self.telemetry.flush_events();
+        // The observer runs after the flush so a live consumer has seen
+        // every event of this tick before being told the tick is over.
+        if let Some(observer) = &mut self.tick_observer {
+            observer(self.now);
+        }
     }
 
     /// Whether a freeze/unfreeze RPC gets through the fault plan.

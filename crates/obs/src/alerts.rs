@@ -1,0 +1,544 @@
+//! Watch-run analysis: the report section behind `report --alerts`.
+//!
+//! `repro watch` emits `BENCH_watch.json` — a JSONL header describing
+//! one two-pass observability benchmark, then the alert-rule table, the
+//! alert stream, the incident ledger and the window rollups the online
+//! engine produced. This module parses that dump and renders a Markdown
+//! section with the verdicts CI gates on:
+//!
+//! - **trajectory digest** — the tapped pass must reproduce the bare
+//!   pass's trajectory checksum exactly (a tap that steers the run it
+//!   observes is a correctness bug);
+//! - **stream digests** — the alert stream and rule table are re-hashed
+//!   from the raw lines and compared against the digests the engine
+//!   computed online; any divergence means the dump was truncated or
+//!   edited, or the engine's serialization drifted;
+//! - **silence on health** — zero alert firings in the clean pass;
+//! - **signal on chaos** — at least one breaker-proximity incident in
+//!   the chaos pass;
+//! - **overhead** — the rollup/alerting overhead fraction, gated by
+//!   `--max-overhead` where the environment opts in (wall-clock noise
+//!   makes it a soft gate by default).
+
+use ampere_telemetry::json;
+use ampere_telemetry::Value;
+use ampere_watch::digest_lines;
+
+use std::fmt::Write as _;
+
+/// One parsed alert-stream line.
+#[derive(Debug, Clone)]
+pub struct AlertLine {
+    /// Sim-time milliseconds of the evaluation.
+    pub t_ms: u64,
+    /// Pass label the firing is attributed to.
+    pub pass: String,
+    /// Rule name.
+    pub rule: String,
+    /// `fire`, `ack` or `resolve`.
+    pub state: String,
+    /// Gauge value at the transition.
+    pub value: f64,
+    /// Linked trace id (absent when the stream had no span to link).
+    pub trace: Option<u64>,
+    /// Incident id the transition belongs to.
+    pub incident: u64,
+}
+
+/// One parsed incident-ledger line.
+#[derive(Debug, Clone)]
+pub struct IncidentLine {
+    /// Incident id (open order).
+    pub id: u64,
+    /// Pass label.
+    pub pass: String,
+    /// Rule that opened it.
+    pub rule: String,
+    /// Rule severity.
+    pub severity: String,
+    /// Opened at (sim ms).
+    pub opened_ms: u64,
+    /// Auto-acknowledged at (sim ms), if it was.
+    pub acked_ms: Option<u64>,
+    /// Resolved at (sim ms); `None` means still open at stream end.
+    pub resolved_ms: Option<u64>,
+    /// Worst gauge value while active.
+    pub peak: f64,
+    /// Linked causal trace id.
+    pub trace: Option<u64>,
+}
+
+/// A parsed `BENCH_watch.json` dump.
+#[derive(Debug, Clone)]
+pub struct WatchRun {
+    /// Worker threads the fan-out ran with.
+    pub workers: u64,
+    /// Seed.
+    pub seed: u64,
+    /// Measured hours per task.
+    pub hours: u64,
+    /// Wall ms of the bare pass.
+    pub wall_plain_ms: f64,
+    /// Wall ms of the tapped pass.
+    pub wall_watch_ms: f64,
+    /// Observability overhead fraction of the tapped pass.
+    pub overhead_fraction: f64,
+    /// Trajectory checksum, bare pass (hex).
+    pub checksum_plain: String,
+    /// Trajectory checksum, tapped pass (hex).
+    pub checksum_watch: String,
+    /// Rule-table digest the engine computed online (hex).
+    pub rule_digest: String,
+    /// Alert-stream digest the engine computed online (hex).
+    pub alert_digest: String,
+    /// Events the tap observed.
+    pub events: u64,
+    /// Alert firings attributed to the clean pass (header claim).
+    pub clean_fires: u64,
+    /// Alert firings attributed to the chaos pass.
+    pub chaos_fires: u64,
+    /// Breaker-proximity incidents opened in the chaos pass.
+    pub chaos_proximity_incidents: u64,
+    /// Raw rule-table lines (digest input, in table order).
+    pub rule_lines: Vec<String>,
+    /// Parsed alert stream, in evaluation order.
+    pub alerts: Vec<AlertLine>,
+    /// Raw alert lines (digest input).
+    pub alert_raw: Vec<String>,
+    /// Parsed incident ledger, in open order.
+    pub incidents: Vec<IncidentLine>,
+    /// Window rollup lines in the dump.
+    pub window_count: u64,
+}
+
+fn field<'a>(pairs: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn num(pairs: &[(String, Value)], key: &str) -> Result<f64, String> {
+    match field(pairs, key)? {
+        Value::U64(v) => Ok(*v as f64),
+        Value::I64(v) => Ok(*v as f64),
+        Value::F64(v) => Ok(*v),
+        other => Err(format!("field {key:?} is not a number: {other:?}")),
+    }
+}
+
+fn uint(pairs: &[(String, Value)], key: &str) -> Result<u64, String> {
+    match field(pairs, key)? {
+        Value::U64(v) => Ok(*v),
+        other => Err(format!(
+            "field {key:?} is not an unsigned integer: {other:?}"
+        )),
+    }
+}
+
+/// `null` (parsed as a non-finite float) or absent reads as `None`.
+fn opt_uint(pairs: &[(String, Value)], key: &str) -> Result<Option<u64>, String> {
+    match pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+        None => Ok(None),
+        Some(Value::U64(v)) => Ok(Some(*v)),
+        Some(Value::F64(v)) if !v.is_finite() => Ok(None),
+        Some(other) => Err(format!("field {key:?} is not an integer: {other:?}")),
+    }
+}
+
+fn string(pairs: &[(String, Value)], key: &str) -> Result<String, String> {
+    match field(pairs, key)? {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(format!("field {key:?} is not a string: {other:?}")),
+    }
+}
+
+impl WatchRun {
+    /// Parses the JSONL dump written by `repro watch`. Line kind is
+    /// keyed by each line's leading field, so section order does not
+    /// matter beyond the header coming first.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or("empty watch dump")?;
+        let pairs = json::parse_object(header).map_err(|e| format!("header: {e}"))?;
+        match field(&pairs, "bench")? {
+            Value::Str(s) if s == "watch" => {}
+            other => return Err(format!("not a watch dump: bench = {other:?}")),
+        }
+
+        let mut rule_lines = Vec::new();
+        let mut alerts = Vec::new();
+        let mut alert_raw = Vec::new();
+        let mut incidents = Vec::new();
+        let mut window_count = 0u64;
+        for (no, line) in lines {
+            let key = line
+                .trim_start_matches('{')
+                .split(':')
+                .next()
+                .unwrap_or("")
+                .trim_matches('"');
+            let parsed = json::parse_object(line).map_err(|e| format!("line {}: {e}", no + 1))?;
+            match key {
+                "rule" => rule_lines.push(line.to_string()),
+                "t_ms" => {
+                    alerts.push(AlertLine {
+                        t_ms: uint(&parsed, "t_ms")?,
+                        pass: string(&parsed, "pass")?,
+                        rule: string(&parsed, "alert")?,
+                        state: string(&parsed, "state")?,
+                        value: num(&parsed, "value")?,
+                        trace: opt_uint(&parsed, "trace")?,
+                        incident: uint(&parsed, "incident")?,
+                    });
+                    alert_raw.push(line.to_string());
+                }
+                "incident" => incidents.push(IncidentLine {
+                    id: uint(&parsed, "incident")?,
+                    pass: string(&parsed, "pass")?,
+                    rule: string(&parsed, "rule")?,
+                    severity: string(&parsed, "severity")?,
+                    opened_ms: uint(&parsed, "opened_ms")?,
+                    acked_ms: opt_uint(&parsed, "acked_ms")?,
+                    resolved_ms: opt_uint(&parsed, "resolved_ms")?,
+                    peak: num(&parsed, "peak")?,
+                    trace: opt_uint(&parsed, "trace")?,
+                }),
+                "window" => window_count += 1,
+                other => return Err(format!("line {}: unknown line kind {other:?}", no + 1)),
+            }
+        }
+
+        let run = WatchRun {
+            workers: uint(&pairs, "workers")?,
+            seed: uint(&pairs, "seed")?,
+            hours: uint(&pairs, "hours")?,
+            wall_plain_ms: num(&pairs, "wall_plain_ms")?,
+            wall_watch_ms: num(&pairs, "wall_watch_ms")?,
+            overhead_fraction: num(&pairs, "overhead_fraction")?,
+            checksum_plain: string(&pairs, "checksum_plain")?,
+            checksum_watch: string(&pairs, "checksum_watch")?,
+            rule_digest: string(&pairs, "rule_digest")?,
+            alert_digest: string(&pairs, "alert_digest")?,
+            events: uint(&pairs, "events")?,
+            clean_fires: uint(&pairs, "clean_fires")?,
+            chaos_fires: uint(&pairs, "chaos_fires")?,
+            chaos_proximity_incidents: uint(&pairs, "chaos_proximity_incidents")?,
+            rule_lines,
+            alerts,
+            alert_raw,
+            incidents,
+            window_count,
+        };
+        let declared = uint(&pairs, "rules")?;
+        if run.rule_lines.len() as u64 != declared {
+            return Err(format!(
+                "header declares {declared} rules, dump has {}",
+                run.rule_lines.len()
+            ));
+        }
+        let declared = uint(&pairs, "alerts")?;
+        if run.alerts.len() as u64 != declared {
+            return Err(format!(
+                "header declares {declared} alerts, dump has {}",
+                run.alerts.len()
+            ));
+        }
+        let declared = uint(&pairs, "incidents")?;
+        if run.incidents.len() as u64 != declared {
+            return Err(format!(
+                "header declares {declared} incidents, dump has {}",
+                run.incidents.len()
+            ));
+        }
+        Ok(run)
+    }
+
+    /// Whether the tapped pass reproduced the bare pass's trajectory.
+    pub fn trajectory_clean(&self) -> bool {
+        self.checksum_plain == self.checksum_watch
+    }
+
+    /// Re-hashes the raw alert lines; must match the header digest.
+    pub fn alert_digest_recomputed(&self) -> String {
+        format!("{:016x}", digest_lines(&self.alert_raw))
+    }
+
+    /// Re-hashes the raw rule-table lines; must match the header digest.
+    pub fn rule_digest_recomputed(&self) -> String {
+        format!("{:016x}", digest_lines(&self.rule_lines))
+    }
+
+    /// Whether both recomputed stream digests match the engine's.
+    pub fn streams_verified(&self) -> bool {
+        self.alert_digest_recomputed() == self.alert_digest
+            && self.rule_digest_recomputed() == self.rule_digest
+    }
+
+    /// Alert firings counted from the stream itself (not the header).
+    pub fn fires_in_pass(&self, pass: &str) -> u64 {
+        self.alerts
+            .iter()
+            .filter(|a| a.state == "fire" && a.pass == pass)
+            .count() as u64
+    }
+
+    /// Mean sim-minutes from open to acknowledge, over acked incidents.
+    pub fn mtta_mins(&self) -> Option<f64> {
+        mean_mins(
+            self.incidents
+                .iter()
+                .filter_map(|i| i.acked_ms.map(|acked| acked.saturating_sub(i.opened_ms))),
+        )
+    }
+
+    /// Mean sim-minutes from open to resolve, over closed incidents.
+    pub fn mttr_mins(&self) -> Option<f64> {
+        mean_mins(self.incidents.iter().filter_map(|i| {
+            i.resolved_ms
+                .map(|resolved| resolved.saturating_sub(i.opened_ms))
+        }))
+    }
+
+    /// Renders the Markdown report section.
+    pub fn to_markdown(&self) -> String {
+        let mut md = String::new();
+        let _ = writeln!(md, "## Watch run\n");
+        let _ = writeln!(
+            md,
+            "{} workers, seed {}, {} measured hours per pass. The tap observed \
+             {} events and closed {} rollup windows; wall {:.1} ms bare vs \
+             {:.1} ms tapped — **{:.1}%** observability overhead.\n",
+            self.workers,
+            self.seed,
+            self.hours,
+            self.events,
+            self.window_count,
+            self.wall_plain_ms,
+            self.wall_watch_ms,
+            self.overhead_fraction * 100.0
+        );
+
+        // Per-rule firing counts.
+        let _ = writeln!(md, "| rule | fires | incidents | open at end |");
+        let _ = writeln!(md, "|:-----|------:|----------:|------------:|");
+        for rule_line in &self.rule_lines {
+            let name = json::parse_object(rule_line)
+                .ok()
+                .and_then(|pairs| string(&pairs, "rule").ok())
+                .unwrap_or_default();
+            let fires = self
+                .alerts
+                .iter()
+                .filter(|a| a.state == "fire" && a.rule == name)
+                .count();
+            let opened = self.incidents.iter().filter(|i| i.rule == name).count();
+            let open = self
+                .incidents
+                .iter()
+                .filter(|i| i.rule == name && i.resolved_ms.is_none())
+                .count();
+            let _ = writeln!(md, "| {name} | {fires} | {opened} | {open} |");
+        }
+        let _ = writeln!(md);
+
+        // Incident timeline.
+        if self.incidents.is_empty() {
+            let _ = writeln!(md, "No incidents opened.\n");
+        } else {
+            let _ = writeln!(
+                md,
+                "| id | pass | rule | sev | opened | acked | resolved | peak | trace |"
+            );
+            let _ = writeln!(
+                md,
+                "|---:|:-----|:-----|:----|-------:|------:|---------:|-----:|:------|"
+            );
+            for i in &self.incidents {
+                let fmt_at = |at: Option<u64>| match at {
+                    Some(ms) => format!("{}m", ms / 60_000),
+                    None => "—".into(),
+                };
+                let _ = writeln!(
+                    md,
+                    "| {} | {} | {} | {} | {}m | {} | {} | {:.2} | {} |",
+                    i.id,
+                    i.pass,
+                    i.rule,
+                    i.severity,
+                    i.opened_ms / 60_000,
+                    fmt_at(i.acked_ms),
+                    fmt_at(i.resolved_ms),
+                    i.peak,
+                    match i.trace {
+                        Some(t) => format!("`{t:x}`"),
+                        None => "—".into(),
+                    }
+                );
+            }
+            let _ = writeln!(md);
+            let fmt_mean = |m: Option<f64>| match m {
+                Some(m) => format!("{m:.1} min"),
+                None => "n/a".into(),
+            };
+            let _ = writeln!(
+                md,
+                "MTTA {} (sim time, auto-ack), MTTR {} over {} closed of {} incidents.\n",
+                fmt_mean(self.mtta_mins()),
+                fmt_mean(self.mttr_mins()),
+                self.incidents
+                    .iter()
+                    .filter(|i| i.resolved_ms.is_some())
+                    .count(),
+                self.incidents.len()
+            );
+        }
+
+        // Verdicts.
+        let _ = writeln!(
+            md,
+            "Trajectory digest: **{}** — attaching the tap {} the simulation \
+             (`{}` vs `{}`).",
+            if self.trajectory_clean() {
+                "CLEAN"
+            } else {
+                "PERTURBED"
+            },
+            if self.trajectory_clean() {
+                "did not change"
+            } else {
+                "CHANGED"
+            },
+            self.checksum_plain,
+            self.checksum_watch
+        );
+        let _ = writeln!(
+            md,
+            "Stream digests: **{}** — alert stream `{}`, rule table `{}` \
+             (recomputed from the raw lines).",
+            if self.streams_verified() {
+                "VERIFIED"
+            } else {
+                "MISMATCH"
+            },
+            self.alert_digest,
+            self.rule_digest
+        );
+        let clean = self.fires_in_pass("clean");
+        let _ = writeln!(
+            md,
+            "Clean pass: **{}** ({clean} firings, want 0). Chaos pass: \
+             **{}** ({} breaker-proximity incidents, want ≥ 1).",
+            if clean == 0 { "SILENT" } else { "NOISY" },
+            if self.chaos_proximity_incidents >= 1 {
+                "PAGED"
+            } else {
+                "MISSED"
+            },
+            self.chaos_proximity_incidents
+        );
+        md
+    }
+}
+
+fn mean_mins(deltas_ms: impl Iterator<Item = u64>) -> Option<f64> {
+    let (mut sum, mut n) = (0u64, 0u64);
+    for d in deltas_ms {
+        sum += d;
+        n += 1;
+    }
+    (n > 0).then(|| sum as f64 / n as f64 / 60_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dump() -> String {
+        let rule_lines = [
+            r#"{"rule":"breaker-proximity","input":"violation_streak","scope":null,"cmp":"above","threshold":1.5,"clear":0.5,"sustain":2,"severity":"error"}"#,
+        ];
+        let alert_lines = [
+            r#"{"t_ms":2220000,"pass":"chaos","alert":"breaker-proximity","state":"fire","value":3.0,"trace":17,"span":17,"incident":0}"#,
+            r#"{"t_ms":2340000,"pass":"chaos","alert":"breaker-proximity","state":"ack","value":5.0,"incident":0}"#,
+            r#"{"t_ms":5220000,"pass":"chaos","alert":"breaker-proximity","state":"resolve","value":0.0,"trace":41,"span":41,"incident":0}"#,
+        ];
+        let incident_lines = [
+            r#"{"incident":0,"pass":"chaos","rule":"breaker-proximity","severity":"error","opened_ms":2220000,"acked_ms":2340000,"resolved_ms":5220000,"peak":5.0,"trace":17,"span":17}"#,
+        ];
+        let window_lines = [
+            r#"{"window":0,"segment":0,"pass":"chaos","start_ms":0,"end_ms":300000,"ticks":5,"power_ticks":5,"power_mean":0.9,"power_max":0.95,"power_p99":0.95,"sliding_p99":0.95,"churn":0,"sliding_churn":0,"degraded_ticks":0,"backstop_ticks":0,"violations":2,"p_over":0.0,"min_headroom":0.02}"#,
+        ];
+        let rule_digest = digest_lines(&rule_lines);
+        let alert_digest = digest_lines(&alert_lines);
+        let mut out = format!(
+            concat!(
+                "{{\"bench\":\"watch\",\"workers\":4,\"seed\":10,\"hours\":8,",
+                "\"wall_plain_ms\":300.0,\"wall_watch_ms\":310.0,\"overhead_fraction\":0.032,",
+                "\"checksum_plain\":\"00000000deadbeef\",\"checksum_watch\":\"00000000deadbeef\",",
+                "\"rule_digest\":\"{:016x}\",\"alert_digest\":\"{:016x}\",",
+                "\"rules\":1,\"alerts\":3,\"incidents\":1,\"windows\":1,\"events\":1000,",
+                "\"clean_fires\":0,\"chaos_fires\":1,\"chaos_proximity_incidents\":1}}\n"
+            ),
+            rule_digest, alert_digest
+        );
+        for line in rule_lines
+            .iter()
+            .chain(&alert_lines)
+            .chain(&incident_lines)
+            .chain(&window_lines)
+        {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn parses_verifies_and_reports() {
+        let run = WatchRun::parse(&dump()).unwrap();
+        assert!(run.trajectory_clean());
+        assert!(run.streams_verified());
+        assert_eq!(run.fires_in_pass("clean"), 0);
+        assert_eq!(run.fires_in_pass("chaos"), 1);
+        assert_eq!(run.alerts[1].trace, None);
+        assert_eq!(run.incidents[0].trace, Some(17));
+        assert_eq!(run.window_count, 1);
+        // 2 min to ack, 50 min to resolve.
+        assert!((run.mtta_mins().unwrap() - 2.0).abs() < 1e-9);
+        assert!((run.mttr_mins().unwrap() - 50.0).abs() < 1e-9);
+        let md = run.to_markdown();
+        assert!(md.contains("## Watch run"));
+        assert!(md.contains("**VERIFIED**"));
+        assert!(md.contains("**SILENT**"));
+        assert!(md.contains("**PAGED**"));
+        assert!(md.contains("| 0 | chaos | breaker-proximity | error | 37m | 39m | 87m |"));
+    }
+
+    #[test]
+    fn detects_tampered_alert_stream() {
+        let tampered = dump().replace("\"value\":3.0", "\"value\":4.0");
+        let run = WatchRun::parse(&tampered).unwrap();
+        assert!(!run.streams_verified());
+        assert!(run.to_markdown().contains("**MISMATCH**"));
+    }
+
+    #[test]
+    fn rejects_malformed_dumps() {
+        assert!(WatchRun::parse("").is_err());
+        assert!(WatchRun::parse("{\"bench\":\"profile\"}").is_err());
+        // Truncated alert stream vs header count.
+        let full = dump();
+        let truncated: Vec<&str> = full.lines().take(3).collect();
+        assert!(WatchRun::parse(&truncated.join("\n"))
+            .unwrap_err()
+            .contains("declares 3 alerts"));
+        // Unknown line kind.
+        let unknown = format!("{}{}", full, "{\"mystery\":1}\n");
+        assert!(WatchRun::parse(&unknown).unwrap_err().contains("unknown"));
+    }
+}

@@ -391,6 +391,7 @@ impl RunSummary {
             ("violations_linked", link.violations_linked as f64),
             ("breaker_trips", count("breaker", "trip")),
             ("sink_errors", sink_errors),
+            ("malformed_lines", run.malformed_lines as f64),
             ("degraded_ticks", degraded.degraded_ticks as f64),
             ("mode_transitions", degraded.mode_transitions as f64),
             ("backstop_arms", degraded.backstop_arms as f64),
@@ -617,6 +618,7 @@ mod tests {
                 labels: Vec::new(),
                 value: crate::reader::MetricValue::Counter(42),
             }],
+            malformed_lines: 0,
         };
         let d = DegradedOps::build(&run);
         assert!(!d.is_clean());
@@ -642,6 +644,7 @@ mod tests {
         let run = Run {
             events: vec![tick(1, 1, 1.25, 4, 0.02), unfreeze(5, 4.0)],
             metrics: Vec::new(),
+            malformed_lines: 0,
         };
         let s = RunSummary::build(&run);
         assert_eq!(s.get("controller_ticks"), Some(1.0));

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! report [--telemetry FILE] [--scale FILE] [--scenarios FILE] [--profile FILE]
-//!        [--max-overhead F] [--min-ticks-per-sec F] [--md FILE]
+//!        [--alerts FILE] [--max-overhead F] [--min-ticks-per-sec F] [--md FILE]
 //!        [--json FILE] [--write-baseline FILE] [--baseline FILE --check]
 //! ```
 //!
@@ -27,6 +27,13 @@
 //!   (fraction, e.g. `0.10`) and `--min-ticks-per-sec F` additionally
 //!   gate the wall-clock-dependent numbers where the environment opts
 //!   in. Also usable without `--telemetry`;
+//! - `--alerts FILE` appends the watch section (incident timeline,
+//!   MTTA/MTTR, per-rule firing counts, digest verdicts) parsed from
+//!   the `BENCH_watch.json` written by `repro watch`. A perturbed
+//!   trajectory checksum, a stream-digest mismatch, a noisy clean pass
+//!   or a chaos pass with no breaker-proximity incident always fails
+//!   the run; `--max-overhead F` additionally gates the observability
+//!   overhead fraction. Also usable without `--telemetry`;
 //! - `--json FILE` writes the machine-readable report;
 //! - `--write-baseline FILE` snapshots the run summary with default
 //!   per-metric tolerances (commit this as the known-good baseline);
@@ -36,6 +43,7 @@
 //! Exit codes: 0 success, 1 baseline regression or broken thread
 //! invariance, 2 usage or schema error.
 
+use ampere_obs::alerts::WatchRun;
 use ampere_obs::profile::ProfileRun;
 use ampere_obs::reader::read_run;
 use ampere_obs::report::{check, parse_baseline, render_check, write_baseline, RunReport};
@@ -49,6 +57,7 @@ struct Args {
     scale: Option<String>,
     scenarios: Option<String>,
     profile: Option<String>,
+    alerts: Option<String>,
     max_overhead: Option<f64>,
     min_ticks_per_sec: Option<f64>,
     md: Option<String>,
@@ -59,15 +68,16 @@ struct Args {
 }
 
 const USAGE: &str = "usage: report [--telemetry FILE] [--scale FILE] [--scenarios FILE] \
-                     [--profile FILE] [--max-overhead F] [--min-ticks-per-sec F] \
-                     [--md FILE] [--json FILE] [--write-baseline FILE] \
-                     [--baseline FILE --check]";
+                     [--profile FILE] [--alerts FILE] [--max-overhead F] \
+                     [--min-ticks-per-sec F] [--md FILE] [--json FILE] \
+                     [--write-baseline FILE] [--baseline FILE --check]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut telemetry = None;
     let mut scale = None;
     let mut scenarios = None;
     let mut profile = None;
+    let mut alerts = None;
     let mut max_overhead = None;
     let mut min_ticks_per_sec = None;
     let mut md = None;
@@ -91,6 +101,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--scale" => scale = Some(value("--scale")?),
             "--scenarios" => scenarios = Some(value("--scenarios")?),
             "--profile" => profile = Some(value("--profile")?),
+            "--alerts" => alerts = Some(value("--alerts")?),
             "--max-overhead" => {
                 max_overhead = Some(fractional("--max-overhead", value("--max-overhead")?)?)
             }
@@ -112,14 +123,22 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if do_check && baseline.is_none() {
         return Err(format!("--check needs --baseline FILE\n{USAGE}"));
     }
-    if profile.is_none() && (max_overhead.is_some() || min_ticks_per_sec.is_some()) {
+    if profile.is_none() && alerts.is_none() && max_overhead.is_some() {
         return Err(format!(
-            "--max-overhead/--min-ticks-per-sec need --profile FILE\n{USAGE}"
+            "--max-overhead needs --profile or --alerts FILE\n{USAGE}"
         ));
     }
-    if telemetry.is_none() && scale.is_none() && scenarios.is_none() && profile.is_none() {
+    if profile.is_none() && min_ticks_per_sec.is_some() {
+        return Err(format!("--min-ticks-per-sec needs --profile FILE\n{USAGE}"));
+    }
+    if telemetry.is_none()
+        && scale.is_none()
+        && scenarios.is_none()
+        && profile.is_none()
+        && alerts.is_none()
+    {
         return Err(format!(
-            "--telemetry, --scale, --scenarios or --profile FILE is required\n{USAGE}"
+            "--telemetry, --scale, --scenarios, --profile or --alerts FILE is required\n{USAGE}"
         ));
     }
     if telemetry.is_none() && (do_check || write_baseline.is_some() || json.is_some()) {
@@ -132,6 +151,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         scale,
         scenarios,
         profile,
+        alerts,
         max_overhead,
         min_ticks_per_sec,
         md,
@@ -171,6 +191,13 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         }
         None => None,
     };
+    let watch = match &args.alerts {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(WatchRun::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
 
     let mut markdown = report
         .as_ref()
@@ -193,6 +220,12 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             markdown.push('\n');
         }
         markdown.push_str(&profile.to_markdown());
+    }
+    if let Some(watch) = &watch {
+        if !markdown.is_empty() && !markdown.ends_with("\n\n") {
+            markdown.push('\n');
+        }
+        markdown.push_str(&watch.to_markdown());
     }
     match &args.md {
         Some(path) => {
@@ -269,6 +302,44 @@ fn run(args: &Args) -> Result<ExitCode, String> {
                     "profile run: instrumented throughput {:.1} ticks/sec is below \
                      --min-ticks-per-sec {min:.1}",
                     profile.ticks_per_sec_instr
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(watch) = &watch {
+        if !watch.trajectory_clean() {
+            eprintln!(
+                "watch run: the tap PERTURBED the trajectory ({} vs {})",
+                watch.checksum_plain, watch.checksum_watch
+            );
+            failed = true;
+        }
+        if !watch.streams_verified() {
+            eprintln!(
+                "watch run: stream digest mismatch (alert {} vs {}, rules {} vs {})",
+                watch.alert_digest_recomputed(),
+                watch.alert_digest,
+                watch.rule_digest_recomputed(),
+                watch.rule_digest
+            );
+            failed = true;
+        }
+        let clean = watch.fires_in_pass("clean");
+        if clean > 0 {
+            eprintln!("watch run: {clean} alert(s) fired during the clean pass (want 0)");
+            failed = true;
+        }
+        if watch.chaos_proximity_incidents == 0 {
+            eprintln!("watch run: no breaker-proximity incident in the chaos pass (want >= 1)");
+            failed = true;
+        }
+        if let Some(max) = args.max_overhead {
+            if watch.overhead_fraction > max {
+                eprintln!(
+                    "watch run: observability overhead {:.1}% exceeds --max-overhead {:.1}%",
+                    watch.overhead_fraction * 100.0,
+                    max * 100.0
                 );
                 failed = true;
             }

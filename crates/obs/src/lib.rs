@@ -23,6 +23,10 @@
 //!   `repro profile` run (`BENCH_profile.json`) and renders the
 //!   telemetry self-overhead, per-phase wall-time breakdown and the
 //!   instrumentation-digest verdict behind `report --profile`.
+//! - **What paged, and why?** [`alerts`] parses the `repro watch` run
+//!   (`BENCH_watch.json`) and renders the incident timeline, MTTA/MTTR,
+//!   per-rule firing counts and the digest/silence/signal verdicts
+//!   behind `report --alerts`.
 //!
 //! Everything is offline and dependency-free: the dump is the only
 //! input, and seeded runs produce byte-identical dumps, so summaries —
@@ -30,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod analysis;
 pub mod profile;
 pub mod reader;

@@ -71,6 +71,10 @@ pub struct ReadError {
     pub line: usize,
     /// What went wrong.
     pub message: String,
+    /// Whether this is an I/O failure rather than a schema violation.
+    /// I/O failures are always fatal; schema violations are skippable
+    /// (a crashed run truncates its last line mid-write).
+    pub io: bool,
 }
 
 impl fmt::Display for ReadError {
@@ -109,6 +113,7 @@ impl<R: BufRead> RunReader<R> {
         ReadError {
             line: self.line_no,
             message: message.into(),
+            io: false,
         }
     }
 
@@ -182,7 +187,11 @@ impl<R: BufRead> Iterator for RunReader<R> {
             match self.input.read_line(&mut self.buf) {
                 Ok(0) => return None,
                 Ok(_) => {}
-                Err(e) => return Some(Err(self.err(e.to_string()))),
+                Err(e) => {
+                    let mut err = self.err(e.to_string());
+                    err.io = true;
+                    return Some(Err(err));
+                }
             }
             let line = self.buf.trim();
             if line.is_empty() {
@@ -208,16 +217,25 @@ pub struct Run {
     pub events: Vec<ParsedEvent>,
     /// Metric-snapshot lines (empty if the run was cut short).
     pub metrics: Vec<MetricLine>,
+    /// Lines skipped because they violated the schema — a crashed run
+    /// truncates its last line mid-write, and operators concatenate
+    /// dumps with shell tools. Non-zero counts surface in the summary
+    /// as `malformed_lines` instead of aborting the whole analysis.
+    pub malformed_lines: u64,
 }
 
 impl Run {
-    /// Collects a reader, failing on the first schema violation.
+    /// Collects a reader, skipping (and counting) schema-violating
+    /// lines. Only I/O failures abort the collect: a torn tail line
+    /// should not make the preceding million good lines unreadable.
     pub fn collect<R: BufRead>(reader: RunReader<R>) -> Result<Self, ReadError> {
         let mut run = Run::default();
         for line in reader {
-            match line? {
-                RunLine::Event(e) => run.events.push(e),
-                RunLine::Metric(m) => run.metrics.push(m),
+            match line {
+                Ok(RunLine::Event(e)) => run.events.push(e),
+                Ok(RunLine::Metric(m)) => run.metrics.push(m),
+                Err(e) if e.io => return Err(e),
+                Err(_) => run.malformed_lines += 1,
             }
         }
         Ok(run)
@@ -240,6 +258,7 @@ pub fn read_run(path: impl AsRef<Path>) -> Result<Run, ReadError> {
     let reader = RunReader::open(&path).map_err(|e| ReadError {
         line: 0,
         message: format!("{}: {e}", path.as_ref().display()),
+        io: true,
     })?;
     Run::collect(reader)
 }
@@ -292,9 +311,42 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed_metric_lines() {
+    fn malformed_metric_lines_are_skipped_and_counted() {
         let bad = "{\"metric\":\"x\",\"labels\":{},\"type\":\"counter\"}\n";
-        let err = Run::collect(RunReader::new(Cursor::new(bad))).unwrap_err();
+        let run = Run::collect(RunReader::new(Cursor::new(bad))).unwrap();
+        assert_eq!(run.malformed_lines, 1);
+        assert!(run.metrics.is_empty());
+        // The streaming iterator still reports the violation itself.
+        let err = RunReader::new(Cursor::new(bad))
+            .next()
+            .unwrap()
+            .unwrap_err();
         assert!(err.message.contains("counter"), "{err}");
+        assert!(!err.io);
+    }
+
+    #[test]
+    fn corrupted_dump_keeps_good_lines_and_counts_the_rest() {
+        // A realistic corruption mix: a torn tail of a crashed writer,
+        // shell noise from concatenation, and a schema-violating event,
+        // interleaved with valid lines that must all survive.
+        let corrupted = concat!(
+            "{\"t_ms\":60000,\"sev\":\"info\",\"component\":\"controller\",\"event\":\"tick\",",
+            "\"trace\":1,\"span\":1,\"power_norm\":1.25}\n",
+            "{\"t_ms\":60000,\"sev\":\"info\",\"component\":\"sch\n",
+            "not json at all\n",
+            "{\"nope\":1}\n",
+            "{\"t_ms\":120000,\"sev\":\"info\",\"component\":\"scheduler\",\"event\":\"freeze\",",
+            "\"trace\":1,\"span\":2,\"parent\":1,\"server\":3}\n",
+            "{\"metric\":\"controller_ticks\",\"labels\":{},\"type\":\"counter\",\"value\":2}\n",
+        );
+        let run = Run::collect(RunReader::new(Cursor::new(corrupted))).unwrap();
+        assert_eq!(run.malformed_lines, 3);
+        assert_eq!(run.events.len(), 2);
+        assert_eq!(run.events[1].name, "freeze");
+        assert_eq!(
+            run.metric("controller_ticks", &[]).unwrap().as_counter(),
+            Some(2)
+        );
     }
 }

@@ -28,6 +28,14 @@
 //! 5. **determinism** — running the same scenario twice produces a
 //!    byte-identical record + telemetry digest (the PR-4 fan-in
 //!    contract, re-checked end-to-end).
+//! 6. **alert-quiet** — no default `ampere-watch` alert rule fires in a
+//!    run whose other invariants hold *with margin*: zero breaker
+//!    violations, no degraded ticks, no armed backstop, no injected
+//!    faults, and the worst breaker margin comfortably above the
+//!    controller's `Et` plus the headroom-low clear level. A run that
+//!    calm gives the alerting engine nothing legitimate to page about,
+//!    so any firing is rule noise (the false-positive gate for the
+//!    default rule table).
 
 use std::fmt;
 
@@ -44,16 +52,19 @@ pub enum InvariantKind {
     FreezeAccounting,
     /// Same seed produced different bytes.
     Determinism,
+    /// A default alert rule fired in a provably calm run.
+    AlertQuiet,
 }
 
 impl InvariantKind {
     /// Every invariant, in registry order.
-    pub const ALL: [InvariantKind; 5] = [
+    pub const ALL: [InvariantKind; 6] = [
         InvariantKind::BreakerSafety,
         InvariantKind::FrozenBounds,
         InvariantKind::PowerConservation,
         InvariantKind::FreezeAccounting,
         InvariantKind::Determinism,
+        InvariantKind::AlertQuiet,
     ];
 
     /// Stable kebab-case name (used in JSONL rows and reports).
@@ -64,6 +75,7 @@ impl InvariantKind {
             InvariantKind::PowerConservation => "power-conservation",
             InvariantKind::FreezeAccounting => "freeze-accounting",
             InvariantKind::Determinism => "determinism",
+            InvariantKind::AlertQuiet => "alert-quiet",
         }
     }
 

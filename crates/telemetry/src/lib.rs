@@ -137,6 +137,21 @@ impl TelemetryBuilder {
         self
     }
 
+    /// Attaches a [`RingBufferSink`] holding the last `capacity` events
+    /// and returns its read handle alongside the builder, so callers
+    /// keep live access after the sink moves into the pipeline.
+    pub fn ring_buffer(mut self, capacity: usize) -> (Self, RingBufferHandle) {
+        let (sink, handle) = RingBufferSink::new(capacity);
+        self.sinks.push(Box::new(sink));
+        (self, handle)
+    }
+
+    /// [`TelemetryBuilder::ring_buffer`] at
+    /// [`RingBufferSink::DEFAULT_CAPACITY`].
+    pub fn ring_buffer_default(self) -> (Self, RingBufferHandle) {
+        self.ring_buffer(RingBufferSink::DEFAULT_CAPACITY)
+    }
+
     /// Drops events below `severity` (default: keep everything).
     pub fn min_severity(mut self, severity: Severity) -> Self {
         self.min_severity = Some(severity);
@@ -589,6 +604,22 @@ mod tests {
         tel.emit(ev(Severity::Info));
         assert_eq!(ea.len(), 1);
         assert_eq!(eb.len(), 1);
+    }
+
+    #[test]
+    fn builder_ring_buffer_wires_sink_and_handle() {
+        let (builder, events) = Telemetry::builder().ring_buffer(2);
+        let tel = builder.build();
+        for n in 0..3 {
+            tel.emit(ev(Severity::Info).with("n", n as u64));
+        }
+        // Capacity 2: the first event was evicted, latest two remain.
+        let ns: Vec<u64> = events
+            .events()
+            .iter()
+            .map(|e| e.field("n").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(ns, vec![1, 2]);
     }
 
     #[test]

@@ -66,6 +66,12 @@ pub struct RingBufferHandle {
 }
 
 impl RingBufferSink {
+    /// Default capacity used by [`RingBufferSink::with_default_capacity`]
+    /// and [`crate::TelemetryBuilder::ring_buffer_default`]. Sized for a
+    /// quick fig10 run (~3.5k events); longer runs must pass an explicit
+    /// capacity or accept oldest-first eviction.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
     /// Creates a sink holding at most `capacity` events plus its reader.
     pub fn new(capacity: usize) -> (Self, RingBufferHandle) {
         assert!(capacity > 0, "ring buffer needs capacity");
@@ -77,6 +83,16 @@ impl RingBufferSink {
             },
             RingBufferHandle { shared },
         )
+    }
+
+    /// Creates a sink with [`RingBufferSink::DEFAULT_CAPACITY`].
+    pub fn with_default_capacity() -> (Self, RingBufferHandle) {
+        RingBufferSink::new(RingBufferSink::DEFAULT_CAPACITY)
+    }
+
+    /// The maximum number of events this sink retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -194,6 +210,36 @@ mod tests {
             .collect();
         assert_eq!(ns, vec![2, 3, 4]);
         assert_eq!(handle.len(), 3);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_first_across_capacity_boundary() {
+        // Fill exactly to capacity: nothing evicted yet.
+        let (mut sink, handle) = RingBufferSink::new(4);
+        for n in 0..4 {
+            sink.record(&ev(n));
+        }
+        assert_eq!(handle.len(), 4);
+        let first = |h: &RingBufferHandle| h.events()[0].field("n").unwrap().as_u64().unwrap();
+        assert_eq!(first(&handle), 0, "no eviction at exactly capacity");
+        // Each overflow evicts exactly the oldest event, in order.
+        for n in 4..7 {
+            sink.record(&ev(n));
+            assert_eq!(handle.len(), 4, "capacity is a hard bound");
+            assert_eq!(first(&handle), n - 3, "oldest-first eviction");
+        }
+        let ns: Vec<u64> = handle
+            .events()
+            .iter()
+            .map(|e| e.field("n").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(ns, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn ring_buffer_default_capacity() {
+        let (sink, _handle) = RingBufferSink::with_default_capacity();
+        assert_eq!(sink.capacity(), RingBufferSink::DEFAULT_CAPACITY);
     }
 
     #[test]

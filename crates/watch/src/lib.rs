@@ -1,0 +1,261 @@
+//! # ampere-watch — online streaming rollups and deterministic alerting
+//!
+//! Everything `ampere-obs` computes happens *after* a run, from the
+//! JSONL dump. This crate is the live half: a [`WatchEngine`] consumes
+//! the telemetry event stream *during* the run through an
+//! [`EventSink`]-compatible tap ([`tap`]), maintains incremental
+//! windowed rollups (tumbling + sliding windows over sim time) with
+//! O(1)-per-event updates, derives the paper's statistical risk
+//! quantities as streaming gauges — `Et` headroom fraction, empirical
+//! P(power > budget · margin), breaker proximity, degraded/SLO burn —
+//! and evaluates a declarative [`AlertRule`] table (threshold +
+//! sustain-duration + hysteresis) over them.
+//!
+//! ## Determinism contract
+//!
+//! Alert firings are sim-time events, not wall-clock ones: every state
+//! transition is a pure function of the event stream's contents and
+//! order. Under the parallel engine the tap is attached to the *parent*
+//! pipeline, which only sees the merged stream at capture replay — in
+//! task order, byte-identical at any worker count — so the alert and
+//! incident streams are worker-invariant by construction. Two same-seed
+//! runs produce byte-identical alert streams (gated by
+//! [`WatchReport::alert_digest`]).
+//!
+//! ## Stream model
+//!
+//! - A **tick** is one sim instant: all events sharing a timestamp are
+//!   merged worst-case (max power, min headroom, summed churn) before
+//!   per-tick rules evaluate.
+//! - A **segment** is one monotone sim-time run. Time regressions (an
+//!   experiment running calibration and measured phases from t=0, or
+//!   shard-by-shard capture replay) start a new segment: windows and
+//!   arming reset, rule/incident state persists.
+//! - Rules **arm** per segment at the first `controller/tick`: segments
+//!   that never decide anything (uncontrolled calibration) never page.
+//! - A **pass marker** event (`watch/pass`, emitted by drivers via
+//!   [`pass_marker`]) labels everything that follows, so one engine can
+//!   watch a clean and a chaos run back-to-back and attribute alerts.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rollup;
+pub mod rules;
+
+pub use engine::{AlertRecord, Incident, WatchEngine, WatchReport};
+pub use rollup::WindowRollup;
+pub use rules::{default_rules, AlertRule, Cmp, RuleInput, DEFAULT_HEADROOM_MIN};
+
+use ampere_sim::{SimDuration, SimTime};
+use ampere_telemetry::{Event, EventSink, Severity};
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Configures a [`WatchEngine`].
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// Tumbling window length over sim time.
+    pub window: SimDuration,
+    /// Trailing tumbling windows merged into the sliding view (≥ 1).
+    pub sliding_windows: usize,
+    /// The alert-rule table evaluated over the stream.
+    pub rules: Vec<AlertRule>,
+    /// Open incidents auto-acknowledge after this sim-time delay (the
+    /// deterministic stand-in for a human clicking "ack").
+    pub ack_after: SimDuration,
+    /// Normalized power above which a tick counts toward the empirical
+    /// violation-probability gauge `P(power_norm > margin)`.
+    pub p_over_margin: f64,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        WatchConfig {
+            window: SimDuration::from_mins(5),
+            sliding_windows: 3,
+            rules: default_rules(),
+            ack_after: SimDuration::from_mins(2),
+            p_over_margin: 0.95,
+        }
+    }
+}
+
+/// Builds a [`WatchTap`]/[`WatchHandle`] pair sharing one engine: the
+/// tap moves into a telemetry pipeline as a sink, the handle keeps live
+/// access for window advancing and the final report.
+pub fn tap(config: WatchConfig) -> (WatchTap, WatchHandle) {
+    let engine = Arc::new(Mutex::new(WatchEngine::new(config)));
+    (
+        WatchTap {
+            engine: Arc::clone(&engine),
+        },
+        WatchHandle { engine },
+    )
+}
+
+/// [`EventSink`] feeding a shared [`WatchEngine`]. Attach to the
+/// *parent* pipeline under the parallel engine so the tap sees the
+/// merged, worker-invariant stream (see crate docs).
+pub struct WatchTap {
+    engine: Arc<Mutex<WatchEngine>>,
+}
+
+impl EventSink for WatchTap {
+    fn record(&mut self, event: &Event) {
+        self.engine
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .observe(event);
+    }
+}
+
+/// Live handle onto the engine behind a [`WatchTap`].
+#[derive(Clone)]
+pub struct WatchHandle {
+    engine: Arc<Mutex<WatchEngine>>,
+}
+
+impl WatchHandle {
+    /// Closes the in-flight tick if `now` has moved past it (testbed
+    /// per-tick hook; purely an earlier flush — the engine also closes
+    /// ticks lazily as later events arrive).
+    pub fn advance_to(&self, now: SimTime) {
+        self.engine
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .advance_to(now);
+    }
+
+    /// Flushes pending state and snapshots the final report.
+    pub fn finish(&self) -> WatchReport {
+        self.engine
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .finish()
+    }
+}
+
+/// The marker event drivers emit at the start of a labelled pass (e.g.
+/// `"clean"` / `"chaos"`); the engine attributes everything that
+/// follows to `label`. Emit it *inside* the pass's capture so replay
+/// keeps marker-then-events order at any worker count.
+pub fn pass_marker(label: &'static str) -> Event {
+    Event::new(SimTime::ZERO, Severity::Info, "watch", "pass").with("label", label)
+}
+
+/// FNV-1a digest over serialized lines; the alert/rule digest gates in
+/// `repro watch` and `report --alerts` both use this.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Folds one line (plus a newline separator) into the digest.
+    pub fn line(&mut self, line: &str) {
+        self.bytes(line.as_bytes());
+        self.bytes(b"\n");
+    }
+
+    /// The digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+/// Digest of a line sequence (order-sensitive).
+pub fn digest_lines<S: AsRef<str>>(lines: &[S]) -> u64 {
+    let mut fnv = Fnv::new();
+    for line in lines {
+        fnv.line(line.as_ref());
+    }
+    fnv.finish()
+}
+
+pub(crate) mod fmt {
+    //! Minimal JSON writers matching `ampere-telemetry`'s line format
+    //! (shortest-roundtrip floats, non-finite → `null`).
+
+    use std::fmt::Write as _;
+
+    pub fn string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    pub fn f64(v: f64, out: &mut String) {
+        if !v.is_finite() {
+            out.push_str("null");
+            return;
+        }
+        let start = out.len();
+        let _ = write!(out, "{v}");
+        if !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_order_sensitive_and_stable() {
+        let a = digest_lines(&["x", "y"]);
+        let b = digest_lines(&["y", "x"]);
+        assert_ne!(a, b);
+        assert_eq!(a, digest_lines(&["x", "y"]));
+        // Line splitting matters: ["xy"] != ["x","y"].
+        assert_ne!(digest_lines(&["xy"]), a);
+    }
+
+    #[test]
+    fn fmt_floats_match_telemetry_wire_format() {
+        let mut s = String::new();
+        fmt::f64(3.0, &mut s);
+        assert_eq!(s, "3.0");
+        s.clear();
+        fmt::f64(f64::INFINITY, &mut s);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn pass_marker_shape() {
+        let e = pass_marker("clean");
+        assert_eq!(e.component, "watch");
+        assert_eq!(e.name, "pass");
+        assert_eq!(e.field("label").unwrap().as_str(), Some("clean"));
+    }
+}
