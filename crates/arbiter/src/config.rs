@@ -1,0 +1,211 @@
+//! Arbiter configuration and its typed validation errors.
+
+/// Configures a [`BudgetArbiter`](crate::BudgetArbiter) over N rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArbiterConfig {
+    /// The substation budget to allocate, in watts.
+    pub substation_budget_w: f64,
+    /// Per-row minimum grants, in watts. A row is never granted less —
+    /// including while pinned — so `Σ floors ≤ budget` is required.
+    pub floors_w: Vec<f64>,
+    /// Per-row maximum grants, in watts (≥ the matching floor).
+    pub ceilings_w: Vec<f64>,
+    /// Reallocation cadence in controller ticks (minutes).
+    pub grant_period_mins: u64,
+    /// Round-level hysteresis: if no row's nominal share moves by more
+    /// than this relative fraction, the previous grant vector is held
+    /// unchanged (prevents budget thrash from small forecast drift).
+    pub hysteresis: f64,
+}
+
+impl ArbiterConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ArbiterConfigError> {
+        if self.floors_w.is_empty() {
+            return Err(ArbiterConfigError::NoRows);
+        }
+        if self.floors_w.len() != self.ceilings_w.len() {
+            return Err(ArbiterConfigError::MismatchedRows {
+                floors: self.floors_w.len(),
+                ceilings: self.ceilings_w.len(),
+            });
+        }
+        if !(self.substation_budget_w > 0.0 && self.substation_budget_w.is_finite()) {
+            return Err(ArbiterConfigError::BadBudget(self.substation_budget_w));
+        }
+        for (row, (&f, &c)) in self.floors_w.iter().zip(&self.ceilings_w).enumerate() {
+            if !(f > 0.0 && f.is_finite()) {
+                return Err(ArbiterConfigError::BadFloor { row, value: f });
+            }
+            if !(c >= f && c.is_finite()) {
+                return Err(ArbiterConfigError::BadCeiling { row, value: c });
+            }
+        }
+        let floors: f64 = self.floors_w.iter().sum();
+        if floors > self.substation_budget_w + 1e-9 {
+            return Err(ArbiterConfigError::OverCommittedFloors {
+                floors_w: floors,
+                budget_w: self.substation_budget_w,
+            });
+        }
+        if self.grant_period_mins == 0 {
+            return Err(ArbiterConfigError::BadPeriod);
+        }
+        if !(self.hysteresis >= 0.0 && self.hysteresis.is_finite()) {
+            return Err(ArbiterConfigError::BadHysteresis(self.hysteresis));
+        }
+        Ok(())
+    }
+}
+
+/// Why an [`ArbiterConfig`] or [`GrantLinkConfig`](crate::GrantLinkConfig)
+/// was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArbiterConfigError {
+    /// No rows were configured.
+    NoRows,
+    /// `floors_w` and `ceilings_w` have different lengths.
+    MismatchedRows {
+        /// Number of floors.
+        floors: usize,
+        /// Number of ceilings.
+        ceilings: usize,
+    },
+    /// The substation budget was non-positive or non-finite.
+    BadBudget(f64),
+    /// A per-row floor was non-positive or non-finite.
+    BadFloor {
+        /// Row index.
+        row: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// A per-row ceiling was below its floor or non-finite.
+    BadCeiling {
+        /// Row index.
+        row: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// The floors sum past the substation budget, so pinning every row
+    /// could not conserve it.
+    OverCommittedFloors {
+        /// Sum of floors, in watts.
+        floors_w: f64,
+        /// The substation budget, in watts.
+        budget_w: f64,
+    },
+    /// The grant period was zero.
+    BadPeriod,
+    /// The hysteresis fraction was negative or non-finite.
+    BadHysteresis(f64),
+    /// A grant-link static share fell below its floor or was non-finite.
+    BadStaticShare(f64),
+    /// A grant-link haircut fraction was outside `[0, 1)`.
+    BadHaircut(f64),
+}
+
+impl std::fmt::Display for ArbiterConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoRows => write!(f, "no rows configured"),
+            Self::MismatchedRows { floors, ceilings } => {
+                write!(f, "mismatched rows: {floors} floors vs {ceilings} ceilings")
+            }
+            Self::BadBudget(v) => write!(f, "bad substation budget: {v}"),
+            Self::BadFloor { row, value } => write!(f, "bad floor for row {row}: {value}"),
+            Self::BadCeiling { row, value } => write!(f, "bad ceiling for row {row}: {value}"),
+            Self::OverCommittedFloors { floors_w, budget_w } => write!(
+                f,
+                "over-committed floors: {floors_w:.0} W of floors exceed the {budget_w:.0} W budget"
+            ),
+            Self::BadPeriod => write!(f, "bad grant period: 0"),
+            Self::BadHysteresis(v) => write!(f, "bad hysteresis: {v}"),
+            Self::BadStaticShare(v) => write!(f, "bad static share: {v}"),
+            Self::BadHaircut(v) => write!(f, "bad haircut: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ArbiterConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ArbiterConfig {
+        ArbiterConfig {
+            substation_budget_w: 100_000.0,
+            floors_w: vec![20_000.0, 20_000.0],
+            ceilings_w: vec![70_000.0, 70_000.0],
+            grant_period_mins: 5,
+            hysteresis: 0.02,
+        }
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        assert!(base().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_each_bad_field() {
+        let mut c = base();
+        c.floors_w.clear();
+        c.ceilings_w.clear();
+        assert_eq!(c.validate(), Err(ArbiterConfigError::NoRows));
+
+        let mut c = base();
+        c.ceilings_w.pop();
+        assert!(matches!(
+            c.validate(),
+            Err(ArbiterConfigError::MismatchedRows { .. })
+        ));
+
+        let mut c = base();
+        c.substation_budget_w = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(ArbiterConfigError::BadBudget(_))
+        ));
+
+        let mut c = base();
+        c.floors_w[1] = 0.0;
+        assert_eq!(
+            c.validate(),
+            Err(ArbiterConfigError::BadFloor { row: 1, value: 0.0 })
+        );
+
+        let mut c = base();
+        c.ceilings_w[0] = 10_000.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ArbiterConfigError::BadCeiling { row: 0, .. })
+        ));
+
+        let mut c = base();
+        c.floors_w = vec![60_000.0, 60_000.0];
+        assert!(matches!(
+            c.validate(),
+            Err(ArbiterConfigError::OverCommittedFloors { .. })
+        ));
+
+        let mut c = base();
+        c.grant_period_mins = 0;
+        assert_eq!(c.validate(), Err(ArbiterConfigError::BadPeriod));
+
+        let mut c = base();
+        c.hysteresis = -0.1;
+        assert_eq!(c.validate(), Err(ArbiterConfigError::BadHysteresis(-0.1)));
+    }
+
+    #[test]
+    fn errors_display_the_offending_value() {
+        let e = ArbiterConfigError::OverCommittedFloors {
+            floors_w: 120_000.0,
+            budget_w: 100_000.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("120000") && s.contains("100000"), "{s}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # ampere-arbiter — the global budget arbiter for multi-row control
+//!
+//! The paper controls one row against a fixed budget; a production
+//! data center oversubscribes many rows under one shared substation
+//! feed, and load shifts between rows over the day. This crate adds the
+//! upper level of that two-level control plane:
+//!
+//! - [`BudgetArbiter`] periodically reallocates the substation budget
+//!   across rows — forecast-weighted proportional share with per-row
+//!   floors and ceilings, round-level hysteresis against budget thrash,
+//!   and conservative pinning of unhealthy rows.
+//! - [`GrantLink`] is the per-row client half: when a grant RPC is lost
+//!   or the arbiter is down, the row falls back down a ladder (hold the
+//!   last grant with a per-round haircut, then drop to its static
+//!   share), mirroring `DegradedPolicy`'s `Et` inflation one level up.
+//!
+//! ## Isolation contract
+//!
+//! Grant weights must come from the deterministic workload *forecast*,
+//! never from measured utilization: a faulted sibling's measured power
+//! differs from its clean-run power, and weights derived from it would
+//! couple that fault into every healthy row's budget. With forecast
+//! weights, a healthy row's grant sequence is bit-identical whether its
+//! siblings are faulted or not. Surplus reclaimed from a pinned row is
+//! therefore *passive reserve* — reported as substation headroom, never
+//! actuated into sibling budgets (see DESIGN.md §13).
+//!
+//! ## Determinism
+//!
+//! The arbiter is a pure function of `(config, round, weights, health)`
+//! plus its own hysteresis state. Drivers run it serially at tick
+//! barriers between sharded stepping phases, so multi-row runs stay
+//! byte-identical at any worker count.
+
+#![warn(missing_docs)]
+
+mod alloc;
+mod config;
+mod link;
+
+pub use alloc::{BudgetArbiter, GrantRound, RowHealth};
+pub use config::{ArbiterConfig, ArbiterConfigError};
+pub use link::{FallbackState, GrantLink, GrantLinkConfig};

@@ -1,0 +1,239 @@
+//! The per-row grant client: fallback ladder for missed grants.
+
+use crate::config::ArbiterConfigError;
+
+/// Configures one row's [`GrantLink`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrantLinkConfig {
+    /// The row's static share of the substation budget, in watts — the
+    /// bottom of the fallback ladder (what the row would hold if the
+    /// arbiter never existed).
+    pub static_share_w: f64,
+    /// The row's floor, in watts. No fallback ever goes below it.
+    pub floor_w: f64,
+    /// Missed rounds the link holds its last grant before dropping to
+    /// the static share.
+    pub grace_rounds: u32,
+    /// Relative budget haircut applied per missed round — the budget
+    /// analog of `DegradedPolicy`'s per-minute `Et` inflation: each
+    /// silent round buys a little more conservatism.
+    pub haircut_per_round: f64,
+    /// Cap on the cumulative haircut.
+    pub max_haircut: f64,
+}
+
+impl GrantLinkConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ArbiterConfigError> {
+        if !(self.floor_w > 0.0 && self.floor_w.is_finite()) {
+            return Err(ArbiterConfigError::BadFloor {
+                row: 0,
+                value: self.floor_w,
+            });
+        }
+        if !(self.static_share_w >= self.floor_w && self.static_share_w.is_finite()) {
+            return Err(ArbiterConfigError::BadStaticShare(self.static_share_w));
+        }
+        for h in [self.haircut_per_round, self.max_haircut] {
+            if !((0.0..1.0).contains(&h) && h.is_finite()) {
+                return Err(ArbiterConfigError::BadHaircut(h));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Where a row currently sits on the fallback ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackState {
+    /// The last round's grant arrived; the row runs on it.
+    Granted,
+    /// Grants have been missed but within grace: the row holds its
+    /// last grant, haircut per silent round.
+    Holding {
+        /// Consecutive missed rounds.
+        missed: u32,
+    },
+    /// Grace exhausted: the row runs on its (haircut) static share.
+    StaticShare {
+        /// Consecutive missed rounds.
+        missed: u32,
+    },
+}
+
+/// One row's client end of the grant channel. The driver calls
+/// [`GrantLink::deliver`] when the round's grant RPC arrives and
+/// [`GrantLink::miss`] when it does not (lost RPC or arbiter outage);
+/// both return the budget the row should actuate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrantLink {
+    config: GrantLinkConfig,
+    last_granted: Option<f64>,
+    missed: u32,
+}
+
+impl GrantLink {
+    /// Builds a link, validating the configuration. Panics on an
+    /// invalid one; use [`GrantLink::try_new`] for the typed error.
+    pub fn new(config: GrantLinkConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a link, surfacing the typed validation error.
+    pub fn try_new(config: GrantLinkConfig) -> Result<Self, ArbiterConfigError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            last_granted: None,
+            missed: 0,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GrantLinkConfig {
+        &self.config
+    }
+
+    /// A grant arrived: reset the ladder and actuate it.
+    pub fn deliver(&mut self, budget_w: f64) -> f64 {
+        self.missed = 0;
+        self.last_granted = Some(budget_w);
+        budget_w
+    }
+
+    /// The round's grant never arrived: step down the ladder and return
+    /// the conservative budget to actuate.
+    pub fn miss(&mut self) -> f64 {
+        self.missed = self.missed.saturating_add(1);
+        self.effective_budget_w()
+    }
+
+    /// The budget the row should currently actuate.
+    pub fn effective_budget_w(&self) -> f64 {
+        let c = &self.config;
+        if self.missed == 0 {
+            return self.last_granted.unwrap_or(c.static_share_w);
+        }
+        let base = if self.missed <= c.grace_rounds {
+            self.last_granted.unwrap_or(c.static_share_w)
+        } else {
+            // Past grace the last grant is stale enough to distrust:
+            // take whichever of it and the static share is lower.
+            self.last_granted
+                .map_or(c.static_share_w, |g| g.min(c.static_share_w))
+        };
+        let haircut = (c.haircut_per_round * self.missed as f64).min(c.max_haircut);
+        (base * (1.0 - haircut)).max(c.floor_w)
+    }
+
+    /// Where the row sits on the ladder.
+    pub fn state(&self) -> FallbackState {
+        if self.missed == 0 {
+            FallbackState::Granted
+        } else if self.missed <= self.config.grace_rounds {
+            FallbackState::Holding {
+                missed: self.missed,
+            }
+        } else {
+            FallbackState::StaticShare {
+                missed: self.missed,
+            }
+        }
+    }
+
+    /// Whether the link is currently running on a fallback budget.
+    pub fn degraded(&self) -> bool {
+        self.missed > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> GrantLinkConfig {
+        GrantLinkConfig {
+            static_share_w: 40_000.0,
+            floor_w: 15_000.0,
+            grace_rounds: 2,
+            haircut_per_round: 0.03,
+            max_haircut: 0.15,
+        }
+    }
+
+    #[test]
+    fn ladder_walks_grant_hold_static() {
+        let mut link = GrantLink::new(config());
+        assert_eq!(link.deliver(50_000.0), 50_000.0);
+        assert_eq!(link.state(), FallbackState::Granted);
+
+        // Two missed rounds within grace: hold the grant, haircut.
+        let b1 = link.miss();
+        assert!((b1 - 50_000.0 * 0.97).abs() < 1e-6);
+        assert_eq!(link.state(), FallbackState::Holding { missed: 1 });
+        let b2 = link.miss();
+        assert!((b2 - 50_000.0 * 0.94).abs() < 1e-6);
+
+        // Third miss exhausts grace: fall to min(static, last), with
+        // the cumulative haircut.
+        let b3 = link.miss();
+        assert!((b3 - 40_000.0 * 0.91).abs() < 1e-6);
+        assert_eq!(link.state(), FallbackState::StaticShare { missed: 3 });
+
+        // The haircut caps; the budget never walks below the floor.
+        for _ in 0..20 {
+            link.miss();
+        }
+        assert!((link.effective_budget_w() - 40_000.0 * 0.85).abs() < 1e-6);
+        assert!(link.effective_budget_w() >= link.config().floor_w);
+
+        // A fresh grant resets the ladder completely.
+        assert_eq!(link.deliver(55_000.0), 55_000.0);
+        assert_eq!(link.state(), FallbackState::Granted);
+        assert!(!link.degraded());
+    }
+
+    #[test]
+    fn misses_before_any_grant_fall_back_to_static_share() {
+        let mut link = GrantLink::new(config());
+        let b = link.miss();
+        assert!((b - 40_000.0 * 0.97).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floor_clamps_deep_haircuts() {
+        let mut cfg = config();
+        cfg.static_share_w = 15_500.0;
+        cfg.max_haircut = 0.9;
+        cfg.haircut_per_round = 0.3;
+        let mut link = GrantLink::new(cfg);
+        for _ in 0..5 {
+            link.miss();
+        }
+        assert_eq!(link.effective_budget_w(), 15_000.0);
+    }
+
+    #[test]
+    fn try_new_surfaces_typed_errors() {
+        let mut cfg = config();
+        cfg.static_share_w = 10_000.0;
+        assert_eq!(
+            GrantLink::try_new(cfg).unwrap_err(),
+            ArbiterConfigError::BadStaticShare(10_000.0)
+        );
+        let mut cfg = config();
+        cfg.haircut_per_round = 1.5;
+        assert_eq!(
+            GrantLink::try_new(cfg).unwrap_err(),
+            ArbiterConfigError::BadHaircut(1.5)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad static share")]
+    fn new_panics_on_invalid_config() {
+        let mut cfg = config();
+        cfg.static_share_w = 1.0;
+        let _ = GrantLink::new(cfg);
+    }
+}

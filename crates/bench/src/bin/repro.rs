@@ -1,9 +1,9 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations|chaos|scale|profile|watch]
+//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations|chaos|scale|profile|watch|hier]
 //!       [--quick] [--csv DIR] [--telemetry FILE] [--workers N] [--scale-out FILE]
-//!       [--profile-out FILE] [--sample-period N] [--watch-out FILE]
+//!       [--profile-out FILE] [--sample-period N] [--watch-out FILE] [--hier-out FILE]
 //! repro scenarios --count N --seed S [--workers W] [--scenarios-out FILE]
 //! repro scenario --seed S [--shrink-level K] [--workers W]
 //! ```
@@ -35,6 +35,18 @@
 //! `--profile-out FILE`; render and gate with `ampere-obs report
 //! --profile FILE`). `--sample-period N` sets the 1-in-N event sampler
 //! period. Both passes must produce the same trajectory checksum.
+//!
+//! `repro hier` runs the hierarchical-control benchmark: the full
+//! grant-loss × arbiter-outage × row-fault grid from
+//! `ampere_experiments::hier` — N per-row controllers under the global
+//! budget arbiter with two-level breakers — and writes the sweep,
+//! per-cell verdicts and the budget-reallocation timeline as JSONL to
+//! `BENCH_hier.json` (override with `--hier-out FILE`; render and gate
+//! with `ampere-obs report --hier FILE`). Exits non-zero if any breaker
+//! tripped at either level, if a healthy sibling's trajectory diverged
+//! under a row fault, or if a substation trip lacked a row-level or
+//! control-plane explanation. The dump (header aside) is byte-identical
+//! at any `--workers` count.
 //!
 //! `repro watch` runs the live-observability benchmark: a clean
 //! light-workload pass and a chaos-injected heavy pass execute twice —
@@ -123,6 +135,7 @@ fn main() {
                 || *a == "scale"
                 || *a == "profile"
                 || *a == "watch"
+                || *a == "hier"
                 || *a == "scenario"
                 || *a == "scenarios"
         })
@@ -134,6 +147,8 @@ fn main() {
         profile(quick, &args);
     } else if what == "watch" {
         watch(quick, &args);
+    } else if what == "hier" {
+        hier(quick, &args);
     } else if what == "scenarios" {
         scenarios(&args);
     } else if what == "scenario" {
@@ -310,6 +325,42 @@ fn watch(quick: bool, args: &[String]) {
         eprintln!(
             "\nALERT MISS: no {} incident opened during the chaos pass (want >= 1)",
             ampere_bench::watch::PROXIMITY_RULE
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn hier(quick: bool, args: &[String]) {
+    let workers = flag(args, "--workers").unwrap_or(1);
+    let mut config = if quick {
+        ampere_bench::hier::quick(workers)
+    } else {
+        ampere_bench::hier::paper(workers)
+    };
+    if let Some(seed) = flag(args, "--seed") {
+        config.seed = seed;
+    }
+    println!("=== Hier: multi-row control under a fault-tolerant budget arbiter ===\n");
+    let r = ampere_bench::hier::run(&config);
+    print!("{}", r.render_table());
+    let path: String = flag(args, "--hier-out").unwrap_or_else(|| "BENCH_hier.json".to_string());
+    std::fs::write(&path, r.to_jsonl()).expect("write hier sweep");
+    eprintln!("hier sweep written to {path}");
+    let mut failed = false;
+    if !r.zero_trips() {
+        eprintln!("\nSAFETY BROKEN: a breaker tripped (substation or row) inside the fault grid");
+        failed = true;
+    }
+    if r.has_isolation_axis() && !r.isolation_ok() {
+        eprintln!("\nISOLATION BROKEN: a healthy sibling's trajectory changed under a row fault");
+        failed = true;
+    }
+    if !r.trips_explained() {
+        eprintln!(
+            "\nATTRIBUTION BROKEN: a substation trip had no row-level or control-plane cause"
         );
         failed = true;
     }

@@ -10,6 +10,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 pub mod harness;
+pub mod hier;
 pub mod profile;
 pub mod scale;
 pub mod watch;

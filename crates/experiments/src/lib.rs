@@ -23,6 +23,7 @@
 //! | [`fig12`] | Power + throughput under control, r_O = 0.25, 4 h |
 //! | [`table3`]| G_TPW across r_O × workload (13 rows) |
 //! | [`chaos`] | Fault-injection sweep: dropout × outage, breaker safety + throughput cost |
+//! | [`hier`]  | Hierarchical multi-row control: budget arbiter, fault isolation, two-level breakers |
 
 pub mod ablation;
 pub mod calibrate;
@@ -38,6 +39,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod hier;
 pub mod table3;
 pub mod testbed;
 

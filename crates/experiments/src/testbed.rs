@@ -29,7 +29,7 @@ use ampere_faults::{FaultInjector, FaultPlan, SweepFaults};
 use ampere_power::{
     monitor::ServerSample, CappingConfig, CircuitBreaker, PowerMonitor, RaplCapper,
 };
-use ampere_sched::{PlacementPolicy, RandomFit, Scheduler};
+use ampere_sched::{FreezeStatus, PlacementPolicy, RandomFit, Scheduler};
 use ampere_sim::{
     derive_stream, derive_subseed, rng::streams, Distribution, Normal, SimDuration, SimRng, SimTime,
 };
@@ -42,11 +42,18 @@ use std::fmt;
 pub type DomainId = usize;
 
 /// Errors from testbed domain registration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TestbedError {
     /// The row already backs a row domain: registering it again would
     /// double-count its power and race two breakers over one budget.
     DuplicateRowDomain(RowId),
+    /// The domain spec listed no member servers.
+    EmptyDomain,
+    /// The domain spec named a server the cluster does not have; it
+    /// would panic later at the first measurement sweep.
+    UnknownServer(ServerId),
+    /// A control-budget override was non-positive or non-finite.
+    BadControlBudget(f64),
 }
 
 impl fmt::Display for TestbedError {
@@ -55,6 +62,11 @@ impl fmt::Display for TestbedError {
             TestbedError::DuplicateRowDomain(row) => {
                 write!(f, "row {} is already registered as a domain", row.index())
             }
+            TestbedError::EmptyDomain => write!(f, "empty domain"),
+            TestbedError::UnknownServer(s) => {
+                write!(f, "unknown server {} in domain spec", s.index())
+            }
+            TestbedError::BadControlBudget(w) => write!(f, "bad control budget: {w}"),
         }
     }
 }
@@ -274,9 +286,22 @@ impl Testbed {
         self.tick_observer = observer;
     }
 
-    /// Registers a power domain; returns its id.
+    /// Registers a power domain; returns its id. Panics on an invalid
+    /// spec; use [`Testbed::try_add_domain`] for the typed error.
     pub fn add_domain(&mut self, spec: DomainSpec) -> DomainId {
-        assert!(!spec.servers.is_empty(), "empty domain");
+        self.try_add_domain(spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Registers a power domain, surfacing a typed error on an empty
+    /// spec or a member server the cluster does not have.
+    pub fn try_add_domain(&mut self, spec: DomainSpec) -> Result<DomainId, TestbedError> {
+        if spec.servers.is_empty() {
+            return Err(TestbedError::EmptyDomain);
+        }
+        let fleet = self.cluster.spec().server_count();
+        if let Some(&bad) = spec.servers.iter().find(|s| s.index() >= fleet) {
+            return Err(TestbedError::UnknownServer(bad));
+        }
         let id = self.domains.len();
         self.monitor.track_domain(id as u64, spec.servers.len());
         self.domains.push(DomainState {
@@ -291,7 +316,7 @@ impl Testbed {
             failovers: 0,
             records: Vec::new(),
         });
-        id
+        Ok(id)
     }
 
     /// Convenience: registers every row as an uncontrolled, uncapped
@@ -371,10 +396,26 @@ impl Testbed {
     /// for the scenario harness's canary). `None` restores the default
     /// (controller sees the breaker budget).
     pub fn set_control_budget_w(&mut self, id: DomainId, budget_w: Option<f64>) {
+        self.try_set_control_budget_w(id, budget_w)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Testbed::set_control_budget_w`], surfacing the typed
+    /// error on a non-positive or non-finite override. The hierarchical
+    /// driver applies arbiter grants through this path every round, so
+    /// a corrupt grant is a reportable fault, not a crash.
+    pub fn try_set_control_budget_w(
+        &mut self,
+        id: DomainId,
+        budget_w: Option<f64>,
+    ) -> Result<(), TestbedError> {
         if let Some(w) = budget_w {
-            assert!(w > 0.0 && w.is_finite(), "bad control budget");
+            if !(w > 0.0 && w.is_finite()) {
+                return Err(TestbedError::BadControlBudget(w));
+            }
         }
         self.domains[id].control_budget_w = budget_w;
+        Ok(())
     }
 
     /// A domain's breaker (violations, trip state).
@@ -411,21 +452,26 @@ impl Testbed {
     }
 
     /// Manually freezes a server (experiment interventions, e.g. Fig 4).
-    pub fn freeze(&mut self, server: ServerId) {
-        self.sched.freeze(&mut self.cluster, server);
+    /// Returns the scheduler's typed status — in particular
+    /// [`FreezeStatus::UnknownServer`] for an out-of-fleet id — instead
+    /// of swallowing it.
+    pub fn freeze(&mut self, server: ServerId) -> FreezeStatus {
+        self.sched.freeze(&mut self.cluster, server)
     }
 
-    /// Manually unfreezes a server.
-    pub fn unfreeze(&mut self, server: ServerId) {
-        self.sched.unfreeze(&mut self.cluster, server);
+    /// Manually unfreezes a server; returns the typed status.
+    pub fn unfreeze(&mut self, server: ServerId) -> FreezeStatus {
+        self.sched.unfreeze(&mut self.cluster, server)
     }
 
-    /// Unfreezes every server in a domain.
-    pub fn unfreeze_domain(&mut self, id: DomainId) {
+    /// Unfreezes every server in a domain; returns how many transitions
+    /// actually applied (frozen → active).
+    pub fn unfreeze_domain(&mut self, id: DomainId) -> usize {
         let servers = self.domains[id].servers.clone();
-        for s in servers {
-            self.sched.unfreeze(&mut self.cluster, s);
-        }
+        servers
+            .into_iter()
+            .filter(|&s| self.sched.unfreeze(&mut self.cluster, s) == FreezeStatus::Applied)
+            .count()
     }
 
     /// Last measured (noisy) power of one server, in watts.
@@ -1121,6 +1167,73 @@ mod tests {
         // and the testbed still runs.
         tb.run_for(SimDuration::from_mins(2));
         assert_eq!(tb.records(first[1]).len(), 2);
+    }
+
+    #[test]
+    fn typed_errors_for_bad_domains_and_budgets() {
+        let mut tb = Testbed::new(quick_config(RateProfile::Constant { per_min: 10.0 }));
+        let empty = tb.try_add_domain(DomainSpec {
+            name: "empty".into(),
+            servers: vec![],
+            budget_w: 1_000.0,
+            controller: None,
+            capped: false,
+        });
+        assert_eq!(empty.unwrap_err(), TestbedError::EmptyDomain);
+        assert_eq!(TestbedError::EmptyDomain.to_string(), "empty domain");
+
+        let phantom = ServerId::new(999);
+        let unknown = tb.try_add_domain(DomainSpec {
+            name: "phantom".into(),
+            servers: vec![phantom],
+            budget_w: 1_000.0,
+            controller: None,
+            capped: false,
+        });
+        assert_eq!(unknown.unwrap_err(), TestbedError::UnknownServer(phantom));
+        assert!(TestbedError::UnknownServer(phantom)
+            .to_string()
+            .contains("unknown server"));
+
+        let d = tb.add_domain(DomainSpec {
+            name: "real".into(),
+            servers: vec![ServerId::new(0)],
+            budget_w: 1_000.0,
+            controller: None,
+            capped: false,
+        });
+        assert_eq!(
+            tb.try_set_control_budget_w(d, Some(-5.0)).unwrap_err(),
+            TestbedError::BadControlBudget(-5.0)
+        );
+        assert_eq!(
+            TestbedError::BadControlBudget(-5.0).to_string(),
+            "bad control budget: -5"
+        );
+        // Valid overrides (and clearing one) still apply.
+        tb.try_set_control_budget_w(d, Some(900.0)).unwrap();
+        tb.try_set_control_budget_w(d, None).unwrap();
+    }
+
+    #[test]
+    fn freeze_paths_surface_scheduler_status() {
+        let mut tb = Testbed::new(quick_config(RateProfile::Constant { per_min: 10.0 }));
+        let rows = tb.add_row_domains(1.0).unwrap();
+        assert_eq!(tb.freeze(ServerId::new(0)), FreezeStatus::Applied);
+        assert_eq!(tb.freeze(ServerId::new(0)), FreezeStatus::AlreadyInState);
+        assert_eq!(tb.freeze(ServerId::new(999)), FreezeStatus::UnknownServer);
+        // Only one server in the row is frozen, so only one transition
+        // applies on the domain-wide unfreeze.
+        assert_eq!(tb.unfreeze_domain(rows[0]), 1);
+        assert_eq!(tb.unfreeze(ServerId::new(0)), FreezeStatus::AlreadyInState);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad control budget")]
+    fn set_control_budget_panics_on_bad_override() {
+        let mut tb = Testbed::new(quick_config(RateProfile::Constant { per_min: 10.0 }));
+        let rows = tb.add_row_domains(1.0).unwrap();
+        tb.set_control_budget_w(rows[0], Some(f64::NAN));
     }
 
     #[test]

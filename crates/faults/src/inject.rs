@@ -27,15 +27,19 @@ pub struct FaultInjector {
     sensor_rng: SimRng,
     rpc_rng: SimRng,
     sweep_rng: SimRng,
+    grant_rng: SimRng,
     /// Unit-normal shape for the extra sensor noise (`None` when the
     /// plan has no noise term).
     noise: Option<Normal>,
     in_outage: bool,
+    in_arbiter_outage: bool,
     telemetry: Telemetry,
     samples_dropped: Counter,
     sweeps_lost: Counter,
     rpcs_lost: Counter,
     outage_ticks: Counter,
+    grants_lost: Counter,
+    arbiter_outage_rounds: Counter,
 }
 
 impl FaultInjector {
@@ -64,12 +68,16 @@ impl FaultInjector {
             sensor_rng: derive_stream(plan.seed, streams::FAULT_SENSOR),
             rpc_rng: derive_stream(plan.seed, streams::FAULT_RPC),
             sweep_rng: derive_stream(plan.seed, streams::FAULT_OUTAGE),
+            grant_rng: derive_stream(plan.seed, streams::FAULT_GRANT),
             noise,
             in_outage: false,
+            in_arbiter_outage: false,
             samples_dropped: telemetry.counter("fault_samples_dropped", &[]),
             sweeps_lost: telemetry.counter("fault_sweeps_lost", &[]),
             rpcs_lost: telemetry.counter("fault_rpcs_lost", &[]),
             outage_ticks: telemetry.counter("fault_outage_ticks", &[]),
+            grants_lost: telemetry.counter("fault_grants_lost", &[]),
+            arbiter_outage_rounds: telemetry.counter("fault_arbiter_outage_rounds", &[]),
             telemetry,
             plan,
         })
@@ -149,6 +157,41 @@ impl FaultInjector {
             });
         }
         !down
+    }
+
+    /// Whether the global budget arbiter is up at `at` (outside every
+    /// arbiter outage window). Emits `arbiter_outage_begin` /
+    /// `arbiter_outage_end` on transitions and counts missed rounds.
+    pub fn arbiter_up(&mut self, at: SimTime) -> bool {
+        let down = self.plan.arbiter_outages.iter().any(|w| w.contains(at));
+        if down {
+            self.arbiter_outage_rounds.inc();
+        }
+        if down != self.in_arbiter_outage {
+            self.in_arbiter_outage = down;
+            self.telemetry.emit_with(|| {
+                if down {
+                    Event::new(at, Severity::Warn, "faults", "arbiter_outage_begin")
+                } else {
+                    Event::new(at, Severity::Info, "faults", "arbiter_outage_end")
+                }
+            });
+        }
+        !down
+    }
+
+    /// Whether a budget-grant RPC issued now reaches row `row`. Lost
+    /// grants are counted and emit a `grant_lost` event.
+    pub fn grant_delivered(&mut self, at: SimTime, row: u64) -> bool {
+        if self.plan.grant_loss == 0.0 || !self.grant_rng.gen_bool(self.plan.grant_loss) {
+            return true;
+        }
+        self.grants_lost.inc();
+        let span = self.telemetry.active_tick();
+        self.telemetry.emit_in_span(span, || {
+            Event::new(at, Severity::Warn, "faults", "grant_lost").with("row", row)
+        });
+        false
     }
 
     /// Whether a freeze/unfreeze RPC issued now reaches the scheduler.
@@ -336,6 +379,56 @@ mod tests {
         let ys: Vec<bool> = (0..40).map(|i| b.rpc_delivered(at, "freeze", i)).collect();
         assert_eq!(xs, ys);
         assert!(xs.iter().any(|&d| d) && xs.iter().any(|&d| !d));
+    }
+
+    #[test]
+    fn grant_loss_is_seeded_and_independent_of_rpc_stream() {
+        let plan = FaultPlan {
+            grant_loss: 0.5,
+            rpc_loss: 0.5,
+            ..FaultPlan::seeded(6)
+        };
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan.clone());
+        let at = SimTime::from_mins(1);
+        // Interleave RPC draws into one injector only: the grant stream
+        // must not shift.
+        let xs: Vec<bool> = (0..40)
+            .map(|i| {
+                a.rpc_delivered(at, "freeze", i);
+                a.grant_delivered(at, i)
+            })
+            .collect();
+        let ys: Vec<bool> = (0..40).map(|i| b.grant_delivered(at, i)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().any(|&d| d) && xs.iter().any(|&d| !d));
+    }
+
+    #[test]
+    fn arbiter_outage_windows_down_the_arbiter() {
+        use ampere_telemetry::{RingBufferSink, Telemetry};
+        let (sink, events) = RingBufferSink::new(16);
+        let tel = Telemetry::builder()
+            .min_severity(Severity::Debug)
+            .sink(sink)
+            .build();
+        let mut inj = FaultInjector::try_with_telemetry(
+            FaultPlan {
+                arbiter_outages: vec![OutageWindow {
+                    start: SimTime::from_mins(3),
+                    end: SimTime::from_mins(5),
+                }],
+                ..FaultPlan::seeded(2)
+            },
+            tel,
+        )
+        .unwrap();
+        let up: Vec<bool> = (1..=6)
+            .map(|m| inj.arbiter_up(SimTime::from_mins(m)))
+            .collect();
+        assert_eq!(up, vec![true, true, false, false, true, true]);
+        let names: Vec<_> = events.events().iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["arbiter_outage_begin", "arbiter_outage_end"]);
     }
 
     #[test]

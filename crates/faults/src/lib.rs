@@ -16,6 +16,11 @@
 //! - **Controller outages** — windows during which the controller
 //!   misses its tick entirely (crash, partition, redeploy).
 //! - **Lost scheduler RPCs** — freeze/unfreeze calls that never arrive.
+//! - **Lost budget grants** — reallocation RPCs from the global budget
+//!   arbiter that never reach their row (the row holds a fallback
+//!   budget that round).
+//! - **Arbiter outages** — windows during which the global arbiter
+//!   misses every reallocation round, so no row receives a grant.
 //!
 //! Every draw comes from its own [`ampere_sim::SimRng`] stream derived
 //! from the plan seed, so a faulted run is byte-reproducible and fault

@@ -44,6 +44,12 @@ pub struct FaultPlan {
     pub rpc_loss: f64,
     /// Controller outage windows (missed ticks).
     pub outages: Vec<OutageWindow>,
+    /// Probability that a budget-grant RPC from the global arbiter to a
+    /// row is lost (the row keeps its fallback budget that round).
+    pub grant_loss: f64,
+    /// Arbiter outage windows: the global arbiter misses every
+    /// reallocation round inside them, so no row receives a grant.
+    pub arbiter_outages: Vec<OutageWindow>,
 }
 
 impl FaultPlan {
@@ -57,6 +63,8 @@ impl FaultPlan {
             sensor_bias: 0.0,
             rpc_loss: 0.0,
             outages: Vec::new(),
+            grant_loss: 0.0,
+            arbiter_outages: Vec::new(),
         }
     }
 
@@ -72,6 +80,7 @@ impl FaultPlan {
         prob("sample_dropout", self.sample_dropout)?;
         prob("sweep_loss", self.sweep_loss)?;
         prob("rpc_loss", self.rpc_loss)?;
+        prob("grant_loss", self.grant_loss)?;
         if !(self.sensor_noise >= 0.0 && self.sensor_noise.is_finite()) {
             return Err(FaultPlanError::BadSensorNoise(self.sensor_noise));
         }
@@ -79,7 +88,7 @@ impl FaultPlan {
         if !(self.sensor_bias > -1.0 && self.sensor_bias.is_finite()) {
             return Err(FaultPlanError::BadSensorBias(self.sensor_bias));
         }
-        for w in &self.outages {
+        for w in self.outages.iter().chain(&self.arbiter_outages) {
             if w.end <= w.start {
                 return Err(FaultPlanError::EmptyOutage {
                     start: w.start,
@@ -98,6 +107,8 @@ impl FaultPlan {
             && self.sensor_bias == 0.0
             && self.rpc_loss == 0.0
             && self.outages.is_empty()
+            && self.grant_loss == 0.0
+            && self.arbiter_outages.is_empty()
     }
 }
 
@@ -203,6 +214,39 @@ mod tests {
         assert!(w.contains(SimTime::from_mins(5)));
         assert!(w.contains(SimTime::from_mins(7)));
         assert!(!w.contains(SimTime::from_mins(8)));
+    }
+
+    #[test]
+    fn arbiter_faults_count_against_noop_and_validate() {
+        let plan = FaultPlan {
+            grant_loss: 0.1,
+            ..FaultPlan::seeded(1)
+        };
+        assert!(!plan.is_noop());
+        assert!(plan.validate().is_ok());
+        let plan = FaultPlan {
+            grant_loss: 2.0,
+            ..FaultPlan::seeded(1)
+        };
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::BadProbability {
+                name: "grant_loss",
+                value: 2.0
+            })
+        );
+        let plan = FaultPlan {
+            arbiter_outages: vec![OutageWindow {
+                start: SimTime::from_mins(9),
+                end: SimTime::from_mins(4),
+            }],
+            ..FaultPlan::seeded(1)
+        };
+        assert!(!plan.is_noop());
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultPlanError::EmptyOutage { .. })
+        ));
     }
 
     #[test]

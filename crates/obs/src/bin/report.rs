@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! report [--telemetry FILE] [--scale FILE] [--scenarios FILE] [--profile FILE]
-//!        [--alerts FILE] [--max-overhead F] [--min-ticks-per-sec F] [--md FILE]
-//!        [--json FILE] [--write-baseline FILE] [--baseline FILE --check]
+//!        [--alerts FILE] [--hier FILE] [--max-overhead F] [--min-ticks-per-sec F]
+//!        [--md FILE] [--json FILE] [--write-baseline FILE] [--baseline FILE --check]
 //! ```
 //!
 //! Reads the dump produced by `repro … --telemetry FILE`, prints the
@@ -34,6 +34,12 @@
 //!   or a chaos pass with no breaker-proximity incident always fails
 //!   the run; `--max-overhead F` additionally gates the observability
 //!   overhead fraction. Also usable without `--telemetry`;
+//! - `--hier FILE` appends the hierarchical-sweep section (per-cell
+//!   safety table, budget-reallocation timeline, degraded/fallback
+//!   epochs) parsed from the `BENCH_hier.json` written by `repro hier`.
+//!   A breaker trip at either level, a broken sibling-isolation
+//!   checksum or an unexplained substation trip always fails the run.
+//!   Also usable without `--telemetry`;
 //! - `--json FILE` writes the machine-readable report;
 //! - `--write-baseline FILE` snapshots the run summary with default
 //!   per-metric tolerances (commit this as the known-good baseline);
@@ -44,6 +50,7 @@
 //! invariance, 2 usage or schema error.
 
 use ampere_obs::alerts::WatchRun;
+use ampere_obs::hier::HierRun;
 use ampere_obs::profile::ProfileRun;
 use ampere_obs::reader::read_run;
 use ampere_obs::report::{check, parse_baseline, render_check, write_baseline, RunReport};
@@ -58,6 +65,7 @@ struct Args {
     scenarios: Option<String>,
     profile: Option<String>,
     alerts: Option<String>,
+    hier: Option<String>,
     max_overhead: Option<f64>,
     min_ticks_per_sec: Option<f64>,
     md: Option<String>,
@@ -68,7 +76,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: report [--telemetry FILE] [--scale FILE] [--scenarios FILE] \
-                     [--profile FILE] [--alerts FILE] [--max-overhead F] \
+                     [--profile FILE] [--alerts FILE] [--hier FILE] [--max-overhead F] \
                      [--min-ticks-per-sec F] [--md FILE] [--json FILE] \
                      [--write-baseline FILE] [--baseline FILE --check]";
 
@@ -78,6 +86,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut scenarios = None;
     let mut profile = None;
     let mut alerts = None;
+    let mut hier = None;
     let mut max_overhead = None;
     let mut min_ticks_per_sec = None;
     let mut md = None;
@@ -102,6 +111,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--scenarios" => scenarios = Some(value("--scenarios")?),
             "--profile" => profile = Some(value("--profile")?),
             "--alerts" => alerts = Some(value("--alerts")?),
+            "--hier" => hier = Some(value("--hier")?),
             "--max-overhead" => {
                 max_overhead = Some(fractional("--max-overhead", value("--max-overhead")?)?)
             }
@@ -136,9 +146,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         && scenarios.is_none()
         && profile.is_none()
         && alerts.is_none()
+        && hier.is_none()
     {
         return Err(format!(
-            "--telemetry, --scale, --scenarios, --profile or --alerts FILE is required\n{USAGE}"
+            "--telemetry, --scale, --scenarios, --profile, --alerts or --hier FILE is \
+             required\n{USAGE}"
         ));
     }
     if telemetry.is_none() && (do_check || write_baseline.is_some() || json.is_some()) {
@@ -152,6 +164,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         scenarios,
         profile,
         alerts,
+        hier,
         max_overhead,
         min_ticks_per_sec,
         md,
@@ -198,6 +211,13 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         }
         None => None,
     };
+    let hier = match &args.hier {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(HierRun::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
 
     let mut markdown = report
         .as_ref()
@@ -226,6 +246,12 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             markdown.push('\n');
         }
         markdown.push_str(&watch.to_markdown());
+    }
+    if let Some(hier) = &hier {
+        if !markdown.is_empty() && !markdown.ends_with("\n\n") {
+            markdown.push('\n');
+        }
+        markdown.push_str(&hier.to_markdown());
     }
     match &args.md {
         Some(path) => {
@@ -343,6 +369,27 @@ fn run(args: &Args) -> Result<ExitCode, String> {
                 );
                 failed = true;
             }
+        }
+    }
+    if let Some(hier) = &hier {
+        if !hier.zero_trips() || !hier.declared_zero_trips {
+            eprintln!("hier sweep: a breaker TRIPPED at the substation or row level");
+            failed = true;
+        }
+        match hier.isolation_recomputed() {
+            Some(ok) if !(ok && hier.declared_isolation_ok) => {
+                eprintln!("hier sweep: sibling isolation BROKEN (healthy-row checksums diverged)");
+                failed = true;
+            }
+            None if hier.has_isolation_axis => {
+                eprintln!("hier sweep: isolation axis declared but clean/row-fault cells missing");
+                failed = true;
+            }
+            _ => {}
+        }
+        if !hier.trips_explained() {
+            eprintln!("hier sweep: a substation trip had no row-level or control-plane cause");
+            failed = true;
         }
     }
     Ok(if failed {

@@ -1,0 +1,563 @@
+//! Hierarchical-sweep analysis: the report section behind `report
+//! --hier`.
+//!
+//! `repro hier` emits `BENCH_hier.json` — a JSONL header line carrying
+//! the static partition (feed, floors, ceilings, oversubscription) and
+//! the sweep verdicts, one line per grid cell and one line per grant
+//! round (the budget-reallocation timeline). This module parses that
+//! dump and renders a Markdown section with three hard gates:
+//!
+//! - **zero trips** — no cell may have tripped a breaker at either the
+//!   substation or the row level;
+//! - **sibling isolation** — healthy rows must be bit-identical between
+//!   the clean cell and the row-fault cell (the dump carries the
+//!   per-row checksums; the verdict is recomputed here, not trusted);
+//! - **trip attribution** — any substation trip must be preceded by a
+//!   row-level violation or a control-plane fault.
+
+use ampere_telemetry::json::{self, JsonValue};
+use ampere_telemetry::Value;
+
+use std::fmt::Write as _;
+
+/// One parsed grid cell.
+#[derive(Debug, Clone)]
+pub struct HierCellLine {
+    /// Grant-RPC loss probability injected.
+    pub grant_loss: f64,
+    /// Arbiter-outage length injected, in minutes.
+    pub outage_mins: u64,
+    /// Whether row 0 was fault-injected.
+    pub row_fault: bool,
+    /// Whether the substation breaker tripped.
+    pub substation_tripped: bool,
+    /// Rows whose own breaker tripped.
+    pub row_trips: u64,
+    /// Row-level over-budget minutes in the measured window.
+    pub row_violations: u64,
+    /// Rounds the arbiter was down.
+    pub arbiter_down_rounds: u64,
+    /// Grant RPCs lost.
+    pub grants_lost: u64,
+    /// Row-rounds on a fallback budget.
+    pub fallback_rounds: u64,
+    /// Row-rounds pinned to the floor by health.
+    pub pinned_rounds: u64,
+    /// Largest passive reserve reported, in watts.
+    pub max_reserve_w: f64,
+    /// Jobs placed, normalized to the clean cell.
+    pub throughput_ratio: f64,
+    /// The producer's own trip-attribution verdict.
+    pub trip_explained: bool,
+    /// Per-row trajectory checksums (hex strings, comma-joined in the
+    /// dump).
+    pub row_checksums: Vec<String>,
+}
+
+/// One parsed grant round of a cell's reallocation timeline.
+#[derive(Debug, Clone)]
+pub struct HierRoundLine {
+    /// Index of the cell this round belongs to.
+    pub cell: usize,
+    /// Round counter within the cell.
+    pub round: u64,
+    /// Barrier minute.
+    pub at_min: u64,
+    /// Whether the arbiter was up.
+    pub arbiter_up: bool,
+    /// Whether hysteresis held the previous vector.
+    pub held: bool,
+    /// Whether the substation backstop forced floors.
+    pub backstop: bool,
+    /// Passive reserve, in watts.
+    pub reserve_w: f64,
+    /// Budgets each row actuated, in watts.
+    pub applied_w: Vec<f64>,
+    /// Rows whose grant was lost this round.
+    pub lost_rows: Vec<usize>,
+    /// Rows on a fallback budget after this round.
+    pub fallback_rows: Vec<usize>,
+    /// Rows pinned to their floor this round.
+    pub pinned_rows: Vec<usize>,
+}
+
+/// A parsed `BENCH_hier.json` dump.
+#[derive(Debug, Clone)]
+pub struct HierRun {
+    /// Rows under arbitration.
+    pub rows: u64,
+    /// Grant cadence, in minutes.
+    pub grant_period_mins: u64,
+    /// Substation feed capacity, in watts.
+    pub feed_w: f64,
+    /// Budget the arbiter allocates, in watts.
+    pub allocatable_w: f64,
+    /// Σ rated row power / feed.
+    pub oversubscription: f64,
+    /// Whether the dump's grid swept the row-fault axis.
+    pub has_isolation_axis: bool,
+    /// The producer's own verdicts, as written in the header.
+    pub declared_zero_trips: bool,
+    /// Declared isolation verdict.
+    pub declared_isolation_ok: bool,
+    /// All grid cells, in sweep order.
+    pub cells: Vec<HierCellLine>,
+    /// The reallocation timeline across all cells.
+    pub rounds: Vec<HierRoundLine>,
+}
+
+fn field<'a>(pairs: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn num(pairs: &[(String, JsonValue)], key: &str) -> Result<f64, String> {
+    match field(pairs, key)? {
+        JsonValue::Scalar(Value::U64(v)) => Ok(*v as f64),
+        JsonValue::Scalar(Value::I64(v)) => Ok(*v as f64),
+        JsonValue::Scalar(Value::F64(v)) => Ok(*v),
+        other => Err(format!("field {key:?} is not a number: {other:?}")),
+    }
+}
+
+fn uint(pairs: &[(String, JsonValue)], key: &str) -> Result<u64, String> {
+    match field(pairs, key)? {
+        JsonValue::Scalar(Value::U64(v)) => Ok(*v),
+        other => Err(format!(
+            "field {key:?} is not an unsigned integer: {other:?}"
+        )),
+    }
+}
+
+fn boolean(pairs: &[(String, JsonValue)], key: &str) -> Result<bool, String> {
+    match field(pairs, key)? {
+        JsonValue::Scalar(Value::Bool(v)) => Ok(*v),
+        other => Err(format!("field {key:?} is not a boolean: {other:?}")),
+    }
+}
+
+fn string(pairs: &[(String, JsonValue)], key: &str) -> Result<String, String> {
+    match field(pairs, key)? {
+        JsonValue::Scalar(Value::Str(s)) => Ok(s.clone()),
+        other => Err(format!("field {key:?} is not a string: {other:?}")),
+    }
+}
+
+fn floats(pairs: &[(String, JsonValue)], key: &str) -> Result<Vec<f64>, String> {
+    match field(pairs, key)? {
+        JsonValue::Array(v) => Ok(v.clone()),
+        other => Err(format!("field {key:?} is not an array: {other:?}")),
+    }
+}
+
+fn indices(pairs: &[(String, JsonValue)], key: &str) -> Result<Vec<usize>, String> {
+    Ok(floats(pairs, key)?
+        .into_iter()
+        .map(|v| v as usize)
+        .collect())
+}
+
+impl HierRun {
+    /// Parses the JSONL dump written by `repro hier`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or("empty hier dump")?;
+        let pairs = json::parse_object_full(header).map_err(|e| format!("header: {e}"))?;
+        match field(&pairs, "bench")? {
+            JsonValue::Scalar(Value::Str(s)) if s == "hier" => {}
+            other => return Err(format!("not a hier dump: bench = {other:?}")),
+        }
+        let declared_cells = uint(&pairs, "cells")? as usize;
+        let mut run = HierRun {
+            rows: uint(&pairs, "rows")?,
+            grant_period_mins: uint(&pairs, "grant_period_mins")?,
+            feed_w: num(&pairs, "feed_w")?,
+            allocatable_w: num(&pairs, "allocatable_w")?,
+            oversubscription: num(&pairs, "oversubscription")?,
+            has_isolation_axis: boolean(&pairs, "has_isolation_axis")?,
+            declared_zero_trips: boolean(&pairs, "zero_trips")?,
+            declared_isolation_ok: boolean(&pairs, "isolation_ok")?,
+            cells: Vec::new(),
+            rounds: Vec::new(),
+        };
+        for (no, line) in lines {
+            let pairs =
+                json::parse_object_full(line).map_err(|e| format!("line {}: {e}", no + 1))?;
+            if pairs.iter().any(|(k, _)| k == "round") {
+                run.rounds.push(HierRoundLine {
+                    cell: uint(&pairs, "cell")? as usize,
+                    round: uint(&pairs, "round")?,
+                    at_min: uint(&pairs, "at_min")?,
+                    arbiter_up: boolean(&pairs, "arbiter_up")?,
+                    held: boolean(&pairs, "held")?,
+                    backstop: boolean(&pairs, "backstop")?,
+                    reserve_w: num(&pairs, "reserve_w")?,
+                    applied_w: floats(&pairs, "applied_w")?,
+                    lost_rows: indices(&pairs, "lost_rows")?,
+                    fallback_rows: indices(&pairs, "fallback_rows")?,
+                    pinned_rows: indices(&pairs, "pinned_rows")?,
+                });
+            } else {
+                run.cells.push(HierCellLine {
+                    grant_loss: num(&pairs, "grant_loss")?,
+                    outage_mins: uint(&pairs, "outage_mins")?,
+                    row_fault: boolean(&pairs, "row_fault")?,
+                    substation_tripped: boolean(&pairs, "substation_tripped")?,
+                    row_trips: uint(&pairs, "row_trips")?,
+                    row_violations: uint(&pairs, "row_violations")?,
+                    arbiter_down_rounds: uint(&pairs, "arbiter_down_rounds")?,
+                    grants_lost: uint(&pairs, "grants_lost")?,
+                    fallback_rounds: uint(&pairs, "fallback_rounds")?,
+                    pinned_rounds: uint(&pairs, "pinned_rounds")?,
+                    max_reserve_w: num(&pairs, "max_reserve_w")?,
+                    throughput_ratio: num(&pairs, "throughput_ratio")?,
+                    trip_explained: boolean(&pairs, "trip_explained")?,
+                    row_checksums: string(&pairs, "row_checksums")?
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                });
+            }
+        }
+        if run.cells.len() != declared_cells {
+            return Err(format!(
+                "header declares {declared_cells} cells, dump has {}",
+                run.cells.len()
+            ));
+        }
+        for r in &run.rounds {
+            if r.cell >= run.cells.len() {
+                return Err(format!("round line references unknown cell {}", r.cell));
+            }
+        }
+        Ok(run)
+    }
+
+    fn cell(&self, grant_loss: f64, outage_mins: u64, row_fault: bool) -> Option<&HierCellLine> {
+        self.cells.iter().find(|c| {
+            c.grant_loss == grant_loss && c.outage_mins == outage_mins && c.row_fault == row_fault
+        })
+    }
+
+    /// Gate 1: whether every cell kept both breaker levels trip-free.
+    pub fn zero_trips(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| !c.substation_tripped && c.row_trips == 0)
+    }
+
+    /// Gate 2: the isolation verdict, recomputed from the per-row
+    /// checksums in the dump (healthy rows 1..N bit-identical between
+    /// the clean and row-fault cells). `None` when the grid lacks
+    /// either cell.
+    pub fn isolation_recomputed(&self) -> Option<bool> {
+        let clean = self.cell(0.0, 0, false)?;
+        let faulted = self.cell(0.0, 0, true)?;
+        Some(
+            clean.row_checksums.len() == faulted.row_checksums.len()
+                && clean.row_checksums[1..]
+                    .iter()
+                    .zip(&faulted.row_checksums[1..])
+                    .all(|(a, b)| a == b),
+        )
+    }
+
+    /// Gate 3: whether every cell's trip-attribution verdict held.
+    pub fn trips_explained(&self) -> bool {
+        self.cells.iter().all(|c| c.trip_explained)
+    }
+
+    /// Every hard gate together, including agreement between the
+    /// declared and recomputed isolation verdicts.
+    pub fn gates_pass(&self) -> bool {
+        let isolation = match self.isolation_recomputed() {
+            Some(v) => v && self.declared_isolation_ok,
+            None => !self.has_isolation_axis,
+        };
+        self.zero_trips() && self.declared_zero_trips && isolation && self.trips_explained()
+    }
+
+    /// Rounds of a given cell, in order.
+    fn rounds_of(&self, cell: usize) -> impl Iterator<Item = &HierRoundLine> {
+        self.rounds.iter().filter(move |r| r.cell == cell)
+    }
+
+    /// Renders a compact epoch string (e.g. `"3-7, 12"`) from the round
+    /// indices where `pick` selected the row.
+    fn epochs(rounds: &[&HierRoundLine], pick: impl Fn(&HierRoundLine) -> bool) -> String {
+        let hits: Vec<u64> = rounds.iter().filter(|r| pick(r)).map(|r| r.round).collect();
+        if hits.is_empty() {
+            return "-".into();
+        }
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for h in hits {
+            match spans.last_mut() {
+                Some((_, end)) if *end + 1 == h => *end = h,
+                _ => spans.push((h, h)),
+            }
+        }
+        spans
+            .iter()
+            .map(|(a, b)| {
+                if a == b {
+                    a.to_string()
+                } else {
+                    format!("{a}-{b}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Renders the Markdown report section.
+    pub fn to_markdown(&self) -> String {
+        let mut md = String::new();
+        let _ = writeln!(md, "## Hierarchical sweep\n");
+        let _ = writeln!(
+            md,
+            "{} rows under one substation feed: {:.0} W feed, {:.0} W allocatable, \
+             {:.2}x oversubscribed, {}-minute grant rounds.\n",
+            self.rows,
+            self.feed_w,
+            self.allocatable_w,
+            self.oversubscription,
+            self.grant_period_mins
+        );
+        let _ = writeln!(
+            md,
+            "| loss | outage | row fault | substation | row trips | lost | fallback | pinned | reserve W | r_thru |"
+        );
+        let _ = writeln!(
+            md,
+            "|-----:|-------:|:---------:|:----------:|----------:|-----:|---------:|-------:|----------:|-------:|"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                md,
+                "| {:.0}% | {}m | {} | {} | {} | {} | {} | {} | {:.0} | {:.3} |",
+                c.grant_loss * 100.0,
+                c.outage_mins,
+                if c.row_fault { "yes" } else { "no" },
+                if c.substation_tripped {
+                    "**TRIP**"
+                } else {
+                    "ok"
+                },
+                c.row_trips,
+                c.grants_lost,
+                c.fallback_rounds,
+                c.pinned_rounds,
+                c.max_reserve_w,
+                c.throughput_ratio,
+            );
+        }
+        let _ = writeln!(md);
+
+        // Budget-reallocation timeline of the most-faulted cell (the
+        // last one in sweep order with any control-plane fault), or the
+        // clean cell when the grid is all-clean.
+        let focus = self
+            .cells
+            .iter()
+            .rposition(|c| c.grants_lost > 0 || c.arbiter_down_rounds > 0 || c.row_fault)
+            .unwrap_or(0);
+        let rounds: Vec<&HierRoundLine> = self.rounds_of(focus).collect();
+        if !rounds.is_empty() {
+            let c = &self.cells[focus];
+            let _ = writeln!(
+                md,
+                "### Reallocation timeline (cell: loss {:.0}%, outage {}m, row fault {})\n",
+                c.grant_loss * 100.0,
+                c.outage_mins,
+                if c.row_fault { "yes" } else { "no" }
+            );
+            let _ = writeln!(
+                md,
+                "| round | at | arbiter | Σ applied W | reserve W | lost | fallback | pinned |"
+            );
+            let _ = writeln!(
+                md,
+                "|------:|---:|:-------:|------------:|----------:|:-----|:---------|:-------|"
+            );
+            let fmt_rows = |v: &[usize]| {
+                if v.is_empty() {
+                    "-".to_string()
+                } else {
+                    v.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
+                }
+            };
+            for r in &rounds {
+                let _ = writeln!(
+                    md,
+                    "| {} | {}m | {} | {:.0} | {:.0} | {} | {} | {} |",
+                    r.round,
+                    r.at_min,
+                    if r.backstop {
+                        "backstop"
+                    } else if !r.arbiter_up {
+                        "DOWN"
+                    } else if r.held {
+                        "held"
+                    } else {
+                        "up"
+                    },
+                    r.applied_w.iter().sum::<f64>(),
+                    r.reserve_w,
+                    fmt_rows(&r.lost_rows),
+                    fmt_rows(&r.fallback_rows),
+                    fmt_rows(&r.pinned_rows),
+                );
+            }
+            let _ = writeln!(md);
+            let _ = writeln!(
+                md,
+                "Degraded epochs (rounds): arbiter down {}; any row on fallback {}; \
+                 any row pinned {}.\n",
+                Self::epochs(&rounds, |r| !r.arbiter_up && !r.backstop),
+                Self::epochs(&rounds, |r| !r.fallback_rows.is_empty()),
+                Self::epochs(&rounds, |r| !r.pinned_rows.is_empty()),
+            );
+        }
+
+        let _ = writeln!(
+            md,
+            "Zero trips: **{}** — {} substation trip(s), {} row trip(s) across {} cells.",
+            if self.zero_trips() { "PASS" } else { "FAIL" },
+            self.cells.iter().filter(|c| c.substation_tripped).count(),
+            self.cells.iter().map(|c| c.row_trips).sum::<u64>(),
+            self.cells.len(),
+        );
+        match self.isolation_recomputed() {
+            Some(ok) => {
+                let _ = writeln!(
+                    md,
+                    "Sibling isolation: **{}** — healthy rows {} bit-identical between the \
+                     clean and row-fault cells (recomputed from the dump's checksums{}).",
+                    if ok && self.declared_isolation_ok {
+                        "PASS"
+                    } else {
+                        "FAIL"
+                    },
+                    if ok { "are" } else { "are NOT" },
+                    if ok == self.declared_isolation_ok {
+                        ""
+                    } else {
+                        "; DISAGREES with the declared verdict"
+                    },
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    md,
+                    "Sibling isolation: **n/a** — the grid did not sweep the row-fault axis."
+                );
+            }
+        }
+        let _ = writeln!(
+            md,
+            "Trip attribution: **{}** — every substation trip (if any) was preceded by a \
+             row-level violation or a control-plane fault.",
+            if self.trips_explained() {
+                "PASS"
+            } else {
+                "FAIL"
+            },
+        );
+        md
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dump() -> String {
+        concat!(
+            "{\"bench\":\"hier\",\"workers\":1,\"seed\":23,\"hours\":1,\"rows\":2,\"cells\":2,",
+            "\"grant_period_mins\":5,\"feed_w\":18400.0,\"allocatable_w\":17480.0,",
+            "\"oversubscription\":1.087,\"floors_w\":[7200.0,7200.0],\"ceilings_w\":[8800.0,8800.0],",
+            "\"baseline_placed\":100,\"wall_ms\":1.0,\"zero_trips\":true,\"isolation_ok\":true,",
+            "\"has_isolation_axis\":true,\"trips_explained\":true}\n",
+            "{\"cell\":0,\"grant_loss\":0,\"outage_mins\":0,\"row_fault\":false,",
+            "\"substation_tripped\":false,\"substation_trip_min\":-1,\"substation_violations\":0,",
+            "\"row_trips\":0,\"row_violations\":0,\"row_over_grant_ticks\":0,",
+            "\"arbiter_down_rounds\":0,\"grants_lost\":0,\"fallback_rounds\":0,",
+            "\"static_share_rounds\":0,\"held_rounds\":1,\"pinned_rounds\":0,",
+            "\"max_reserve_w\":0.0,\"min_coverage\":1.0,\"degraded_ticks\":0,\"backstop_ticks\":0,",
+            "\"placed\":100,\"throughput_ratio\":1.0,\"trip_explained\":true,",
+            "\"row_checksums\":\"00aa,00bb\"}\n",
+            "{\"cell\":0,\"round\":0,\"at_min\":0,\"arbiter_up\":true,\"held\":false,",
+            "\"backstop\":false,\"reserve_w\":0.0,\"applied_w\":[8740.0,8740.0],",
+            "\"lost_rows\":[],\"fallback_rows\":[],\"pinned_rows\":[]}\n",
+            "{\"cell\":1,\"grant_loss\":0,\"outage_mins\":0,\"row_fault\":true,",
+            "\"substation_tripped\":false,\"substation_trip_min\":-1,\"substation_violations\":0,",
+            "\"row_trips\":0,\"row_violations\":0,\"row_over_grant_ticks\":0,",
+            "\"arbiter_down_rounds\":0,\"grants_lost\":0,\"fallback_rounds\":0,",
+            "\"static_share_rounds\":0,\"held_rounds\":1,\"pinned_rounds\":2,",
+            "\"max_reserve_w\":400.0,\"min_coverage\":0.7,\"degraded_ticks\":5,\"backstop_ticks\":0,",
+            "\"placed\":90,\"throughput_ratio\":0.9,\"trip_explained\":true,",
+            "\"row_checksums\":\"00cc,00bb\"}\n",
+            "{\"cell\":1,\"round\":0,\"at_min\":0,\"arbiter_up\":true,\"held\":false,",
+            "\"backstop\":false,\"reserve_w\":400.0,\"applied_w\":[7200.0,8740.0],",
+            "\"lost_rows\":[],\"fallback_rows\":[],\"pinned_rows\":[0]}\n",
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn parses_and_gates_a_clean_dump() {
+        let run = HierRun::parse(&dump()).unwrap();
+        assert_eq!(run.cells.len(), 2);
+        assert_eq!(run.rounds.len(), 2);
+        assert!(run.zero_trips());
+        assert_eq!(run.isolation_recomputed(), Some(true));
+        assert!(run.gates_pass());
+        let md = run.to_markdown();
+        assert!(md.contains("## Hierarchical sweep"));
+        assert!(md.contains("Zero trips: **PASS**"));
+        assert!(md.contains("Sibling isolation: **PASS**"));
+        assert!(md.contains("Reallocation timeline"));
+    }
+
+    #[test]
+    fn detects_broken_isolation_and_trips() {
+        let broken = dump().replace("\"00cc,00bb\"", "\"00cc,00dd\"");
+        let run = HierRun::parse(&broken).unwrap();
+        assert_eq!(run.isolation_recomputed(), Some(false));
+        assert!(!run.gates_pass());
+        assert!(run.to_markdown().contains("Sibling isolation: **FAIL**"));
+
+        let tripped = dump().replace(
+            "{\"cell\":1,\"grant_loss\":0,\"outage_mins\":0,\"row_fault\":true,\"substation_tripped\":false",
+            "{\"cell\":1,\"grant_loss\":0,\"outage_mins\":0,\"row_fault\":true,\"substation_tripped\":true",
+        );
+        let run = HierRun::parse(&tripped).unwrap();
+        assert!(!run.zero_trips());
+        assert!(!run.gates_pass());
+        assert!(run.to_markdown().contains("Zero trips: **FAIL**"));
+    }
+
+    #[test]
+    fn rejects_malformed_dumps() {
+        assert!(HierRun::parse("").is_err());
+        assert!(HierRun::parse("{\"bench\":\"scale\"}").is_err());
+        let short = dump().lines().take(2).collect::<Vec<_>>().join("\n");
+        assert!(HierRun::parse(&short).unwrap_err().contains("declares 2"));
+        let dangling = format!(
+            "{}{}",
+            dump(),
+            "{\"cell\":9,\"round\":0,\"at_min\":0,\"arbiter_up\":true,\"held\":false,\
+             \"backstop\":false,\"reserve_w\":0.0,\"applied_w\":[1.0],\
+             \"lost_rows\":[],\"fallback_rows\":[],\"pinned_rows\":[]}\n"
+        );
+        assert!(HierRun::parse(&dangling)
+            .unwrap_err()
+            .contains("unknown cell"));
+    }
+}

@@ -27,6 +27,10 @@
 //!   (`BENCH_watch.json`) and renders the incident timeline, MTTA/MTTR,
 //!   per-rule firing counts and the digest/silence/signal verdicts
 //!   behind `report --alerts`.
+//! - **Did the hierarchy hold?** [`hier`] parses the `repro hier` sweep
+//!   (`BENCH_hier.json`) and renders the budget-reallocation timeline,
+//!   per-row degraded/fallback epochs and the zero-trip / sibling-
+//!   isolation / trip-attribution verdicts behind `report --hier`.
 //!
 //! Everything is offline and dependency-free: the dump is the only
 //! input, and seeded runs produce byte-identical dumps, so summaries —
@@ -36,6 +40,7 @@
 
 pub mod alerts;
 pub mod analysis;
+pub mod hier;
 pub mod profile;
 pub mod reader;
 pub mod report;
@@ -47,6 +52,7 @@ pub use analysis::{
     decision_latency, freeze_durations, segments, violation_epochs, DecisionLatency, DegradedOps,
     Distribution, RunSummary, ViolationAttribution, ViolationEpoch, ET_BINS,
 };
+pub use hier::{HierCellLine, HierRoundLine, HierRun};
 pub use profile::{ProfilePhase, ProfileRun};
 pub use reader::{read_run, MetricLine, MetricValue, ReadError, Run, RunLine, RunReader};
 pub use report::{

@@ -36,6 +36,13 @@
 //!    calm gives the alerting engine nothing legitimate to page about,
 //!    so any firing is rule noise (the false-positive gate for the
 //!    default rule table).
+//! 7. **budget-conservation** — on scenarios with a budget axis, every
+//!    arbiter reallocation round conserves the substation budget: the
+//!    granted row budgets sum to no more than the substation budget,
+//!    and no grant falls below its row's configured floor. Checked from
+//!    the `arbiter/reallocate` + `arbiter/grant` telemetry the round
+//!    emits, so the shrinker hunts arbiter bugs with the same machinery
+//!    as controller bugs.
 
 use std::fmt;
 
@@ -54,17 +61,21 @@ pub enum InvariantKind {
     Determinism,
     /// A default alert rule fired in a provably calm run.
     AlertQuiet,
+    /// An arbiter round over-granted the substation budget or granted
+    /// below a row floor.
+    BudgetConservation,
 }
 
 impl InvariantKind {
     /// Every invariant, in registry order.
-    pub const ALL: [InvariantKind; 6] = [
+    pub const ALL: [InvariantKind; 7] = [
         InvariantKind::BreakerSafety,
         InvariantKind::FrozenBounds,
         InvariantKind::PowerConservation,
         InvariantKind::FreezeAccounting,
         InvariantKind::Determinism,
         InvariantKind::AlertQuiet,
+        InvariantKind::BudgetConservation,
     ];
 
     /// Stable kebab-case name (used in JSONL rows and reports).
@@ -76,6 +87,7 @@ impl InvariantKind {
             InvariantKind::FreezeAccounting => "freeze-accounting",
             InvariantKind::Determinism => "determinism",
             InvariantKind::AlertQuiet => "alert-quiet",
+            InvariantKind::BudgetConservation => "budget-conservation",
         }
     }
 

@@ -6,7 +6,8 @@
 //! controller-config perturbations and a [`FaultPlan`] — runs each on
 //! the [`Testbed`], and checks a registry of *system-level* invariants
 //! (breaker safety, frozen bounds, power conservation, freeze
-//! accounting, byte-determinism). On failure the harness shrinks the
+//! accounting, byte-determinism, alert quiet, arbiter budget
+//! conservation). On failure the harness shrinks the
 //! scenario along each axis to a minimal reproduction and emits a
 //! self-contained repro command.
 //!
@@ -33,5 +34,5 @@ pub mod shrink;
 pub use batch::{repro_command, run_batch, shell_quote, BatchConfig, BatchReport, BatchRow};
 pub use invariant::{InvariantKind, Violation};
 pub use run::{run_scenario, InjectedBug, RunOptions, RunStats, ScenarioOutcome, BUG_ENV};
-pub use scenario::{ControlAxis, FaultAxis, Scenario, WorkloadAxis, WorkloadKind};
+pub use scenario::{BudgetAxis, ControlAxis, FaultAxis, Scenario, WorkloadAxis, WorkloadKind};
 pub use shrink::{shrink, shrink_to_level, ShrinkResult, MIN_TICKS};

@@ -8,6 +8,7 @@
 //! evaluates every invariant in the registry. When determinism checking
 //! is on, the whole run repeats and the two byte-digests must match.
 
+use ampere_arbiter::{ArbiterConfig, BudgetArbiter, RowHealth};
 use ampere_cluster::RowId;
 use ampere_experiments::testbed::{DomainTickRecord, Testbed, TestbedConfig};
 use ampere_experiments::DomainSpec;
@@ -277,7 +278,49 @@ fn simulate(
         })
         .collect();
 
-    tb.run_for(SimDuration::from_mins(scenario.ticks));
+    match scenario.budget {
+        None => tb.run_for(SimDuration::from_mins(scenario.ticks)),
+        Some(axis) => {
+            // One substation budget split across the rows by the
+            // arbiter's water-fill: ceilings at the row's solo control
+            // budget, so the arbitrated run is never *looser* than the
+            // non-arbitrated one — only the split varies with the
+            // forecast skew and each row's own health.
+            let substation_w = spec.rows as f64 * control_budget_w * axis.substation_scale;
+            let floor_w = axis.floor_scale * substation_w / spec.rows as f64;
+            let mut arbiter = BudgetArbiter::try_with_telemetry(
+                ArbiterConfig {
+                    substation_budget_w: substation_w,
+                    floors_w: vec![floor_w; spec.rows],
+                    ceilings_w: vec![control_budget_w; spec.rows],
+                    grant_period_mins: axis.grant_period,
+                    hysteresis: axis.hysteresis,
+                },
+                ampere_telemetry::global(),
+            )
+            .expect("generated axis ranges always validate");
+            let weights = scenario.row_weights();
+            for t in 0..scenario.ticks {
+                if t % axis.grant_period == 0 {
+                    // Health from each row's own records only — the
+                    // isolation contract (DESIGN §13).
+                    let health: Vec<RowHealth> = domains
+                        .iter()
+                        .map(|&d| match tb.records(d).last() {
+                            Some(r) if r.backstop_armed => RowHealth::Dark,
+                            Some(r) if r.degraded => RowHealth::Degraded,
+                            _ => RowHealth::Healthy,
+                        })
+                        .collect();
+                    let round = arbiter.reallocate(tb.now(), &weights, &health);
+                    for (i, &d) in domains.iter().enumerate() {
+                        tb.set_control_budget_w(d, Some(round.grants_w[i]));
+                    }
+                }
+                tb.step();
+            }
+        }
+    }
 
     let records = domains.iter().map(|&d| tb.records(d).to_vec()).collect();
     let measured = domains
@@ -458,6 +501,67 @@ fn evaluate(scenario: &Scenario, run: &RawRun) -> Vec<Violation> {
         });
     }
 
+    // 7. budget-conservation, from the arbiter's round telemetry.
+    out.extend(budget_conservation(&run.events));
+
+    out
+}
+
+/// Invariant 7: every `arbiter/reallocate` round's grants sum to at
+/// most the substation budget, and no grant falls below its row floor.
+/// Vacuously true on runs without an arbiter (no events to check).
+fn budget_conservation(events: &[Event]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // (budget_w, Σ grants so far, round tick) of the open round.
+    let mut open: Option<(f64, f64, u64)> = None;
+    let num = |e: &Event, key: &str| e.field(key).and_then(|v| v.as_f64());
+    let close = |out: &mut Vec<Violation>, (budget, sum, tick): (f64, f64, u64)| {
+        if sum > budget * (1.0 + 1e-9) + 1e-6 {
+            out.push(Violation {
+                invariant: InvariantKind::BudgetConservation,
+                tick: Some(tick),
+                detail: format!("granted {sum:.3} W exceeds the {budget:.3} W substation budget"),
+            });
+        }
+    };
+    for e in events {
+        if e.component != "arbiter" {
+            continue;
+        }
+        let tick = e.sim_time.as_millis() / 60_000;
+        match e.name {
+            "reallocate" => {
+                if let Some(round) = open.take() {
+                    close(&mut out, round);
+                }
+                if let Some(budget) = num(e, "budget_w") {
+                    open = Some((budget, 0.0, tick));
+                }
+            }
+            "grant" => {
+                let (Some(grant), Some(floor)) = (num(e, "budget_w"), num(e, "floor_w")) else {
+                    continue;
+                };
+                if grant < floor - 1e-6 {
+                    out.push(Violation {
+                        invariant: InvariantKind::BudgetConservation,
+                        tick: Some(tick),
+                        detail: format!(
+                            "row {} granted {grant:.3} W below its {floor:.3} W floor",
+                            e.field("row").and_then(|v| v.as_u64()).unwrap_or(u64::MAX)
+                        ),
+                    });
+                }
+                if let Some(round) = open.as_mut() {
+                    round.1 += grant;
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(round) = open {
+        close(&mut out, round);
+    }
     out
 }
 
@@ -478,7 +582,11 @@ pub const QUIET_MARGIN_SLACK: f64 = 0.02;
 /// headroom gauges all sit strictly on the quiet side of their
 /// thresholds — any firing is rule noise, not signal.
 pub fn provably_quiet(scenario: &Scenario, stats: &RunStats) -> bool {
-    scenario.faults.is_noop()
+    // A budget axis can legitimately grant a row less than the breaker
+    // allows, so the "wide breaker margin ⇒ no freezing" implication
+    // the quiet proof rests on does not hold under arbitration.
+    scenario.budget.is_none()
+        && scenario.faults.is_noop()
         && stats.violations == 0
         && stats.degraded_ticks == 0
         && stats.backstop_ticks == 0
@@ -646,6 +754,7 @@ mod tests {
                 margin: 0.10,
             },
             faults: FaultAxis::none(),
+            budget: None,
         };
         let outcome = run_scenario(&scenario, &RunOptions::default());
         assert!(
@@ -658,6 +767,97 @@ mod tests {
             "calm run violated: {:?}",
             outcome.violations
         );
+    }
+
+    #[test]
+    fn budget_axis_runs_arbitrate_and_conserve() {
+        use crate::scenario::{BudgetAxis, ControlAxis, FaultAxis, WorkloadAxis, WorkloadKind};
+        let scenario = Scenario {
+            seed: 5,
+            ticks: 60,
+            rows: 2,
+            racks_per_row: 1,
+            servers_per_rack: 6,
+            workload: WorkloadAxis {
+                kind: WorkloadKind::Light,
+                rate_scale: 0.8,
+                amplitude: 0.2,
+            },
+            control: ControlAxis {
+                budget_scale: 0.95,
+                et: 0.06,
+                kr_scale: 1.0,
+                u_max: 0.55,
+                margin: 0.10,
+            },
+            faults: FaultAxis::none(),
+            budget: Some(BudgetAxis {
+                substation_scale: 0.90,
+                skew: 0.4,
+                floor_scale: 0.65,
+                grant_period: 10,
+                hysteresis: 0.02,
+            }),
+        };
+        let outcome = run_scenario(&scenario, &RunOptions::default());
+        assert!(
+            outcome.passed(),
+            "budget run violated: {:?}",
+            outcome.violations
+        );
+        // Not vacuous: the arbiter actually reallocated (6 rounds over
+        // 60 ticks at period 10), which the determinism re-run also
+        // digested — the events are part of the byte contract.
+        let again = run_scenario(&scenario, &RunOptions::default());
+        assert_eq!(outcome.digest, again.digest);
+    }
+
+    #[test]
+    fn budget_conservation_charges_over_grants_and_floor_breaks() {
+        use ampere_sim::SimTime;
+        use ampere_telemetry::Severity;
+        let reallocate = |min: u64, budget: f64| {
+            Event::new(
+                SimTime::from_mins(min),
+                Severity::Info,
+                "arbiter",
+                "reallocate",
+            )
+            .with("round", min)
+            .with("budget_w", budget)
+            .with("reserve_w", 0.0)
+            .with("held", false)
+            .with("pinned", 0u64)
+        };
+        let grant = |min: u64, row: u64, w: f64, floor: f64| {
+            Event::new(SimTime::from_mins(min), Severity::Info, "arbiter", "grant")
+                .with("round", min)
+                .with("row", row)
+                .with("budget_w", w)
+                .with("nominal_w", w)
+                .with("floor_w", floor)
+                .with("pinned", false)
+        };
+        // A clean round, an over-granted round, a floor-breaking grant.
+        let events = vec![
+            reallocate(0, 1000.0),
+            grant(0, 0, 600.0, 300.0),
+            grant(0, 1, 400.0, 300.0),
+            reallocate(10, 1000.0),
+            grant(10, 0, 700.0, 300.0),
+            grant(10, 1, 400.0, 300.0),
+            reallocate(20, 1000.0),
+            grant(20, 0, 299.0, 300.0),
+            grant(20, 1, 400.0, 300.0),
+        ];
+        let violations = budget_conservation(&events);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations
+            .iter()
+            .all(|v| v.invariant == InvariantKind::BudgetConservation));
+        assert!(violations.iter().any(|v| v.tick == Some(10)));
+        assert!(violations.iter().any(|v| v.tick == Some(20)));
+        assert!(budget_conservation(&[]).is_empty());
     }
 
     #[test]

@@ -105,6 +105,27 @@ impl FaultAxis {
     }
 }
 
+/// Budget axis: a multi-row scenario splits one substation budget
+/// across its rows through the [`ampere_arbiter`] water-fill instead of
+/// giving every row the full control budget. The skew models a forecast
+/// that favors some rows — the arbiter's input, not the workload's —
+/// so the budget split is unequal while demand stays symmetric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetAxis {
+    /// Substation budget as a fraction of `rows × control budget`
+    /// (< 1 oversubscribes the shared feed).
+    pub substation_scale: f64,
+    /// Forecast-weight skew across rows in `[0, 1)`: row weights run
+    /// linearly from `1 − skew/2` to `1 + skew/2`.
+    pub skew: f64,
+    /// Per-row floor as a fraction of the equal substation share.
+    pub floor_scale: f64,
+    /// Reallocation cadence in ticks.
+    pub grant_period: u64,
+    /// Arbiter hysteresis fraction.
+    pub hysteresis: f64,
+}
+
 /// One complete randomized scenario, reconstructible from `seed`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -124,6 +145,9 @@ pub struct Scenario {
     pub control: ControlAxis,
     /// Fault axis.
     pub faults: FaultAxis,
+    /// Budget axis: `Some` on multi-row scenarios that arbitrate one
+    /// substation budget across rows, `None` for independent rows.
+    pub budget: Option<BudgetAxis>,
 }
 
 /// Arrival rate the presets were calibrated against.
@@ -189,6 +213,16 @@ impl Scenario {
             }),
         };
 
+        // Drawn last so every earlier axis keeps its per-seed value
+        // from before this axis existed (seed stability across PRs).
+        let budget = (rows >= 2 && rng.gen_bool(0.5)).then(|| BudgetAxis {
+            substation_scale: rng.gen_range(0.85..0.98),
+            skew: rng.gen_range(0.0..0.6),
+            floor_scale: rng.gen_range(0.55..0.75),
+            grant_period: rng.gen_range(5..=15u64),
+            hysteresis: rng.gen_range(0.0..0.05),
+        });
+
         Scenario {
             seed,
             ticks,
@@ -198,6 +232,7 @@ impl Scenario {
             workload,
             control,
             faults,
+            budget,
         }
     }
 
@@ -284,6 +319,24 @@ impl Scenario {
         SimDuration::MINUTE
     }
 
+    /// Forecast weights the arbiter splits the substation budget by:
+    /// linear from `1 − skew/2` to `1 + skew/2` across rows, all 1.0
+    /// without a budget axis.
+    pub fn row_weights(&self) -> Vec<f64> {
+        let skew = self.budget.map_or(0.0, |b| b.skew);
+        let rows = self.rows.max(1);
+        (0..rows)
+            .map(|r| {
+                let t = if rows > 1 {
+                    r as f64 / (rows - 1) as f64
+                } else {
+                    0.5
+                };
+                1.0 - skew / 2.0 + skew * t
+            })
+            .collect()
+    }
+
     /// One-line human description, used in failure output.
     pub fn describe(&self) -> String {
         let faults = if self.faults.is_noop() {
@@ -304,9 +357,17 @@ impl Scenario {
             }
             parts.join(",")
         };
+        let budget = match self.budget {
+            None => "none".to_string(),
+            Some(b) => format!(
+                "(sub={:.3},skew={:.2},floor={:.2},period={}m,hyst={:.3})",
+                b.substation_scale, b.skew, b.floor_scale, b.grant_period, b.hysteresis
+            ),
+        };
         format!(
             "seed={} ticks={} topo={}x{}x{} ({} servers) workload={}(rate={:.2},amp={:.2}) \
-             control=(budget={:.3},et={:.3},kr_scale={:.2},u_max={:.2},margin={:.3}) faults={}",
+             control=(budget={:.3},et={:.3},kr_scale={:.2},u_max={:.2},margin={:.3}) faults={} \
+             budget_split={}",
             self.seed,
             self.ticks,
             self.rows,
@@ -321,7 +382,8 @@ impl Scenario {
             self.control.kr_scale,
             self.control.u_max,
             self.control.margin,
-            faults
+            faults,
+            budget
         )
     }
 }
@@ -352,11 +414,39 @@ mod tests {
             if let Some(plan) = s.fault_plan() {
                 plan.validate().expect("generated plan must validate");
             }
+            if let Some(b) = s.budget {
+                assert!(s.rows >= 2, "budget axis on a single-row scenario");
+                assert!((0.85..0.98).contains(&b.substation_scale));
+                assert!((0.0..0.6).contains(&b.skew));
+                assert!((0.55..0.75).contains(&b.floor_scale));
+                assert!((5..=15).contains(&b.grant_period));
+                assert!((0.0..0.05).contains(&b.hysteresis));
+                let weights = s.row_weights();
+                assert_eq!(weights.len(), s.rows);
+                assert!(weights.iter().all(|&w| w > 0.0));
+            }
             // Safety precondition: the frozen floor is below the
             // breaker budget, so a correct controller can always win.
             let floor = 1.0 - 0.4 * s.control.u_max;
             assert!(floor < s.control.budget_scale - 0.02, "{}", s.describe());
         }
+    }
+
+    #[test]
+    fn budget_axis_appears_on_a_healthy_fraction_of_multi_row_seeds() {
+        let multi_row = (0..200u64)
+            .map(Scenario::generate)
+            .filter(|s| s.rows >= 2)
+            .count();
+        let with_budget = (0..200u64)
+            .map(Scenario::generate)
+            .filter(|s| s.budget.is_some())
+            .count();
+        assert!(multi_row > 0);
+        assert!(
+            with_budget * 5 >= multi_row && with_budget <= multi_row,
+            "budget axis on {with_budget}/{multi_row} multi-row seeds"
+        );
     }
 
     #[test]

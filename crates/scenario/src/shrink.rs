@@ -64,6 +64,12 @@ const CANDIDATES: &[Candidate] = &[
             ..s.clone()
         })
     }),
+    ("budget", |s| {
+        s.budget.is_some().then(|| Scenario {
+            budget: None,
+            ..s.clone()
+        })
+    }),
     ("rows", |s| {
         (s.rows > 1).then(|| Scenario {
             rows: 1,
@@ -230,7 +236,7 @@ pub fn shrink_to_level(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{ControlAxis, WorkloadAxis, WorkloadKind};
+    use crate::scenario::{BudgetAxis, ControlAxis, WorkloadAxis, WorkloadKind};
 
     fn sample() -> Scenario {
         Scenario {
@@ -257,6 +263,13 @@ mod tests {
                 rpc_loss: 0.05,
                 outage: Some((40, 10)),
             },
+            budget: Some(BudgetAxis {
+                substation_scale: 0.9,
+                skew: 0.3,
+                floor_scale: 0.65,
+                grant_period: 10,
+                hysteresis: 0.02,
+            }),
         }
     }
 

@@ -261,6 +261,9 @@ pub mod streams {
     /// Telemetry: deterministic 1-in-N event-sampler phase
     /// ([`derive_subseed`](super::derive_subseed) with the sample period).
     pub const TELEMETRY_SAMPLE: u64 = 14;
+    /// Fault injection: lost budget-grant RPCs and arbiter outage
+    /// accounting (the two-level controller's fault domain).
+    pub const FAULT_GRANT: u64 = 15;
 }
 
 #[cfg(test)]

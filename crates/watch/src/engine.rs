@@ -30,6 +30,10 @@ struct TickState {
     tick_span: SpanCtx,
     /// Breaker violations this tick: (row, consecutive minutes, span).
     violations: Vec<(String, u64, SpanCtx)>,
+    /// Arbiter reallocation rounds this tick.
+    arb_rounds: u64,
+    /// Rounds with ≥ 1 row pinned at floor while reserve was held.
+    starved_rounds: u64,
 }
 
 impl TickState {
@@ -43,6 +47,8 @@ impl TickState {
             degraded: false,
             tick_span: SpanCtx::NONE,
             violations: Vec::new(),
+            arb_rounds: 0,
+            starved_rounds: 0,
         }
     }
 }
@@ -309,6 +315,17 @@ impl WatchEngine {
                     .unwrap_or(1);
                 tick.violations.push((row, consecutive, event.span));
             }
+            ("arbiter", "reallocate") => {
+                tick.arb_rounds += 1;
+                let pinned = event.field("pinned").and_then(|v| v.as_u64()).unwrap_or(0);
+                let reserve = event
+                    .field("reserve_w")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+                if pinned > 0 && reserve > 0.0 {
+                    tick.starved_rounds += 1;
+                }
+            }
             ("watchdog", "backstop_armed") => self.backstops_armed += 1,
             ("watchdog", "backstop_disarmed") => {
                 self.backstops_armed = (self.backstops_armed - 1).max(0);
@@ -397,6 +414,8 @@ impl WatchEngine {
             w.backstop_ticks += 1;
         }
         w.violations += tick.violations.len() as u64;
+        w.arb_rounds += tick.arb_rounds;
+        w.starved_rounds += tick.starved_rounds;
         if tick.tick_span.is_some() {
             w.last_span = tick.tick_span;
         }
@@ -481,6 +500,12 @@ impl WatchEngine {
                     RuleInput::ChurnZScore { min_churn } => {
                         self.states[i].churn_z(w.churn, min_churn)
                     }
+                    // Unknown (skipped) when the window saw no
+                    // reallocation round: single-row runs and arbiter
+                    // outage windows neither extend nor reset streaks.
+                    RuleInput::ArbiterStarvation if w.arb_rounds > 0 => {
+                        Some(w.starved_rounds as f64 / w.arb_rounds as f64)
+                    }
                     _ => None,
                 };
                 if let Some(value) = value {
@@ -518,6 +543,8 @@ impl WatchEngine {
             degraded_ticks: w.degraded_ticks,
             backstop_ticks: w.backstop_ticks,
             violations: w.violations,
+            arb_rounds: w.arb_rounds,
+            starved_rounds: w.starved_rounds,
             p_over: if w.power_ticks > 0 {
                 w.over_ticks as f64 / w.power_ticks as f64
             } else {
@@ -870,6 +897,80 @@ mod tests {
         assert_eq!(w0.degraded_ticks, 2);
         assert_eq!(w0.churn, 2);
         assert!((w0.power_mean - 0.5).abs() < 1e-12);
+    }
+
+    fn starvation_rule(sustain: u32) -> AlertRule {
+        AlertRule {
+            name: "arbiter-starvation".into(),
+            input: RuleInput::ArbiterStarvation,
+            scope: None,
+            cmp: Cmp::Above,
+            threshold: 0.5,
+            clear: 0.1,
+            sustain,
+            severity: Severity::Warn,
+        }
+    }
+
+    fn reallocate_event(min: u64, pinned: u64, reserve_w: f64) -> Event {
+        Event::new(
+            SimTime::from_mins(min),
+            Severity::Info,
+            "arbiter",
+            "reallocate",
+        )
+        .with("round", min)
+        .with("budget_w", 30_000.0)
+        .with("reserve_w", reserve_w)
+        .with("held", false)
+        .with("pinned", pinned)
+    }
+
+    #[test]
+    fn starvation_fires_on_sustained_pinned_rounds_with_reserve() {
+        let mut engine = WatchEngine::new(config(vec![starvation_rule(2)]));
+        // Windows 0-1 (mins 0..10): every round starved → two breaching
+        // windows meet sustain 2; window 2 is clean → resolves.
+        for min in 0..15 {
+            engine.observe(&tick_event(min, 0.5));
+            let pinned = if min < 10 { 1 } else { 0 };
+            let reserve = if min < 10 { 1_500.0 } else { 0.0 };
+            engine.observe(&reallocate_event(min, pinned, reserve));
+        }
+        engine.observe(&tick_event(15, 0.5));
+        let report = engine.finish();
+        let fires: Vec<_> = report.alerts.iter().filter(|a| a.state == "fire").collect();
+        assert_eq!(fires.len(), 1);
+        assert_eq!(fires[0].rule, "arbiter-starvation");
+        // Window 1 closes at min 10: the second breaching window.
+        assert_eq!(fires[0].time, SimTime::from_mins(10));
+        assert_eq!(
+            report.incidents[0].resolved_at,
+            Some(SimTime::from_mins(15))
+        );
+        assert_eq!(report.windows[0].arb_rounds, 5);
+        assert_eq!(report.windows[0].starved_rounds, 5);
+    }
+
+    #[test]
+    fn starvation_stays_silent_without_arbiter_or_without_reserve() {
+        // No arbiter events at all: the gauge is unknown every window.
+        let mut engine = WatchEngine::new(config(vec![starvation_rule(1)]));
+        for min in 0..12 {
+            engine.observe(&tick_event(min, 0.5));
+        }
+        assert!(engine.finish().alerts.is_empty(), "single-row run paged");
+        // Rounds pin without held reserve (floors absorb the budget):
+        // not starvation — nothing reclaimable is being withheld.
+        let mut engine = WatchEngine::new(config(vec![starvation_rule(1)]));
+        for min in 0..12 {
+            engine.observe(&tick_event(min, 0.5));
+            engine.observe(&reallocate_event(min, 1, 0.0));
+        }
+        let report = engine.finish();
+        assert!(report.alerts.is_empty(), "reserve-free pinning paged");
+        assert_eq!(report.windows[0].arb_rounds, 5);
+        assert_eq!(report.windows[0].starved_rounds, 0);
     }
 
     #[test]

@@ -89,6 +89,11 @@ pub(crate) struct WindowAccum {
     pub violations: u64,
     /// Controller ticks with `power_norm > p_over_margin`.
     pub over_ticks: u64,
+    /// Arbiter reallocation rounds folded in.
+    pub arb_rounds: u64,
+    /// Rounds with ≥ 1 row pinned at its floor while the arbiter held
+    /// reclaimable surplus in reserve.
+    pub starved_rounds: u64,
     /// Minimum Et headroom seen (INFINITY when power never known).
     pub min_headroom: f64,
     /// Span of the last controller tick folded in (window-close rule
@@ -110,6 +115,8 @@ impl WindowAccum {
             backstop_ticks: 0,
             violations: 0,
             over_ticks: 0,
+            arb_rounds: 0,
+            starved_rounds: 0,
             min_headroom: f64::INFINITY,
             last_span: SpanCtx::NONE,
         }
@@ -152,6 +159,11 @@ pub struct WindowRollup {
     pub backstop_ticks: u64,
     /// Breaker violation events this window.
     pub violations: u64,
+    /// Arbiter reallocation rounds this window (0 for single-row runs).
+    pub arb_rounds: u64,
+    /// Rounds where a row sat pinned at its floor while the arbiter
+    /// held reclaimable reserve — the starvation gauge's numerator.
+    pub starved_rounds: u64,
     /// Empirical P(power_norm > margin) over controller ticks.
     pub p_over: f64,
     /// Minimum Et headroom (NaN/∞ serializes as null when never known).
@@ -186,8 +198,9 @@ impl WindowRollup {
         fmt::f64(self.sliding_p99, &mut out);
         let _ = write!(
             out,
-            ",\"churn\":{},\"sliding_churn\":{},\"degraded_ticks\":{},\"backstop_ticks\":{},\"violations\":{}",
-            self.churn, self.sliding_churn, self.degraded_ticks, self.backstop_ticks, self.violations
+            ",\"churn\":{},\"sliding_churn\":{},\"degraded_ticks\":{},\"backstop_ticks\":{},\"violations\":{},\"arb_rounds\":{},\"starved_rounds\":{}",
+            self.churn, self.sliding_churn, self.degraded_ticks, self.backstop_ticks, self.violations,
+            self.arb_rounds, self.starved_rounds
         );
         out.push_str(",\"p_over\":");
         fmt::f64(self.p_over, &mut out);
@@ -258,6 +271,8 @@ mod tests {
             degraded_ticks: 0,
             backstop_ticks: 0,
             violations: 0,
+            arb_rounds: 0,
+            starved_rounds: 0,
             p_over: 0.0,
             min_headroom: f64::INFINITY,
         };

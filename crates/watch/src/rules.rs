@@ -55,6 +55,12 @@ pub enum RuleInput {
         /// Churn floor below which the z-score reads 0.
         min_churn: u64,
     },
+    /// Per-window fraction of arbiter reallocation rounds where at
+    /// least one row sat pinned at its floor while the arbiter held
+    /// reclaimable surplus in reserve. Unknown (skipped) in windows
+    /// that saw no reallocation round, so single-row runs never
+    /// evaluate it.
+    ArbiterStarvation,
 }
 
 impl RuleInput {
@@ -67,6 +73,7 @@ impl RuleInput {
             RuleInput::DegradedBurn => "degraded_burn",
             RuleInput::SloBurn => "slo_burn",
             RuleInput::ChurnZScore { .. } => "churn_zscore",
+            RuleInput::ArbiterStarvation => "arbiter_starvation",
         }
     }
 
@@ -74,7 +81,10 @@ impl RuleInput {
     pub(crate) fn per_window(&self) -> bool {
         matches!(
             self,
-            RuleInput::DegradedBurn | RuleInput::SloBurn | RuleInput::ChurnZScore { .. }
+            RuleInput::DegradedBurn
+                | RuleInput::SloBurn
+                | RuleInput::ChurnZScore { .. }
+                | RuleInput::ArbiterStarvation
         )
     }
 }
@@ -200,6 +210,20 @@ pub fn default_rules() -> Vec<AlertRule> {
             threshold: 0.25,
             clear: 0.05,
             sustain: 1,
+            severity: Severity::Warn,
+        },
+        AlertRule {
+            // A row pinned at its floor while siblings' reclaimed
+            // surplus sits in reserve — sustained across two windows so
+            // a single fault-and-recover round stays quiet. Clean runs
+            // never pin, so the gauge reads 0 and the rule is silent.
+            name: "arbiter-starvation".into(),
+            input: RuleInput::ArbiterStarvation,
+            scope: None,
+            cmp: Cmp::Above,
+            threshold: 0.5,
+            clear: 0.1,
+            sustain: 2,
             severity: Severity::Warn,
         },
         AlertRule {

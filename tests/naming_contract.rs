@@ -33,6 +33,8 @@ const METRICS: &[&str] = &[
     "fault_rpcs_lost",
     "fault_samples_dropped",
     "fault_sweeps_lost",
+    "fault_grants_lost",
+    "fault_arbiter_outage_rounds",
     "monitor_dc_power_w",
     "monitor_samples_ingested",
     "monitor_sweeps_ingested",
@@ -56,6 +58,8 @@ const METRICS: &[&str] = &[
 
 /// Every `(component, event)` pair the workspace may emit.
 const EVENTS: &[(&str, &str)] = &[
+    ("arbiter", "reallocate"),
+    ("arbiter", "grant"),
     ("breaker", "violation"),
     ("breaker", "trip"),
     ("controller", "tick"),
@@ -66,6 +70,9 @@ const EVENTS: &[(&str, &str)] = &[
     ("faults", "outage_begin"),
     ("faults", "outage_end"),
     ("faults", "rpc_lost"),
+    ("faults", "grant_lost"),
+    ("faults", "arbiter_outage_begin"),
+    ("faults", "arbiter_outage_end"),
     ("monitor", "sweep"),
     ("scheduler", "clock_unset"),
     ("scheduler", "freeze"),
