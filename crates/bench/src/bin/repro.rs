@@ -25,6 +25,13 @@
 //! worker count produced the same trajectory checksum, and writes the
 //! sweep as JSONL to `BENCH_scale.json` (override with
 //! `--scale-out FILE`; render with `ampere-obs report --scale FILE`).
+//! `--hyper` switches the shards from tiny 8-server rows to full
+//! 440-server paper rows and sweeps up to 2273 shards — a
+//! 1,000,120-server fleet; with `--quick` it runs one
+//! hyperscale-representative 64-row point (the CI smoke). Setting
+//! `AMPERE_SCALE_TICKS_PER_SERVER_FLOOR` makes the run exit non-zero
+//! if any point's per-server throughput (server-ticks/sec) falls below
+//! the floor.
 //!
 //! `repro profile` measures what observing the simulator costs: the
 //! same seeded workload runs once with telemetry disabled and once
@@ -233,10 +240,12 @@ fn scale(quick: bool, args: &[String]) {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(ampere_par::available_workers);
-    let config = if quick {
-        ampere_bench::scale::ScaleConfig::quick(max_workers)
-    } else {
-        ampere_bench::scale::ScaleConfig::paper(max_workers)
+    let hyper = args.iter().any(|a| a == "--hyper");
+    let config = match (hyper, quick) {
+        (true, true) => ampere_bench::scale::ScaleConfig::hyper_quick(max_workers),
+        (true, false) => ampere_bench::scale::ScaleConfig::hyper(max_workers),
+        (false, true) => ampere_bench::scale::ScaleConfig::quick(max_workers),
+        (false, false) => ampere_bench::scale::ScaleConfig::paper(max_workers),
     };
     println!("=== Scale: rows x workers — parallel engine throughput ===\n");
     let r = ampere_bench::scale::run(&config);
@@ -252,6 +261,14 @@ fn scale(quick: bool, args: &[String]) {
         println!("\nthread-invariant: every worker count reproduced the same trajectory checksum");
     } else {
         eprintln!("\nDETERMINISM BROKEN: checksums differ across worker counts");
+        std::process::exit(1);
+    }
+    if !r.clears_floor() {
+        eprintln!(
+            "\nTHROUGHPUT FLOOR MISSED: a point fell below {} server-ticks/sec (${})",
+            r.ticks_per_server_floor,
+            ampere_bench::scale::TICKS_PER_SERVER_FLOOR_ENV
+        );
         std::process::exit(1);
     }
 }

@@ -19,6 +19,12 @@ use ampere_sim::SimDuration;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// Environment variable carrying the per-server throughput soft floor
+/// (server-ticks per wall-second). `0` (the default) disables the gate;
+/// CI sets it to catch hot-path regressions without making laptops and
+/// loaded runners fail spuriously.
+pub const TICKS_PER_SERVER_FLOOR_ENV: &str = "AMPERE_SCALE_TICKS_PER_SERVER_FLOOR";
+
 /// Grid of the scaling sweep.
 pub struct ScaleConfig {
     /// Row (shard) counts to sweep.
@@ -30,6 +36,10 @@ pub struct ScaleConfig {
     pub sim_minutes: u64,
     /// Master seed.
     pub seed: u64,
+    /// Full 440-server paper rows per shard instead of the tiny
+    /// 8-server rows (the hyperscale sweep; 2273 shards ≈ a
+    /// 1,000,120-server fleet).
+    pub hyper: bool,
 }
 
 /// Doubling ladder 1, 2, 4, … capped at (and always including) `max`.
@@ -53,6 +63,7 @@ impl ScaleConfig {
             workers: worker_ladder(max_workers),
             sim_minutes: 60,
             seed: 42,
+            hyper: false,
         }
     }
 
@@ -63,6 +74,31 @@ impl ScaleConfig {
             workers: worker_ladder(max_workers.min(4)),
             sim_minutes: 12,
             seed: 42,
+            hyper: false,
+        }
+    }
+
+    /// The hyperscale sweep: full 440-server paper rows, topping out at
+    /// 2273 shards = 1,000,120 servers.
+    pub fn hyper(max_workers: usize) -> Self {
+        ScaleConfig {
+            rows: vec![16, 256, 2273],
+            workers: worker_ladder(max_workers.min(4)),
+            sim_minutes: 5,
+            seed: 42,
+            hyper: true,
+        }
+    }
+
+    /// Hyperscale-representative smoke for CI: one 64-row point
+    /// (28,160 servers), short run, workers 1 vs max.
+    pub fn hyper_quick(max_workers: usize) -> Self {
+        ScaleConfig {
+            rows: vec![64],
+            workers: worker_ladder(max_workers.min(4)),
+            sim_minutes: 5,
+            seed: 42,
+            hyper: true,
         }
     }
 }
@@ -80,6 +116,12 @@ pub struct ScalePoint {
     pub sim_mins: u64,
     /// Throughput: simulated domain-minutes per wall-second.
     pub sim_mins_per_sec: f64,
+    /// Total servers simulated (`rows · servers-per-row`).
+    pub servers: usize,
+    /// Throughput normalized by fleet size: simulated server-ticks per
+    /// wall-second (`sim_mins · servers-per-row / wall`). The scale
+    /// engine's figure of merit — comparable across row sizes.
+    pub server_ticks_per_sec: f64,
     /// Wall-clock speedup vs the 1-worker run at the same row count.
     pub speedup: f64,
     /// Deterministic trajectory checksum ([`ShardedTestbed::checksum`]).
@@ -95,11 +137,32 @@ pub struct ScaleResult {
     pub sim_minutes: u64,
     /// Master seed.
     pub seed: u64,
+    /// Servers per row shard (8 tiny-row, 440 hyperscale).
+    pub servers_per_row: usize,
+    /// Per-server throughput soft floor (server-ticks per wall-second)
+    /// from [`TICKS_PER_SERVER_FLOOR_ENV`]; `0` disables the gate.
+    pub ticks_per_server_floor: f64,
+}
+
+/// The configured soft floor, `0.0` when unset or unparseable.
+pub fn ticks_per_server_floor() -> f64 {
+    std::env::var(TICKS_PER_SERVER_FLOOR_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
 }
 
 /// Runs the sweep. Wall-clock numbers vary run to run (this is a
 /// benchmark); the checksums must not.
 pub fn run(config: &ScaleConfig) -> ScaleResult {
+    let shard_config = |rows, workers| {
+        if config.hyper {
+            ShardedTestbedConfig::hyper(rows, workers, config.seed)
+        } else {
+            ShardedTestbedConfig::quick(rows, workers, config.seed)
+        }
+    };
+    let servers_per_row = shard_config(1, 1).spec.server_count();
     let mut points = Vec::new();
     for &rows in &config.rows {
         let mut serial_ms = None;
@@ -108,8 +171,7 @@ pub fn run(config: &ScaleConfig) -> ScaleResult {
                 continue;
             }
             let start = Instant::now();
-            let mut sharded =
-                ShardedTestbed::new(ShardedTestbedConfig::quick(rows, workers, config.seed));
+            let mut sharded = ShardedTestbed::new(shard_config(rows, workers));
             sharded.run_for(SimDuration::from_mins(config.sim_minutes));
             sharded.finish();
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -117,12 +179,15 @@ pub fn run(config: &ScaleConfig) -> ScaleResult {
                 serial_ms = Some(wall_ms);
             }
             let sim_mins = rows as u64 * config.sim_minutes;
+            let server_ticks = (sim_mins * servers_per_row as u64) as f64;
             points.push(ScalePoint {
                 rows,
                 workers,
                 wall_ms,
                 sim_mins,
                 sim_mins_per_sec: sim_mins as f64 / (wall_ms / 1e3),
+                servers: rows * servers_per_row,
+                server_ticks_per_sec: server_ticks / (wall_ms / 1e3),
                 speedup: serial_ms.map_or(1.0, |s| s / wall_ms),
                 checksum: sharded.checksum(),
             });
@@ -132,6 +197,8 @@ pub fn run(config: &ScaleConfig) -> ScaleResult {
         points,
         sim_minutes: config.sim_minutes,
         seed: config.seed,
+        servers_per_row,
+        ticks_per_server_floor: ticks_per_server_floor(),
     }
 }
 
@@ -143,20 +210,42 @@ impl ScaleResult {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{{\"bench\":\"scale\",\"sim_minutes\":{},\"seed\":{},\"points\":{}}}",
+            "{{\"bench\":\"scale\",\"sim_minutes\":{},\"seed\":{},\"points\":{},\
+             \"servers_per_row\":{},\"ticks_per_server_floor\":{:.3}}}",
             self.sim_minutes,
             self.seed,
-            self.points.len()
+            self.points.len(),
+            self.servers_per_row,
+            self.ticks_per_server_floor
         );
         for p in &self.points {
             let _ = writeln!(
                 out,
                 "{{\"rows\":{},\"workers\":{},\"wall_ms\":{:.3},\"sim_mins\":{},\
-                 \"sim_mins_per_sec\":{:.3},\"speedup\":{:.3},\"checksum\":\"{:016x}\"}}",
-                p.rows, p.workers, p.wall_ms, p.sim_mins, p.sim_mins_per_sec, p.speedup, p.checksum
+                 \"sim_mins_per_sec\":{:.3},\"servers\":{},\"server_ticks_per_sec\":{:.3},\
+                 \"speedup\":{:.3},\"checksum\":\"{:016x}\"}}",
+                p.rows,
+                p.workers,
+                p.wall_ms,
+                p.sim_mins,
+                p.sim_mins_per_sec,
+                p.servers,
+                p.server_ticks_per_sec,
+                p.speedup,
+                p.checksum
             );
         }
         out
+    }
+
+    /// Whether every point clears the per-server throughput floor (true
+    /// when the floor is disabled).
+    pub fn clears_floor(&self) -> bool {
+        self.ticks_per_server_floor <= 0.0
+            || self
+                .points
+                .iter()
+                .all(|p| p.server_ticks_per_sec >= self.ticks_per_server_floor)
     }
 
     /// Whether every worker count produced the same checksum at every
@@ -186,14 +275,21 @@ impl ScaleResult {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>5} {:>8} {:>11} {:>16} {:>8}  checksum",
-            "rows", "workers", "wall ms", "sim-mins/sec", "speedup"
+            "{:>5} {:>8} {:>8} {:>11} {:>16} {:>16} {:>8}  checksum",
+            "rows", "servers", "workers", "wall ms", "sim-mins/sec", "srv-ticks/sec", "speedup"
         );
         for p in &self.points {
             let _ = writeln!(
                 out,
-                "{:>5} {:>8} {:>11.1} {:>16.1} {:>7.2}x  {:016x}",
-                p.rows, p.workers, p.wall_ms, p.sim_mins_per_sec, p.speedup, p.checksum
+                "{:>5} {:>8} {:>8} {:>11.1} {:>16.1} {:>16.0} {:>7.2}x  {:016x}",
+                p.rows,
+                p.servers,
+                p.workers,
+                p.wall_ms,
+                p.sim_mins_per_sec,
+                p.server_ticks_per_sec,
+                p.speedup,
+                p.checksum
             );
         }
         out
@@ -219,15 +315,40 @@ mod tests {
             workers: vec![1, 2],
             sim_minutes: 5,
             seed: 7,
+            hyper: false,
         });
         // rows=1 skips workers=2: 1 + 2 points.
         assert_eq!(result.points.len(), 3);
         assert!(result.thread_invariant());
         assert!(result.points.iter().all(|p| p.wall_ms > 0.0));
         assert!(result.points.iter().all(|p| p.sim_mins_per_sec > 0.0));
+        assert_eq!(result.servers_per_row, 8);
+        assert!(result
+            .points
+            .iter()
+            .all(|p| p.servers == p.rows * 8 && p.server_ticks_per_sec > 0.0));
+        // No floor set in tests: the gate is open.
+        assert!(result.clears_floor());
         let jsonl = result.to_jsonl();
         assert_eq!(jsonl.lines().count(), 4);
         assert!(jsonl.contains("\"bench\":\"scale\""));
-        assert!(result.render_table().contains("speedup"));
+        assert!(jsonl.contains("\"servers_per_row\":8"));
+        assert!(jsonl.contains("\"server_ticks_per_sec\""));
+        assert!(result.render_table().contains("srv-ticks/sec"));
+    }
+
+    #[test]
+    fn floor_gate_flags_slow_points() {
+        let mut result = run(&ScaleConfig {
+            rows: vec![1],
+            workers: vec![1],
+            sim_minutes: 2,
+            seed: 7,
+            hyper: false,
+        });
+        result.ticks_per_server_floor = f64::MAX;
+        assert!(!result.clears_floor());
+        result.ticks_per_server_floor = 0.0;
+        assert!(result.clears_floor());
     }
 }

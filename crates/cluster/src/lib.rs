@@ -37,6 +37,7 @@
 //! assert_eq!(cluster.server(ServerId::new(7)).job_count(), 0);
 //! ```
 
+pub mod fleet;
 pub mod ids;
 pub mod resources;
 pub mod server;
@@ -45,4 +46,4 @@ pub mod topology;
 pub use ids::{JobId, RackId, RowId, ServerId};
 pub use resources::Resources;
 pub use server::{PlacementError, RunningJob, Server};
-pub use topology::{Cluster, ClusterSpec};
+pub use topology::{Cluster, ClusterSpec, EngineKind, ServerMut, ServerRef};

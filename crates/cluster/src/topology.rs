@@ -4,14 +4,43 @@
 //! then row 1, …), so row membership is computable without lookup
 //! tables and per-row scans are cache-friendly — the controller scans
 //! one row per tick at data-center scale.
+//!
+//! Two storage engines back a [`Cluster`]:
+//!
+//! - **Flat** (default): struct-of-arrays [`FleetState`] with cached
+//!   per-server power and incremental per-row accumulators — the
+//!   hyperscale hot path (DESIGN §14).
+//! - **Nested**: the pre-SoA `Vec<Server>` layout, kept constructible
+//!   behind the `legacy-nested` cargo feature for one release so the
+//!   differential suite can prove the flat engine bit-exact against it.
+//!
+//! Per-server access goes through the [`ServerRef`] / [`ServerMut`]
+//! proxies, which dispatch to whichever engine is active. Both engines
+//! share the exact same observable semantics; the differential tests in
+//! `crates/experiments/tests/flat_fleet_differential.rs` hold them to
+//! byte-identical telemetry.
 
 use ampere_power::monitor::ServerSample;
-use ampere_power::ServerPowerModel;
+use ampere_power::{DvfsState, ServerPowerModel};
 use ampere_sim::SimDuration;
 
+use crate::fleet::FleetState;
 use crate::ids::{JobId, RackId, RowId, ServerId};
 use crate::resources::Resources;
-use crate::server::Server;
+use crate::server::{PlacementError, RunningJob, Server};
+
+/// Which storage engine backs a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Flat struct-of-arrays fleet storage (the hyperscale hot path).
+    #[default]
+    Flat,
+    /// Legacy nested `Vec<Server>` storage. Only constructible with the
+    /// `legacy-nested` cargo feature; retained for one release as the
+    /// reference the differential suite measures the flat engine
+    /// against.
+    Nested,
+}
 
 /// Static description of a cluster to build.
 #[derive(Debug, Clone, Copy)]
@@ -82,16 +111,41 @@ impl ClusterSpec {
     }
 }
 
+/// Storage engine behind a [`Cluster`].
+// One Storage exists per Cluster and it is never moved on the hot
+// path, so the inline FleetState (vs the thin Nested vec) costs
+// nothing; boxing it would add a pointer chase to every tick.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum Storage {
+    Flat(FleetState),
+    #[cfg_attr(not(feature = "legacy-nested"), allow(dead_code))]
+    Nested(Vec<Server>),
+}
+
 /// The simulated fleet.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     spec: ClusterSpec,
-    servers: Vec<Server>,
+    storage: Storage,
+}
+
+/// Shared view of one server, dispatching to the active engine.
+#[derive(Clone, Copy)]
+pub struct ServerRef<'a> {
+    cluster: &'a Cluster,
+    index: usize,
+}
+
+/// Mutable view of one server, dispatching to the active engine.
+pub struct ServerMut<'a> {
+    cluster: &'a mut Cluster,
+    index: usize,
 }
 
 impl Cluster {
     /// Builds an idle, homogeneous cluster from a spec (the paper's
-    /// evaluation row is homogeneous, §4.1.1).
+    /// evaluation row is homogeneous, §4.1.1) on the flat engine.
     pub fn new(spec: ClusterSpec) -> Self {
         Self::new_with(spec, |_| (spec.power_model, spec.capacity))
     }
@@ -105,32 +159,68 @@ impl Cluster {
         spec: ClusterSpec,
         class_of: impl Fn(usize) -> (ServerPowerModel, Resources),
     ) -> Self {
+        Self::new_with_engine(spec, EngineKind::Flat, class_of)
+    }
+
+    /// Builds an idle cluster on an explicit storage engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`EngineKind::Nested`] unless the `legacy-nested`
+    /// cargo feature is enabled — release builds carry only the flat
+    /// engine.
+    pub fn new_with_engine(
+        spec: ClusterSpec,
+        engine: EngineKind,
+        class_of: impl Fn(usize) -> (ServerPowerModel, Resources),
+    ) -> Self {
         assert!(spec.rows > 0 && spec.racks_per_row > 0 && spec.servers_per_rack > 0);
-        let mut servers = Vec::with_capacity(spec.server_count());
-        for row in 0..spec.rows {
-            for rack_in_row in 0..spec.racks_per_row {
-                let rack = RackId::new((row * spec.racks_per_row + rack_in_row) as u64);
-                for _ in 0..spec.servers_per_rack {
-                    let id = ServerId::new(servers.len() as u64);
-                    let (model, capacity) = class_of(servers.len());
-                    servers.push(Server::new(
-                        id,
-                        rack,
-                        RowId::new(row as u64),
-                        model,
-                        capacity,
-                    ));
+        let storage = match engine {
+            EngineKind::Flat => Storage::Flat(FleetState::new(&spec, class_of)),
+            #[cfg(feature = "legacy-nested")]
+            EngineKind::Nested => {
+                let mut servers = Vec::with_capacity(spec.server_count());
+                for row in 0..spec.rows {
+                    for rack_in_row in 0..spec.racks_per_row {
+                        let rack = RackId::new((row * spec.racks_per_row + rack_in_row) as u64);
+                        for _ in 0..spec.servers_per_rack {
+                            let id = ServerId::new(servers.len() as u64);
+                            let (model, capacity) = class_of(servers.len());
+                            servers.push(Server::new(
+                                id,
+                                rack,
+                                RowId::new(row as u64),
+                                model,
+                                capacity,
+                            ));
+                        }
+                    }
                 }
+                Storage::Nested(servers)
             }
+            #[cfg(not(feature = "legacy-nested"))]
+            EngineKind::Nested => {
+                panic!("nested engine requires the `legacy-nested` cargo feature")
+            }
+        };
+        Self { spec, storage }
+    }
+
+    /// Which storage engine this cluster runs on.
+    pub fn engine(&self) -> EngineKind {
+        match &self.storage {
+            Storage::Flat(_) => EngineKind::Flat,
+            Storage::Nested(_) => EngineKind::Nested,
         }
-        Self { spec, servers }
     }
 
     /// Sum of the *actual* rated power over one row. Equals
     /// `spec.rated_row_power_w()` for homogeneous fleets, differs for
     /// clusters built with [`Cluster::new_with`].
     pub fn actual_rated_row_power_w(&self, row: RowId) -> f64 {
-        self.servers_in_row(row).iter().map(Server::rated_w).sum()
+        self.row_server_ids(row)
+            .map(|id| self.server(id).rated_w())
+            .sum()
     }
 
     /// The building spec.
@@ -140,7 +230,10 @@ impl Cluster {
 
     /// Total number of servers.
     pub fn server_count(&self) -> usize {
-        self.servers.len()
+        match &self.storage {
+            Storage::Flat(f) => f.len(),
+            Storage::Nested(s) => s.len(),
+        }
     }
 
     /// Number of rows.
@@ -149,23 +242,39 @@ impl Cluster {
     }
 
     /// Shared view of one server.
-    pub fn server(&self, id: ServerId) -> &Server {
-        &self.servers[id.index()]
+    pub fn server(&self, id: ServerId) -> ServerRef<'_> {
+        debug_assert!(id.index() < self.server_count());
+        ServerRef {
+            cluster: self,
+            index: id.index(),
+        }
     }
 
     /// Mutable view of one server.
-    pub fn server_mut(&mut self, id: ServerId) -> &mut Server {
-        &mut self.servers[id.index()]
+    pub fn server_mut(&mut self, id: ServerId) -> ServerMut<'_> {
+        assert!(id.index() < self.server_count(), "unknown server {id}");
+        ServerMut {
+            cluster: self,
+            index: id.index(),
+        }
     }
 
-    /// All servers.
-    pub fn servers(&self) -> &[Server] {
-        &self.servers
+    /// Iterates over all servers in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = ServerRef<'_>> {
+        (0..self.server_count()).map(move |index| ServerRef {
+            cluster: self,
+            index,
+        })
     }
 
-    /// All servers, mutably.
-    pub fn servers_mut(&mut self) -> &mut [Server] {
-        &mut self.servers
+    /// Iterates over the servers of one row in ascending id order.
+    pub fn iter_row(&self, row: RowId) -> impl Iterator<Item = ServerRef<'_>> {
+        let per_row = self.spec.servers_per_row();
+        let start = row.index() * per_row;
+        (start..start + per_row).map(move |index| ServerRef {
+            cluster: self,
+            index,
+        })
     }
 
     /// Ids of the servers in `row` (dense range).
@@ -175,72 +284,351 @@ impl Cluster {
         (start..start + per_row).map(|i| ServerId::new(i as u64))
     }
 
-    /// Servers of one row.
-    pub fn servers_in_row(&self, row: RowId) -> &[Server] {
-        let per_row = self.spec.servers_per_row();
-        let start = row.index() * per_row;
-        &self.servers[start..start + per_row]
-    }
-
-    /// Servers of one row, mutably.
-    pub fn servers_in_row_mut(&mut self, row: RowId) -> &mut [Server] {
-        let per_row = self.spec.servers_per_row();
-        let start = row.index() * per_row;
-        &mut self.servers[start..start + per_row]
+    /// Visits every unfrozen server in ascending id order with
+    /// `(id, row, free, utilization)` — the scheduler's candidate scan.
+    /// On the flat engine this is a linear walk over contiguous arrays.
+    pub fn each_candidate(&self, mut f: impl FnMut(ServerId, RowId, Resources, f64)) {
+        match &self.storage {
+            Storage::Flat(fleet) => fleet.each_candidate(f),
+            Storage::Nested(servers) => {
+                for s in servers {
+                    if !s.is_frozen() {
+                        f(s.id(), s.row(), s.free(), s.utilization());
+                    }
+                }
+            }
+        }
     }
 
     /// Instantaneous power of one row in watts.
+    ///
+    /// On the flat engine this reads the delta-maintained accumulator:
+    /// O(1), exact at every re-sum epoch and drift-bounded (≤ 1e-9
+    /// relative) between epochs. Use [`Cluster::exact_row_power_w`]
+    /// when bit-exact sums are required.
     pub fn row_power_w(&self, row: RowId) -> f64 {
-        self.servers_in_row(row).iter().map(Server::power_w).sum()
+        match &self.storage {
+            Storage::Flat(f) => f.row_power_acc_w(row.index()),
+            Storage::Nested(_) => self.exact_row_power_w(row),
+        }
+    }
+
+    /// Instantaneous power of one row as an exact ascending-id sum.
+    pub fn exact_row_power_w(&self, row: RowId) -> f64 {
+        match &self.storage {
+            Storage::Flat(f) => f.exact_row_power_w(row.index()),
+            Storage::Nested(_) => self.iter_row(row).map(|s| s.power_w()).sum(),
+        }
     }
 
     /// Instantaneous power of one rack in watts.
     pub fn rack_power_w(&self, rack: RackId) -> f64 {
-        self.servers
-            .iter()
+        self.iter()
             .filter(|s| s.rack() == rack)
-            .map(Server::power_w)
+            .map(|s| s.power_w())
             .sum()
     }
 
     /// Instantaneous total power in watts.
     pub fn total_power_w(&self) -> f64 {
-        self.servers.iter().map(Server::power_w).sum()
+        match &self.storage {
+            Storage::Flat(f) => (0..self.spec.rows).map(|r| f.row_power_acc_w(r)).sum(),
+            Storage::Nested(s) => s.iter().map(Server::power_w).sum(),
+        }
     }
 
-    /// Number of frozen servers in a row.
+    /// Number of frozen servers in a row. O(1) on the flat engine.
     pub fn frozen_count(&self, row: RowId) -> usize {
-        self.servers_in_row(row)
-            .iter()
-            .filter(|s| s.is_frozen())
-            .count()
+        match &self.storage {
+            Storage::Flat(f) => f.frozen_in_row(row.index()),
+            Storage::Nested(_) => self.iter_row(row).filter(|s| s.is_frozen()).count(),
+        }
+    }
+
+    /// Whether every server is known to run at nominal frequency —
+    /// lets per-tick DVFS resets and frequency rollups short-circuit.
+    /// Conservative: `false` means "unknown" on the nested engine.
+    pub fn all_nominal_dvfs(&self) -> bool {
+        match &self.storage {
+            Storage::Flat(f) => f.all_nominal_dvfs(),
+            Storage::Nested(_) => false,
+        }
+    }
+
+    /// Resets every server to nominal frequency (the per-tick capper
+    /// baseline). Skips the scan entirely when no server is capped.
+    pub fn reset_dvfs_nominal(&mut self) {
+        match &mut self.storage {
+            Storage::Flat(f) => f.reset_dvfs_nominal(),
+            Storage::Nested(servers) => {
+                for s in servers {
+                    s.set_dvfs(DvfsState::nominal());
+                }
+            }
+        }
     }
 
     /// Takes an IPMI-style sweep of per-server power readings for the
     /// monitor. `noise` lets callers inject per-sample measurement
     /// noise; pass `|_, w| w` for exact readings.
-    pub fn sample(&self, mut noise: impl FnMut(ServerId, f64) -> f64) -> Vec<ServerSample> {
-        self.servers
-            .iter()
-            .map(|s| ServerSample {
-                server: s.id().raw(),
-                rack: s.rack().raw(),
-                row: s.row().raw(),
-                watts: noise(s.id(), s.power_w()),
-            })
-            .collect()
+    pub fn sample(&self, noise: impl FnMut(ServerId, f64) -> f64) -> Vec<ServerSample> {
+        let mut out = Vec::new();
+        self.sample_into(&mut out, noise);
+        out
+    }
+
+    /// Allocation-free variant of [`Cluster::sample`]: appends one
+    /// sample per server (ascending id) to `out`.
+    pub fn sample_into(
+        &self,
+        out: &mut Vec<ServerSample>,
+        mut noise: impl FnMut(ServerId, f64) -> f64,
+    ) {
+        match &self.storage {
+            Storage::Flat(f) => f.sample_into(out, noise),
+            Storage::Nested(servers) => {
+                out.reserve(servers.len());
+                for s in servers {
+                    out.push(ServerSample {
+                        server: s.id().raw(),
+                        rack: s.rack().raw(),
+                        row: s.row().raw(),
+                        watts: noise(s.id(), s.power_w()),
+                    });
+                }
+            }
+        }
     }
 
     /// Advances every server by one tick; returns `(server, job)` pairs
     /// for completed jobs.
     pub fn advance(&mut self, tick: SimDuration) -> Vec<(ServerId, JobId)> {
         let mut done = Vec::new();
-        for s in &mut self.servers {
-            for job in s.advance(tick) {
-                done.push((s.id(), job));
+        self.advance_into(tick, &mut done);
+        done
+    }
+
+    /// Allocation-free variant of [`Cluster::advance`]: appends
+    /// completions to `done`. On the flat engine this also ticks the
+    /// row-power re-sum epoch counter.
+    pub fn advance_into(&mut self, tick: SimDuration, done: &mut Vec<(ServerId, JobId)>) {
+        match &mut self.storage {
+            Storage::Flat(f) => f.advance_into(tick, done),
+            Storage::Nested(servers) => {
+                for s in servers {
+                    for job in s.advance(tick) {
+                        done.push((s.id(), job));
+                    }
+                }
             }
         }
-        done
+    }
+
+    /// Sets how many [`Cluster::advance`] ticks pass between row-power
+    /// accumulator re-sum epochs on the flat engine (no-op on nested).
+    pub fn set_power_resum_interval(&mut self, ticks: u32) {
+        if let Storage::Flat(f) = &mut self.storage {
+            f.set_resum_interval(ticks);
+        }
+    }
+
+    /// Number of re-sum epochs completed so far (0 on nested).
+    pub fn power_resum_epochs(&self) -> u64 {
+        match &self.storage {
+            Storage::Flat(f) => f.resum_epochs(),
+            Storage::Nested(_) => 0,
+        }
+    }
+
+    /// Forces an immediate row-power re-sum epoch on the flat engine.
+    pub fn force_power_resum(&mut self) {
+        if let Storage::Flat(f) = &mut self.storage {
+            f.resum();
+        }
+    }
+
+    /// Live job count across the fleet (arena occupancy on flat).
+    pub fn total_jobs(&self) -> usize {
+        match &self.storage {
+            Storage::Flat(f) => f.live_jobs(),
+            Storage::Nested(s) => s.iter().map(Server::job_count).sum(),
+        }
+    }
+
+    /// Job-slot arena capacity on the flat engine (recycled slots
+    /// included); 0 on nested. Exposed for arena-recycling tests.
+    pub fn arena_slots(&self) -> usize {
+        match &self.storage {
+            Storage::Flat(f) => f.arena_slots(),
+            Storage::Nested(_) => 0,
+        }
+    }
+}
+
+impl<'a> ServerRef<'a> {
+    /// The server id.
+    pub fn id(&self) -> ServerId {
+        ServerId::new(self.index as u64)
+    }
+
+    /// The rack this server is mounted in.
+    pub fn rack(&self) -> RackId {
+        match &self.cluster.storage {
+            Storage::Flat(f) => f.rack_id(self.index),
+            Storage::Nested(s) => s[self.index].rack(),
+        }
+    }
+
+    /// The row (PDU power domain) this server belongs to.
+    pub fn row(&self) -> RowId {
+        match &self.cluster.storage {
+            Storage::Flat(f) => f.row_id(self.index),
+            Storage::Nested(s) => s[self.index].row(),
+        }
+    }
+
+    /// The server's power model.
+    pub fn power_model(&self) -> &'a ServerPowerModel {
+        match &self.cluster.storage {
+            Storage::Flat(f) => f.model(self.index),
+            Storage::Nested(s) => s[self.index].power_model(),
+        }
+    }
+
+    /// Total resource capacity.
+    pub fn capacity(&self) -> Resources {
+        match &self.cluster.storage {
+            Storage::Flat(f) => f.capacity(self.index),
+            Storage::Nested(s) => s[self.index].capacity(),
+        }
+    }
+
+    /// Currently allocated resources.
+    pub fn allocated(&self) -> Resources {
+        match &self.cluster.storage {
+            Storage::Flat(f) => f.allocated(self.index),
+            Storage::Nested(s) => s[self.index].allocated(),
+        }
+    }
+
+    /// Free resources.
+    pub fn free(&self) -> Resources {
+        self.capacity() - self.allocated()
+    }
+
+    /// CPU utilization in `[0, 1]` — the input to the power model.
+    pub fn utilization(&self) -> f64 {
+        match &self.cluster.storage {
+            Storage::Flat(f) => f.utilization(self.index),
+            Storage::Nested(s) => s[self.index].utilization(),
+        }
+    }
+
+    /// Current power draw in watts. Cached on the flat engine — always
+    /// bit-equal to `power_model().power_w(utilization(), dvfs())`.
+    pub fn power_w(&self) -> f64 {
+        match &self.cluster.storage {
+            Storage::Flat(f) => f.power_w(self.index),
+            Storage::Nested(s) => s[self.index].power_w(),
+        }
+    }
+
+    /// Rated power in watts (the provisioning unit).
+    pub fn rated_w(&self) -> f64 {
+        self.power_model().rated_w
+    }
+
+    /// Current DVFS state.
+    pub fn dvfs(&self) -> DvfsState {
+        match &self.cluster.storage {
+            Storage::Flat(f) => f.dvfs(self.index),
+            Storage::Nested(s) => s[self.index].dvfs(),
+        }
+    }
+
+    /// Whether the scheduler has been advised not to place new jobs
+    /// here. Freezing never touches running jobs (§3.4).
+    pub fn is_frozen(&self) -> bool {
+        match &self.cluster.storage {
+            Storage::Flat(f) => f.is_frozen(self.index),
+            Storage::Nested(s) => s[self.index].is_frozen(),
+        }
+    }
+
+    /// Number of running jobs.
+    pub fn job_count(&self) -> usize {
+        match &self.cluster.storage {
+            Storage::Flat(f) => f.job_count(self.index),
+            Storage::Nested(s) => s[self.index].job_count(),
+        }
+    }
+
+    /// Iterates over running jobs by value. Iteration *order* is an
+    /// engine detail (insertion order on flat, id order on nested);
+    /// callers must treat the jobs as a set.
+    pub fn jobs(&self) -> Box<dyn Iterator<Item = (JobId, RunningJob)> + 'a> {
+        match &self.cluster.storage {
+            Storage::Flat(f) => Box::new(f.jobs(self.index)),
+            Storage::Nested(s) => Box::new(s[self.index].jobs().map(|(id, j)| (id, *j))),
+        }
+    }
+}
+
+impl ServerMut<'_> {
+    /// Places a job. Freezing does *not* reject placements here — the
+    /// frozen flag only advises the scheduler's candidate filter, so a
+    /// direct placement (e.g. a test fixture) still succeeds.
+    pub fn place(
+        &mut self,
+        job: JobId,
+        resources: Resources,
+        duration: SimDuration,
+    ) -> Result<(), PlacementError> {
+        match &mut self.cluster.storage {
+            Storage::Flat(f) => f.place(self.index, job, resources, duration),
+            Storage::Nested(s) => s[self.index].place(job, resources, duration),
+        }
+    }
+
+    /// Forcibly terminates a job (e.g. preemption tests), freeing its
+    /// resources. Returns whether the job was running here.
+    pub fn terminate(&mut self, job: JobId) -> bool {
+        match &mut self.cluster.storage {
+            Storage::Flat(f) => f.terminate(self.index, job),
+            Storage::Nested(s) => s[self.index].terminate(job),
+        }
+    }
+
+    /// Sets the DVFS state (the capper's knob).
+    pub fn set_dvfs(&mut self, state: DvfsState) {
+        match &mut self.cluster.storage {
+            Storage::Flat(f) => f.set_dvfs(self.index, state),
+            Storage::Nested(s) => s[self.index].set_dvfs(state),
+        }
+    }
+
+    /// Marks the server frozen (advisory; enforced by the scheduler).
+    pub fn freeze(&mut self) {
+        match &mut self.cluster.storage {
+            Storage::Flat(f) => f.freeze(self.index),
+            Storage::Nested(s) => s[self.index].freeze(),
+        }
+    }
+
+    /// Clears the frozen flag.
+    pub fn unfreeze(&mut self) {
+        match &mut self.cluster.storage {
+            Storage::Flat(f) => f.unfreeze(self.index),
+            Storage::Nested(s) => s[self.index].unfreeze(),
+        }
+    }
+
+    /// Whether this server is frozen.
+    pub fn is_frozen(&self) -> bool {
+        match &self.cluster.storage {
+            Storage::Flat(f) => f.is_frozen(self.index),
+            Storage::Nested(s) => s[self.index].is_frozen(),
+        }
     }
 }
 
@@ -254,6 +642,7 @@ mod tests {
         let c = Cluster::new(ClusterSpec::tiny());
         assert_eq!(c.server_count(), 16);
         assert_eq!(c.row_count(), 2);
+        assert_eq!(c.engine(), EngineKind::Flat);
         let s = c.server(ServerId::new(0));
         assert_eq!(s.row(), RowId::new(0));
         assert_eq!(s.rack(), RackId::new(0));
@@ -344,5 +733,114 @@ mod tests {
         c.server_mut(ServerId::new(9)).freeze(); // Other row.
         assert_eq!(c.frozen_count(RowId::new(0)), 2);
         assert_eq!(c.frozen_count(RowId::new(1)), 1);
+        // Freezing is idempotent on the counters.
+        c.server_mut(ServerId::new(1)).freeze();
+        assert_eq!(c.frozen_count(RowId::new(0)), 2);
+        c.server_mut(ServerId::new(1)).unfreeze();
+        c.server_mut(ServerId::new(1)).unfreeze();
+        assert_eq!(c.frozen_count(RowId::new(0)), 1);
+    }
+
+    #[test]
+    fn cached_power_matches_model() {
+        let mut c = Cluster::new(ClusterSpec::tiny());
+        c.server_mut(ServerId::new(0))
+            .place(
+                JobId::new(1),
+                Resources::cores_gb(16, 32),
+                SimDuration::from_mins(9),
+            )
+            .unwrap();
+        c.server_mut(ServerId::new(0)).set_dvfs(DvfsState::at(0.7));
+        let s = c.server(ServerId::new(0));
+        let expect = s.power_model().power_w(s.utilization(), s.dvfs());
+        // Bit-equal, not approximately equal: the cache must be a pure
+        // function of (model, utilization, dvfs).
+        assert_eq!(s.power_w().to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn job_arena_recycles_slots() {
+        let mut c = Cluster::new(ClusterSpec::tiny());
+        let r = Resources::cores_gb(1, 1);
+        // Steady-state churn: place/complete the same load repeatedly.
+        for round in 0..10u64 {
+            for i in 0..8u64 {
+                c.server_mut(ServerId::new(i))
+                    .place(JobId::new(round * 8 + i), r, SimDuration::from_mins(1))
+                    .unwrap();
+            }
+            c.advance(SimDuration::from_mins(1));
+        }
+        assert_eq!(c.total_jobs(), 0);
+        // The arena never grew past one round's worth of slots.
+        assert_eq!(c.arena_slots(), 8);
+    }
+
+    #[test]
+    fn incremental_row_power_tracks_exact_sum() {
+        let mut c = Cluster::new(ClusterSpec::tiny());
+        c.set_power_resum_interval(4);
+        let r = Resources::cores_gb(4, 8);
+        for i in 0..16u64 {
+            c.server_mut(ServerId::new(i))
+                .place(JobId::new(i), r, SimDuration::from_mins(i % 5 + 1))
+                .unwrap();
+        }
+        for tick in 0..12 {
+            c.advance(SimDuration::MINUTE);
+            for row in 0..2 {
+                let acc = c.row_power_w(RowId::new(row));
+                let exact = c.exact_row_power_w(RowId::new(row));
+                let rel = (acc - exact).abs() / exact.max(1.0);
+                assert!(rel < 1e-9, "tick {tick} row {row}: acc {acc} vs {exact}");
+            }
+        }
+        // A forced epoch snaps the accumulator to the exact bits.
+        c.force_power_resum();
+        for row in 0..2 {
+            let acc = c.row_power_w(RowId::new(row));
+            let exact = c.exact_row_power_w(RowId::new(row));
+            assert_eq!(acc.to_bits(), exact.to_bits());
+        }
+        assert!(c.power_resum_epochs() >= 3);
+    }
+
+    #[test]
+    fn dvfs_reset_short_circuits_when_nominal() {
+        let mut c = Cluster::new(ClusterSpec::tiny());
+        assert!(c.all_nominal_dvfs());
+        c.server_mut(ServerId::new(5)).set_dvfs(DvfsState::at(0.5));
+        assert!(!c.all_nominal_dvfs());
+        c.reset_dvfs_nominal();
+        assert!(c.all_nominal_dvfs());
+        assert_eq!(c.server(ServerId::new(5)).dvfs(), DvfsState::nominal());
+    }
+
+    #[cfg(feature = "legacy-nested")]
+    #[test]
+    fn engines_agree_on_basic_trajectory() {
+        let run = |engine: EngineKind| {
+            let spec = ClusterSpec::tiny();
+            let mut c =
+                Cluster::new_with_engine(spec, engine, |_| (spec.power_model, spec.capacity));
+            let mut trace = Vec::new();
+            for i in 0..8u64 {
+                c.server_mut(ServerId::new(i * 2))
+                    .place(
+                        JobId::new(i),
+                        Resources::cores_gb(8, 16),
+                        SimDuration::from_mins(i + 1),
+                    )
+                    .unwrap();
+            }
+            c.server_mut(ServerId::new(3)).freeze();
+            for _ in 0..10 {
+                let done = c.advance(SimDuration::MINUTE);
+                trace.push((done.len(), c.exact_row_power_w(RowId::new(0)).to_bits()));
+            }
+            trace
+        };
+        assert_eq!(run(EngineKind::Flat), run(EngineKind::Nested));
     }
 }

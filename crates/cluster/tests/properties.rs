@@ -95,7 +95,7 @@ fn accounting_invariants_hold_under_random_ops() {
             }
 
             // Invariants after every step.
-            for s in cluster.servers() {
+            for s in cluster.iter() {
                 // Allocation equals the sum over running jobs.
                 let sum = s
                     .jobs()
@@ -109,7 +109,7 @@ fn accounting_invariants_hold_under_random_ops() {
                 assert!(p <= s.rated_w() + 1e-9);
             }
             // Job count bookkeeping matches the model.
-            let total: usize = cluster.servers().iter().map(|s| s.job_count()).sum();
+            let total: usize = cluster.iter().map(|s| s.job_count()).sum();
             assert_eq!(total, live.len());
         }
     });
@@ -133,7 +133,7 @@ fn power_aggregation_consistent() {
         let by_row: f64 = (0..cluster.row_count())
             .map(|r| cluster.row_power_w(ampere_cluster::RowId::new(r as u64)))
             .sum();
-        let by_server: f64 = cluster.servers().iter().map(|s| s.power_w()).sum();
+        let by_server: f64 = cluster.iter().map(|s| s.power_w()).sum();
         assert!((by_row - by_server).abs() < 1e-9);
         assert!((cluster.total_power_w() - by_server).abs() < 1e-9);
     });

@@ -805,7 +805,7 @@ mod tests {
         }
         ctl.tick(SimTime::from_mins(1), &domain, &mut cluster, &mut sched);
         // Row 1 servers (ids 8..16) must be untouched.
-        for s in cluster.servers_in_row(RowId::new(1)) {
+        for s in cluster.iter_row(RowId::new(1)) {
             assert!(!s.is_frozen());
         }
     }

@@ -66,7 +66,7 @@ pub fn run(config: Fig9Config) -> Fig9Result {
     let skip = tb.records(rows[0]).len();
     tb.run_for(SimDuration::from_hours(config.hours));
 
-    let budget = tb.cluster().spec().rated_row_power_w();
+    let budget = tb.rated_row_power_w(ampere_cluster::RowId::new(0));
     let norm: Vec<f64> = tb.records(rows[0])[skip..]
         .iter()
         .map(|r| r.power_w / budget)

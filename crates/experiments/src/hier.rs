@@ -355,9 +355,14 @@ fn row_profile(i: usize, spec: &ClusterSpec) -> RateProfile {
     RateProfile::product_mix(i as u64).scaled(spec.servers_per_row() as f64 / 440.0)
 }
 
-fn run_cell(config: &HierConfig, grant_loss: f64, outage_mins: u64, row_fault: bool) -> HierCell {
+fn run_cell(
+    config: &HierConfig,
+    rated: f64,
+    grant_loss: f64,
+    outage_mins: u64,
+    row_fault: bool,
+) -> HierCell {
     let spec = row_spec();
-    let rated = spec.rated_row_power_w();
     let rows = config.rows;
     let feed_w = rated * rows as f64 * config.substation_scale;
     let allocatable_w = feed_w * config.control_margin;
@@ -681,7 +686,7 @@ pub fn run(config: &HierConfig) -> HierResult {
     for &row_fault in &config.row_faults {
         for &outage in &config.outage_mins {
             for &loss in &config.grant_loss {
-                cells.push(run_cell(config, loss, outage, row_fault));
+                cells.push(run_cell(config, rated, loss, outage, row_fault));
             }
         }
     }

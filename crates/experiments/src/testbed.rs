@@ -20,7 +20,7 @@
 //! 5. controlled domains run one Ampere control interval on the same
 //!    measurement, freezing/unfreezing through the scheduler API.
 
-use ampere_cluster::{Cluster, ClusterSpec, RowId, ServerId};
+use ampere_cluster::{Cluster, ClusterSpec, EngineKind, JobId, RowId, ServerId};
 use ampere_core::{
     AmpereController, ControlMode, HistoricalPercentile, ServerPowerReading, TickWatchdog,
     WatchdogConfig,
@@ -37,6 +37,7 @@ use ampere_telemetry::{Event, PhaseProfiler, Severity, Telemetry, TickPhase};
 use ampere_workload::{BatchWorkload, RateProfile};
 
 use std::fmt;
+use std::mem;
 
 /// Index of a registered power domain.
 pub type DomainId = usize;
@@ -54,6 +55,10 @@ pub enum TestbedError {
     UnknownServer(ServerId),
     /// A control-budget override was non-positive or non-finite.
     BadControlBudget(f64),
+    /// A row-budget override was non-positive or non-finite. Budgets
+    /// are fixed at registration time; a corrupt mutation afterwards is
+    /// rejected with this error instead of silently ignored.
+    BadRowBudget(f64),
 }
 
 impl fmt::Display for TestbedError {
@@ -67,6 +72,7 @@ impl fmt::Display for TestbedError {
                 write!(f, "unknown server {} in domain spec", s.index())
             }
             TestbedError::BadControlBudget(w) => write!(f, "bad control budget: {w}"),
+            TestbedError::BadRowBudget(w) => write!(f, "bad row budget: {w}"),
         }
     }
 }
@@ -123,9 +129,25 @@ pub struct DomainTickRecord {
     pub backstop_armed: bool,
 }
 
+/// How a domain's member set maps onto the cluster layout. A domain
+/// covering exactly one full row (a contiguous ascending id range) gets
+/// the single-sweep per-row rollups on the hot path; anything else — a
+/// parity split, a hand-picked set — keeps the per-domain folds. Both
+/// paths produce bit-identical sums because server ids are dense
+/// row-major: the ascending-id rollup adds the same values in the same
+/// order as the legacy fold over `servers`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DomainShape {
+    /// The domain is exactly row `r`, in ascending id order.
+    Row(usize),
+    /// Any other member set.
+    Custom,
+}
+
 struct DomainState {
     name: String,
     servers: Vec<ServerId>,
+    shape: DomainShape,
     budget_w: f64,
     /// Budget the *controller* regulates against, when different from
     /// the breaker's `budget_w` (provisioning skew, safety margins).
@@ -215,6 +237,33 @@ pub struct Testbed {
     /// Whether the controller process was up last tick (failover fires
     /// on the down→up transition).
     controller_was_up: bool,
+    /// Cached per-row *actual* rated power (sums the built cluster's
+    /// models once at construction). Harnesses and the sharded driver
+    /// read this instead of re-deriving `rated_row_power_w()` per tick.
+    rated_row_w: Vec<f64>,
+    /// Whether any registered domain is not row-shaped (those keep the
+    /// per-domain folds and need the per-server placed counts).
+    has_custom_domains: bool,
+    // --- hot-path scratch, reused across ticks (no per-tick allocs) ---
+    headroom_scratch: Vec<f64>,
+    samples_scratch: Vec<ServerSample>,
+    reported_scratch: Vec<bool>,
+    done_scratch: Vec<(ServerId, JobId)>,
+    cap_inputs_scratch: Vec<(ampere_power::ServerPowerModel, f64)>,
+    capped_scratch: Vec<usize>,
+    readings_scratch: Vec<ServerPowerReading>,
+    /// Per-row rollups filled by the single ascending sweep: measured
+    /// power, DVFS frequency, reported-telemetry power and count, and
+    /// jobs placed. Row-shaped domains read these instead of folding
+    /// their member list (bit-identical; see [`DomainShape`]).
+    row_meas_sum: Vec<f64>,
+    row_freq_sum: Vec<f64>,
+    row_tel_sum: Vec<f64>,
+    row_tel_count: Vec<usize>,
+    placed_row: Vec<u64>,
+    /// Sparse per-server placed counts, only maintained while a custom
+    /// domain is registered (reset by walking this tick's placements).
+    placed_per_server: Vec<u64>,
     /// Accumulated sweep-fault totals across the run.
     sweep_faults: SweepFaults,
     sweeps_lost: u64,
@@ -237,14 +286,27 @@ impl Testbed {
     /// always monitored and their rated power is the default budget
     /// used for scheduler headroom hints.
     pub fn new(config: TestbedConfig) -> Self {
+        Self::new_with_engine(config, EngineKind::Flat)
+    }
+
+    /// Builds a testbed on an explicit cluster storage engine. The
+    /// nested engine is only available behind the `legacy-nested` cargo
+    /// feature; the differential suite uses it to prove the flat engine
+    /// bit-exact.
+    pub fn new_with_engine(config: TestbedConfig, engine: EngineKind) -> Self {
         let cluster = match &config.server_classes {
-            None => Cluster::new(config.spec),
-            Some(class_of) => Cluster::new_with(config.spec, class_of),
+            None => Cluster::new_with_engine(config.spec, engine, |_| {
+                (config.spec.power_model, config.spec.capacity)
+            }),
+            Some(class_of) => Cluster::new_with_engine(config.spec, engine, class_of),
         };
         let sched = Scheduler::new(config.policy, config.seed);
         let workload = BatchWorkload::new(config.profile, config.seed, 0);
         let row_budgets_w = (0..config.spec.rows)
             .map(|_| config.spec.rated_row_power_w())
+            .collect();
+        let rated_row_w = (0..config.spec.rows)
+            .map(|r| cluster.actual_rated_row_power_w(RowId::new(r as u64)))
             .collect();
         let n = cluster.server_count();
         Self {
@@ -264,6 +326,21 @@ impl Testbed {
             last_telemetry: vec![0.0; n],
             injector: config.faults.map(FaultInjector::new),
             controller_was_up: true,
+            rated_row_w,
+            has_custom_domains: false,
+            headroom_scratch: Vec::new(),
+            samples_scratch: Vec::new(),
+            reported_scratch: Vec::new(),
+            done_scratch: Vec::new(),
+            cap_inputs_scratch: Vec::new(),
+            capped_scratch: Vec::new(),
+            readings_scratch: Vec::new(),
+            row_meas_sum: Vec::new(),
+            row_freq_sum: Vec::new(),
+            row_tel_sum: Vec::new(),
+            row_tel_count: Vec::new(),
+            placed_row: Vec::new(),
+            placed_per_server: Vec::new(),
             sweep_faults: SweepFaults::default(),
             sweeps_lost: 0,
             row_domain_registered: vec![false; config.spec.rows],
@@ -304,10 +381,28 @@ impl Testbed {
         }
         let id = self.domains.len();
         self.monitor.track_domain(id as u64, spec.servers.len());
+        let per_row = self.cluster.spec().servers_per_row();
+        let first = spec.servers[0].index();
+        let shape = if spec.servers.len() == per_row
+            && first.is_multiple_of(per_row)
+            && spec
+                .servers
+                .iter()
+                .enumerate()
+                .all(|(k, s)| s.index() == first + k)
+        {
+            DomainShape::Row(first / per_row)
+        } else {
+            DomainShape::Custom
+        };
+        if shape == DomainShape::Custom {
+            self.has_custom_domains = true;
+        }
         self.domains.push(DomainState {
             breaker: CircuitBreaker::new(spec.budget_w, 5).with_label(spec.name.clone()),
             name: spec.name,
             servers: spec.servers,
+            shape,
             budget_w: spec.budget_w,
             control_budget_w: None,
             controller: spec.controller,
@@ -490,9 +585,28 @@ impl Testbed {
     /// Overrides the budget used for a row's scheduler headroom hint
     /// (defaults to the row's rated power). Headroom-aware policies
     /// such as `PowerSpread` compare rows against these budgets.
+    /// Panics on a bad override; use [`Testbed::try_set_row_budget_w`]
+    /// for the typed error.
     pub fn set_row_budget_w(&mut self, row: RowId, budget_w: f64) {
-        assert!(budget_w > 0.0 && budget_w.is_finite(), "bad budget");
+        self.try_set_row_budget_w(row, budget_w)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Testbed::set_row_budget_w`], surfacing
+    /// [`TestbedError::BadRowBudget`] on a non-positive or non-finite
+    /// override instead of applying it.
+    pub fn try_set_row_budget_w(&mut self, row: RowId, budget_w: f64) -> Result<(), TestbedError> {
+        if !(budget_w > 0.0 && budget_w.is_finite()) {
+            return Err(TestbedError::BadRowBudget(budget_w));
+        }
         self.row_budgets_w[row.index()] = budget_w;
+        Ok(())
+    }
+
+    /// The *actual* rated power of one row, cached at construction
+    /// (equals `spec().rated_row_power_w()` for homogeneous fleets).
+    pub fn rated_row_power_w(&self, row: RowId) -> f64 {
+        self.rated_row_w[row.index()]
     }
 
     /// Runs the simulation for `duration` (must be a whole number of
@@ -521,17 +635,17 @@ impl Testbed {
         self.sched.set_clock(self.now);
         let arrivals = self.workload.tick(self.now, self.tick);
         self.sched.submit(arrivals);
-        let headroom = self.row_headroom();
-        let outcome = self.sched.dispatch(&mut self.cluster, &headroom);
+        self.fill_row_headroom();
+        let outcome = self
+            .sched
+            .dispatch(&mut self.cluster, &self.headroom_scratch);
 
-        // 2. Capping decisions (before work progresses this tick).
-        for s in self.cluster.servers_mut() {
-            s.set_dvfs(ampere_power::DvfsState::nominal());
-        }
-        let mut capped_counts = vec![0usize; self.domains.len()];
-        // Index loop: the body needs disjoint mutable access to
-        // `self.cluster` while reading `self.domains[d]`.
-        #[allow(clippy::needless_range_loop)]
+        // 2. Capping decisions (before work progresses this tick). The
+        // bulk reset short-circuits when no capper touched any server
+        // last tick (the common uncapped case).
+        self.cluster.reset_dvfs_nominal();
+        self.capped_scratch.clear();
+        self.capped_scratch.resize(self.domains.len(), 0);
         for d in 0..self.domains.len() {
             // Configured capping, or the watchdog-armed backstop (armed
             // state is from last tick's observation — the one-interval
@@ -539,69 +653,102 @@ impl Testbed {
             if !(self.domains[d].capped || self.domains[d].watchdog.armed()) {
                 continue;
             }
-            let servers: Vec<ServerId> = self.domains[d].servers.clone();
-            let inputs: Vec<(ampere_power::ServerPowerModel, f64)> = servers
-                .iter()
-                .map(|&id| {
-                    let s = self.cluster.server(id);
-                    (*s.power_model(), s.utilization())
-                })
-                .collect();
-            let out = self.capper.cap_row(&inputs, self.domains[d].budget_w);
-            capped_counts[d] = out.capped_count;
+            // Take the member list so the cluster can be borrowed
+            // mutably alongside it (put back below).
+            let servers = mem::take(&mut self.domains[d].servers);
+            self.cap_inputs_scratch.clear();
+            for &id in &servers {
+                let s = self.cluster.server(id);
+                self.cap_inputs_scratch
+                    .push((*s.power_model(), s.utilization()));
+            }
+            let out = self
+                .capper
+                .cap_row(&self.cap_inputs_scratch, self.domains[d].budget_w);
+            self.capped_scratch[d] = out.capped_count;
             for (&id, &st) in servers.iter().zip(&out.states) {
                 self.cluster.server_mut(id).set_dvfs(st);
             }
+            self.domains[d].servers = servers;
         }
 
         // 3. Work progresses; completions free resources.
-        let done = self.cluster.advance(self.tick);
+        let mut done = mem::take(&mut self.done_scratch);
+        done.clear();
+        self.cluster.advance_into(self.tick, &mut done);
         self.sched.on_completed(done.len() as u64);
+        self.done_scratch = done;
 
         // 4. Measurement sweep at the end of the interval. Control
         // actions below happen at the measurement instant.
         let sweep_phase = self.profiler.phase(TickPhase::MonitorSweep);
         self.now += self.tick;
         self.sched.set_clock(self.now);
-        let noise = &self.noise;
-        let rng = &mut self.noise_rng;
-        let samples: Vec<ServerSample> = self.cluster.sample(|_, w| w * noise.sample(rng).max(0.0));
+        let rows = self.cluster.row_count();
+        let mut samples = mem::take(&mut self.samples_scratch);
+        samples.clear();
+        {
+            let noise = &self.noise;
+            let rng = &mut self.noise_rng;
+            self.cluster
+                .sample_into(&mut samples, |_, w| w * noise.sample(rng).max(0.0));
+        }
+        // One ascending pass records the physical truth and builds the
+        // per-row measured-power rollup. The rollup adds the same values
+        // in the same (ascending id) order a per-row-domain fold would,
+        // so row-shaped domains read it bit-identically below.
+        self.row_meas_sum.clear();
+        self.row_meas_sum.resize(rows, 0.0);
         for s in &samples {
             self.last_measurement[s.server as usize] = s.watts;
+            self.row_meas_sum[s.row as usize] += s.watts;
         }
         // The monitoring pipeline sees the sweep *after* fault
         // injection: dropped samples, extra sensor noise/bias, possibly
         // a wholly lost sweep. The physical truth above is untouched —
         // the breaker keeps tripping on real watts even when the
-        // software stack is blind.
-        let mut telemetry_samples = samples;
+        // software stack is blind. (Corruption drops and distorts in
+        // place but never reorders, so the reported rollup below still
+        // accumulates in ascending id order.)
         if let Some(inj) = &mut self.injector {
-            let f = inj.corrupt_sweep(self.now, &mut telemetry_samples);
+            let f = inj.corrupt_sweep(self.now, &mut samples);
             self.sweep_faults.total += f.total;
             self.sweep_faults.dropped += f.dropped;
             if f.lost {
                 self.sweeps_lost += 1;
             }
         }
-        let mut reported = vec![false; self.cluster.server_count()];
-        for s in &telemetry_samples {
-            reported[s.server as usize] = true;
+        self.reported_scratch.clear();
+        self.reported_scratch
+            .resize(self.cluster.server_count(), false);
+        self.row_tel_sum.clear();
+        self.row_tel_sum.resize(rows, 0.0);
+        self.row_tel_count.clear();
+        self.row_tel_count.resize(rows, 0);
+        for s in &samples {
+            self.reported_scratch[s.server as usize] = true;
             self.last_telemetry[s.server as usize] = s.watts;
+            self.row_tel_sum[s.row as usize] += s.watts;
+            self.row_tel_count[s.row as usize] += 1;
         }
-        self.monitor.ingest(self.now, &telemetry_samples);
+        self.monitor.ingest(self.now, &samples);
         // Partial per-domain readings: sum of the samples that arrived
         // plus how many did, so the monitor can qualify the reading
         // with coverage and age instead of handing out a bare number.
         for d in 0..self.domains.len() {
-            let (sum, count) = self.domains[d]
-                .servers
-                .iter()
-                .filter(|s| reported[s.index()])
-                .fold((0.0, 0usize), |(w, n), s| {
-                    (w + self.last_telemetry[s.index()], n + 1)
-                });
+            let (sum, count) = match self.domains[d].shape {
+                DomainShape::Row(r) => (self.row_tel_sum[r], self.row_tel_count[r]),
+                DomainShape::Custom => self.domains[d]
+                    .servers
+                    .iter()
+                    .filter(|s| self.reported_scratch[s.index()])
+                    .fold((0.0, 0usize), |(w, n), s| {
+                        (w + self.last_telemetry[s.index()], n + 1)
+                    }),
+            };
             self.monitor.ingest_domain(self.now, d as u64, sum, count);
         }
+        self.samples_scratch = samples;
         drop(sweep_phase);
 
         // Is the controller process up this tick? Outage windows down
@@ -616,35 +763,66 @@ impl Testbed {
         }
         self.controller_was_up = controller_up;
 
-        // Per-domain accounting + control.
-        let placed_per_server: Vec<u64> = {
-            let mut v = vec![0u64; self.cluster.server_count()];
+        // Per-domain accounting + control. Row-shaped domains read the
+        // per-row rollups (placed counts are integral and order-free;
+        // the frequency rollup adds in the same ascending order as the
+        // legacy per-domain fold); custom domains keep the folds.
+        let per_row = self.cluster.spec().servers_per_row();
+        self.placed_row.clear();
+        self.placed_row.resize(rows, 0);
+        for (_, server) in &outcome.placed {
+            self.placed_row[server.index() / per_row] += 1;
+        }
+        if self.has_custom_domains {
+            self.placed_per_server
+                .resize(self.cluster.server_count(), 0);
             for (_, server) in &outcome.placed {
-                v[server.index()] += 1;
+                self.placed_per_server[server.index()] += 1;
             }
-            v
-        };
+        }
+        // When every server is at nominal frequency a row's frequency
+        // sum is exactly its server count (sums of 1.0 are exact), so
+        // the whole-fleet frequency sweep is skipped.
+        let all_nominal = self.cluster.all_nominal_dvfs();
+        if !all_nominal {
+            self.row_freq_sum.clear();
+            self.row_freq_sum.resize(rows, 0.0);
+            for (i, s) in self.cluster.iter().enumerate() {
+                self.row_freq_sum[i / per_row] += s.dvfs().freq();
+            }
+        }
         #[allow(clippy::needless_range_loop)]
         for d in 0..self.domains.len() {
-            let (power_w, mean_freq, placed) = {
-                let dom = &self.domains[d];
-                let power_w: f64 = dom
-                    .servers
-                    .iter()
-                    .map(|s| self.last_measurement[s.index()])
-                    .sum();
-                let mean_freq: f64 = dom
-                    .servers
-                    .iter()
-                    .map(|&s| self.cluster.server(s).dvfs().freq())
-                    .sum::<f64>()
-                    / dom.servers.len() as f64;
-                let placed: u64 = dom
-                    .servers
-                    .iter()
-                    .map(|s| placed_per_server[s.index()])
-                    .sum();
-                (power_w, mean_freq, placed)
+            let (power_w, mean_freq, placed) = match self.domains[d].shape {
+                DomainShape::Row(r) => {
+                    let count = self.domains[d].servers.len() as f64;
+                    let freq_sum = if all_nominal {
+                        count
+                    } else {
+                        self.row_freq_sum[r]
+                    };
+                    (self.row_meas_sum[r], freq_sum / count, self.placed_row[r])
+                }
+                DomainShape::Custom => {
+                    let dom = &self.domains[d];
+                    let power_w: f64 = dom
+                        .servers
+                        .iter()
+                        .map(|s| self.last_measurement[s.index()])
+                        .sum();
+                    let mean_freq: f64 = dom
+                        .servers
+                        .iter()
+                        .map(|&s| self.cluster.server(s).dvfs().freq())
+                        .sum::<f64>()
+                        / dom.servers.len() as f64;
+                    let placed: u64 = dom
+                        .servers
+                        .iter()
+                        .map(|s| self.placed_per_server[s.index()])
+                        .sum();
+                    (power_w, mean_freq, placed)
+                }
             };
             let violation = self.domains[d].breaker.observe(self.now, power_w);
             let power_norm = power_w / self.domains[d].budget_w;
@@ -660,21 +838,25 @@ impl Testbed {
             let coverage = reading.map_or(1.0, |r| r.coverage);
             if self.domains[d].controller.is_some() {
                 if let (true, Some(reading)) = (controller_up, reading) {
-                    let readings: Vec<ServerPowerReading> = self.domains[d]
-                        .servers
-                        .iter()
-                        .map(|&id| ServerPowerReading {
-                            id,
-                            power_w: self.last_telemetry[id.index()],
-                            frozen: self.cluster.server(id).is_frozen(),
-                        })
-                        .collect();
+                    let mut readings = mem::take(&mut self.readings_scratch);
+                    readings.clear();
+                    readings.extend(
+                        self.domains[d]
+                            .servers
+                            .iter()
+                            .map(|&id| ServerPowerReading {
+                                id,
+                                power_w: self.last_telemetry[id.index()],
+                                frozen: self.cluster.server(id).is_frozen(),
+                            }),
+                    );
                     let budget_w = self.domains[d]
                         .control_budget_w
                         .unwrap_or(self.domains[d].budget_w);
                     let controller = self.domains[d].controller.as_mut().expect("checked");
                     let (actions, _et) =
                         controller.decide_on_reading(self.now, &reading, budget_w, &readings);
+                    self.readings_scratch = readings;
                     let tick_span = controller.last_tick_span();
                     // Freezes applied below trace back to this tick, and the
                     // breaker attributes next minute's violation (power
@@ -713,11 +895,14 @@ impl Testbed {
             }
 
             let dom = &self.domains[d];
-            let frozen = dom
-                .servers
-                .iter()
-                .filter(|&&id| self.cluster.server(id).is_frozen())
-                .count();
+            let frozen = match dom.shape {
+                DomainShape::Row(r) => self.cluster.frozen_count(RowId::new(r as u64)),
+                DomainShape::Custom => dom
+                    .servers
+                    .iter()
+                    .filter(|&&id| self.cluster.server(id).is_frozen())
+                    .count(),
+            };
             let record = DomainTickRecord {
                 time: self.now,
                 power_w,
@@ -726,7 +911,7 @@ impl Testbed {
                 freezing_ratio: frozen as f64 / dom.servers.len() as f64,
                 u_target,
                 violation,
-                capped_servers: capped_counts[d],
+                capped_servers: self.capped_scratch[d],
                 mean_freq,
                 placed_jobs: placed,
                 froze,
@@ -736,6 +921,13 @@ impl Testbed {
                 backstop_armed: dom.watchdog.armed(),
             };
             self.domains[d].records.push(record);
+        }
+        if self.has_custom_domains {
+            // Sparse reset: only the entries touched this tick, so the
+            // cost scales with placements, not fleet size.
+            for (_, server) in &outcome.placed {
+                self.placed_per_server[server.index()] = 0;
+            }
         }
 
         if let Some(timer) = tick_timer {
@@ -800,14 +992,17 @@ impl Testbed {
     }
 
     /// Per-row normalized headroom from the latest monitor samples,
-    /// fed to headroom-aware placement policies.
-    fn row_headroom(&self) -> Vec<f64> {
-        (0..self.cluster.row_count())
-            .map(|r| match self.monitor.latest_row_power(r as u64) {
-                Some(p) => (1.0 - p / self.row_budgets_w[r]).max(0.0),
-                None => 1.0,
-            })
-            .collect()
+    /// fed to headroom-aware placement policies. Fills the reusable
+    /// `headroom_scratch` buffer instead of allocating per tick.
+    fn fill_row_headroom(&mut self) {
+        self.headroom_scratch.clear();
+        for r in 0..self.cluster.row_count() {
+            self.headroom_scratch
+                .push(match self.monitor.latest_row_power(r as u64) {
+                    Some(p) => (1.0 - p / self.row_budgets_w[r]).max(0.0),
+                    None => 1.0,
+                });
+        }
     }
 }
 
@@ -830,6 +1025,11 @@ pub struct ShardedTestbedConfig {
     pub controlled: bool,
     /// Worker threads advancing the shards (1 = serial).
     pub workers: usize,
+    /// Server-state engine for every shard (flat SoA by default).
+    pub engine: EngineKind,
+    /// Optional fault plan applied identically to every shard (each
+    /// shard's injector still draws from its own sub-seeded streams).
+    pub faults: Option<FaultPlan>,
 }
 
 impl ShardedTestbedConfig {
@@ -848,6 +1048,25 @@ impl ShardedTestbedConfig {
             budget_scale: 0.8,
             controlled: true,
             workers,
+            engine: EngineKind::Flat,
+            faults: None,
+        }
+    }
+
+    /// A hyperscale sharded run: full paper rows (440 servers each),
+    /// arrivals scaled to the row size, budgets at 80 % of rated. With
+    /// 2273 shards this is a 1,000,120-server fleet.
+    pub fn hyper(shards: usize, workers: usize, seed: u64) -> Self {
+        ShardedTestbedConfig {
+            shards,
+            spec: ClusterSpec::paper_row(),
+            profile: RateProfile::Constant { per_min: 150.0 },
+            seed,
+            budget_scale: 0.8,
+            controlled: true,
+            workers,
+            engine: EngineKind::Flat,
+            faults: None,
         }
     }
 }
@@ -901,21 +1120,24 @@ impl ShardedTestbed {
                 let capture = ampere_telemetry::Capture::new_under(&parent);
                 let sub_seed = derive_subseed(config.seed, streams::SHARD, i as u64);
                 let build = || {
-                    let mut tb = Testbed::new(TestbedConfig {
-                        spec: config.spec,
-                        profile: config.profile.clone(),
-                        seed: sub_seed,
-                        tick: SimDuration::MINUTE,
-                        measurement_noise: 0.003,
-                        capping: CappingConfig {
-                            enabled: false,
-                            ..CappingConfig::default()
+                    let mut tb = Testbed::new_with_engine(
+                        TestbedConfig {
+                            spec: config.spec,
+                            profile: config.profile.clone(),
+                            seed: sub_seed,
+                            tick: SimDuration::MINUTE,
+                            measurement_noise: 0.003,
+                            capping: CappingConfig {
+                                enabled: false,
+                                ..CappingConfig::default()
+                            },
+                            policy: Box::new(RandomFit::default()),
+                            server_classes: None,
+                            faults: config.faults.clone(),
                         },
-                        policy: Box::new(RandomFit::default()),
-                        server_classes: None,
-                        faults: None,
-                    });
-                    let rated = tb.cluster().spec().rated_row_power_w();
+                        config.engine,
+                    );
+                    let rated = tb.rated_row_power_w(RowId::new(0));
                     let servers = tb.cluster().row_server_ids(RowId::new(0)).collect();
                     let domain = tb.add_domain(DomainSpec {
                         name: format!("shard{i}"),
@@ -1048,6 +1270,30 @@ mod tests {
             server_classes: None,
             faults: None,
         }
+    }
+
+    #[test]
+    fn bad_row_budget_rejected_with_typed_error() {
+        let mut tb = Testbed::new(quick_config(RateProfile::Constant { per_min: 100.0 }));
+        // The cached rated power is fixed at construction; overriding
+        // the headroom budget afterwards must go through the typed
+        // validator, and a bad override leaves the budget untouched.
+        let rated = tb.rated_row_power_w(RowId::new(0));
+        assert_eq!(rated, tb.cluster().spec().rated_row_power_w());
+        for bad in [0.0, -10.0, f64::NAN, f64::INFINITY] {
+            match tb.try_set_row_budget_w(RowId::new(0), bad) {
+                Err(TestbedError::BadRowBudget(w)) => {
+                    assert!(w.is_nan() == bad.is_nan() && (w.is_nan() || w == bad));
+                }
+                other => panic!("expected BadRowBudget for {bad}, got {other:?}"),
+            }
+        }
+        // A valid override still applies, and the cached rated power
+        // is not affected by budget mutation.
+        tb.try_set_row_budget_w(RowId::new(0), rated * 0.8).unwrap();
+        assert_eq!(tb.rated_row_power_w(RowId::new(0)), rated);
+        let err = format!("{}", TestbedError::BadRowBudget(-1.0));
+        assert!(err.contains("bad row budget"), "display: {err}");
     }
 
     #[test]

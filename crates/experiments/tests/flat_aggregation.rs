@@ -1,0 +1,184 @@
+//! Property test for the flat engine's incremental row-power
+//! aggregation (DESIGN §14).
+//!
+//! The flat fleet keeps one signed-delta accumulator per row: every
+//! mutation that can move a server's power (placement, termination,
+//! DVFS change) folds `new_power − old_power` into its row's
+//! accumulator, and every `resum_interval` advance ticks the engine
+//! re-sums each row from scratch to bound float drift. Under any random
+//! sequence of job starts, stops, freezes and DVFS changes:
+//!
+//! - between re-sum epochs the accumulator never drifts more than a
+//!   1e-9 relative bound from the from-scratch sum;
+//! - at every re-sum epoch (periodic or forced) the accumulator equals
+//!   the from-scratch re-sum to 0 ULP — bit-for-bit.
+
+use ampere_cluster::{Cluster, ClusterSpec, JobId, Resources, RowId, ServerId};
+use ampere_power::DvfsState;
+use ampere_sim::check::{cases, Gen};
+use ampere_sim::SimDuration;
+
+/// A randomized mutation against one server of a tiny cluster.
+#[derive(Debug, Clone)]
+enum Op {
+    Place {
+        server: u8,
+        job: u16,
+        cores: u8,
+        mins: u8,
+    },
+    Terminate {
+        server: u8,
+        job: u16,
+    },
+    SetDvfs {
+        server: u8,
+        freq_pct: u8,
+    },
+    Freeze {
+        server: u8,
+    },
+    Unfreeze {
+        server: u8,
+    },
+    Advance {
+        mins: u8,
+    },
+}
+
+fn gen_op(g: &mut Gen) -> Op {
+    let server = g.range(0u32..16) as u8;
+    match g.usize(0..8) {
+        0 | 1 => Op::Place {
+            server,
+            job: g.range(0u32..48) as u16,
+            cores: g.range(1u32..33) as u8,
+            mins: g.range(1u32..20) as u8,
+        },
+        2 => Op::Terminate {
+            server,
+            job: g.range(0u32..48) as u16,
+        },
+        3 => Op::SetDvfs {
+            // Stay comfortably above DvfsState::MIN_FREQ (0.4).
+            server,
+            freq_pct: g.range(50u32..101) as u8,
+        },
+        4 => Op::Freeze { server },
+        5 => Op::Unfreeze { server },
+        _ => Op::Advance {
+            mins: g.range(1u32..6) as u8,
+        },
+    }
+}
+
+/// Relative distance between the accumulator and the exact re-sum.
+fn rel_err(acc: f64, exact: f64) -> f64 {
+    (acc - exact).abs() / exact.abs().max(1.0)
+}
+
+/// Asserts the invariant pair: always within the drift bound, and
+/// bit-exact when a re-sum epoch just finished (before any further
+/// mutation could re-open a delta).
+fn check_rows(cluster: &Cluster, just_resummed: bool) {
+    for r in 0..cluster.row_count() {
+        let row = RowId::new(r as u64);
+        let acc = cluster.row_power_w(row);
+        let exact = cluster.exact_row_power_w(row);
+        assert!(
+            rel_err(acc, exact) <= 1e-9,
+            "row {r} accumulator drifted: acc={acc:.17e} exact={exact:.17e}"
+        );
+        if just_resummed {
+            // A re-sum epoch just happened: 0 ULP, not merely close.
+            assert_eq!(
+                acc.to_bits(),
+                exact.to_bits(),
+                "row {r} not bit-exact after re-sum epoch: \
+                 acc={acc:.17e} exact={exact:.17e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_row_power_matches_resum_under_random_ops() {
+    cases(256, |g| {
+        let ops = g.vec_with(1..200, gen_op);
+        // Small re-sum intervals so most cases cross several epochs.
+        let interval = g.range(1u32..8);
+        let mut cluster = Cluster::new(ClusterSpec::tiny());
+        cluster.set_power_resum_interval(interval);
+        let rows = cluster.row_count();
+
+        for op in ops {
+            match op {
+                Op::Place {
+                    server,
+                    job,
+                    cores,
+                    mins,
+                } => {
+                    let _ = cluster.server_mut(ServerId::new(server as u64)).place(
+                        JobId::new(job as u64),
+                        Resources::cores_gb(cores as u64, 1),
+                        SimDuration::from_mins(mins as u64),
+                    );
+                }
+                Op::Terminate { server, job } => {
+                    cluster
+                        .server_mut(ServerId::new(server as u64))
+                        .terminate(JobId::new(job as u64));
+                }
+                Op::SetDvfs { server, freq_pct } => {
+                    cluster
+                        .server_mut(ServerId::new(server as u64))
+                        .set_dvfs(DvfsState::at(freq_pct as f64 / 100.0));
+                }
+                Op::Freeze { server } => {
+                    cluster.server_mut(ServerId::new(server as u64)).freeze();
+                }
+                Op::Unfreeze { server } => {
+                    cluster.server_mut(ServerId::new(server as u64)).unfreeze();
+                }
+                Op::Advance { mins } => {
+                    // Check after every tick: the bit-exact guarantee
+                    // holds at the instant an epoch fires, before any
+                    // later tick re-opens a delta.
+                    for _ in 0..mins {
+                        let epochs_before = cluster.power_resum_epochs();
+                        cluster.advance(SimDuration::MINUTE);
+                        let fired = cluster.power_resum_epochs() > epochs_before;
+                        check_rows(&cluster, fired);
+                    }
+                    continue;
+                }
+            }
+            check_rows(&cluster, false);
+        }
+
+        // A forced epoch lands the accumulator exactly on the re-sum.
+        cluster.force_power_resum();
+        for r in 0..rows {
+            let row = RowId::new(r as u64);
+            assert_eq!(
+                cluster.row_power_w(row).to_bits(),
+                cluster.exact_row_power_w(row).to_bits(),
+                "row {r} not bit-exact after forced re-sum"
+            );
+        }
+        assert!(cluster.power_resum_epochs() >= 1);
+    });
+}
+
+/// The epoch counter itself is deterministic: advances alone drive it,
+/// at exactly one epoch per `interval` ticks.
+#[test]
+fn resum_epochs_follow_the_configured_interval() {
+    let mut cluster = Cluster::new(ClusterSpec::tiny());
+    cluster.set_power_resum_interval(4);
+    for _ in 0..12 {
+        cluster.advance(SimDuration::MINUTE);
+    }
+    assert_eq!(cluster.power_resum_epochs(), 3);
+}

@@ -1,0 +1,180 @@
+//! Differential equivalence suite: flat SoA engine vs legacy nested
+//! storage (DESIGN §14).
+//!
+//! Every test here drives the *same* configuration through
+//! [`EngineKind::Flat`] and [`EngineKind::Nested`] and demands the two
+//! trajectories match bit for bit: full-field telemetry dumps compare
+//! byte-equal and order-sensitive FNV-1a checksums compare equal. The
+//! workloads are the paper's: row domains under the fig7-calibrated
+//! batch job mix (`RateProfile::heavy_row` draws durations from the
+//! fig7 `JobDurationDist`), the fig10 parity-split experiment/control
+//! row, and a faulted sharded fleet on 4 workers.
+//!
+//! Requires the `legacy-nested` feature (which forwards to
+//! `ampere-cluster/legacy-nested`) so the nested storage is
+//! constructible:
+//!
+//! ```text
+//! cargo test -p ampere-experiments --features legacy-nested \
+//!     --test flat_fleet_differential
+//! ```
+#![cfg(feature = "legacy-nested")]
+
+use ampere_cluster::EngineKind;
+use ampere_experiments::calibrate::default_controller;
+use ampere_experiments::fig10::parity_testbed_engine;
+use ampere_experiments::testbed::{
+    DomainTickRecord, ShardedTestbed, ShardedTestbedConfig, Testbed, TestbedConfig,
+};
+use ampere_faults::FaultPlan;
+use ampere_sim::SimDuration;
+use ampere_workload::RateProfile;
+use std::fmt::Write as _;
+
+/// Renders every field of every record with full bit fidelity: floats
+/// as raw bit patterns, so two equal dumps mean two bit-equal
+/// trajectories (not merely two that round the same).
+fn dump(records: &[DomainTickRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        writeln!(
+            out,
+            "t={} p={:016x} pn={:016x} fz={} fr={:016x} u={:016x} v={} cap={} \
+             mf={:016x} pl={} fr+={} fr-={} cov={:016x} deg={} arm={}",
+            r.time.as_millis(),
+            r.power_w.to_bits(),
+            r.power_norm.to_bits(),
+            r.frozen,
+            r.freezing_ratio.to_bits(),
+            r.u_target.to_bits(),
+            r.violation,
+            r.capped_servers,
+            r.mean_freq.to_bits(),
+            r.placed_jobs,
+            r.froze,
+            r.unfroze,
+            r.coverage.to_bits(),
+            r.degraded,
+            r.backstop_armed,
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Order-sensitive FNV-1a over a trajectory (same field set and mixing
+/// as `ShardedTestbed::checksum`).
+fn fnv1a(records: &[DomainTickRecord]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for r in records {
+        mix(r.time.as_millis());
+        mix(r.power_w.to_bits());
+        mix(r.frozen as u64);
+        mix(r.u_target.to_bits());
+        mix(u64::from(r.violation));
+        mix(r.placed_jobs);
+        mix(r.mean_freq.to_bits());
+    }
+    h
+}
+
+/// Runs the fig7-workload row testbed on one engine: a paper row under
+/// the heavy batch mix, the row registered as a controlled domain.
+fn row_trajectory(engine: EngineKind) -> (String, u64) {
+    let mut tb = Testbed::new_with_engine(
+        TestbedConfig::paper_row(RateProfile::heavy_row(), 7),
+        engine,
+    );
+    let rows = tb.add_row_domains(0.8).expect("rows registered once");
+    tb.run_for(SimDuration::from_hours(3));
+    let recs = tb.records(rows[0]);
+    (dump(recs), fnv1a(recs))
+}
+
+#[test]
+fn fig7_workload_row_domain_is_bit_exact_across_engines() {
+    let (flat_dump, flat_sum) = row_trajectory(EngineKind::Flat);
+    let (nested_dump, nested_sum) = row_trajectory(EngineKind::Nested);
+    assert!(
+        flat_dump.lines().count() >= 180,
+        "trajectory too short to be a meaningful differential"
+    );
+    assert_eq!(flat_dump, nested_dump, "telemetry dumps diverged");
+    assert_eq!(flat_sum, nested_sum, "FNV-1a trajectory checksums diverged");
+}
+
+/// Runs the fig10 parity split on one engine: experiment row half
+/// controlled, control half free-running, capping off.
+fn parity_trajectories(engine: EngineKind) -> (String, u64, String, u64) {
+    let (mut tb, exp, ctl) = parity_testbed_engine(
+        RateProfile::heavy_row(),
+        10,
+        0.25,
+        Some(default_controller()),
+        None,
+        engine,
+    );
+    tb.run_for(SimDuration::from_hours(3));
+    let (e, c) = (tb.records(exp), tb.records(ctl));
+    (dump(e), fnv1a(e), dump(c), fnv1a(c))
+}
+
+#[test]
+fn fig10_parity_split_is_bit_exact_across_engines() {
+    let (fe, fes, fc, fcs) = parity_trajectories(EngineKind::Flat);
+    let (ne, nes, nc, ncs) = parity_trajectories(EngineKind::Nested);
+    assert_eq!(fe, ne, "experiment-group dumps diverged");
+    assert_eq!(fc, nc, "control-group dumps diverged");
+    assert_eq!(fes, nes, "experiment-group checksums diverged");
+    assert_eq!(fcs, ncs, "control-group checksums diverged");
+    // Sanity: the two groups are genuinely different trajectories, so
+    // the equalities above are not comparing empty/degenerate data.
+    assert_ne!(fe, fc, "parity groups should not coincide");
+}
+
+/// Runs the faulted sharded fleet on one engine: 6 shards on 4 worker
+/// threads with a seeded fault plan (dropout, drift, sweep faults)
+/// applied to every shard.
+fn faulted_sharded(engine: EngineKind, workers: usize) -> (u64, String) {
+    let plan = FaultPlan {
+        sample_dropout: 0.05,
+        sweep_loss: 0.02,
+        sensor_noise: 0.01,
+        sensor_bias: 0.02,
+        rpc_loss: 0.05,
+        ..FaultPlan::seeded(7)
+    };
+    let mut sharded = ShardedTestbed::new(ShardedTestbedConfig {
+        engine,
+        faults: Some(plan),
+        ..ShardedTestbedConfig::quick(6, workers, 99)
+    });
+    sharded.run_for(SimDuration::from_mins(45));
+    let dumps: String = (0..sharded.shard_count())
+        .map(|s| dump(sharded.records(s)))
+        .collect();
+    (sharded.checksum(), dumps)
+}
+
+#[test]
+fn faulted_sharded_run_is_bit_exact_across_engines_at_workers_4() {
+    let (flat_sum, flat_dump) = faulted_sharded(EngineKind::Flat, 4);
+    let (nested_sum, nested_dump) = faulted_sharded(EngineKind::Nested, 4);
+    assert_eq!(flat_sum, nested_sum, "fleet checksums diverged");
+    assert_eq!(flat_dump, nested_dump, "per-shard dumps diverged");
+
+    // The faulted flat run is also worker-count invariant: the engine
+    // swap must not have weakened the PR-4 determinism contract.
+    let (serial_sum, serial_dump) = faulted_sharded(EngineKind::Flat, 1);
+    assert_eq!(flat_sum, serial_sum, "workers=4 vs 1 checksums diverged");
+    assert_eq!(flat_dump, serial_dump, "workers=4 vs 1 dumps diverged");
+
+    // And the fault plan actually bit: a clean run differs.
+    let mut clean = ShardedTestbed::new(ShardedTestbedConfig::quick(6, 4, 99));
+    clean.run_for(SimDuration::from_mins(45));
+    assert_ne!(clean.checksum(), flat_sum, "fault plan had no effect");
+}

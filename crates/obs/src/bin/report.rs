@@ -294,6 +294,15 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             eprintln!("scale sweep: thread invariance BROKEN at row count(s) {broken:?}");
             failed = true;
         }
+        let slow = sweep.floor_violations();
+        if !slow.is_empty() {
+            eprintln!(
+                "scale sweep: {} point(s) below the {:.0} server-ticks/sec floor: {slow:?}",
+                slow.len(),
+                sweep.ticks_per_server_floor
+            );
+            failed = true;
+        }
     }
     if let Some(batch) = &batch {
         if batch.failed > 0 {

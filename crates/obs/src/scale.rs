@@ -11,6 +11,11 @@
 //! - **thread invariance** — every worker count at a given row count
 //!   must reproduce the same checksum. A mismatch means the parallel
 //!   engine broke its determinism contract, and the report gate fails.
+//!
+//! Hyperscale dumps additionally carry per-server throughput
+//! (`server_ticks_per_sec`) and an optional soft floor recorded from
+//! `AMPERE_SCALE_TICKS_PER_SERVER_FLOOR`; when the floor is non-zero,
+//! any point below it fails the report gate too.
 
 use ampere_telemetry::json;
 use ampere_telemetry::Value;
@@ -28,6 +33,11 @@ pub struct ScalePoint {
     pub wall_ms: f64,
     /// Throughput: simulated domain-minutes per wall-second.
     pub sim_mins_per_sec: f64,
+    /// Total servers simulated (absent in pre-hyperscale dumps).
+    pub servers: Option<u64>,
+    /// Per-server throughput: simulated server-ticks per wall-second
+    /// (absent in pre-hyperscale dumps).
+    pub server_ticks_per_sec: Option<f64>,
     /// Speedup vs the 1-worker run at the same row count.
     pub speedup: f64,
     /// Trajectory checksum, as the emitted hex string.
@@ -41,6 +51,11 @@ pub struct ScaleSweep {
     pub sim_minutes: u64,
     /// Master seed of the sweep.
     pub seed: u64,
+    /// Servers per row shard (absent in pre-hyperscale dumps).
+    pub servers_per_row: Option<u64>,
+    /// Per-server throughput soft floor recorded by the sweep; `0`
+    /// means the gate was disabled.
+    pub ticks_per_server_floor: f64,
     /// All grid points, in sweep order.
     pub points: Vec<ScalePoint>,
 }
@@ -71,6 +86,25 @@ fn uint(pairs: &[(String, Value)], key: &str) -> Result<u64, String> {
     }
 }
 
+/// Like [`num`]/[`uint`] for fields newer dumps carry and older dumps
+/// predate: absent keys read as `None`, present-but-malformed keys
+/// still error.
+fn opt_num(pairs: &[(String, Value)], key: &str) -> Result<Option<f64>, String> {
+    if pairs.iter().any(|(k, _)| k == key) {
+        num(pairs, key).map(Some)
+    } else {
+        Ok(None)
+    }
+}
+
+fn opt_uint(pairs: &[(String, Value)], key: &str) -> Result<Option<u64>, String> {
+    if pairs.iter().any(|(k, _)| k == key) {
+        uint(pairs, key).map(Some)
+    } else {
+        Ok(None)
+    }
+}
+
 impl ScaleSweep {
     /// Parses the JSONL dump written by `repro scale`.
     pub fn parse(text: &str) -> Result<Self, String> {
@@ -87,6 +121,8 @@ impl ScaleSweep {
         let sim_minutes = uint(&pairs, "sim_minutes")?;
         let seed = uint(&pairs, "seed")?;
         let declared = uint(&pairs, "points")? as usize;
+        let servers_per_row = opt_uint(&pairs, "servers_per_row")?;
+        let ticks_per_server_floor = opt_num(&pairs, "ticks_per_server_floor")?.unwrap_or(0.0);
 
         let mut points = Vec::new();
         for (no, line) in lines {
@@ -100,6 +136,8 @@ impl ScaleSweep {
                 workers: uint(&pairs, "workers")?,
                 wall_ms: num(&pairs, "wall_ms")?,
                 sim_mins_per_sec: num(&pairs, "sim_mins_per_sec")?,
+                servers: opt_uint(&pairs, "servers")?,
+                server_ticks_per_sec: opt_num(&pairs, "server_ticks_per_sec")?,
                 speedup: num(&pairs, "speedup")?,
                 checksum,
             });
@@ -113,6 +151,8 @@ impl ScaleSweep {
         Ok(ScaleSweep {
             sim_minutes,
             seed,
+            servers_per_row,
+            ticks_per_server_floor,
             points,
         })
     }
@@ -143,6 +183,24 @@ impl ScaleSweep {
             .collect()
     }
 
+    /// Grid points whose per-server throughput fell below the recorded
+    /// soft floor, as `(rows, workers, server_ticks_per_sec)` — empty
+    /// when the floor is disabled or every point cleared it. Points
+    /// from pre-hyperscale dumps (no `server_ticks_per_sec`) never
+    /// violate.
+    pub fn floor_violations(&self) -> Vec<(u64, u64, f64)> {
+        if self.ticks_per_server_floor <= 0.0 {
+            return Vec::new();
+        }
+        self.points
+            .iter()
+            .filter_map(|p| {
+                let tps = p.server_ticks_per_sec?;
+                (tps < self.ticks_per_server_floor).then_some((p.rows, p.workers, tps))
+            })
+            .collect()
+    }
+
     /// Best speedup observed anywhere in the sweep (the headline
     /// scaling number). On a box with fewer cores than workers the
     /// peak can sit at a small row count — or at 1.0x outright — so
@@ -158,25 +216,63 @@ impl ScaleSweep {
     pub fn to_markdown(&self) -> String {
         let mut md = String::new();
         let _ = writeln!(md, "## Scale sweep\n");
-        let _ = writeln!(
-            md,
-            "{} simulated minutes per point, seed {}.\n",
-            self.sim_minutes, self.seed
-        );
-        let _ = writeln!(
-            md,
-            "| rows | workers | wall ms | sim-mins/sec | speedup | checksum |"
-        );
-        let _ = writeln!(
-            md,
-            "|-----:|--------:|--------:|-------------:|--------:|:---------|"
-        );
-        for p in &self.points {
+        match self.servers_per_row {
+            Some(n) => {
+                let _ = writeln!(
+                    md,
+                    "{} simulated minutes per point, {} servers per row, seed {}.\n",
+                    self.sim_minutes, n, self.seed
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    md,
+                    "{} simulated minutes per point, seed {}.\n",
+                    self.sim_minutes, self.seed
+                );
+            }
+        }
+        let hyper = self.points.iter().any(|p| p.server_ticks_per_sec.is_some());
+        if hyper {
             let _ = writeln!(
                 md,
-                "| {} | {} | {:.1} | {:.1} | {:.2}x | `{}` |",
-                p.rows, p.workers, p.wall_ms, p.sim_mins_per_sec, p.speedup, p.checksum
+                "| rows | servers | workers | wall ms | sim-mins/sec | srv-ticks/sec | speedup | checksum |"
             );
+            let _ = writeln!(
+                md,
+                "|-----:|--------:|--------:|--------:|-------------:|--------------:|--------:|:---------|"
+            );
+        } else {
+            let _ = writeln!(
+                md,
+                "| rows | workers | wall ms | sim-mins/sec | speedup | checksum |"
+            );
+            let _ = writeln!(
+                md,
+                "|-----:|--------:|--------:|-------------:|--------:|:---------|"
+            );
+        }
+        for p in &self.points {
+            if hyper {
+                let _ = writeln!(
+                    md,
+                    "| {} | {} | {} | {:.1} | {:.1} | {:.0} | {:.2}x | `{}` |",
+                    p.rows,
+                    p.servers.unwrap_or(0),
+                    p.workers,
+                    p.wall_ms,
+                    p.sim_mins_per_sec,
+                    p.server_ticks_per_sec.unwrap_or(0.0),
+                    p.speedup,
+                    p.checksum
+                );
+            } else {
+                let _ = writeln!(
+                    md,
+                    "| {} | {} | {:.1} | {:.1} | {:.2}x | `{}` |",
+                    p.rows, p.workers, p.wall_ms, p.sim_mins_per_sec, p.speedup, p.checksum
+                );
+            }
         }
         let _ = writeln!(md);
         if let Some((rows, workers, speedup)) = self.peak_speedup() {
@@ -199,6 +295,25 @@ impl ScaleSweep {
                  at row count(s) {broken:?}. The parallel engine violated its determinism \
                  contract (DESIGN.md §9)."
             );
+        }
+        if self.ticks_per_server_floor > 0.0 {
+            let slow = self.floor_violations();
+            if slow.is_empty() {
+                let _ = writeln!(
+                    md,
+                    "Per-server throughput: **OK** — every point cleared the \
+                     {:.0} server-ticks/sec floor.",
+                    self.ticks_per_server_floor
+                );
+            } else {
+                let _ = writeln!(
+                    md,
+                    "Per-server throughput: **BELOW FLOOR** — {} point(s) under \
+                     {:.0} server-ticks/sec: {slow:?}.",
+                    slow.len(),
+                    self.ticks_per_server_floor
+                );
+            }
         }
         md
     }
@@ -237,6 +352,47 @@ mod tests {
         let sweep = ScaleSweep::parse(&broken).unwrap();
         assert_eq!(sweep.invariance_violations(), vec![4]);
         assert!(sweep.to_markdown().contains("**BROKEN**"));
+    }
+
+    const HYPER_DUMP: &str = "\
+{\"bench\":\"scale\",\"sim_minutes\":5,\"seed\":42,\"points\":2,\"servers_per_row\":440,\"ticks_per_server_floor\":100000.000}
+{\"rows\":64,\"workers\":1,\"wall_ms\":20.0,\"sim_mins\":320,\"sim_mins_per_sec\":16000.0,\"servers\":28160,\"server_ticks_per_sec\":7040000.0,\"speedup\":1.0,\"checksum\":\"00000000deadbeef\"}
+{\"rows\":64,\"workers\":4,\"wall_ms\":16.0,\"sim_mins\":320,\"sim_mins_per_sec\":20000.0,\"servers\":28160,\"server_ticks_per_sec\":8800000.0,\"speedup\":1.25,\"checksum\":\"00000000deadbeef\"}
+";
+
+    #[test]
+    fn parses_hyperscale_fields_and_floor() {
+        let sweep = ScaleSweep::parse(HYPER_DUMP).unwrap();
+        assert_eq!(sweep.servers_per_row, Some(440));
+        assert_eq!(sweep.ticks_per_server_floor, 100_000.0);
+        assert_eq!(sweep.points[0].servers, Some(28_160));
+        assert_eq!(sweep.points[0].server_ticks_per_sec, Some(7_040_000.0));
+        assert!(sweep.floor_violations().is_empty());
+        let md = sweep.to_markdown();
+        assert!(md.contains("srv-ticks/sec"));
+        assert!(md.contains("440 servers per row"));
+        assert!(md.contains("Per-server throughput: **OK**"));
+    }
+
+    #[test]
+    fn floor_gate_catches_slow_points() {
+        let mut sweep = ScaleSweep::parse(HYPER_DUMP).unwrap();
+        sweep.ticks_per_server_floor = 8_000_000.0;
+        assert_eq!(sweep.floor_violations(), vec![(64, 1, 7_040_000.0)]);
+        assert!(sweep.to_markdown().contains("**BELOW FLOOR**"));
+        // Disabled floor never violates.
+        sweep.ticks_per_server_floor = 0.0;
+        assert!(sweep.floor_violations().is_empty());
+    }
+
+    #[test]
+    fn legacy_dumps_without_per_server_fields_still_parse() {
+        let sweep = ScaleSweep::parse(DUMP).unwrap();
+        assert_eq!(sweep.servers_per_row, None);
+        assert_eq!(sweep.ticks_per_server_floor, 0.0);
+        assert!(sweep.points.iter().all(|p| p.servers.is_none()));
+        assert!(sweep.floor_violations().is_empty());
+        assert!(!sweep.to_markdown().contains("srv-ticks/sec"));
     }
 
     #[test]

@@ -150,6 +150,15 @@ pub struct PowerMonitor {
     domain_expected: BTreeMap<u64, usize>,
     /// Latest domain ingest metadata, keyed by domain index.
     domain_meta: BTreeMap<u64, ReadingMeta>,
+    /// Dense per-sweep aggregation scratch (see [`PowerMonitor::ingest`]):
+    /// accumulators indexed by rack/row id plus the ids touched this
+    /// sweep, reused so steady-state ingestion never allocates.
+    rack_acc: Vec<f64>,
+    rack_cnt: Vec<usize>,
+    rack_touched: Vec<u64>,
+    row_acc: Vec<f64>,
+    row_cnt: Vec<usize>,
+    row_touched: Vec<u64>,
     telemetry: Telemetry,
     samples_ingested: Counter,
     sweeps_ingested: Counter,
@@ -204,6 +213,12 @@ impl PowerMonitor {
             row_meta: BTreeMap::new(),
             domain_expected: BTreeMap::new(),
             domain_meta: BTreeMap::new(),
+            rack_acc: Vec::new(),
+            rack_cnt: Vec::new(),
+            rack_touched: Vec::new(),
+            row_acc: Vec::new(),
+            row_cnt: Vec::new(),
+            row_touched: Vec::new(),
             samples_ingested: telemetry.counter("monitor_samples_ingested", &[]),
             sweeps_ingested: telemetry.counter("monitor_sweeps_ingested", &[]),
             dc_power_gauge: telemetry.gauge("monitor_dc_power_w", &[]),
@@ -232,28 +247,66 @@ impl PowerMonitor {
     /// Ingests one sampling sweep: per-server readings taken at `at`.
     /// Aggregates rack, row and data-center sums and appends everything
     /// to the database.
+    ///
+    /// Aggregation uses dense reusable accumulators indexed by rack/row
+    /// id instead of per-sweep maps: sums add in sample order and the
+    /// touched ids flush in ascending order, so the stored series are
+    /// byte-identical to the map-based aggregation while steady-state
+    /// ingestion stays allocation-free.
     pub fn ingest(&mut self, at: SimTime, samples: &[ServerSample]) {
         self.last_sample_at = Some(at);
-        let mut racks: BTreeMap<u64, f64> = BTreeMap::new();
-        let mut rows: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
         let mut total = 0.0;
         for s in samples {
-            *racks.entry(s.rack).or_insert(0.0) += s.watts;
-            let row = rows.entry(s.row).or_insert((0.0, 0));
-            row.0 += s.watts;
-            row.1 += 1;
+            if s.rack as usize >= self.rack_acc.len() {
+                self.rack_acc.resize(s.rack as usize + 1, 0.0);
+                self.rack_cnt.resize(s.rack as usize + 1, 0);
+            }
+            if self.rack_cnt[s.rack as usize] == 0 {
+                self.rack_touched.push(s.rack);
+            }
+            self.rack_acc[s.rack as usize] += s.watts;
+            self.rack_cnt[s.rack as usize] += 1;
+            if s.row as usize >= self.row_acc.len() {
+                self.row_acc.resize(s.row as usize + 1, 0.0);
+                self.row_cnt.resize(s.row as usize + 1, 0);
+            }
+            if self.row_cnt[s.row as usize] == 0 {
+                self.row_touched.push(s.row);
+            }
+            self.row_acc[s.row as usize] += s.watts;
+            self.row_cnt[s.row as usize] += 1;
             total += s.watts;
             if self.store_server_series {
                 self.db.append(SeriesKey::server(s.server), at, s.watts);
             }
         }
-        for (rack, w) in racks {
-            self.db.append(SeriesKey::rack(rack), at, w);
+        let mut rack_touched = std::mem::take(&mut self.rack_touched);
+        rack_touched.sort_unstable();
+        for &rack in &rack_touched {
+            self.db
+                .append(SeriesKey::rack(rack), at, self.rack_acc[rack as usize]);
+            self.rack_acc[rack as usize] = 0.0;
+            self.rack_cnt[rack as usize] = 0;
         }
-        for (row, (w, reported)) in rows {
-            self.db.append(SeriesKey::row(row), at, w);
-            self.row_meta.insert(row, ReadingMeta { at, reported });
+        rack_touched.clear();
+        self.rack_touched = rack_touched;
+        let mut row_touched = std::mem::take(&mut self.row_touched);
+        row_touched.sort_unstable();
+        for &row in &row_touched {
+            self.db
+                .append(SeriesKey::row(row), at, self.row_acc[row as usize]);
+            self.row_meta.insert(
+                row,
+                ReadingMeta {
+                    at,
+                    reported: self.row_cnt[row as usize],
+                },
+            );
+            self.row_acc[row as usize] = 0.0;
+            self.row_cnt[row as usize] = 0;
         }
+        row_touched.clear();
+        self.row_touched = row_touched;
         self.db.append(SeriesKey::data_center(), at, total);
         self.samples_ingested.inc_by(samples.len() as u64);
         self.sweeps_ingested.inc();

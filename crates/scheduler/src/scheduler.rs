@@ -2,6 +2,7 @@
 //! and the freeze/unfreeze interface Ampere controls power through.
 
 use std::collections::{HashMap, VecDeque};
+use std::mem;
 
 use ampere_cluster::{Cluster, JobId, ServerId};
 use ampere_sim::{derive_stream, rng::streams, SimRng, SimTime};
@@ -92,6 +93,13 @@ pub struct Scheduler {
     tick_span: SpanCtx,
     /// Span + start time per frozen server, keyed by raw server id.
     freeze_book: HashMap<u64, FreezeRecord>,
+    /// Reusable candidate-snapshot buffers: dispatch runs every tick
+    /// over the whole fleet, so the snapshot must not reallocate.
+    cand_scratch: Vec<Candidate>,
+    by_row_scratch: Vec<Vec<usize>>,
+    /// Double buffer for the requeue pass (swapped with `queue` each
+    /// round instead of allocating a fresh deque).
+    spare_queue: VecDeque<(JobRequest, u64)>,
     telemetry: Telemetry,
     submitted_counter: Counter,
     placed_counter: Counter,
@@ -133,6 +141,9 @@ impl Scheduler {
             clock_warned: false,
             tick_span: SpanCtx::NONE,
             freeze_book: HashMap::new(),
+            cand_scratch: Vec::new(),
+            by_row_scratch: Vec::new(),
+            spare_queue: VecDeque::new(),
             submitted_counter: telemetry.counter("sched_jobs_submitted", &[]),
             placed_counter: telemetry.counter("sched_jobs_placed", &[]),
             completed_counter: telemetry.counter("sched_jobs_completed", &[]),
@@ -235,7 +246,7 @@ impl Scheduler {
             self.redundant_counter.inc();
             return FreezeStatus::UnknownServer;
         }
-        let s = cluster.server_mut(server);
+        let mut s = cluster.server_mut(server);
         if s.is_frozen() {
             self.redundant_counter.inc();
             return FreezeStatus::AlreadyInState;
@@ -275,7 +286,7 @@ impl Scheduler {
             self.redundant_counter.inc();
             return FreezeStatus::UnknownServer;
         }
-        let s = cluster.server_mut(server);
+        let mut s = cluster.server_mut(server);
         if !s.is_frozen() {
             self.redundant_counter.inc();
             return FreezeStatus::AlreadyInState;
@@ -323,23 +334,24 @@ impl Scheduler {
         let _timer = self.dispatch_timer.start();
         let _phase = self.profiler.phase(TickPhase::Schedule);
         let (now, unset) = self.stamp();
-        let mut candidates: Vec<Candidate> = Vec::with_capacity(cluster.server_count());
-        let mut by_row: Vec<Vec<usize>> = vec![Vec::new(); cluster.row_count()];
-        for s in cluster.servers() {
-            if s.is_frozen() {
-                continue;
-            }
-            by_row[s.row().index()].push(candidates.len());
+        let mut candidates = mem::take(&mut self.cand_scratch);
+        candidates.clear();
+        let mut by_row = mem::take(&mut self.by_row_scratch);
+        by_row.iter_mut().for_each(Vec::clear);
+        by_row.resize_with(cluster.row_count(), Vec::new);
+        cluster.each_candidate(|id, row, free, utilization| {
+            by_row[row.index()].push(candidates.len());
             candidates.push(Candidate {
-                id: s.id(),
-                row: s.row(),
-                free: s.free(),
-                utilization: s.utilization(),
+                id,
+                row,
+                free,
+                utilization,
             });
-        }
+        });
 
         let mut placed = Vec::new();
-        let mut still_queued = VecDeque::new();
+        let mut still_queued = mem::take(&mut self.spare_queue);
+        still_queued.clear();
         let budget = self.dispatch_budget.min(self.queue.len());
         for _ in 0..budget {
             let (job, submitted_round) = self.queue.pop_front().expect("budget <= len");
@@ -376,7 +388,9 @@ impl Scheduler {
         }
         // Unprocessed (over-budget) jobs keep their order behind retries.
         still_queued.extend(self.queue.drain(..));
-        self.queue = still_queued;
+        self.spare_queue = mem::replace(&mut self.queue, still_queued);
+        self.cand_scratch = candidates;
+        self.by_row_scratch = by_row;
         self.round += 1;
         self.placed_counter.inc_by(placed.len() as u64);
         self.queue_gauge.set(self.queue.len() as f64);
@@ -589,11 +603,7 @@ mod tests {
         assert_eq!(out.queued, 0);
         assert_eq!(sched.stats().placed, 10);
         assert_eq!(sched.stats().submitted, 10);
-        let total_alloc: u64 = cluster
-            .servers()
-            .iter()
-            .map(|s| s.allocated().cpu_millis)
-            .sum();
+        let total_alloc: u64 = cluster.iter().map(|s| s.allocated().cpu_millis).sum();
         assert_eq!(total_alloc, 40_000);
     }
 

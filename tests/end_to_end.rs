@@ -154,7 +154,7 @@ fn long_run_conserves_jobs_and_resources() {
         parity_testbed(RateProfile::heavy_row(), 31, 0.25, Some(controller()));
     tb.run_for(SimDuration::from_hours(12));
     let stats = tb.sched().stats();
-    let running: usize = tb.cluster().servers().iter().map(|s| s.job_count()).sum();
+    let running: usize = tb.cluster().iter().map(|s| s.job_count()).sum();
     let queued = tb.sched().queue_len();
     assert_eq!(
         stats.submitted,
@@ -163,7 +163,7 @@ fn long_run_conserves_jobs_and_resources() {
     );
     assert_eq!(stats.placed, stats.completed + running as u64);
     // Resource books balance on every server.
-    for s in tb.cluster().servers() {
+    for s in tb.cluster().iter() {
         let sum = s
             .jobs()
             .fold(ampere_cluster::Resources::ZERO, |acc, (_, j)| {

@@ -213,3 +213,59 @@ fn trajectory_checksum_is_worker_count_invariant() {
         "different seeds must diverge — otherwise the checksum is vacuous"
     );
 }
+
+/// Runs a config at workers 1/2/4 and asserts all three checksums
+/// agree; returns the common checksum.
+fn worker_invariant_checksum(make: impl Fn(usize) -> ShardedTestbedConfig) -> u64 {
+    let run = |workers: usize| {
+        let mut sharded = ShardedTestbed::new(make(workers));
+        sharded.run_for(SimDuration::from_mins(20));
+        sharded.finish();
+        sharded.checksum()
+    };
+    let reference = run(1);
+    for workers in [2, 4] {
+        assert_eq!(run(workers), reference, "diverged at workers={workers}");
+    }
+    reference
+}
+
+#[test]
+fn shard_count_not_divisible_by_workers_is_invariant() {
+    // 7 shards over 2 and 4 workers: uneven tails at every barrier.
+    let _guard = GLOBAL_PIPELINE.lock().unwrap();
+    worker_invariant_checksum(|workers| ShardedTestbedConfig::quick(7, workers, 11));
+}
+
+#[test]
+fn one_server_rows_are_invariant() {
+    // Degenerate shards: each row is a single server, so the row
+    // rollup, the freeze candidate set and the placement queue all
+    // operate on one element.
+    let _guard = GLOBAL_PIPELINE.lock().unwrap();
+    let checksum = worker_invariant_checksum(|workers| ShardedTestbedConfig {
+        spec: ampere_cluster::ClusterSpec {
+            rows: 1,
+            racks_per_row: 1,
+            servers_per_rack: 1,
+            ..ampere_cluster::ClusterSpec::tiny()
+        },
+        ..ShardedTestbedConfig::quick(5, workers, 13)
+    });
+    assert_ne!(checksum, 0, "degenerate fleet still records a trajectory");
+}
+
+#[test]
+fn idle_fleet_with_zero_jobs_is_invariant() {
+    // No arrivals at all: power is pure idle draw, the controller
+    // never freezes, and the checksum must still be stable and
+    // worker-count invariant.
+    let _guard = GLOBAL_PIPELINE.lock().unwrap();
+    let idle = |workers: usize| ShardedTestbedConfig {
+        profile: ampere_workload::RateProfile::Constant { per_min: 0.0 },
+        ..ShardedTestbedConfig::quick(6, workers, 17)
+    };
+    let checksum = worker_invariant_checksum(idle);
+    // An idle fleet is deterministic across reruns too.
+    assert_eq!(checksum, worker_invariant_checksum(idle));
+}
