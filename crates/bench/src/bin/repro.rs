@@ -1,9 +1,10 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations|chaos|scale|profile|watch|hier]
+//! repro [all|fig1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table2|table3|ablations|chaos|scale|profile|watch|hier|sla]
 //!       [--quick] [--csv DIR] [--telemetry FILE] [--workers N] [--scale-out FILE]
 //!       [--profile-out FILE] [--sample-period N] [--watch-out FILE] [--hier-out FILE]
+//!       [--sla-out FILE]
 //! repro scenarios --count N --seed S [--workers W] [--scenarios-out FILE]
 //! repro scenario --seed S [--shrink-level K] [--workers W]
 //! ```
@@ -54,6 +55,20 @@
 //! under a row fault, or if a substation trip lacked a row-level or
 //! control-plane explanation. The dump (header aside) is byte-identical
 //! at any `--workers` count.
+//!
+//! `repro sla` runs the mixed-fleet SLA benchmark: three arms
+//! (uncontrolled baseline, uniform freezing, class-aware selective
+//! freezing) run the same seed, the same mixed diurnal fleet — a
+//! streaming-service user population split across rows with staggered
+//! evening peaks — and the same power budget, and the client-side
+//! p99.9 GET latency of each arm is measured through the interactive
+//! queueing model. Results are written as JSONL to `BENCH_sla.json`
+//! (override with `--sla-out FILE`; render and gate with `ampere-obs
+//! report --sla FILE`). Exits non-zero if selective freezing fails to
+//! hold p99.9 within 1.2x of the baseline, if uniform freezing fails
+//! to exceed that bar (the comparison must discriminate), or if the
+//! budget never bound. The dump (header aside) is byte-identical at
+//! any `--workers` count.
 //!
 //! `repro watch` runs the live-observability benchmark: a clean
 //! light-workload pass and a chaos-injected heavy pass execute twice —
@@ -143,6 +158,7 @@ fn main() {
                 || *a == "profile"
                 || *a == "watch"
                 || *a == "hier"
+                || *a == "sla"
                 || *a == "scenario"
                 || *a == "scenarios"
         })
@@ -156,6 +172,8 @@ fn main() {
         watch(quick, &args);
     } else if what == "hier" {
         hier(quick, &args);
+    } else if what == "sla" {
+        sla(quick, &args);
     } else if what == "scenarios" {
         scenarios(&args);
     } else if what == "scenario" {
@@ -378,6 +396,41 @@ fn hier(quick: bool, args: &[String]) {
     if !r.trips_explained() {
         eprintln!(
             "\nATTRIBUTION BROKEN: a substation trip had no row-level or control-plane cause"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+fn sla(quick: bool, args: &[String]) {
+    let workers = flag(args, "--workers").unwrap_or(1);
+    let mut config = if quick {
+        ampere_bench::sla::quick(workers)
+    } else {
+        ampere_bench::sla::paper(workers)
+    };
+    if let Some(seed) = flag(args, "--seed") {
+        config.seed = seed;
+    }
+    println!("=== SLA: uniform vs selective freezing on a mixed interactive/batch fleet ===\n");
+    let r = ampere_bench::sla::run(&config);
+    print!("{}", r.render_table());
+    let path: String = flag(args, "--sla-out").unwrap_or_else(|| "BENCH_sla.json".to_string());
+    std::fs::write(&path, r.to_jsonl()).expect("write sla comparison");
+    eprintln!("sla comparison written to {path}");
+    let mut failed = false;
+    if !r.sla_protected() {
+        eprintln!(
+            "\nSLA GATE FAILED: selective must hold p99.9 within {:.1}x of baseline while uniform exceeds it",
+            r.result.sla_factor
+        );
+        failed = true;
+    }
+    if !r.budget_binding() {
+        eprintln!(
+            "\nVACUOUS COMPARISON: the budget never bound (no freezing or no baseline overrun)"
         );
         failed = true;
     }

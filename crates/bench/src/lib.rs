@@ -13,6 +13,7 @@ pub mod harness;
 pub mod hier;
 pub mod profile;
 pub mod scale;
+pub mod sla;
 pub mod watch;
 
 /// Print-and-optionally-save sink for the repro binary.

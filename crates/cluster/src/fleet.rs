@@ -40,7 +40,7 @@ use ampere_sim::SimDuration;
 use crate::ids::{JobId, RackId, RowId, ServerId};
 use crate::resources::Resources;
 use crate::server::{PlacementError, RunningJob};
-use crate::topology::ClusterSpec;
+use crate::topology::{ClusterSpec, ServiceClass};
 
 /// Sentinel for "no slot" in the intrusive job lists.
 const NIL: u32 = u32::MAX;
@@ -79,6 +79,10 @@ pub(crate) struct FleetState {
     power: Vec<f64>,
     dvfs: Vec<DvfsState>,
     frozen: Vec<bool>,
+    /// Service class of each server (all [`ServiceClass::Interactive`]
+    /// unless the builder assigns a mix) — static after construction
+    /// apart from explicit retags, so it never touches the hot path.
+    class: Vec<ServiceClass>,
     /// Head slot of each server's job list (`NIL` when idle).
     job_head: Vec<u32>,
     job_count: Vec<u32>,
@@ -133,6 +137,7 @@ impl FleetState {
             power,
             dvfs: vec![DvfsState::nominal(); n],
             frozen: vec![false; n],
+            class: vec![ServiceClass::default(); n],
             job_head: vec![NIL; n],
             job_count: vec![0; n],
             slots: Vec::new(),
@@ -190,6 +195,14 @@ impl FleetState {
 
     pub(crate) fn is_frozen(&self, i: usize) -> bool {
         self.frozen[i]
+    }
+
+    pub(crate) fn service_class(&self, i: usize) -> ServiceClass {
+        self.class[i]
+    }
+
+    pub(crate) fn set_service_class(&mut self, i: usize, class: ServiceClass) {
+        self.class[i] = class;
     }
 
     pub(crate) fn job_count(&self, i: usize) -> usize {

@@ -46,4 +46,4 @@ pub mod topology;
 pub use ids::{JobId, RackId, RowId, ServerId};
 pub use resources::Resources;
 pub use server::{PlacementError, RunningJob, Server};
-pub use topology::{Cluster, ClusterSpec, EngineKind, ServerMut, ServerRef};
+pub use topology::{Cluster, ClusterSpec, EngineKind, ServerMut, ServerRef, ServiceClass};

@@ -29,6 +29,34 @@ use crate::ids::{JobId, RackId, RowId, ServerId};
 use crate::resources::Resources;
 use crate::server::{PlacementError, RunningJob, Server};
 
+/// What a server serves: user-facing interactive traffic (protected
+/// by the SLA-aware freeze selector) or deferrable batch work (frozen
+/// first). The default is `Interactive`, so legacy fleets built without
+/// a class mix behave exactly as before: every server equally
+/// protected, every policy reducing to the uniform one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServiceClass {
+    /// User-facing, latency-sensitive traffic (e.g. the streaming
+    /// service's request path). Frozen only when the batch pool of the
+    /// same selection scope is exhausted.
+    #[default]
+    Interactive,
+    /// Deferrable throughput work (analytics, transcodes, side tasks).
+    /// First in line for freezing, last to unfreeze.
+    Batch,
+}
+
+impl ServiceClass {
+    /// Stable lowercase name (`"interactive"` / `"batch"`), used in
+    /// telemetry events and dump lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceClass::Interactive => "interactive",
+            ServiceClass::Batch => "batch",
+        }
+    }
+}
+
 /// Which storage engine backs a [`Cluster`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
@@ -337,6 +365,43 @@ impl Cluster {
         }
     }
 
+    /// Service class of one server. The legacy nested engine does not
+    /// carry class tags; it reports the default
+    /// ([`ServiceClass::Interactive`]) for every server, matching a
+    /// flat fleet that was never retagged.
+    pub fn service_class(&self, id: ServerId) -> ServiceClass {
+        match &self.storage {
+            Storage::Flat(f) => f.service_class(id.index()),
+            Storage::Nested(_) => ServiceClass::default(),
+        }
+    }
+
+    /// Retags one server's service class (no-op on the legacy nested
+    /// engine, which carries no class storage).
+    pub fn set_service_class(&mut self, id: ServerId, class: ServiceClass) {
+        assert!(id.index() < self.server_count(), "unknown server {id}");
+        if let Storage::Flat(f) = &mut self.storage {
+            f.set_service_class(id.index(), class);
+        }
+    }
+
+    /// Assigns every server's service class from `class_of(index)` —
+    /// the bulk path mixed-fleet builders use after construction.
+    pub fn set_service_classes(&mut self, class_of: impl Fn(usize) -> ServiceClass) {
+        if let Storage::Flat(f) = &mut self.storage {
+            for i in 0..f.len() {
+                f.set_service_class(i, class_of(i));
+            }
+        }
+    }
+
+    /// Number of [`ServiceClass::Batch`] servers in a row.
+    pub fn batch_count(&self, row: RowId) -> usize {
+        self.iter_row(row)
+            .filter(|s| s.service_class() == ServiceClass::Batch)
+            .count()
+    }
+
     /// Number of frozen servers in a row. O(1) on the flat engine.
     pub fn frozen_count(&self, row: RowId) -> usize {
         match &self.storage {
@@ -546,6 +611,15 @@ impl<'a> ServerRef<'a> {
         }
     }
 
+    /// The server's service class (default [`ServiceClass::Interactive`]
+    /// on the legacy nested engine, which carries no class tags).
+    pub fn service_class(&self) -> ServiceClass {
+        match &self.cluster.storage {
+            Storage::Flat(f) => f.service_class(self.index),
+            Storage::Nested(_) => ServiceClass::default(),
+        }
+    }
+
     /// Whether the scheduler has been advised not to place new jobs
     /// here. Freezing never touches running jobs (§3.4).
     pub fn is_frozen(&self) -> bool {
@@ -722,6 +796,37 @@ mod tests {
         let actual = c.actual_rated_row_power_w(RowId::new(0));
         assert!((actual - (4.0 * 250.0 + 4.0 * 400.0)).abs() < 1e-9);
         assert!(actual > c.spec().rated_row_power_w());
+    }
+
+    #[test]
+    fn service_classes_default_interactive_and_retag() {
+        let mut c = Cluster::new(ClusterSpec::tiny());
+        // Untagged fleets are all-interactive: the legacy behaviour.
+        assert!(c
+            .iter()
+            .all(|s| s.service_class() == ServiceClass::Interactive));
+        assert_eq!(c.batch_count(RowId::new(0)), 0);
+        // A bulk retag (every odd server is batch) sticks and is
+        // readable through every accessor path.
+        c.set_service_classes(|i| {
+            if i % 2 == 1 {
+                ServiceClass::Batch
+            } else {
+                ServiceClass::Interactive
+            }
+        });
+        assert_eq!(c.service_class(ServerId::new(1)), ServiceClass::Batch);
+        assert_eq!(
+            c.server(ServerId::new(2)).service_class(),
+            ServiceClass::Interactive
+        );
+        assert_eq!(c.batch_count(RowId::new(0)), 4);
+        assert_eq!(c.batch_count(RowId::new(1)), 4);
+        // Single retag.
+        c.set_service_class(ServerId::new(2), ServiceClass::Batch);
+        assert_eq!(c.service_class(ServerId::new(2)), ServiceClass::Batch);
+        assert_eq!(ServiceClass::Batch.name(), "batch");
+        assert_eq!(ServiceClass::Interactive.name(), "interactive");
     }
 
     #[test]

@@ -34,7 +34,7 @@ use ampere_arbiter::{
 use ampere_cluster::{ClusterSpec, RowId};
 use ampere_faults::{FaultInjector, FaultPlan, OutageWindow};
 use ampere_power::{hierarchy::PowerNode, CappingConfig, CircuitBreaker};
-use ampere_sched::RandomFit;
+use ampere_sched::{FreezePolicy, RandomFit};
 use ampere_sim::{derive_subseed, rng::streams, SimDuration, SimTime};
 use ampere_workload::RateProfile;
 
@@ -432,6 +432,8 @@ fn run_cell(
                     },
                     policy: Box::new(RandomFit::default()),
                     server_classes: None,
+                    service_classes: None,
+                    freeze_policy: FreezePolicy::Uniform,
                     faults,
                 });
                 let servers = tb.cluster().row_server_ids(RowId::new(0)).collect();

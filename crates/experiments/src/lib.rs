@@ -24,6 +24,7 @@
 //! | [`table3`]| G_TPW across r_O × workload (13 rows) |
 //! | [`chaos`] | Fault-injection sweep: dropout × outage, breaker safety + throughput cost |
 //! | [`hier`]  | Hierarchical multi-row control: budget arbiter, fault isolation, two-level breakers |
+//! | [`sla`]   | Mixed-fleet SLA comparison: uniform vs selective freezing, client-side p99.9 |
 
 pub mod ablation;
 pub mod calibrate;
@@ -40,6 +41,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod hier;
+pub mod sla;
 pub mod table3;
 pub mod testbed;
 

@@ -20,7 +20,7 @@
 //! 5. controlled domains run one Ampere control interval on the same
 //!    measurement, freezing/unfreezing through the scheduler API.
 
-use ampere_cluster::{Cluster, ClusterSpec, EngineKind, JobId, RowId, ServerId};
+use ampere_cluster::{Cluster, ClusterSpec, EngineKind, JobId, RowId, ServerId, ServiceClass};
 use ampere_core::{
     AmpereController, ControlMode, HistoricalPercentile, ServerPowerReading, TickWatchdog,
     WatchdogConfig,
@@ -29,7 +29,10 @@ use ampere_faults::{FaultInjector, FaultPlan, SweepFaults};
 use ampere_power::{
     monitor::ServerSample, CappingConfig, CircuitBreaker, PowerMonitor, RaplCapper,
 };
-use ampere_sched::{FreezeStatus, PlacementPolicy, RandomFit, Scheduler};
+use ampere_sched::{
+    FreezePolicy, FreezeSelector, FreezeStatus, PlacementPolicy, RandomFit, Scheduler,
+    SelectorReading,
+};
 use ampere_sim::{
     derive_stream, derive_subseed, rng::streams, Distribution, Normal, SimDuration, SimRng, SimTime,
 };
@@ -185,6 +188,17 @@ pub struct TestbedConfig {
     #[allow(clippy::type_complexity)]
     pub server_classes:
         Option<Box<dyn Fn(usize) -> (ampere_power::ServerPowerModel, ampere_cluster::Resources)>>,
+    /// Optional per-server *service* classes (mixed interactive/batch
+    /// fleets), indexed by dense server id; `None` keeps the default
+    /// all-interactive tagging, under which every policy behaves like
+    /// the legacy uniform one.
+    pub service_classes: Option<Vec<ServiceClass>>,
+    /// Which freeze-target policy controlled domains drive.
+    /// [`FreezePolicy::Uniform`] applies the controller's own
+    /// highest-power-first pick unchanged (the paper's behaviour);
+    /// [`FreezePolicy::Selective`] re-targets the same freeze count
+    /// batch-first through the [`FreezeSelector`].
+    pub freeze_policy: FreezePolicy,
     /// Optional seeded fault plan (sample dropout, sensor drift, sweep
     /// loss, controller outages, lost freeze RPCs). `None` runs the
     /// fault-free simulation unchanged.
@@ -204,6 +218,8 @@ impl TestbedConfig {
             capping: CappingConfig::default(),
             policy: Box::new(RandomFit::default()),
             server_classes: None,
+            service_classes: None,
+            freeze_policy: FreezePolicy::Uniform,
             faults: None,
         }
     }
@@ -252,6 +268,7 @@ pub struct Testbed {
     cap_inputs_scratch: Vec<(ampere_power::ServerPowerModel, f64)>,
     capped_scratch: Vec<usize>,
     readings_scratch: Vec<ServerPowerReading>,
+    selector_scratch: Vec<SelectorReading>,
     /// Per-row rollups filled by the single ascending sweep: measured
     /// power, DVFS frequency, reported-telemetry power and count, and
     /// jobs placed. Row-shaped domains read these instead of folding
@@ -279,6 +296,11 @@ pub struct Testbed {
     /// close its in-flight window as soon as the tick completes instead
     /// of waiting for the next tick's first event.
     tick_observer: Option<Box<dyn FnMut(SimTime) + Send>>,
+    /// Which freeze-target policy controlled domains drive.
+    freeze_policy: FreezePolicy,
+    /// The stateless SLA-aware target selector (only consulted under
+    /// [`FreezePolicy::Selective`]).
+    selector: FreezeSelector,
 }
 
 impl Testbed {
@@ -294,12 +316,20 @@ impl Testbed {
     /// feature; the differential suite uses it to prove the flat engine
     /// bit-exact.
     pub fn new_with_engine(config: TestbedConfig, engine: EngineKind) -> Self {
-        let cluster = match &config.server_classes {
+        let mut cluster = match &config.server_classes {
             None => Cluster::new_with_engine(config.spec, engine, |_| {
                 (config.spec.power_model, config.spec.capacity)
             }),
             Some(class_of) => Cluster::new_with_engine(config.spec, engine, class_of),
         };
+        if let Some(classes) = &config.service_classes {
+            assert_eq!(
+                classes.len(),
+                cluster.server_count(),
+                "service_classes must cover the whole fleet"
+            );
+            cluster.set_service_classes(|i| classes[i]);
+        }
         let sched = Scheduler::new(config.policy, config.seed);
         let workload = BatchWorkload::new(config.profile, config.seed, 0);
         let row_budgets_w = (0..config.spec.rows)
@@ -335,6 +365,7 @@ impl Testbed {
             cap_inputs_scratch: Vec::new(),
             capped_scratch: Vec::new(),
             readings_scratch: Vec::new(),
+            selector_scratch: Vec::new(),
             row_meas_sum: Vec::new(),
             row_freq_sum: Vec::new(),
             row_tel_sum: Vec::new(),
@@ -347,7 +378,26 @@ impl Testbed {
             profiler: PhaseProfiler::new(&ampere_telemetry::global()),
             telemetry: ampere_telemetry::global(),
             tick_observer: None,
+            freeze_policy: config.freeze_policy,
+            selector: FreezeSelector::new(),
         }
+    }
+
+    /// The freeze-target policy in effect.
+    pub fn freeze_policy(&self) -> FreezePolicy {
+        self.freeze_policy
+    }
+
+    /// Switches the freeze-target policy (A/B harnesses flip this
+    /// between otherwise-identical runs).
+    pub fn set_freeze_policy(&mut self, policy: FreezePolicy) {
+        self.freeze_policy = policy;
+    }
+
+    /// Inverts (or restores) the selector's class priority. Only the
+    /// scenario harness's planted `sla-ordering` canary sets this.
+    pub fn set_selector_inverted(&mut self, invert: bool) {
+        self.selector.invert_priority = invert;
     }
 
     /// Installs (or clears) the per-tick observer: called at the end of
@@ -856,7 +906,6 @@ impl Testbed {
                     let controller = self.domains[d].controller.as_mut().expect("checked");
                     let (actions, _et) =
                         controller.decide_on_reading(self.now, &reading, budget_w, &readings);
-                    self.readings_scratch = readings;
                     let tick_span = controller.last_tick_span();
                     // Freezes applied below trace back to this tick, and the
                     // breaker attributes next minute's violation (power
@@ -864,18 +913,39 @@ impl Testbed {
                     self.sched.set_tick_span(tick_span);
                     self.domains[d].breaker.set_control_span(tick_span);
                     u_target = actions.target_ratio;
-                    froze = actions.freeze.len();
-                    unfroze = actions.unfreeze.len();
+                    // Algorithm 1's power math (the target *count*)
+                    // stands under both policies; the selective policy
+                    // re-picks the target *set* batch-first through the
+                    // stateless selector, on the same telemetry view.
+                    let (freeze_list, unfreeze_list) = match self.freeze_policy {
+                        FreezePolicy::Uniform => (actions.freeze, actions.unfreeze),
+                        FreezePolicy::Selective => {
+                            let mut sel = mem::take(&mut self.selector_scratch);
+                            sel.clear();
+                            sel.extend(readings.iter().map(|r| SelectorReading {
+                                id: r.id,
+                                power_w: r.power_w,
+                                frozen: r.frozen,
+                                class: self.cluster.service_class(r.id),
+                            }));
+                            let out = self.selector.retarget(actions.n_freeze, &sel);
+                            self.selector_scratch = sel;
+                            (out.freeze, out.unfreeze)
+                        }
+                    };
+                    self.readings_scratch = readings;
+                    froze = freeze_list.len();
+                    unfroze = unfreeze_list.len();
                     // Freeze/unfreeze are RPCs to the scheduler; the
                     // fault plan may lose them. A lost call is simply
                     // never applied — the next interval's decision sees
                     // the resulting state and re-issues.
-                    for &id in &actions.unfreeze {
+                    for &id in &unfreeze_list {
                         if self.rpc_delivered("unfreeze", id) {
                             self.sched.unfreeze(&mut self.cluster, id);
                         }
                     }
-                    for &id in &actions.freeze {
+                    for &id in &freeze_list {
                         if self.rpc_delivered("freeze", id) {
                             self.sched.freeze(&mut self.cluster, id);
                         }
@@ -1133,6 +1203,8 @@ impl ShardedTestbed {
                             },
                             policy: Box::new(RandomFit::default()),
                             server_classes: None,
+                            service_classes: None,
+                            freeze_policy: FreezePolicy::Uniform,
                             faults: config.faults.clone(),
                         },
                         config.engine,
@@ -1268,6 +1340,8 @@ mod tests {
             },
             policy: Box::new(RandomFit::default()),
             server_classes: None,
+            service_classes: None,
+            freeze_policy: FreezePolicy::Uniform,
             faults: None,
         }
     }

@@ -1,0 +1,114 @@
+//! Differential test for SLA-aware selective freezing: same seed, same
+//! budget, only the freeze policy differs. Selective must never lose to
+//! uniform on client-side p99.9, at *equal frozen counts* it must keep
+//! the theoretical maximum of interactive capacity, and the whole
+//! three-arm comparison must dump byte-identically at workers 1 vs 4.
+
+use ampere_cluster::{ServerId, ServiceClass};
+use ampere_experiments::sla::{run, SlaConfig};
+use ampere_sched::{FreezeSelector, SelectorReading};
+use ampere_workload::interactive::InteractiveSim;
+
+/// One-hour, three-row run — the same shape the module's own unit
+/// tests use, small enough for CI's debug profile.
+fn tiny(workers: usize) -> SlaConfig {
+    SlaConfig {
+        hours: 1,
+        warmup_mins: 30,
+        sim: InteractiveSim {
+            run_secs: 10.0,
+            ..InteractiveSim::default()
+        },
+        ..SlaConfig::quick(workers)
+    }
+}
+
+#[test]
+fn selective_beats_uniform_on_the_same_seed_and_budget() {
+    let serial = run(&tiny(1));
+    let uniform = serial.arm("uniform").unwrap();
+    let selective = serial.arm("selective").unwrap();
+
+    // Both controlled arms ran against the identical budget and seed
+    // (shared by construction) and both actually froze servers — the
+    // comparison is not vacuous.
+    assert!(serial.arm("baseline").unwrap().over_budget_ticks > 0);
+    assert!(uniform.froze > 0 && selective.froze > 0);
+
+    // The headline differential: with everything else equal, the
+    // class-aware policy never loses on tail latency.
+    assert!(
+        selective.p999_us <= uniform.p999_us,
+        "selective p99.9 {} us > uniform {} us",
+        selective.p999_us,
+        uniform.p999_us
+    );
+    assert!(selective.min_capacity >= uniform.min_capacity);
+
+    // Byte-identical dumps at workers 1 vs 4: every per-arm field,
+    // including the order-sensitive trajectory checksums, must render
+    // to the same bytes regardless of thread count.
+    let fanned = run(&tiny(4));
+    for (a, b) in serial.arms.iter().zip(&fanned.arms) {
+        assert_eq!(a.checksum, b.checksum, "{} checksum drifted", a.policy);
+    }
+    assert_eq!(
+        format!("{:?}", serial.arms),
+        format!("{:?}", fanned.arms),
+        "three-arm dump differs between workers=1 and workers=4"
+    );
+}
+
+/// At *equal frozen counts* the selective target set is optimal: any
+/// policy freezing `n` of a fleet with `b` batch servers must freeze at
+/// least `n - b` interactive ones, and selective freezes exactly that —
+/// never more than the class-blind (power-ordered) comparator.
+#[test]
+fn equal_frozen_counts_preserve_maximal_interactive_capacity() {
+    let per_row = 40;
+    let batch = 20;
+    let readings: Vec<SelectorReading> = (0..per_row)
+        .map(|i| SelectorReading {
+            id: ServerId::new(i as u64),
+            // Deterministic, class-uncorrelated power spread so the
+            // class-blind order interleaves both classes.
+            power_w: 150.0 + ((i * 37) % 23) as f64 * 10.0,
+            frozen: false,
+            class: if i >= per_row - batch {
+                ServiceClass::Batch
+            } else {
+                ServiceClass::Interactive
+            },
+        })
+        .collect();
+    let interactive_of = |ids: &[ServerId]| {
+        ids.iter()
+            .filter(|id| (id.raw() as usize) < per_row - batch)
+            .count()
+    };
+
+    let sel = FreezeSelector::new();
+    for n in 0..=per_row {
+        let actions = sel.retarget(n, &readings);
+        assert_eq!(actions.freeze.len(), n);
+        assert!(actions.unfreeze.is_empty());
+        let selective_interactive = interactive_of(&actions.freeze);
+
+        // Class-blind comparator: top-n by power (the uniform policy's
+        // implicit order), same tiebreak on id.
+        let mut by_power: Vec<&SelectorReading> = readings.iter().collect();
+        by_power.sort_by_key(|r| (!r.power_w.max(0.0).to_bits(), r.id.raw()));
+        let blind: Vec<ServerId> = by_power[..n].iter().map(|r| r.id).collect();
+        let blind_interactive = interactive_of(&blind);
+
+        assert_eq!(
+            selective_interactive,
+            n.saturating_sub(batch),
+            "selective froze more interactive than necessary at n={n}"
+        );
+        assert!(
+            selective_interactive <= blind_interactive,
+            "selective lost to class-blind ordering at n={n}"
+        );
+    }
+}

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! report [--telemetry FILE] [--scale FILE] [--scenarios FILE] [--profile FILE]
-//!        [--alerts FILE] [--hier FILE] [--max-overhead F] [--min-ticks-per-sec F]
-//!        [--md FILE] [--json FILE] [--write-baseline FILE] [--baseline FILE --check]
+//!        [--alerts FILE] [--hier FILE] [--sla FILE] [--max-overhead F]
+//!        [--min-ticks-per-sec F] [--md FILE] [--json FILE]
+//!        [--write-baseline FILE] [--baseline FILE --check]
 //! ```
 //!
 //! Reads the dump produced by `repro … --telemetry FILE`, prints the
@@ -40,6 +41,12 @@
 //!   A breaker trip at either level, a broken sibling-isolation
 //!   checksum or an unexplained substation trip always fails the run.
 //!   Also usable without `--telemetry`;
+//! - `--sla FILE` appends the SLA-comparison section (three-arm
+//!   uniform-vs-selective table, recomputed SLA-protection and
+//!   budget-binding verdicts) parsed from the `BENCH_sla.json` written
+//!   by `repro sla`. A busted SLA bar, a vacuous comparison or a
+//!   disagreement with the producer's declared verdicts always fails
+//!   the run. Also usable without `--telemetry`;
 //! - `--json FILE` writes the machine-readable report;
 //! - `--write-baseline FILE` snapshots the run summary with default
 //!   per-metric tolerances (commit this as the known-good baseline);
@@ -56,6 +63,7 @@ use ampere_obs::reader::read_run;
 use ampere_obs::report::{check, parse_baseline, render_check, write_baseline, RunReport};
 use ampere_obs::scale::ScaleSweep;
 use ampere_obs::scenario::ScenarioBatch;
+use ampere_obs::sla::SlaRun;
 
 use std::process::ExitCode;
 
@@ -66,6 +74,7 @@ struct Args {
     profile: Option<String>,
     alerts: Option<String>,
     hier: Option<String>,
+    sla: Option<String>,
     max_overhead: Option<f64>,
     min_ticks_per_sec: Option<f64>,
     md: Option<String>,
@@ -76,8 +85,8 @@ struct Args {
 }
 
 const USAGE: &str = "usage: report [--telemetry FILE] [--scale FILE] [--scenarios FILE] \
-                     [--profile FILE] [--alerts FILE] [--hier FILE] [--max-overhead F] \
-                     [--min-ticks-per-sec F] [--md FILE] [--json FILE] \
+                     [--profile FILE] [--alerts FILE] [--hier FILE] [--sla FILE] \
+                     [--max-overhead F] [--min-ticks-per-sec F] [--md FILE] [--json FILE] \
                      [--write-baseline FILE] [--baseline FILE --check]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -87,6 +96,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut profile = None;
     let mut alerts = None;
     let mut hier = None;
+    let mut sla = None;
     let mut max_overhead = None;
     let mut min_ticks_per_sec = None;
     let mut md = None;
@@ -112,6 +122,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--profile" => profile = Some(value("--profile")?),
             "--alerts" => alerts = Some(value("--alerts")?),
             "--hier" => hier = Some(value("--hier")?),
+            "--sla" => sla = Some(value("--sla")?),
             "--max-overhead" => {
                 max_overhead = Some(fractional("--max-overhead", value("--max-overhead")?)?)
             }
@@ -147,9 +158,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         && profile.is_none()
         && alerts.is_none()
         && hier.is_none()
+        && sla.is_none()
     {
         return Err(format!(
-            "--telemetry, --scale, --scenarios, --profile, --alerts or --hier FILE is \
+            "--telemetry, --scale, --scenarios, --profile, --alerts, --hier or --sla FILE is \
              required\n{USAGE}"
         ));
     }
@@ -165,6 +177,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         profile,
         alerts,
         hier,
+        sla,
         max_overhead,
         min_ticks_per_sec,
         md,
@@ -218,6 +231,13 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         }
         None => None,
     };
+    let sla = match &args.sla {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(SlaRun::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
 
     let mut markdown = report
         .as_ref()
@@ -252,6 +272,12 @@ fn run(args: &Args) -> Result<ExitCode, String> {
             markdown.push('\n');
         }
         markdown.push_str(&hier.to_markdown());
+    }
+    if let Some(sla) = &sla {
+        if !markdown.is_empty() && !markdown.ends_with("\n\n") {
+            markdown.push('\n');
+        }
+        markdown.push_str(&sla.to_markdown());
     }
     match &args.md {
         Some(path) => {
@@ -398,6 +424,26 @@ fn run(args: &Args) -> Result<ExitCode, String> {
         }
         if !hier.trips_explained() {
             eprintln!("hier sweep: a substation trip had no row-level or control-plane cause");
+            failed = true;
+        }
+    }
+    if let Some(sla) = &sla {
+        if !sla.sla_recomputed() || !sla.declared_sla_protected {
+            eprintln!(
+                "sla comparison: SLA protection FAILED (selective {:.3}x / uniform {:.3}x \
+                 vs bar {:.1}x, declared {})",
+                sla.arm("selective").map_or(f64::NAN, |a| a.p999_ratio),
+                sla.arm("uniform").map_or(f64::NAN, |a| a.p999_ratio),
+                sla.sla_factor,
+                sla.declared_sla_protected
+            );
+            failed = true;
+        }
+        if !sla.budget_binding_recomputed() || !sla.declared_budget_binding {
+            eprintln!(
+                "sla comparison: VACUOUS — the budget never bound or a controlled arm \
+                 never froze"
+            );
             failed = true;
         }
     }

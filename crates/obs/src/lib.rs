@@ -31,6 +31,10 @@
 //!   (`BENCH_hier.json`) and renders the budget-reallocation timeline,
 //!   per-row degraded/fallback epochs and the zero-trip / sibling-
 //!   isolation / trip-attribution verdicts behind `report --hier`.
+//! - **Did freezing respect the SLA?** [`sla`] parses the `repro sla`
+//!   comparison (`BENCH_sla.json`) and renders the three-arm
+//!   uniform-vs-selective table with the recomputed SLA-protection and
+//!   budget-binding verdicts behind `report --sla`.
 //!
 //! Everything is offline and dependency-free: the dump is the only
 //! input, and seeded runs produce byte-identical dumps, so summaries —
@@ -46,6 +50,7 @@ pub mod reader;
 pub mod report;
 pub mod scale;
 pub mod scenario;
+pub mod sla;
 pub mod trace;
 
 pub use analysis::{
@@ -59,4 +64,5 @@ pub use report::{
     check, parse_baseline, render_check, write_baseline, BaselineMetric, CheckResult, RunReport,
 };
 pub use scale::{ScalePoint, ScaleSweep};
+pub use sla::{SlaArmLine, SlaRun};
 pub use trace::{LinkReport, TraceIndex};

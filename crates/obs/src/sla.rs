@@ -1,0 +1,348 @@
+//! SLA-comparison analysis: the report section behind `report --sla`.
+//!
+//! `repro sla` emits `BENCH_sla.json` — a JSONL header line carrying
+//! the mixed fleet's shape (rows, class split, budget, simulated user
+//! population) and the producer's verdicts, then one line per arm
+//! (baseline / uniform / selective). This module parses that dump and
+//! renders a Markdown section with two hard gates:
+//!
+//! - **SLA protection** — selective freezing must hold client-side
+//!   p99.9 within the declared `sla_factor` of the uncontrolled
+//!   baseline while class-blind uniform freezing exceeds it (the
+//!   verdict is recomputed from the per-arm ratios, not trusted);
+//! - **budget binding** — the baseline must actually over-run the
+//!   budget and both controlled arms must actually freeze, else the
+//!   comparison is vacuous.
+
+use ampere_telemetry::json::{self, JsonValue};
+use ampere_telemetry::Value;
+
+use std::fmt::Write as _;
+
+/// One parsed arm line.
+#[derive(Debug, Clone)]
+pub struct SlaArmLine {
+    /// Freeze policy (`baseline` / `uniform` / `selective`).
+    pub policy: String,
+    /// Client-side p99.9 GET latency, in microseconds.
+    pub p999_us: f64,
+    /// `p999_us` normalized to the baseline arm.
+    pub p999_ratio: f64,
+    /// Peak fleet power over the measured window, in watts.
+    pub peak_power_w: f64,
+    /// Mean fleet power over the measured window, in watts.
+    pub mean_power_w: f64,
+    /// Measured ticks where some row exceeded its control budget.
+    pub over_budget_ticks: u64,
+    /// Jobs placed across the fleet in the measured window.
+    pub placed: u64,
+    /// Freeze actions actuated (whole run).
+    pub froze: u64,
+    /// Mean frozen servers per measured tick.
+    pub mean_frozen: f64,
+    /// Peak frozen interactive servers at any measured tick.
+    pub interactive_frozen_peak: u64,
+    /// Peak frozen batch servers at any measured tick.
+    pub batch_frozen_peak: u64,
+    /// Lowest unfrozen-interactive capacity fraction.
+    pub min_capacity: f64,
+    /// Trajectory checksum (hex string) — the worker-identity currency.
+    pub checksum: String,
+}
+
+/// A parsed `BENCH_sla.json` dump.
+#[derive(Debug, Clone)]
+pub struct SlaRun {
+    /// Rows in the mixed fleet.
+    pub rows: u64,
+    /// Servers per row.
+    pub servers_per_row: u64,
+    /// Interactive servers across the fleet.
+    pub interactive_total: u64,
+    /// Batch servers across the fleet.
+    pub batch_total: u64,
+    /// Per-row control budget, in watts.
+    pub budget_w: f64,
+    /// Per-row rated power, in watts.
+    pub rated_w: f64,
+    /// Simulated user population.
+    pub users: f64,
+    /// The SLA bar: controlled p99.9 within this factor of baseline.
+    pub sla_factor: f64,
+    /// The producer's own SLA verdict, as written in the header.
+    pub declared_sla_protected: bool,
+    /// The producer's own budget-binding verdict.
+    pub declared_budget_binding: bool,
+    /// Arm lines in dump order (baseline, uniform, selective).
+    pub arms: Vec<SlaArmLine>,
+}
+
+fn field<'a>(pairs: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn num(pairs: &[(String, JsonValue)], key: &str) -> Result<f64, String> {
+    match field(pairs, key)? {
+        JsonValue::Scalar(Value::U64(v)) => Ok(*v as f64),
+        JsonValue::Scalar(Value::I64(v)) => Ok(*v as f64),
+        JsonValue::Scalar(Value::F64(v)) => Ok(*v),
+        other => Err(format!("field {key:?} is not a number: {other:?}")),
+    }
+}
+
+fn uint(pairs: &[(String, JsonValue)], key: &str) -> Result<u64, String> {
+    match field(pairs, key)? {
+        JsonValue::Scalar(Value::U64(v)) => Ok(*v),
+        other => Err(format!(
+            "field {key:?} is not an unsigned integer: {other:?}"
+        )),
+    }
+}
+
+fn boolean(pairs: &[(String, JsonValue)], key: &str) -> Result<bool, String> {
+    match field(pairs, key)? {
+        JsonValue::Scalar(Value::Bool(v)) => Ok(*v),
+        other => Err(format!("field {key:?} is not a boolean: {other:?}")),
+    }
+}
+
+fn string(pairs: &[(String, JsonValue)], key: &str) -> Result<String, String> {
+    match field(pairs, key)? {
+        JsonValue::Scalar(Value::Str(s)) => Ok(s.clone()),
+        other => Err(format!("field {key:?} is not a string: {other:?}")),
+    }
+}
+
+impl SlaRun {
+    /// Parses the JSONL dump written by `repro sla`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or("empty sla dump")?;
+        let pairs = json::parse_object_full(header).map_err(|e| format!("header: {e}"))?;
+        match field(&pairs, "bench")? {
+            JsonValue::Scalar(Value::Str(s)) if s == "sla" => {}
+            other => return Err(format!("not an sla dump: bench = {other:?}")),
+        }
+        let mut run = SlaRun {
+            rows: uint(&pairs, "rows")?,
+            servers_per_row: uint(&pairs, "servers_per_row")?,
+            interactive_total: uint(&pairs, "interactive_total")?,
+            batch_total: uint(&pairs, "batch_total")?,
+            budget_w: num(&pairs, "budget_w")?,
+            rated_w: num(&pairs, "rated_w")?,
+            users: num(&pairs, "users")?,
+            sla_factor: num(&pairs, "sla_factor")?,
+            declared_sla_protected: boolean(&pairs, "sla_protected")?,
+            declared_budget_binding: boolean(&pairs, "budget_binding")?,
+            arms: Vec::new(),
+        };
+        for (no, line) in lines {
+            let pairs =
+                json::parse_object_full(line).map_err(|e| format!("line {}: {e}", no + 1))?;
+            run.arms.push(SlaArmLine {
+                policy: string(&pairs, "policy")?,
+                p999_us: num(&pairs, "p999_us")?,
+                p999_ratio: num(&pairs, "p999_ratio")?,
+                peak_power_w: num(&pairs, "peak_power_w")?,
+                mean_power_w: num(&pairs, "mean_power_w")?,
+                over_budget_ticks: uint(&pairs, "over_budget_ticks")?,
+                placed: uint(&pairs, "placed")?,
+                froze: uint(&pairs, "froze")?,
+                mean_frozen: num(&pairs, "mean_frozen")?,
+                interactive_frozen_peak: uint(&pairs, "interactive_frozen_peak")?,
+                batch_frozen_peak: uint(&pairs, "batch_frozen_peak")?,
+                min_capacity: num(&pairs, "min_capacity")?,
+                checksum: string(&pairs, "checksum")?,
+            });
+        }
+        for policy in ["baseline", "uniform", "selective"] {
+            if run.arm(policy).is_none() {
+                return Err(format!("dump is missing the {policy:?} arm"));
+            }
+        }
+        Ok(run)
+    }
+
+    /// The arm named `policy`, if present.
+    pub fn arm(&self, policy: &str) -> Option<&SlaArmLine> {
+        self.arms.iter().find(|a| a.policy == policy)
+    }
+
+    /// Gate 1, recomputed from the per-arm ratios: selective within
+    /// the bar, uniform above it.
+    pub fn sla_recomputed(&self) -> bool {
+        let (Some(s), Some(u)) = (self.arm("selective"), self.arm("uniform")) else {
+            return false;
+        };
+        s.p999_ratio <= self.sla_factor && u.p999_ratio > self.sla_factor
+    }
+
+    /// Gate 2, recomputed: the baseline over-ran the budget and both
+    /// controlled arms froze.
+    pub fn budget_binding_recomputed(&self) -> bool {
+        let (Some(b), Some(u), Some(s)) = (
+            self.arm("baseline"),
+            self.arm("uniform"),
+            self.arm("selective"),
+        ) else {
+            return false;
+        };
+        b.over_budget_ticks > 0 && u.froze > 0 && s.froze > 0
+    }
+
+    /// Every hard gate together, including agreement with the
+    /// producer's declared verdicts.
+    pub fn gates_pass(&self) -> bool {
+        self.sla_recomputed()
+            && self.declared_sla_protected
+            && self.budget_binding_recomputed()
+            && self.declared_budget_binding
+    }
+
+    /// Renders the Markdown report section.
+    pub fn to_markdown(&self) -> String {
+        let mut md = String::new();
+        let _ = writeln!(md, "## SLA comparison (mixed fleet)\n");
+        let _ = writeln!(
+            md,
+            "{} rows x {} servers ({} interactive + {} batch), budget {:.0} W/row \
+             ({:.0}% of rated), {:.1}M simulated users, SLA bar {:.1}x baseline p99.9.\n",
+            self.rows,
+            self.servers_per_row,
+            self.interactive_total,
+            self.batch_total,
+            self.budget_w,
+            100.0 * self.budget_w / self.rated_w,
+            self.users / 1e6,
+            self.sla_factor,
+        );
+        let _ = writeln!(
+            md,
+            "| policy | p99.9 us | ratio | peak W | over | froze | frozen i/b peak | min capacity |"
+        );
+        let _ = writeln!(
+            md,
+            "|:-------|---------:|------:|-------:|-----:|------:|:---------------:|-------------:|"
+        );
+        for a in &self.arms {
+            let _ = writeln!(
+                md,
+                "| {} | {:.1} | {:.3} | {:.0} | {} | {} | {}/{} | {:.3} |",
+                a.policy,
+                a.p999_us,
+                a.p999_ratio,
+                a.peak_power_w,
+                a.over_budget_ticks,
+                a.froze,
+                a.interactive_frozen_peak,
+                a.batch_frozen_peak,
+                a.min_capacity,
+            );
+        }
+        let _ = writeln!(md);
+        let sla_ok = self.sla_recomputed() && self.declared_sla_protected;
+        let _ = writeln!(
+            md,
+            "SLA protection: **{}** — selective p99.9 at {:.3}x baseline (bar {:.1}x), \
+             uniform at {:.3}x{}.",
+            if sla_ok { "PASS" } else { "FAIL" },
+            self.arm("selective").map_or(f64::NAN, |a| a.p999_ratio),
+            self.sla_factor,
+            self.arm("uniform").map_or(f64::NAN, |a| a.p999_ratio),
+            if self.sla_recomputed() == self.declared_sla_protected {
+                ""
+            } else {
+                "; DISAGREES with the declared verdict"
+            },
+        );
+        let binding_ok = self.budget_binding_recomputed() && self.declared_budget_binding;
+        let _ = writeln!(
+            md,
+            "Budget binding: **{}** — the uncontrolled baseline over-ran the budget and \
+             both controlled arms exercised their freezing authority.",
+            if binding_ok { "PASS" } else { "FAIL" },
+        );
+        md
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dump() -> String {
+        concat!(
+            "{\"bench\":\"sla\",\"workers\":1,\"seed\":29,\"hours\":2,\"rows\":3,",
+            "\"servers_per_row\":40,\"interactive_total\":60,\"batch_total\":60,",
+            "\"budget_w\":8000.0,\"rated_w\":10000.0,\"users\":1200000,\"sla_factor\":1.2,",
+            "\"wall_ms\":1.0,\"sla_protected\":true,\"budget_binding\":true}\n",
+            "{\"policy\":\"baseline\",\"p999_us\":464.8,\"p999_ratio\":1.0,",
+            "\"peak_power_w\":26113.0,\"mean_power_w\":22688.0,\"over_budget_ticks\":69,",
+            "\"placed\":9000,\"froze\":0,\"unfroze\":0,\"mean_frozen\":0.0,",
+            "\"interactive_frozen_peak\":0,\"batch_frozen_peak\":0,\"min_capacity\":1.0,",
+            "\"checksum\":\"00aa\"}\n",
+            "{\"policy\":\"uniform\",\"p999_us\":1448.1,\"p999_ratio\":3.116,",
+            "\"peak_power_w\":25698.0,\"mean_power_w\":22658.0,\"over_budget_ticks\":73,",
+            "\"placed\":8800,\"froze\":201,\"unfroze\":190,\"mean_frozen\":13.5,",
+            "\"interactive_frozen_peak\":14,\"batch_frozen_peak\":13,\"min_capacity\":0.617,",
+            "\"checksum\":\"00bb\"}\n",
+            "{\"policy\":\"selective\",\"p999_us\":464.8,\"p999_ratio\":1.0,",
+            "\"peak_power_w\":25595.0,\"mean_power_w\":22619.0,\"over_budget_ticks\":79,",
+            "\"placed\":8900,\"froze\":135,\"unfroze\":130,\"mean_frozen\":13.9,",
+            "\"interactive_frozen_peak\":0,\"batch_frozen_peak\":20,\"min_capacity\":1.0,",
+            "\"checksum\":\"00cc\"}\n",
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn parses_and_gates_a_clean_dump() {
+        let run = SlaRun::parse(&dump()).unwrap();
+        assert_eq!(run.arms.len(), 3);
+        assert!(run.sla_recomputed());
+        assert!(run.budget_binding_recomputed());
+        assert!(run.gates_pass());
+        let md = run.to_markdown();
+        assert!(md.contains("## SLA comparison"));
+        assert!(md.contains("SLA protection: **PASS**"));
+        assert!(md.contains("Budget binding: **PASS**"));
+        assert!(md.contains("| selective |"));
+    }
+
+    #[test]
+    fn detects_a_busted_sla_and_a_vacuous_budget() {
+        // Selective drifting past the bar fails the recomputed gate
+        // even though the header still declares success.
+        let busted = dump().replace(
+            "{\"policy\":\"selective\",\"p999_us\":464.8,\"p999_ratio\":1.0,",
+            "{\"policy\":\"selective\",\"p999_us\":929.6,\"p999_ratio\":2.0,",
+        );
+        let run = SlaRun::parse(&busted).unwrap();
+        assert!(!run.sla_recomputed());
+        assert!(!run.gates_pass());
+        assert!(run.to_markdown().contains("SLA protection: **FAIL**"));
+
+        let vacuous = dump().replace("\"over_budget_ticks\":69", "\"over_budget_ticks\":0");
+        let run = SlaRun::parse(&vacuous).unwrap();
+        assert!(!run.budget_binding_recomputed());
+        assert!(!run.gates_pass());
+        assert!(run.to_markdown().contains("Budget binding: **FAIL**"));
+    }
+
+    #[test]
+    fn rejects_malformed_dumps() {
+        assert!(SlaRun::parse("").is_err());
+        assert!(SlaRun::parse("{\"bench\":\"hier\"}").is_err());
+        let short = dump().lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(SlaRun::parse(&short)
+            .unwrap_err()
+            .contains("missing the \"selective\" arm"));
+    }
+}

@@ -11,7 +11,7 @@ use ampere_cluster::{ClusterSpec, ServerId};
 use ampere_core::{AmpereController, ControllerConfig, HistoricalPercentile, ParitySplit};
 use ampere_experiments::testbed::{DomainSpec, Testbed, TestbedConfig};
 use ampere_power::CappingConfig;
-use ampere_sched::RandomFit;
+use ampere_sched::{FreezePolicy, RandomFit};
 use ampere_sim::SimDuration;
 use ampere_workload::RateProfile;
 
@@ -50,6 +50,8 @@ fn traced_run() -> Vec<u8> {
         },
         policy: Box::new(RandomFit::default()),
         server_classes: None,
+        service_classes: None,
+        freeze_policy: FreezePolicy::Uniform,
         faults: None,
     });
     let (exp, _ctl) = ParitySplit::split((0..16).map(ServerId::new));

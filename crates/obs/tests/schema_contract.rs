@@ -13,7 +13,7 @@ use ampere_experiments::testbed::{DomainSpec, Testbed, TestbedConfig};
 use ampere_obs::report::{check, parse_baseline, render_check, write_baseline, RunReport};
 use ampere_obs::{read_run, RunLine, RunReader, TraceIndex};
 use ampere_power::CappingConfig;
-use ampere_sched::RandomFit;
+use ampere_sched::{FreezePolicy, RandomFit};
 use ampere_sim::SimDuration;
 use ampere_workload::RateProfile;
 
@@ -35,6 +35,8 @@ fn smoke_run(path: &std::path::Path) {
         },
         policy: Box::new(RandomFit::default()),
         server_classes: None,
+        service_classes: None,
+        freeze_policy: FreezePolicy::Uniform,
         faults: None,
     });
     let (exp, _ctl) = ParitySplit::split((0..16).map(ServerId::new));

@@ -43,6 +43,15 @@
 //!    the `arbiter/reallocate` + `arbiter/grant` telemetry the round
 //!    emits, so the shrinker hunts arbiter bugs with the same machinery
 //!    as controller bugs.
+//! 8. **sla-protection** — on scenarios with a service-mix axis, the
+//!    selective freeze policy is batch-first: at the end of every tick,
+//!    no interactive server is frozen while an unfrozen batch server
+//!    remains in the same row. Reconstructed from the
+//!    `scheduler/freeze` + `scheduler/unfreeze` event stream, so the
+//!    shrinker hunts selector-ordering bugs too. Only engaged when the
+//!    fault axis loses no freeze RPCs — a lost batch-freeze call can
+//!    legitimately leave the fleet in a state the next decision
+//!    interval has not yet repaired.
 
 use std::fmt;
 
@@ -64,11 +73,14 @@ pub enum InvariantKind {
     /// An arbiter round over-granted the substation budget or granted
     /// below a row floor.
     BudgetConservation,
+    /// The selective freeze policy froze an interactive server while an
+    /// unfrozen batch server remained in the same row.
+    SlaProtection,
 }
 
 impl InvariantKind {
     /// Every invariant, in registry order.
-    pub const ALL: [InvariantKind; 7] = [
+    pub const ALL: [InvariantKind; 8] = [
         InvariantKind::BreakerSafety,
         InvariantKind::FrozenBounds,
         InvariantKind::PowerConservation,
@@ -76,6 +88,7 @@ impl InvariantKind {
         InvariantKind::Determinism,
         InvariantKind::AlertQuiet,
         InvariantKind::BudgetConservation,
+        InvariantKind::SlaProtection,
     ];
 
     /// Stable kebab-case name (used in JSONL rows and reports).
@@ -88,6 +101,7 @@ impl InvariantKind {
             InvariantKind::Determinism => "determinism",
             InvariantKind::AlertQuiet => "alert-quiet",
             InvariantKind::BudgetConservation => "budget-conservation",
+            InvariantKind::SlaProtection => "sla-protection",
         }
     }
 

@@ -7,7 +7,8 @@
 //! the [`Testbed`], and checks a registry of *system-level* invariants
 //! (breaker safety, frozen bounds, power conservation, freeze
 //! accounting, byte-determinism, alert quiet, arbiter budget
-//! conservation). On failure the harness shrinks the
+//! conservation, batch-first SLA protection). On failure the harness
+//! shrinks the
 //! scenario along each axis to a minimal reproduction and emits a
 //! self-contained repro command.
 //!
@@ -34,5 +35,7 @@ pub mod shrink;
 pub use batch::{repro_command, run_batch, shell_quote, BatchConfig, BatchReport, BatchRow};
 pub use invariant::{InvariantKind, Violation};
 pub use run::{run_scenario, InjectedBug, RunOptions, RunStats, ScenarioOutcome, BUG_ENV};
-pub use scenario::{BudgetAxis, ControlAxis, FaultAxis, Scenario, WorkloadAxis, WorkloadKind};
+pub use scenario::{
+    BudgetAxis, ControlAxis, FaultAxis, Scenario, ServiceMixAxis, WorkloadAxis, WorkloadKind,
+};
 pub use shrink::{shrink, shrink_to_level, ShrinkResult, MIN_TICKS};

@@ -9,11 +9,11 @@
 //! is on, the whole run repeats and the two byte-digests must match.
 
 use ampere_arbiter::{ArbiterConfig, BudgetArbiter, RowHealth};
-use ampere_cluster::RowId;
+use ampere_cluster::{RowId, ServiceClass};
 use ampere_experiments::testbed::{DomainTickRecord, Testbed, TestbedConfig};
 use ampere_experiments::DomainSpec;
 use ampere_power::CappingConfig;
-use ampere_sched::RandomFit;
+use ampere_sched::{FreezePolicy, RandomFit};
 use ampere_sim::SimDuration;
 use ampere_telemetry::fanin::{replay_into, Capture};
 use ampere_telemetry::Event;
@@ -31,6 +31,10 @@ pub enum InjectedBug {
     /// of `budget · (1 − margin)`, so it happily holds power *above*
     /// the breaker limit — the classic mis-signed safety margin.
     BreakerMarginMisSign,
+    /// Inverts the selective freeze selector's class priority:
+    /// interactive servers freeze *first* and batch last — the exact
+    /// ordering bug the `sla-protection` invariant exists to catch.
+    SlaOrderingInversion,
 }
 
 /// Environment variable the repro command uses to re-arm a bug.
@@ -41,6 +45,7 @@ impl InjectedBug {
     pub fn env_value(self) -> &'static str {
         match self {
             InjectedBug::BreakerMarginMisSign => "breaker-margin-sign",
+            InjectedBug::SlaOrderingInversion => "sla-ordering",
         }
     }
 
@@ -48,6 +53,7 @@ impl InjectedBug {
     pub fn from_env_value(value: &str) -> Option<InjectedBug> {
         match value {
             "breaker-margin-sign" => Some(InjectedBug::BreakerMarginMisSign),
+            "sla-ordering" => Some(InjectedBug::SlaOrderingInversion),
             _ => None,
         }
     }
@@ -249,9 +255,20 @@ fn simulate(
         },
         policy: Box::new(RandomFit::default()),
         server_classes: None,
+        service_classes: scenario.service_classes(),
+        freeze_policy: if scenario.service_mix.is_some() {
+            FreezePolicy::Selective
+        } else {
+            FreezePolicy::Uniform
+        },
         faults: scenario.fault_plan(),
     };
     let mut tb = Testbed::new(config);
+    if bug == Some(InjectedBug::SlaOrderingInversion) {
+        // Only bites on scenarios with a service-mix axis — the
+        // selector is never consulted under the uniform policy.
+        tb.set_selector_inverted(true);
+    }
 
     let budget_w = scenario.domain_budget_w();
     // The provisioning margin between control plane and breaker: a
@@ -259,7 +276,7 @@ fn simulate(
     // allows; the planted bug flips the sign.
     let margin_sign = match bug {
         Some(InjectedBug::BreakerMarginMisSign) => 1.0,
-        None => -1.0,
+        _ => -1.0,
     };
     let control_budget_w = budget_w * (1.0 + margin_sign * scenario.control.margin);
 
@@ -504,6 +521,78 @@ fn evaluate(scenario: &Scenario, run: &RawRun) -> Vec<Violation> {
     // 7. budget-conservation, from the arbiter's round telemetry.
     out.extend(budget_conservation(&run.events));
 
+    // 8. sla-protection, from the scheduler's freeze/unfreeze stream.
+    out.extend(sla_protection(scenario, &run.events));
+
+    out
+}
+
+/// Invariant 8: on service-mix scenarios, replays the scheduler's
+/// freeze/unfreeze events into a frozen-set model and checks batch-first
+/// ordering at the end of every tick that moved it: no interactive
+/// server frozen while an unfrozen batch server remains in the same
+/// row. End-of-tick, not per-event — within one tick the selector's
+/// action lists are applied in ascending id order, so intermediate
+/// states are not meaningful. Skipped when the fault axis loses RPCs
+/// (a lost batch-freeze call legitimately leaves a state the next
+/// decision interval has not yet repaired), and vacuously true without
+/// the axis.
+fn sla_protection(scenario: &Scenario, events: &[Event]) -> Vec<Violation> {
+    let Some(classes) = scenario.service_classes() else {
+        return Vec::new();
+    };
+    if scenario.faults.rpc_loss > 0.0 {
+        return Vec::new();
+    }
+    let per_row = scenario.racks_per_row * scenario.servers_per_rack;
+    let fleet = scenario.server_count();
+    let mut frozen = vec![false; fleet];
+    let mut out = Vec::new();
+    let check = |frozen: &[bool], tick: u64, out: &mut Vec<Violation>| -> bool {
+        for row in 0..scenario.rows {
+            let range = row * per_row..(row + 1) * per_row;
+            let bad_interactive = range
+                .clone()
+                .find(|&i| frozen[i] && classes[i] == ServiceClass::Interactive);
+            let idle_batch = range
+                .clone()
+                .find(|&i| !frozen[i] && classes[i] == ServiceClass::Batch);
+            if let (Some(i), Some(b)) = (bad_interactive, idle_batch) {
+                out.push(Violation {
+                    invariant: InvariantKind::SlaProtection,
+                    tick: Some(tick),
+                    detail: format!(
+                        "row {row}: interactive server {i} frozen while batch server {b} \
+                         is not — the selective policy must exhaust batch first"
+                    ),
+                });
+                return true;
+            }
+        }
+        false
+    };
+    let mut open_tick: Option<u64> = None;
+    for e in events {
+        if e.component != "scheduler" || (e.name != "freeze" && e.name != "unfreeze") {
+            continue;
+        }
+        let Some(id) = e.field("server").and_then(|v| v.as_u64()) else {
+            continue;
+        };
+        let tick = e.sim_time.as_millis() / 60_000;
+        if let Some(prev) = open_tick {
+            if prev != tick && check(&frozen, prev, &mut out) {
+                return out;
+            }
+        }
+        open_tick = Some(tick);
+        if (id as usize) < fleet {
+            frozen[id as usize] = e.name == "freeze";
+        }
+    }
+    if let Some(prev) = open_tick {
+        check(&frozen, prev, &mut out);
+    }
     out
 }
 
@@ -713,8 +802,12 @@ mod tests {
 
     #[test]
     fn bug_env_values_round_trip() {
-        let bug = InjectedBug::BreakerMarginMisSign;
-        assert_eq!(InjectedBug::from_env_value(bug.env_value()), Some(bug));
+        for bug in [
+            InjectedBug::BreakerMarginMisSign,
+            InjectedBug::SlaOrderingInversion,
+        ] {
+            assert_eq!(InjectedBug::from_env_value(bug.env_value()), Some(bug));
+        }
         assert_eq!(InjectedBug::from_env_value("no-such-bug"), None);
     }
 
@@ -755,6 +848,7 @@ mod tests {
             },
             faults: FaultAxis::none(),
             budget: None,
+            service_mix: None,
         };
         let outcome = run_scenario(&scenario, &RunOptions::default());
         assert!(
@@ -798,6 +892,7 @@ mod tests {
                 grant_period: 10,
                 hysteresis: 0.02,
             }),
+            service_mix: None,
         };
         let outcome = run_scenario(&scenario, &RunOptions::default());
         assert!(

@@ -6,7 +6,7 @@
 //! reconstructible anywhere from the seed alone — the property the
 //! repro command and the shrinker both rely on.
 
-use ampere_cluster::{ClusterSpec, Resources};
+use ampere_cluster::{ClusterSpec, Resources, ServiceClass};
 use ampere_core::{AmpereController, ControllerConfig, HistoricalPercentile};
 use ampere_faults::{FaultPlan, OutageWindow};
 use ampere_power::ServerPowerModel;
@@ -126,6 +126,20 @@ pub struct BudgetAxis {
     pub hysteresis: f64,
 }
 
+/// Service-mix axis: tag a trailing block of each row's servers as
+/// batch and run the scheduler's *selective* freeze policy (batch
+/// first, interactive only when batch is exhausted) instead of the
+/// uniform one. The fraction is drawn at or above the generator's
+/// `u_max` ceiling so a correctly-ordered selector never needs to
+/// touch an interactive server — which is exactly what the
+/// `sla-protection` invariant checks from the event stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceMixAxis {
+    /// Fraction of each row's servers tagged [`ServiceClass::Batch`]
+    /// (the freeze-first pool), as a trailing id block per row.
+    pub batch_fraction: f64,
+}
+
 /// One complete randomized scenario, reconstructible from `seed`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -148,6 +162,9 @@ pub struct Scenario {
     /// Budget axis: `Some` on multi-row scenarios that arbitrate one
     /// substation budget across rows, `None` for independent rows.
     pub budget: Option<BudgetAxis>,
+    /// Service-mix axis: `Some` tags a batch block per row and runs
+    /// the selective freeze policy, `None` keeps the uniform one.
+    pub service_mix: Option<ServiceMixAxis>,
 }
 
 /// Arrival rate the presets were calibrated against.
@@ -213,14 +230,23 @@ impl Scenario {
             }),
         };
 
-        // Drawn last so every earlier axis keeps its per-seed value
-        // from before this axis existed (seed stability across PRs).
+        // Drawn after every earlier axis so each per-seed value stays
+        // what it was before this axis existed (seed stability across
+        // PRs).
         let budget = (rows >= 2 && rng.gen_bool(0.5)).then(|| BudgetAxis {
             substation_scale: rng.gen_range(0.85..0.98),
             skew: rng.gen_range(0.0..0.6),
             floor_scale: rng.gen_range(0.55..0.75),
             grant_period: rng.gen_range(5..=15u64),
             hysteresis: rng.gen_range(0.0..0.05),
+        });
+
+        // Newest axis, drawn after the budget axis for the same seed
+        // stability. The fraction floor (0.60) sits at the generator's
+        // u_max ceiling, so the selective policy never has a reason to
+        // freeze an interactive server (see ServiceMixAxis).
+        let service_mix = rng.gen_bool(0.4).then(|| ServiceMixAxis {
+            batch_fraction: rng.gen_range(0.60..0.80),
         });
 
         Scenario {
@@ -233,6 +259,7 @@ impl Scenario {
             control,
             faults,
             budget,
+            service_mix,
         }
     }
 
@@ -293,6 +320,24 @@ impl Scenario {
                 .into_iter()
                 .collect(),
             ..FaultPlan::seeded(derive_subseed(self.seed, streams::SCENARIO, 1))
+        })
+    }
+
+    /// Per-server service classes under the service-mix axis (`None`
+    /// without one): the trailing `batch_fraction` block of each row's
+    /// contiguous id range is batch, the rest interactive — the same
+    /// trailing-block convention `repro sla` uses.
+    pub fn service_classes(&self) -> Option<Vec<ServiceClass>> {
+        self.service_mix.map(|mix| {
+            let per_row = self.racks_per_row * self.servers_per_rack;
+            let batch = ((mix.batch_fraction * per_row as f64).ceil() as usize).min(per_row);
+            let mut classes = vec![ServiceClass::Interactive; self.server_count()];
+            for row in 0..self.rows {
+                for i in 0..batch {
+                    classes[row * per_row + per_row - 1 - i] = ServiceClass::Batch;
+                }
+            }
+            classes
         })
     }
 
@@ -364,10 +409,14 @@ impl Scenario {
                 b.substation_scale, b.skew, b.floor_scale, b.grant_period, b.hysteresis
             ),
         };
+        let mix = match self.service_mix {
+            None => "none".to_string(),
+            Some(m) => format!("(batch={:.2})", m.batch_fraction),
+        };
         format!(
             "seed={} ticks={} topo={}x{}x{} ({} servers) workload={}(rate={:.2},amp={:.2}) \
              control=(budget={:.3},et={:.3},kr_scale={:.2},u_max={:.2},margin={:.3}) faults={} \
-             budget_split={}",
+             budget_split={} mix={mix}",
             self.seed,
             self.ticks,
             self.rows,
@@ -425,6 +474,32 @@ mod tests {
                 assert_eq!(weights.len(), s.rows);
                 assert!(weights.iter().all(|&w| w > 0.0));
             }
+            if let Some(m) = s.service_mix {
+                assert!((0.60..0.80).contains(&m.batch_fraction));
+                // The selective policy must never *need* an interactive
+                // freeze: the per-row batch pool covers any target the
+                // controller can legally emit (u_target <= u_max).
+                let classes = s.service_classes().expect("mix axis implies classes");
+                let per_row = s.racks_per_row * s.servers_per_rack;
+                assert_eq!(classes.len(), s.server_count());
+                let batch_per_row = classes
+                    .iter()
+                    .take(per_row)
+                    .filter(|&&c| c == ServiceClass::Batch)
+                    .count();
+                assert!(batch_per_row as f64 >= s.control.u_max * per_row as f64);
+                // Batch is a trailing block of each row's id range.
+                for row in 0..s.rows {
+                    let row_classes = &classes[row * per_row..(row + 1) * per_row];
+                    assert_eq!(
+                        row_classes.iter().filter(|&&c| c == ServiceClass::Batch).count(),
+                        batch_per_row
+                    );
+                    assert!(row_classes[per_row - batch_per_row..]
+                        .iter()
+                        .all(|&c| c == ServiceClass::Batch));
+                }
+            }
             // Safety precondition: the frozen floor is below the
             // breaker budget, so a correct controller can always win.
             let floor = 1.0 - 0.4 * s.control.u_max;
@@ -446,6 +521,18 @@ mod tests {
         assert!(
             with_budget * 5 >= multi_row && with_budget <= multi_row,
             "budget axis on {with_budget}/{multi_row} multi-row seeds"
+        );
+    }
+
+    #[test]
+    fn service_mix_appears_on_a_healthy_fraction_of_seeds() {
+        let with_mix = (0..200u64)
+            .map(Scenario::generate)
+            .filter(|s| s.service_mix.is_some())
+            .count();
+        assert!(
+            (40..=160).contains(&with_mix),
+            "service-mix axis on {with_mix}/200 seeds"
         );
     }
 

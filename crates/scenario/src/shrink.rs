@@ -70,6 +70,12 @@ const CANDIDATES: &[Candidate] = &[
             ..s.clone()
         })
     }),
+    ("service-mix", |s| {
+        s.service_mix.is_some().then(|| Scenario {
+            service_mix: None,
+            ..s.clone()
+        })
+    }),
     ("rows", |s| {
         (s.rows > 1).then(|| Scenario {
             rows: 1,
@@ -236,7 +242,7 @@ pub fn shrink_to_level(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{BudgetAxis, ControlAxis, WorkloadAxis, WorkloadKind};
+    use crate::scenario::{BudgetAxis, ControlAxis, ServiceMixAxis, WorkloadAxis, WorkloadKind};
 
     fn sample() -> Scenario {
         Scenario {
@@ -269,6 +275,9 @@ mod tests {
                 floor_scale: 0.65,
                 grant_period: 10,
                 hysteresis: 0.02,
+            }),
+            service_mix: Some(ServiceMixAxis {
+                batch_fraction: 0.7,
             }),
         }
     }

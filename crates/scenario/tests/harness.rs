@@ -8,6 +8,10 @@ use ampere_scenario::{
     RunOptions, Scenario,
 };
 
+// (The sla-ordering canary below exercises the batch + shrink pipeline
+// end to end; CI also arms it through AMPERE_SCENARIO_BUG to prove the
+// env-var path.)
+
 /// Canary seed: fixed, chosen because under the mis-signed-margin bug
 /// it produces a breaker-safety violation *and* draws a scenario with
 /// many live axes (2×2×8 topology, 143 ticks, faults, diurnal
@@ -100,6 +104,76 @@ fn shrink_levels_replay_deterministically() {
     let replayed = shrink_to_level(&scenario, &kinds, &bugged(), full.level);
     assert_eq!(replayed.scenario, full.scenario);
     assert_eq!(replayed.level, full.level);
+}
+
+#[test]
+fn sla_ordering_canary_is_detected_and_shrunk_by_the_batch() {
+    // The inverted-selector bug armed across a whole 50-scenario batch:
+    // every service-mix scenario that actually freezes must trip the
+    // sla-protection invariant, and the batch's built-in shrinker must
+    // reduce at least one such failure along >= 2 axes.
+    let options = RunOptions {
+        check_determinism: false,
+        bug: Some(InjectedBug::SlaOrderingInversion),
+    };
+    let report = run_batch(&BatchConfig {
+        seed: 2026,
+        count: 50,
+        workers: 4,
+        options,
+        shrink_failures: true,
+    });
+    let failures: Vec<_> = report
+        .rows
+        .iter()
+        .filter(|r| {
+            r.outcome
+                .violated_kinds()
+                .contains(&InvariantKind::SlaProtection)
+        })
+        .collect();
+    assert!(
+        !failures.is_empty(),
+        "inverted selector ordering went undetected across the whole batch"
+    );
+    for row in &failures {
+        // Only scenarios the invariant is armed on can fail it.
+        let s = &row.outcome.scenario;
+        assert!(s.service_mix.is_some(), "{}", s.describe());
+        assert_eq!(s.faults.rpc_loss, 0.0, "{}", s.describe());
+        // Every failure was shrunk, and no shrink dropped the mix axis
+        // (without it the invariant cannot fire).
+        let shrink = row.shrink.as_ref().expect("failures are shrunk");
+        assert!(!shrink.axes.contains(&"service-mix"));
+    }
+    // The failure is the bug's doing: the first failing scenario passes
+    // with the selector correctly ordered.
+    let healthy = run_scenario(
+        &failures[0].outcome.scenario,
+        &RunOptions {
+            check_determinism: false,
+            bug: None,
+        },
+    );
+    assert!(
+        healthy.passed(),
+        "canary scenario fails even without the bug: {:?}",
+        healthy.violations
+    );
+    // At least one failure has real shrinking work to show: >= 2
+    // accepted steps across >= 2 distinct axes.
+    assert!(
+        failures
+            .iter()
+            .any(|r| r.shrink.as_ref().is_some_and(|s| {
+                s.level >= 2 && s.axes.len() >= 2
+            })),
+        "no sla-protection failure shrank along >= 2 axes: {:?}",
+        failures
+            .iter()
+            .map(|r| r.shrink.as_ref().map(|s| s.axes.clone()))
+            .collect::<Vec<_>>()
+    );
 }
 
 #[test]

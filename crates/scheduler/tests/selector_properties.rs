@@ -1,0 +1,187 @@
+//! Property battery for the SLA-aware [`FreezeSelector`]: freeze →
+//! unfreeze round-trips restore the exact pre-freeze set, batch-first
+//! ordering survives random power churn and lost RPCs, and a
+//! cold-started replacement controller re-issues the dead one's
+//! decisions from telemetry alone.
+
+use ampere_cluster::{ServerId, ServiceClass};
+use ampere_sched::{FreezeSelector, SelectorActions, SelectorReading};
+use ampere_sim::check::{cases, Gen};
+
+use std::collections::BTreeSet;
+
+/// A random mixed fleet: ids 0..n with a trailing batch block, at
+/// least one server of each class, everything unfrozen.
+fn fleet(g: &mut Gen) -> Vec<SelectorReading> {
+    let n = g.usize(4..40);
+    let batch = g.usize(1..n);
+    (0..n)
+        .map(|i| SelectorReading {
+            id: ServerId::new(i as u64),
+            power_w: g.f64(50.0..400.0),
+            frozen: false,
+            class: if i >= n - batch {
+                ServiceClass::Batch
+            } else {
+                ServiceClass::Interactive
+            },
+        })
+        .collect()
+}
+
+fn frozen_set(readings: &[SelectorReading]) -> BTreeSet<u64> {
+    readings
+        .iter()
+        .filter(|r| r.frozen)
+        .map(|r| r.id.raw())
+        .collect()
+}
+
+/// Applies every transition (ids are dense, so id == index).
+fn apply_all(readings: &mut [SelectorReading], actions: &SelectorActions) {
+    for id in &actions.unfreeze {
+        readings[id.raw() as usize].frozen = false;
+    }
+    for id in &actions.freeze {
+        readings[id.raw() as usize].frozen = true;
+    }
+}
+
+/// Applies each transition with 70% probability — the fault plan's
+/// lost-RPC model: a dropped call simply never lands.
+fn apply_lossy(g: &mut Gen, readings: &mut [SelectorReading], actions: &SelectorActions) {
+    for id in &actions.unfreeze {
+        if g.weighted(0.7) {
+            readings[id.raw() as usize].frozen = false;
+        }
+    }
+    for id in &actions.freeze {
+        if g.weighted(0.7) {
+            readings[id.raw() as usize].frozen = true;
+        }
+    }
+}
+
+/// Batch-first on a *state*: a frozen interactive server implies every
+/// batch server is frozen too.
+fn batch_first(readings: &[SelectorReading]) -> bool {
+    let frozen_interactive = readings
+        .iter()
+        .any(|r| r.frozen && r.class == ServiceClass::Interactive);
+    let unfrozen_batch = readings
+        .iter()
+        .any(|r| !r.frozen && r.class == ServiceClass::Batch);
+    !(frozen_interactive && unfrozen_batch)
+}
+
+/// Ramping the target up and back down with unchanged telemetry must
+/// land on the exact pre-ramp frozen set — the selector's hysteresis
+/// (already-frozen preferred within a class) makes the walk reversible,
+/// so a demand spike that comes and goes leaves no churn behind.
+#[test]
+fn ramp_up_then_down_restores_the_pre_freeze_set() {
+    cases(64, |g| {
+        let sel = FreezeSelector::new();
+        let mut readings = fleet(g);
+        let n0 = g.usize(0..readings.len());
+        let actions = sel.retarget(n0, &readings);
+        apply_all(&mut readings, &actions);
+        let before = frozen_set(&readings);
+        assert_eq!(before.len(), n0);
+
+        let n1 = g.usize(n0..readings.len() + 1);
+        let actions = sel.retarget(n1, &readings);
+        apply_all(&mut readings, &actions);
+        let peak = frozen_set(&readings);
+        assert_eq!(peak.len(), n1);
+        assert!(
+            peak.is_superset(&before),
+            "ramping up evicted a frozen server: {before:?} not within {peak:?}"
+        );
+
+        let actions = sel.retarget(n0, &readings);
+        apply_all(&mut readings, &actions);
+        assert_eq!(
+            frozen_set(&readings),
+            before,
+            "round trip did not restore the pre-freeze set"
+        );
+    });
+}
+
+/// Under random power churn and lost RPCs, every *target* the selector
+/// emits is batch-first, and a single fully-delivered interval repairs
+/// whatever state the losses left behind — the self-healing contract
+/// the testbed's retry-by-re-reading loop relies on.
+#[test]
+fn batch_first_holds_under_interleaved_faults_and_lost_rpcs() {
+    cases(64, |g| {
+        let sel = FreezeSelector::new();
+        let mut readings = fleet(g);
+        for _ in 0..12 {
+            for r in readings.iter_mut() {
+                r.power_w = g.f64(50.0..400.0);
+            }
+            let n = g.usize(0..readings.len() + 1);
+            let actions = sel.retarget(n, &readings);
+            // The target set (current state + all transitions) is
+            // batch-first even when earlier RPCs were lost.
+            let mut target = readings.clone();
+            apply_all(&mut target, &actions);
+            assert_eq!(frozen_set(&target).len(), n);
+            assert!(
+                batch_first(&target),
+                "target froze interactive with batch idle: {:?}",
+                frozen_set(&target)
+            );
+            apply_lossy(g, &mut readings, &actions);
+        }
+        // Self-healing: the next interval's readings show the
+        // un-applied transitions and one clean delivery re-issues them.
+        let n = g.usize(0..readings.len() + 1);
+        let actions = sel.retarget(n, &readings);
+        apply_all(&mut readings, &actions);
+        assert_eq!(frozen_set(&readings).len(), n);
+        assert!(batch_first(&readings));
+    });
+}
+
+/// The selector is stateless: a replacement cold-started after a
+/// controller failover, fed the same telemetry (frozen flags included),
+/// issues byte-identical decisions — and the decision is invariant to
+/// the order telemetry arrives in.
+#[test]
+fn cold_started_replacement_reissues_identical_decisions() {
+    cases(64, |g| {
+        let warm = FreezeSelector::new();
+        let mut readings = fleet(g);
+        for _ in 0..6 {
+            for r in readings.iter_mut() {
+                r.power_w = g.f64(50.0..400.0);
+            }
+            let n = g.usize(0..readings.len() + 1);
+            let decision = warm.retarget(n, &readings);
+
+            let cold = FreezeSelector::new();
+            assert_eq!(
+                cold.retarget(n, &readings),
+                decision,
+                "cold-started selector diverged from the warm one"
+            );
+
+            // Fisher–Yates shuffle of the telemetry arrival order.
+            let mut shuffled = readings.clone();
+            for i in (1..shuffled.len()).rev() {
+                let j = g.usize(0..i + 1);
+                shuffled.swap(i, j);
+            }
+            assert_eq!(
+                cold.retarget(n, &shuffled),
+                decision,
+                "decision depends on telemetry arrival order"
+            );
+
+            apply_lossy(g, &mut readings, &decision);
+        }
+    });
+}

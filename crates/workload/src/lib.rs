@@ -26,6 +26,6 @@ pub mod trace;
 pub use duration::JobDurationDist;
 pub use generator::{BatchWorkload, JobRequest};
 pub use interactive::{InteractiveSim, OpType, RedisBenchReport};
-pub use profile::RateProfile;
+pub use profile::{OuNoise, RateProfile, UserPopulation};
 pub use shape::JobShapeDist;
 pub use trace::{JobTrace, TraceWorkload};

@@ -35,6 +35,14 @@ pub enum RateProfile {
         /// Segment boundaries.
         segments: Vec<(u64, f64)>,
     },
+    /// A sum of component profiles — services whose arrival processes
+    /// superpose (e.g. a user-facing request stream plus the off-hour
+    /// side tasks that backfill its trough). The rate at any time is
+    /// the sum of the component rates.
+    Mix {
+        /// The superposed component profiles.
+        components: Vec<RateProfile>,
+    },
 }
 
 impl RateProfile {
@@ -62,6 +70,9 @@ impl RateProfile {
                     }
                 }
                 rate
+            }
+            RateProfile::Mix { components } => {
+                components.iter().map(|c| c.rate_per_min(t)).sum()
             }
         }
     }
@@ -113,6 +124,29 @@ impl RateProfile {
         }
     }
 
+    /// The streaming-service preset (after cloudsim_eec's Test1 mix):
+    /// an evening-peak, high-amplitude request stream carrying the
+    /// high-SLA streaming traffic, superposed with off-hour batch side
+    /// tasks (transcodes, re-indexing) that peak in anti-phase and
+    /// backfill the overnight trough. Calibrated for the 440-server
+    /// evaluation row like the other presets.
+    pub fn streaming_service() -> Self {
+        RateProfile::Mix {
+            components: vec![
+                RateProfile::Diurnal {
+                    base_per_min: 320.0,
+                    amplitude: 0.85,
+                    peak_hour: 20.0,
+                },
+                RateProfile::Diurnal {
+                    base_per_min: 140.0,
+                    amplitude: 0.70,
+                    peak_hour: 8.0,
+                },
+            ],
+        }
+    }
+
     /// Scales the profile's rate by `factor` (e.g. to adapt a 440-server
     /// preset to a different row size).
     pub fn scaled(self, factor: f64) -> Self {
@@ -133,6 +167,67 @@ impl RateProfile {
             RateProfile::Steps { segments } => RateProfile::Steps {
                 segments: segments.into_iter().map(|(s, r)| (s, r * factor)).collect(),
             },
+            RateProfile::Mix { components } => RateProfile::Mix {
+                components: components.into_iter().map(|c| c.scaled(factor)).collect(),
+            },
+        }
+    }
+}
+
+/// A user-population scale factor for interactive arrival streams.
+///
+/// Presets above are calibrated in jobs per minute for one evaluation
+/// row; production framing is "how many users does this fleet serve".
+/// A `UserPopulation` converts a simulated user count (millions are
+/// fine — it is just arithmetic) into a diurnal [`RateProfile`]:
+/// `users · requests_per_user_hour / 60` client requests per minute,
+/// folded by `requests_per_job` into scheduler-visible jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserPopulation {
+    /// Simulated users served by the fleet.
+    pub users: f64,
+    /// Mean requests each user issues per hour.
+    pub requests_per_user_hour: f64,
+    /// Client requests folded into one scheduler-visible job (request
+    /// batching / connection multiplexing).
+    pub requests_per_job: f64,
+    /// Diurnal swing of the user population's activity, in `[0, 1)`.
+    pub amplitude: f64,
+    /// Hour of day (0–24) at which user activity peaks.
+    pub peak_hour: f64,
+}
+
+impl UserPopulation {
+    /// The streaming service's audience shape: evening peak (20:00),
+    /// strong swing, ~1.8 requests per user-hour, 600 requests per
+    /// scheduler-visible job. `users` picks the population size;
+    /// `UserPopulation::streaming(2.0e6)` drives two million users.
+    pub fn streaming(users: f64) -> Self {
+        Self {
+            users,
+            requests_per_user_hour: 1.8,
+            requests_per_job: 600.0,
+            amplitude: 0.85,
+            peak_hour: 20.0,
+        }
+    }
+
+    /// Mean scheduler-visible jobs per minute this population produces.
+    pub fn base_jobs_per_min(&self) -> f64 {
+        assert!(
+            self.users >= 0.0 && self.requests_per_user_hour >= 0.0 && self.requests_per_job > 0.0,
+            "bad user population"
+        );
+        self.users * self.requests_per_user_hour / 60.0 / self.requests_per_job
+    }
+
+    /// The population's arrival profile: a diurnal curve at the
+    /// population's mean rate, swing and peak hour.
+    pub fn profile(&self) -> RateProfile {
+        RateProfile::Diurnal {
+            base_per_min: self.base_jobs_per_min(),
+            amplitude: self.amplitude,
+            peak_hour: self.peak_hour,
         }
     }
 }
@@ -233,6 +328,44 @@ mod tests {
                 assert!((rates[i] - rates[j]).abs() > 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn streaming_preset_superposes_and_scales() {
+        let p = RateProfile::streaming_service();
+        // Evening peak dominates; the off-hour side tasks keep the
+        // overnight trough well above the streaming component alone.
+        let evening = p.rate_per_min(SimTime::from_hours(20));
+        let morning = p.rate_per_min(SimTime::from_hours(8));
+        let night = p.rate_per_min(SimTime::from_hours(2));
+        assert!(evening > morning, "evening {evening} vs morning {morning}");
+        assert!(night > 0.0);
+        let streaming_only = RateProfile::Diurnal {
+            base_per_min: 320.0,
+            amplitude: 0.85,
+            peak_hour: 20.0,
+        };
+        assert!(night > streaming_only.rate_per_min(SimTime::from_hours(2)));
+        // Mix scaling distributes over components.
+        let half = RateProfile::streaming_service().scaled(0.5);
+        let t = SimTime::from_hours(17);
+        assert!((half.rate_per_min(t) - p.rate_per_min(t) * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn user_population_converts_to_rate() {
+        let pop = UserPopulation::streaming(2.0e6);
+        // 2M users · 1.8 req/user-h / 60 / 600 req/job = 100 jobs/min.
+        assert!((pop.base_jobs_per_min() - 100.0).abs() < 1e-9);
+        let p = pop.profile();
+        let peak = p.rate_per_min(SimTime::from_hours(20));
+        assert!((peak - 185.0).abs() < 1e-6, "peak = {peak}");
+        // Populations scale linearly: 10× the users, 10× the rate.
+        let big = UserPopulation {
+            users: 2.0e7,
+            ..pop
+        };
+        assert!((big.base_jobs_per_min() - 1000.0).abs() < 1e-9);
     }
 
     #[test]

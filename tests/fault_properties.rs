@@ -10,7 +10,7 @@ use ampere_core::{AmpereController, ControllerConfig, HistoricalPercentile, Pari
 use ampere_experiments::{DomainId, DomainSpec, Testbed, TestbedConfig};
 use ampere_faults::{FaultPlan, OutageWindow};
 use ampere_power::CappingConfig;
-use ampere_sched::RandomFit;
+use ampere_sched::{FreezePolicy, RandomFit};
 use ampere_sim::check::cases;
 use ampere_sim::{SimDuration, SimTime};
 use ampere_workload::RateProfile;
@@ -29,6 +29,8 @@ fn testbed(seed: u64, faults: Option<FaultPlan>) -> (Testbed, DomainId) {
         capping: CappingConfig::default(),
         policy: Box::new(RandomFit::default()),
         server_classes: None,
+        service_classes: None,
+        freeze_policy: FreezePolicy::Uniform,
         faults,
     });
     let (exp, _rest) = ParitySplit::split((0..16).map(ServerId::new));

@@ -14,7 +14,7 @@ use ampere_experiments::{
 };
 use ampere_faults::{FaultPlan, OutageWindow};
 use ampere_power::CappingConfig;
-use ampere_sched::RandomFit;
+use ampere_sched::{FreezePolicy, RandomFit};
 use ampere_sim::{SimDuration, SimTime};
 use ampere_workload::RateProfile;
 
@@ -129,6 +129,8 @@ fn faulted_testbed(seed: u64) -> (Testbed, DomainId) {
         capping: CappingConfig::default(),
         policy: Box::new(RandomFit::default()),
         server_classes: None,
+        service_classes: None,
+        freeze_policy: FreezePolicy::Uniform,
         faults: Some(FaultPlan {
             sample_dropout: 0.2,
             sweep_loss: 0.05,
